@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared plumbing for the per-figure/per-table reproduction binaries.
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/pareto.hpp"
+#include "harness/experiment.hpp"
+#include "trace/csv.hpp"
+#include "trace/table.hpp"
+
+namespace dimetrodon::bench {
+
+/// Directory CSV artifacts are written to (created on demand).
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline std::string csv_path(const std::string& name) {
+  return results_dir() + "/" + name;
+}
+
+/// One measured sweep entry: configuration label + trade-off vs baseline.
+struct SweepPoint {
+  std::string label;
+  harness::Tradeoff tradeoff;
+  harness::RunResult run;
+};
+
+inline analysis::TradeoffPoint to_tradeoff_point(const SweepPoint& p) {
+  return analysis::TradeoffPoint{p.tradeoff.temp_reduction,
+                                 p.tradeoff.throughput_retained, p.label};
+}
+
+/// Render a sweep as the trade-off table the paper's figures plot.
+inline void print_sweep(const std::string& title,
+                        const std::vector<SweepPoint>& points) {
+  std::printf("\n%s\n", title.c_str());
+  trace::Table table({"config", "temp_red_%", "temp_red_exact_%",
+                      "thr_red_%", "efficiency"});
+  for (const auto& p : points) {
+    table.add_row({p.label, trace::fmt("%6.2f", 100 * p.tradeoff.temp_reduction),
+                   trace::fmt("%6.2f", 100 * p.tradeoff.temp_reduction_exact),
+                   trace::fmt("%6.2f", 100 * p.tradeoff.throughput_reduction),
+                   trace::fmt("%5.2f", p.tradeoff.efficiency)});
+  }
+  table.print(std::cout);
+}
+
+/// Mark pareto-frontier members (the "darkened" boundary of Figs. 4-6).
+inline std::vector<std::string> pareto_labels(
+    const std::vector<SweepPoint>& points) {
+  std::vector<analysis::TradeoffPoint> tps;
+  tps.reserve(points.size());
+  for (const auto& p : points) tps.push_back(to_tradeoff_point(p));
+  std::vector<std::string> labels;
+  for (const auto& tp : analysis::pareto_frontier(tps)) {
+    labels.push_back(tp.label);
+  }
+  return labels;
+}
+
+}  // namespace dimetrodon::bench

@@ -1,0 +1,101 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths that bound how
+// fast the reproduction sweeps run — event queue churn, implicit-Euler RC
+// stepping, scheduler dispatch, and whole-machine simulated seconds.
+#include <benchmark/benchmark.h>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_network.hpp"
+#include "workload/cpuburn.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::SimTime t = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    q.schedule(t + 100, [&sink](sim::SimTime at) {
+      sink += static_cast<std::uint64_t>(at);
+    });
+    t = q.pop_and_run();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun);
+
+void BM_EventQueueDeepHeap(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    for (int i = 0; i < depth; ++i) {
+      q.schedule((i * 7919) % 104729, [](sim::SimTime) {});
+    }
+    state.ResumeTiming();
+    while (!q.empty()) q.pop_and_run();
+  }
+}
+BENCHMARK(BM_EventQueueDeepHeap)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) sink += rng.uniform();
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RcNetworkStep(benchmark::State& state) {
+  thermal::RcNetwork net;
+  thermal::FloorplanParams params;
+  const auto nodes = thermal::build_server_floorplan(net, params);
+  for (std::size_t i = 0; i < 4; ++i) net.set_power(nodes.die[i], 12.0);
+  net.set_power(nodes.package, 18.0);
+  for (auto _ : state) net.step(0.00025);
+  benchmark::DoNotOptimize(net.temperature(nodes.die[0]));
+}
+BENCHMARK(BM_RcNetworkStep);
+
+void BM_RcNetworkSteadyState(benchmark::State& state) {
+  thermal::RcNetwork net;
+  thermal::FloorplanParams params;
+  const auto nodes = thermal::build_server_floorplan(net, params);
+  for (std::size_t i = 0; i < 4; ++i) net.set_power(nodes.die[i], 12.0);
+  for (auto _ : state) net.solve_steady_state();
+  benchmark::DoNotOptimize(net.temperature(nodes.die[0]));
+}
+BENCHMARK(BM_RcNetworkSteadyState);
+
+void BM_MachineSimulatedSecond(benchmark::State& state) {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = state.range(0) != 0;
+  sched::Machine machine(cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(machine);
+  for (auto _ : state) machine.run_for(sim::kSecond);
+  state.SetLabel(cfg.enable_meter ? "meter on" : "meter off");
+}
+BENCHMARK(BM_MachineSimulatedSecond)->Arg(0)->Arg(1);
+
+void BM_MachineSecondUnderInjection(benchmark::State& state) {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  sched::Machine machine(cfg);
+  core::DimetrodonController ctl(machine);
+  // Worst case for the event engine: 1 ms quanta at high probability.
+  ctl.sys_set_global(0.75, sim::from_ms(state.range(0)));
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(machine);
+  for (auto _ : state) machine.run_for(sim::kSecond);
+}
+BENCHMARK(BM_MachineSecondUnderInjection)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

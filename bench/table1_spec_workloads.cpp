@@ -1,0 +1,120 @@
+// Table 1: real-workload results. For each selected SPEC CPU2006 benchmark:
+// the average per-core temperature rise over idle as a percentage of
+// cpuburn's (race-to-idle, unmodified), and the best-fit power law
+// T(r) = alpha * r^beta for the throughput reduction required at temperature
+// reduction r over the pareto boundary, fit on r in [0, 0.5].
+#include <cstdio>
+
+#include "analysis/fit.hpp"
+#include "bench_util.hpp"
+#include "workload/cpuburn.hpp"
+#include "workload/spec.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double rise_pct;
+  double alpha;
+  double beta;
+};
+
+// Table 1 as printed in the paper.
+constexpr PaperRow kPaperRows[] = {
+    {"cpuburn", 100.0, 1.092, 1.541}, {"calculix", 99.3, 1.282, 1.697},
+    {"namd", 87.2, 1.248, 1.546},     {"dealII", 84.4, 1.324, 1.688},
+    {"bzip2", 84.4, 1.529, 1.811},    {"gcc", 80.3, 1.425, 1.848},
+    {"astar", 71.7, 1.351, 1.416},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: SPEC CPU2006 thermal profiles and trade-off "
+              "fits ===\n");
+  sched::MachineConfig cfg;
+  harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
+
+  // Sweep grid per workload (pareto boundary is fit over these).
+  const std::vector<double> ps = {0.25, 0.5, 0.75};
+  const std::vector<double> ls_ms = {5, 10, 25, 50, 100};
+
+  const auto make_workload =
+      [&](const std::string& name) -> harness::ExperimentRunner::WorkloadFactory {
+    if (name == "cpuburn") {
+      return [] { return std::make_unique<workload::CpuBurnFleet>(4); };
+    }
+    const auto profile = *workload::find_spec_profile(name);
+    return [profile] {
+      return std::make_unique<workload::SpecFleet>(profile, 4);
+    };
+  };
+
+  // cpuburn reference rise.
+  const auto burn_base =
+      runner.measure(make_workload("cpuburn"), harness::no_actuation());
+  const double burn_rise =
+      burn_base.avg_sensor_temp_c - burn_base.idle_sensor_temp_c;
+
+  trace::CsvWriter csv(bench::csv_path("table1_spec_workloads.csv"),
+                       {"workload", "rise_pct", "alpha", "beta", "fit_r2",
+                        "paper_rise_pct", "paper_alpha", "paper_beta"});
+  trace::Table table({"Workload", "Rise(%)", "alpha", "beta",
+                      "paper:Rise", "paper:a", "paper:b"});
+
+  for (const PaperRow& row : kPaperRows) {
+    const auto factory = make_workload(row.name);
+    const auto base = runner.measure(factory, harness::no_actuation());
+    const double rise_pct =
+        100.0 * (base.avg_sensor_temp_c - base.idle_sensor_temp_c) /
+        burn_rise;
+
+    // Sweep, take the pareto boundary, fit T(r) = alpha * r^beta, r<=0.5.
+    std::vector<bench::SweepPoint> points;
+    for (const double p : ps) {
+      for (const double l : ls_ms) {
+        const auto act = harness::dimetrodon_global(p, sim::from_ms(l));
+        const auto run = runner.measure(factory, act);
+        points.push_back(bench::SweepPoint{
+            act.label, harness::compute_tradeoff(base, run), run});
+      }
+    }
+    std::vector<analysis::TradeoffPoint> tps;
+    for (const auto& pt : points) tps.push_back(bench::to_tradeoff_point(pt));
+    const auto frontier = analysis::pareto_frontier(std::move(tps));
+    std::vector<double> rs;
+    std::vector<double> ts;
+    for (const auto& f : frontier) {
+      const double r = f.temp_reduction;
+      const double t = 1.0 - f.performance_retained;
+      if (r > 0.01 && r <= 0.5 && t > 0.001) {
+        rs.push_back(r);
+        ts.push_back(t);
+      }
+    }
+    analysis::PowerLawFit fit;
+    if (rs.size() >= 2) fit = analysis::fit_power_law(rs, ts);
+
+    table.add_row({row.name, trace::fmt("%5.1f", rise_pct),
+                   trace::fmt("%.3f", fit.alpha), trace::fmt("%.3f", fit.beta),
+                   trace::fmt("%5.1f", row.rise_pct),
+                   trace::fmt("%.3f", row.alpha),
+                   trace::fmt("%.3f", row.beta)});
+    csv.write_row({row.name, trace::fmt("%.3f", rise_pct),
+                   trace::fmt("%.4f", fit.alpha), trace::fmt("%.4f", fit.beta),
+                   trace::fmt("%.4f", fit.r_squared),
+                   trace::fmt("%.1f", row.rise_pct),
+                   trace::fmt("%.3f", row.alpha),
+                   trace::fmt("%.3f", row.beta)});
+  }
+  table.print(std::cout);
+  std::printf("\npaper anchors: rise%% ordering calculix > namd > dealII ~ "
+              "bzip2 > gcc > astar; pareto trade-off fits similar across "
+              "workloads (alpha ~1.1-1.5, beta ~1.4-1.8); all better than "
+              "1:1 until at least 50%% reductions.\n");
+  std::printf("CSV: %s\n",
+              bench::csv_path("table1_spec_workloads.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// §3.3 model validation:
+//  (a) Throughput: measured runtimes of a finite cpuburn under p x L
+//      configurations versus the analytic model D(t) = R + (R/q)(p/(1-p))L.
+//      The paper ran 100 trials per configuration and found throughput on
+//      average 1.0% lower than predicted, worsening with p (context switch
+//      and state-monitoring overheads).
+//  (b) Power/energy: Dimetrodon vs race-to-idle energy over equal windows,
+//      measured through the clamp+multimeter model; the paper found ratios
+//      between 97.6% and 103.7% (mean deviation -0.37%).
+#include <cstdio>
+
+#include "analysis/bootstrap.hpp"
+#include "bench_util.hpp"
+#include "core/analytic_model.hpp"
+#include "workload/cpuburn.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+constexpr double kWorkSeconds = 7.0;  // the paper's 7 s cpuburn loop
+constexpr double kQuantumSeconds = 0.1;
+
+/// Per-instance completion times across trials with distinct seeds.
+std::vector<double> measured_runtimes(double p, sim::SimTime quantum,
+                                      int trials) {
+  std::vector<double> out;
+  for (int trial = 0; trial < trials; ++trial) {
+    sched::MachineConfig cfg;
+    cfg.enable_meter = false;
+    cfg.seed = 0x1234 + 7919ULL * static_cast<std::uint64_t>(trial);
+    sched::Machine machine(cfg);
+    core::DimetrodonController ctl(machine);
+    ctl.sys_set_global(p, quantum);
+    workload::CpuBurnFleet fleet(4, kWorkSeconds);
+    fleet.deploy(machine);
+    machine.run_until_condition([&] { return fleet.all_done(machine); },
+                                sim::from_sec(300));
+    for (const auto tid : fleet.threads()) {
+      out.push_back(sim::to_sec(machine.thread(tid).finished_at() -
+                                machine.thread(tid).created_at()));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 3.3: model validation ===\n");
+
+  // (a) Throughput model.
+  std::printf("\n-- Throughput: measured vs D(t) = R + (R/q)(p/(1-p))L "
+              "(mean of 25 trials x 4 instances) --\n");
+  trace::CsvWriter csv(bench::csv_path("validation_throughput.csv"),
+                       {"p", "L_ms", "predicted_s", "measured_s",
+                        "deviation_pct"});
+  trace::Table table({"p", "L(ms)", "predicted(s)", "measured(s)",
+                      "95% CI", "dev(%)"});
+  double dev_sum = 0.0;
+  int dev_n = 0;
+  for (const double p : {0.25, 0.5, 0.75}) {
+    for (const double l_ms : {25.0, 50.0, 75.0, 100.0}) {
+      const double predicted = core::AnalyticModel::predicted_runtime(
+          kWorkSeconds, kQuantumSeconds, p, l_ms / 1000.0);
+      const auto samples =
+          measured_runtimes(p, sim::from_ms(l_ms), /*trials=*/25);
+      const auto ci = analysis::bootstrap_mean_ci(samples);
+      const double measured = ci.mean;
+      const double dev = 100.0 * (measured - predicted) / predicted;
+      dev_sum += dev;
+      ++dev_n;
+      table.add_row({trace::fmt("%.2f", p), trace::fmt("%.0f", l_ms),
+                     trace::fmt("%.3f", predicted),
+                     trace::fmt("%.3f", measured),
+                     trace::fmt("[%.3f, %.3f]", ci.lower, ci.upper),
+                     trace::fmt("%+.2f", dev)});
+      csv.write_row(std::vector<double>{p, l_ms, predicted, measured, dev});
+    }
+  }
+  table.print(std::cout);
+  std::printf("mean deviation: %+.2f%% (paper: throughput ~1.0%% lower than "
+              "predicted, i.e. runtimes ~+1%%)\n",
+              dev_sum / dev_n);
+
+  // (b) Energy model.
+  std::printf("\n-- Energy: Dimetrodon vs race-to-idle over equal windows "
+              "(measured through the clamp model, 5 trials each) --\n");
+  trace::Table etable({"p", "L(ms)", "E_dim(J)", "E_rti(J)", "ratio"});
+  trace::CsvWriter ecsv(bench::csv_path("validation_energy.csv"),
+                        {"p", "L_ms", "e_dimetrodon_j", "e_race_to_idle_j",
+                         "ratio"});
+  double ratio_sum = 0.0;
+  double absdev_sum = 0.0;
+  int ratio_n = 0;
+  for (const double p : {0.25, 0.5, 0.75}) {
+    for (const double l_ms : {50.0, 100.0}) {
+      double edim_sum = 0.0;
+      double erti_sum = 0.0;
+      for (int trial = 0; trial < 5; ++trial) {
+        sched::MachineConfig cfg;
+        cfg.seed = 0x900d + 104729ULL * static_cast<std::uint64_t>(trial);
+        harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
+        const auto burn = [] {
+          return std::make_unique<workload::CpuBurnFleet>(4, kWorkSeconds);
+        };
+        const auto dim = runner.run_to_completion(
+            burn, harness::dimetrodon_global(p, sim::from_ms(l_ms)),
+            sim::from_sec(300));
+        const auto rti =
+            runner.run_window(burn, harness::no_actuation(),
+                              sim::from_sec(dim.completion_seconds));
+        edim_sum += dim.meter_energy_j;
+        erti_sum += rti.meter_energy_j;
+      }
+      const double ratio = edim_sum / erti_sum;
+      ratio_sum += ratio;
+      absdev_sum += std::fabs(ratio - 1.0);
+      ++ratio_n;
+      etable.add_row({trace::fmt("%.2f", p), trace::fmt("%.0f", l_ms),
+                      trace::fmt("%.1f", edim_sum / 5),
+                      trace::fmt("%.1f", erti_sum / 5),
+                      trace::fmt("%.3f", ratio)});
+      ecsv.write_row(
+          std::vector<double>{p, l_ms, edim_sum / 5, erti_sum / 5, ratio});
+    }
+  }
+  etable.print(std::cout);
+  std::printf("mean ratio %.4f, mean |deviation| %.2f%% (paper: ratios in "
+              "[0.976, 1.037], mean deviation -0.37%%, mean |dev| 1.67%%)\n",
+              ratio_sum / ratio_n, 100.0 * absdev_sum / ratio_n);
+  std::printf("\nCSV: %s, %s\n",
+              bench::csv_path("validation_throughput.csv").c_str(),
+              bench::csv_path("validation_energy.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Per-thread thermal control (the paper's §3.6 demonstration): a
+// latency-loving periodic "cool" process shares the machine with four
+// heat-generating calculix instances. A global policy punishes everyone; a
+// per-thread policy throttles only the hot threads while the cool process
+// runs at full speed — and the machine still cools.
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "workload/cool_process.hpp"
+#include "workload/spec.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+struct Result {
+  double avg_temp;
+  double cool_stretch;  // wall time of the cool process's bursts / nominal
+};
+
+Result run(bool enable_policy, bool per_thread) {
+  sched::MachineConfig config;
+  config.enable_meter = false;
+  sched::Machine machine(config);
+  core::DimetrodonController dimetrodon(machine);
+
+  workload::SpecFleet hot(*workload::find_spec_profile("calculix"), 4);
+  workload::CoolProcess cool;
+  hot.deploy(machine);
+  cool.deploy(machine);
+
+  if (enable_policy) {
+    if (per_thread) {
+      // The "system call" interface: target only the hot threads.
+      for (const auto tid : hot.threads()) {
+        dimetrodon.sys_set_thread(tid, 0.75, sim::from_ms(50));
+      }
+    } else {
+      dimetrodon.sys_set_global(0.75, sim::from_ms(50));
+    }
+  }
+
+  // Accelerated thermal settling, then measure a few cool-process periods.
+  for (int i = 0; i < 4; ++i) {
+    machine.mark_power_window();
+    machine.run_for(sim::from_sec(8));
+    machine.jump_to_average_power_steady_state();
+  }
+  double temp_sum = 0.0;
+  const int seconds = 150;
+  for (int s = 0; s < seconds; ++s) {
+    machine.run_for(sim::kSecond);
+    temp_sum += machine.mean_sensor_temp();
+  }
+  return Result{temp_sum / seconds, cool.mean_burst_stretch()};
+}
+
+}  // namespace
+
+int main() {
+  const Result off = run(false, false);
+  const Result global = run(true, false);
+  const Result per_thread = run(true, true);
+
+  std::printf("scenario: 4x calculix (hot) + periodic cool process, "
+              "p=0.75 L=50ms\n\n");
+  std::printf("%-22s %12s %22s\n", "policy", "avg temp", "cool burst stretch");
+  std::printf("%-22s %9.1f C %19.2fx\n", "none (race-to-idle)", off.avg_temp,
+              off.cool_stretch);
+  std::printf("%-22s %9.1f C %19.2fx\n", "global injection", global.avg_temp,
+              global.cool_stretch);
+  std::printf("%-22s %9.1f C %19.2fx\n", "per-thread injection",
+              per_thread.avg_temp, per_thread.cool_stretch);
+  std::printf("\nBoth policies cool the machine by ~%.0f C, but only the "
+              "per-thread policy leaves the cool process's bursts "
+              "(nearly) unstretched.\n",
+              off.avg_temp - global.avg_temp);
+  return 0;
+}

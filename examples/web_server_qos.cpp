@@ -1,0 +1,54 @@
+// Thermal management of a latency-sensitive service (the paper's §3.7): a
+// SPECWeb-style closed-loop web workload under increasing injection, showing
+// the temperature / QoS trade-off and the deferral dynamics (mild injection
+// just redistributes idle gaps; cooling arrives once the closed loop slows).
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "workload/web.hpp"
+
+using namespace dimetrodon;
+
+int main() {
+  std::printf("web serving under Dimetrodon (440 connections, QoS: good <= "
+              "3 s, tolerable <= 5 s)\n\n");
+  std::printf("%-6s %-8s %10s %10s %12s %12s %10s\n", "p", "L(ms)", "temp(C)",
+              "req/s", "good(%)", "tolerable(%)", "mean lat");
+
+  for (const auto& [p, l_ms] : std::vector<std::pair<double, double>>{
+           {0.0, 0}, {0.5, 10}, {0.75, 50}, {0.9, 100}, {0.97, 100}}) {
+    sched::MachineConfig config;
+    config.enable_meter = false;
+    sched::Machine machine(config);
+    core::DimetrodonController dimetrodon(machine);
+    if (p > 0) dimetrodon.sys_set_global(p, sim::from_ms(l_ms));
+
+    workload::WebWorkload web;
+    web.deploy(machine);
+
+    for (int i = 0; i < 3; ++i) {
+      machine.mark_power_window();
+      machine.run_for(sim::from_sec(8));
+      machine.jump_to_average_power_steady_state();
+    }
+    web.mark();
+    double temp_sum = 0.0;
+    const int seconds = 40;
+    for (int s = 0; s < seconds; ++s) {
+      machine.run_for(sim::kSecond);
+      temp_sum += machine.mean_sensor_temp();
+    }
+    const auto qos = web.stats_since_mark();
+    std::printf("%-6.2f %-8.0f %9.1f %9.1f %11.1f %13.1f %8.3f s\n", p, l_ms,
+                temp_sum / seconds,
+                static_cast<double>(qos.total) / seconds,
+                100.0 * qos.good_fraction(), 100.0 * qos.tolerable_fraction(),
+                qos.mean_latency_s);
+  }
+  std::printf("\nNote the §3.7 dynamics: light injection barely cools (the "
+              "deferred requests keep the load constant); meaningful cooling "
+              "arrives with latency, first eating the 'good' budget, then "
+              "the 'tolerable' one.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "analysis/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dimetrodon::analysis {
+
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear needs >= 2 paired points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-30) {
+    throw std::invalid_argument("fit_linear: degenerate x values");
+  }
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r_squared = ss_tot <= 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return f;
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("fit_power_law needs paired points");
+  }
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] > 0.0 && ys[i] > 0.0) {
+      lx.push_back(std::log(xs[i]));
+      ly.push_back(std::log(ys[i]));
+    }
+  }
+  if (lx.size() < 2) {
+    throw std::invalid_argument(
+        "fit_power_law: fewer than two positive points");
+  }
+  const LinearFit lin = fit_linear(lx, ly);
+  PowerLawFit f;
+  f.alpha = std::exp(lin.intercept);
+  f.beta = lin.slope;
+  f.r_squared = lin.r_squared;
+  f.points_used = lx.size();
+  return f;
+}
+
+}  // namespace dimetrodon::analysis

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+namespace dimetrodon::analysis {
+
+/// Ordinary least squares y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Requires xs.size() == ys.size() >= 2 with non-degenerate x spread.
+LinearFit fit_linear(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Power-law fit y = alpha * x^beta via least squares in log-log space — the
+/// form the paper fits to its pareto boundaries: T(r) = alpha * r^beta
+/// (Table 1). Points with x <= 0 or y <= 0 are skipped (log domain); at least
+/// two usable points are required.
+struct PowerLawFit {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double r_squared = 0.0;  // in log-log space
+  std::size_t points_used = 0;
+};
+
+PowerLawFit fit_power_law(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace dimetrodon::analysis

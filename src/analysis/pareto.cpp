@@ -1,0 +1,40 @@
+#include "analysis/pareto.hpp"
+
+#include <algorithm>
+
+namespace dimetrodon::analysis {
+
+double TradeoffPoint::efficiency() const {
+  const double throughput_reduction = 1.0 - performance_retained;
+  if (throughput_reduction <= 1e-9) return 1e9;
+  return temp_reduction / throughput_reduction;
+}
+
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b) {
+  const bool geq = a.temp_reduction >= b.temp_reduction &&
+                   a.performance_retained >= b.performance_retained;
+  const bool strict = a.temp_reduction > b.temp_reduction ||
+                      a.performance_retained > b.performance_retained;
+  return geq && strict;
+}
+
+std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points) {
+  std::vector<TradeoffPoint> frontier;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(p);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              return a.temp_reduction < b.temp_reduction;
+            });
+  return frontier;
+}
+
+}  // namespace dimetrodon::analysis

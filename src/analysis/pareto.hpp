@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dimetrodon::analysis {
+
+/// One configuration's outcome in the paper's trade-off space: temperature
+/// reduction over idle (x) versus retained performance (y) — throughput or
+/// relative QoS, both as fractions of the unconstrained baseline. Both axes
+/// are maximized ("more cooling at more retained performance").
+struct TradeoffPoint {
+  double temp_reduction = 0.0;        // r in [0, 1]
+  double performance_retained = 0.0;  // in [0, 1]
+  std::string label;
+
+  /// The paper's efficiency metric: temperature reduction per unit of
+  /// throughput reduction (Figure 3's y-axis). Returns +inf-ish large value
+  /// when the throughput cost is ~zero.
+  double efficiency() const;
+};
+
+/// Extract the pareto boundary (the darkened curves of Figures 4-6):
+/// non-dominated points under (temp_reduction up, performance_retained up),
+/// returned sorted by temp_reduction ascending.
+std::vector<TradeoffPoint> pareto_frontier(std::vector<TradeoffPoint> points);
+
+/// True if a dominates b (>= on both axes, > on at least one).
+bool dominates(const TradeoffPoint& a, const TradeoffPoint& b);
+
+}  // namespace dimetrodon::analysis

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dimetrodon::analysis {
+
+/// Streaming mean/variance/extrema (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile; `q` in [0, 100]. Requires non-empty input
+/// (copied and sorted internally).
+double percentile(std::vector<double> xs, double q);
+
+}  // namespace dimetrodon::analysis

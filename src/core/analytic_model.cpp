@@ -1,0 +1,64 @@
+#include "core/analytic_model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dimetrodon::core {
+
+double AnalyticModel::idle_quanta_per_exec_quantum(double probability_p) {
+  if (probability_p < 0.0 || probability_p >= 1.0) {
+    throw std::invalid_argument("injection probability must be in [0, 1)");
+  }
+  return probability_p / (1.0 - probability_p);
+}
+
+double AnalyticModel::predicted_runtime(double runtime_r, double avg_quantum_q,
+                                        double probability_p,
+                                        double idle_len_l) {
+  assert(runtime_r >= 0.0 && avg_quantum_q > 0.0 && idle_len_l >= 0.0);
+  const double s = runtime_r / avg_quantum_q;  // times scheduled
+  return runtime_r +
+         s * idle_quanta_per_exec_quantum(probability_p) * idle_len_l;
+}
+
+double AnalyticModel::throughput_ratio(double avg_quantum_q,
+                                       double probability_p,
+                                       double idle_len_l) {
+  return 1.0 / (1.0 + idle_quanta_per_exec_quantum(probability_p) *
+                          idle_len_l / avg_quantum_q);
+}
+
+double AnalyticModel::idle_duty_fraction(double avg_quantum_q,
+                                         double probability_p,
+                                         double idle_len_l) {
+  const double idle_per_exec = idle_quanta_per_exec_quantum(probability_p) *
+                               idle_len_l / avg_quantum_q;
+  return idle_per_exec / (1.0 + idle_per_exec);
+}
+
+double AnalyticModel::race_to_idle_energy(double active_power_u,
+                                          double idle_power_m,
+                                          double runtime_r, double window) {
+  assert(window >= runtime_r);
+  return active_power_u * runtime_r + idle_power_m * (window - runtime_r);
+}
+
+double AnalyticModel::dimetrodon_energy(double active_power_u,
+                                        double idle_power_m, double runtime_r,
+                                        double avg_quantum_q,
+                                        double probability_p,
+                                        double idle_len_l) {
+  const double idle_seconds = (idle_len_l / avg_quantum_q) *
+                              idle_quanta_per_exec_quantum(probability_p) *
+                              runtime_r;
+  return active_power_u * runtime_r + idle_power_m * idle_seconds;
+}
+
+double AnalyticModel::throughput_reduction_for(double alpha, double beta,
+                                               double r) {
+  assert(r >= 0.0);
+  return alpha * std::pow(r, beta);
+}
+
+}  // namespace dimetrodon::core

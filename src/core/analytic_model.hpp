@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::core {
+
+/// The paper's closed-form throughput and power models (§2.2). All
+/// quantities in seconds / watts / joules.
+///
+///   D(t) = R + S * (p / (1-p)) * L,   S = R / q
+///
+/// where R is the thread's CPU-bound runtime, q the average execution quantum
+/// length, p the injection probability and L the idle quantum length.
+class AnalyticModel {
+ public:
+  /// Predicted wall-clock runtime under Dimetrodon. Requires p in [0, 1).
+  static double predicted_runtime(double runtime_r, double avg_quantum_q,
+                                  double probability_p, double idle_len_l);
+
+  /// Predicted throughput relative to unconstrained execution, R / D(t).
+  static double throughput_ratio(double avg_quantum_q, double probability_p,
+                                 double idle_len_l);
+
+  /// Expected number of idle quanta per execution quantum, p/(1-p).
+  static double idle_quanta_per_exec_quantum(double probability_p);
+
+  /// Fraction of wall-clock time spent in injected idle,
+  /// (p/(1-p)) * (L/q) / (1 + (p/(1-p)) * (L/q)).
+  static double idle_duty_fraction(double avg_quantum_q, double probability_p,
+                                   double idle_len_l);
+
+  /// Race-to-idle energy over a window of length `window`: the processor runs
+  /// at `active_power_u` for R seconds and idles at `idle_power_m` for the
+  /// remainder (window >= R).
+  static double race_to_idle_energy(double active_power_u, double idle_power_m,
+                                    double runtime_r, double window);
+
+  /// Dimetrodon energy for completing R seconds of work: u*R plus idle power
+  /// over the injected (L/q)(p/(1-p))R seconds. Equal to race_to_idle_energy
+  /// evaluated at window = predicted_runtime(...) — the paper's equal-energy
+  /// claim, asserted by tests.
+  static double dimetrodon_energy(double active_power_u, double idle_power_m,
+                                  double runtime_r, double avg_quantum_q,
+                                  double probability_p, double idle_len_l);
+
+  /// The paper's empirical trade-off metric: throughput reduction required
+  /// for temperature reduction r, T(r) = alpha * r^beta (Table 1).
+  static double throughput_reduction_for(double alpha, double beta, double r);
+};
+
+}  // namespace dimetrodon::core

@@ -1,0 +1,34 @@
+#include "core/injection.hpp"
+
+namespace dimetrodon::core {
+
+std::optional<sim::SimTime> BernoulliInjection::decide(
+    sched::ThreadId /*tid*/, const InjectionParams& params,
+    sim::SimTime /*now*/) {
+  if (rng_.bernoulli(params.probability)) return params.quantum;
+  return std::nullopt;
+}
+
+double StratifiedInjection::initial_accumulator(sched::ThreadId tid) const {
+  if (!stagger_phases_) return 0.0;
+  constexpr double kGolden = 0.6180339887498949;
+  const double x = kGolden * static_cast<double>(tid + 1);
+  return x - static_cast<std::int64_t>(x);
+}
+
+std::optional<sim::SimTime> StratifiedInjection::decide(
+    sched::ThreadId tid, const InjectionParams& params, sim::SimTime /*now*/) {
+  auto [it, inserted] =
+      accumulators_.try_emplace(tid, initial_accumulator(tid));
+  double& acc = it->second;
+  // Interpreting p as "fraction of scheduling decisions that idle": each
+  // decision adds p; a crossing of 1 consumes one injection.
+  acc += params.probability;
+  if (acc >= 1.0) {
+    acc -= 1.0;
+    return params.quantum;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dimetrodon::core

@@ -1,0 +1,233 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "analysis/stats.hpp"
+#include "trace/table.hpp"
+
+namespace dimetrodon::harness {
+
+ActuationSetup no_actuation() {
+  return ActuationSetup{"race-to-idle",
+                        [](sched::Machine&) { return nullptr; }};
+}
+
+ActuationSetup dimetrodon_global(double probability, sim::SimTime quantum) {
+  return ActuationSetup{
+      trace::fmt("dimetrodon[p=%.2f,L=%.0fms]", probability,
+                 sim::to_ms(quantum)),
+      [probability, quantum](sched::Machine& m) {
+        auto ctl = std::make_shared<core::DimetrodonController>(m);
+        ctl->sys_set_global(probability, quantum);
+        return ctl;
+      }};
+}
+
+ActuationSetup dimetrodon_global_stratified(double probability,
+                                            sim::SimTime quantum) {
+  return ActuationSetup{
+      trace::fmt("dimetrodon-det[p=%.2f,L=%.0fms]", probability,
+                 sim::to_ms(quantum)),
+      [probability, quantum](sched::Machine& m) {
+        auto ctl = std::make_shared<core::DimetrodonController>(
+            m, std::make_unique<core::StratifiedInjection>());
+        ctl->sys_set_global(probability, quantum);
+        return ctl;
+      }};
+}
+
+ActuationSetup vfs_setpoint(std::size_t level) {
+  return ActuationSetup{trace::fmt("vfs[level=%zu]", level),
+                        [level](sched::Machine& m) {
+                          m.set_all_dvfs_levels(level);
+                          return nullptr;
+                        }};
+}
+
+ActuationSetup tcc_setpoint(std::size_t duty_step) {
+  return ActuationSetup{trace::fmt("p4tcc[step=%zu]", duty_step),
+                        [duty_step](sched::Machine& m) {
+                          m.set_all_clock_duty_steps(duty_step);
+                          return nullptr;
+                        }};
+}
+
+Tradeoff compute_tradeoff(const RunResult& baseline, const RunResult& run) {
+  Tradeoff t;
+  const double rise_sensor =
+      baseline.avg_sensor_temp_c - baseline.idle_sensor_temp_c;
+  const double rise_exact =
+      baseline.avg_exact_temp_c - baseline.idle_exact_temp_c;
+  if (rise_sensor > 1e-9) {
+    t.temp_reduction =
+        (baseline.avg_sensor_temp_c - run.avg_sensor_temp_c) / rise_sensor;
+  }
+  if (rise_exact > 1e-9) {
+    t.temp_reduction_exact =
+        (baseline.avg_exact_temp_c - run.avg_exact_temp_c) / rise_exact;
+  }
+  if (baseline.throughput > 1e-12) {
+    t.throughput_retained = run.throughput / baseline.throughput;
+  }
+  t.throughput_reduction = 1.0 - t.throughput_retained;
+  t.efficiency = t.throughput_reduction <= 1e-9
+                     ? 1e9
+                     : t.temp_reduction / t.throughput_reduction;
+  return t;
+}
+
+ExperimentRunner::ExperimentRunner(sched::MachineConfig base,
+                                   MeasurementConfig mc)
+    : base_(std::move(base)), mc_(mc) {}
+
+double ExperimentRunner::mean_exact_temp(const sched::Machine& m) const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.num_cores(); ++i) {
+    sum += m.die_temperature(static_cast<sched::CoreId>(i));
+  }
+  return sum / static_cast<double>(m.num_cores());
+}
+
+RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
+                                    const ActuationSetup& actuation,
+                                    const PostDeployHook& post_deploy) {
+  sched::MachineConfig cfg = base_;
+  cfg.enable_meter = false;  // sweeps don't need the sampled meter
+  sched::Machine machine(cfg);
+
+  RunResult result;
+  result.label = actuation.label;
+  result.idle_sensor_temp_c = machine.mean_sensor_temp();
+  result.idle_exact_temp_c = mean_exact_temp(machine);
+
+  auto controller = actuation.configure(machine);
+  auto wl = factory();
+  wl->deploy(machine);
+  if (post_deploy) post_deploy(machine, *wl, controller.get());
+
+  // Accelerated settling: run, then jump the slow thermal nodes to the
+  // steady state of the observed average power; stop when a jump no longer
+  // moves the temperature.
+  for (int iter = 0; iter < mc_.max_settle_iterations; ++iter) {
+    machine.mark_power_window();
+    machine.run_for(mc_.settle_chunk);
+    const double before = mean_exact_temp(machine);
+    machine.jump_to_average_power_steady_state();
+    const double after = mean_exact_temp(machine);
+    if (std::fabs(after - before) < mc_.settle_tolerance_c) break;
+  }
+  machine.run_for(mc_.post_settle_run);
+
+  // Measurement window.
+  const double progress0 = wl->progress(machine);
+  const double energy0 = machine.energy().total_joules();
+  // Injected idle accrues at the controller under suspension semantics and
+  // at the cores under the literal idle-the-core mechanism; sum both.
+  auto injected_seconds = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < machine.num_cores(); ++i) {
+      s += machine.core(static_cast<sched::CoreId>(i)).injected_idle_seconds;
+    }
+    if (controller) s += sim::to_sec(controller->stats().injected_idle);
+    return s;
+  };
+  const double injected0 = injected_seconds();
+  auto* web = dynamic_cast<workload::WebWorkload*>(wl.get());
+  if (web != nullptr) web->mark();
+
+  analysis::OnlineStats sensor_stats;
+  analysis::OnlineStats exact_stats;
+  sim::SimTime elapsed = 0;
+  while (elapsed < mc_.measure_window) {
+    const sim::SimTime step =
+        std::min(mc_.sensor_poll, mc_.measure_window - elapsed);
+    machine.run_for(step);
+    elapsed += step;
+    sensor_stats.add(machine.mean_sensor_temp());
+    exact_stats.add(mean_exact_temp(machine));
+  }
+
+  const double window_s = sim::to_sec(mc_.measure_window);
+  result.avg_sensor_temp_c = sensor_stats.mean();
+  result.avg_exact_temp_c = exact_stats.mean();
+  result.throughput = (wl->progress(machine) - progress0) / window_s;
+  result.avg_power_w =
+      (machine.energy().total_joules() - energy0) / window_s;
+  result.injected_idle_fraction =
+      (injected_seconds() - injected0) /
+      (window_s * static_cast<double>(machine.num_cores()));
+  if (web != nullptr) {
+    result.qos = web->stats_since_mark();
+    result.has_qos = true;
+  }
+  return result;
+}
+
+WindowResult ExperimentRunner::run_to_completion(
+    const WorkloadFactory& factory, const ActuationSetup& actuation,
+    sim::SimTime deadline, const PostDeployHook& post_deploy) {
+  sched::MachineConfig cfg = base_;
+  cfg.enable_meter = true;
+  sched::Machine machine(cfg);
+  auto controller = actuation.configure(machine);
+  auto wl = factory();
+  wl->deploy(machine);
+  if (post_deploy) post_deploy(machine, *wl, controller.get());
+
+  const auto all_done = [&]() {
+    for (const auto tid : wl->threads()) {
+      if (machine.thread(tid).state() != sched::ThreadState::kDone) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool finished = machine.run_until_condition(all_done, deadline);
+
+  WindowResult r;
+  r.wall_seconds = sim::to_sec(machine.now());
+  r.completion_seconds = finished ? sim::to_sec(machine.now()) : -1.0;
+  r.meter_energy_j = machine.meter()->measured_energy_joules();
+  r.true_energy_j = machine.energy().total_joules();
+  r.mean_power_w = machine.meter()->mean_power_w();
+  return r;
+}
+
+WindowResult ExperimentRunner::run_window(const WorkloadFactory& factory,
+                                          const ActuationSetup& actuation,
+                                          sim::SimTime window,
+                                          const PostDeployHook& post_deploy) {
+  sched::MachineConfig cfg = base_;
+  cfg.enable_meter = true;
+  sched::Machine machine(cfg);
+  auto controller = actuation.configure(machine);
+  auto wl = factory();
+  wl->deploy(machine);
+  if (post_deploy) post_deploy(machine, *wl, controller.get());
+
+  // Track completion time while running out the window.
+  double completion = -1.0;
+  const auto all_done = [&]() {
+    for (const auto tid : wl->threads()) {
+      if (machine.thread(tid).state() != sched::ThreadState::kDone) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (machine.run_until_condition(all_done, window)) {
+    completion = sim::to_sec(machine.now());
+    machine.run_until(window);
+  }
+
+  WindowResult r;
+  r.wall_seconds = sim::to_sec(machine.now());
+  r.completion_seconds = completion;
+  r.meter_energy_j = machine.meter()->measured_energy_joules();
+  r.true_energy_j = machine.energy().total_joules();
+  r.mean_power_w = machine.meter()->mean_power_w();
+  return r;
+}
+
+}  // namespace dimetrodon::harness

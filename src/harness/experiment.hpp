@@ -1,0 +1,127 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "workload/web.hpp"
+#include "workload/workload.hpp"
+
+namespace dimetrodon::harness {
+
+/// Measurement methodology shared by all experiments, mirroring the paper's:
+/// let the system reach thermal steady state (they ran ~300 s; we accelerate
+/// the heatsink time constant with run/jump iterations), then average the
+/// quantized per-core sensors over a 30 s window and differentiate workload
+/// progress into throughput over the same window (§3.4).
+struct MeasurementConfig {
+  int max_settle_iterations = 6;
+  sim::SimTime settle_chunk = sim::from_sec(8);
+  double settle_tolerance_c = 0.15;   // exact-temp movement per jump
+  sim::SimTime post_settle_run = sim::from_sec(3);
+  sim::SimTime measure_window = sim::from_sec(30);
+  sim::SimTime sensor_poll = sim::from_ms(500);
+};
+
+/// How a run is thermally actuated: configures the machine (and possibly
+/// attaches a Dimetrodon controller) before the workload deploys.
+struct ActuationSetup {
+  std::string label;
+  std::function<std::shared_ptr<core::DimetrodonController>(sched::Machine&)>
+      configure;  // may return nullptr (hardware-only actuations)
+};
+
+ActuationSetup no_actuation();
+/// Global Dimetrodon policy with the paper's Bernoulli injection.
+ActuationSetup dimetrodon_global(double probability, sim::SimTime quantum);
+/// Global Dimetrodon policy with deterministic (stratified) injection.
+ActuationSetup dimetrodon_global_stratified(double probability,
+                                            sim::SimTime quantum);
+/// Static DVFS setpoint (ladder index).
+ActuationSetup vfs_setpoint(std::size_t level);
+/// Static p4tcc clock-duty setpoint (step 1..8).
+ActuationSetup tcc_setpoint(std::size_t duty_step);
+
+/// Outcome of one steady-state measured run.
+struct RunResult {
+  std::string label;
+  double idle_sensor_temp_c = 0.0;  // machine at idle, quantized sensors
+  double idle_exact_temp_c = 0.0;
+  double avg_sensor_temp_c = 0.0;   // measured over the window
+  double avg_exact_temp_c = 0.0;
+  double throughput = 0.0;          // workload progress per second
+  double avg_power_w = 0.0;         // true energy over window / window
+  double injected_idle_fraction = 0.0;  // of total core-time in window
+  workload::WebWorkload::QosStats qos;  // populated for web workloads
+  bool has_qos = false;
+};
+
+/// Derived trade-off versus an unconstrained baseline run — the paper's
+/// reporting currency. `r` follows the paper's definition: the reduction of
+/// the temperature rise over idle ("an idle temperature of 40C, an
+/// unconstrained temperature 60C, and a resulting temperature of 50C would
+/// constitute a 50% reduction", §3.4).
+struct Tradeoff {
+  double temp_reduction = 0.0;        // r, from quantized sensors
+  double temp_reduction_exact = 0.0;  // r, from continuous model state
+  double throughput_retained = 1.0;
+  double throughput_reduction = 0.0;
+  double efficiency = 0.0;            // temp_reduction / throughput_reduction
+};
+
+Tradeoff compute_tradeoff(const RunResult& baseline, const RunResult& run);
+
+/// Outcome of a finite (run-to-completion or fixed-window) run — the model
+/// validation experiments of §3.3.
+struct WindowResult {
+  double completion_seconds = -1.0;  // -1 if workload did not finish
+  double meter_energy_j = 0.0;       // through the noisy clamp+multimeter
+  double true_energy_j = 0.0;
+  double mean_power_w = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Builds fresh, identically seeded machines per run so configurations are
+/// compared under identical stochastic conditions.
+class ExperimentRunner {
+ public:
+  using WorkloadFactory =
+      std::function<std::unique_ptr<workload::Workload>()>;
+  /// Invoked after workload deployment: per-thread policy configuration
+  /// (Fig. 5) and other experiment-specific setup.
+  using PostDeployHook = std::function<void(
+      sched::Machine&, workload::Workload&, core::DimetrodonController*)>;
+
+  ExperimentRunner(sched::MachineConfig base, MeasurementConfig mc);
+
+  /// Steady-state measured run (temperature/throughput experiments).
+  RunResult measure(const WorkloadFactory& factory,
+                    const ActuationSetup& actuation,
+                    const PostDeployHook& post_deploy = {});
+
+  /// Run a finite workload to completion (bounded by `deadline`); meter on.
+  WindowResult run_to_completion(const WorkloadFactory& factory,
+                                 const ActuationSetup& actuation,
+                                 sim::SimTime deadline,
+                                 const PostDeployHook& post_deploy = {});
+
+  /// Run for a fixed wall-clock window (the race-to-idle side of the energy
+  /// comparison); meter on.
+  WindowResult run_window(const WorkloadFactory& factory,
+                          const ActuationSetup& actuation, sim::SimTime window,
+                          const PostDeployHook& post_deploy = {});
+
+  const sched::MachineConfig& base_config() const { return base_; }
+  const MeasurementConfig& measurement_config() const { return mc_; }
+  sched::MachineConfig& mutable_base_config() { return base_; }
+
+ private:
+  double mean_exact_temp(const sched::Machine& m) const;
+
+  sched::MachineConfig base_;
+  MeasurementConfig mc_;
+};
+
+}  // namespace dimetrodon::harness

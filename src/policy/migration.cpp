@@ -1,0 +1,56 @@
+#include "policy/migration.hpp"
+
+namespace dimetrodon::policy {
+
+ThermalMigrationPolicy::ThermalMigrationPolicy(sched::Machine& machine,
+                                               Config config)
+    : machine_(machine), config_(config) {
+  schedule_tick();
+}
+
+void ThermalMigrationPolicy::schedule_tick() {
+  machine_.call_at(machine_.now() + config_.period,
+                   [this](sim::SimTime t) { tick(t); });
+}
+
+void ThermalMigrationPolicy::tick(sim::SimTime /*now*/) {
+  if (!running_) return;
+  ++ticks_;
+
+  // Hottest logical CPU that is running a user thread; coolest idle CPU.
+  sched::CoreId hottest = sched::kNoCore;
+  double hottest_temp = -1e9;
+  sched::CoreId coolest_idle = sched::kNoCore;
+  double coolest_temp = 1e9;
+  for (std::size_t i = 0; i < machine_.num_cores(); ++i) {
+    const auto id = static_cast<sched::CoreId>(i);
+    const auto& core = machine_.core(id);
+    const double temp = machine_.die_temperature(id);
+    const bool running_user =
+        core.current != nullptr &&
+        core.current->thread_class() == sched::ThreadClass::kUser;
+    if (running_user && temp > hottest_temp) {
+      hottest_temp = temp;
+      hottest = id;
+    }
+    if (core.is_idle() && !core.injected_idle && temp < coolest_temp) {
+      coolest_temp = temp;
+      coolest_idle = id;
+    }
+  }
+  if (hottest != sched::kNoCore && coolest_idle != sched::kNoCore &&
+      hottest_temp - coolest_temp >= config_.spread_threshold_c) {
+    const sched::ThreadId victim = machine_.core(hottest).current->id();
+    machine_.set_thread_affinity(victim, coolest_idle);
+    // Release the pin once the target has picked the thread up: migration is
+    // a placement decision, not a permanent binding.
+    machine_.call_at(machine_.now() + sim::from_ms(1),
+                     [this, victim](sim::SimTime) {
+                       machine_.set_thread_affinity(victim, sched::kNoCore);
+                     });
+    ++migrations_;
+  }
+  schedule_tick();
+}
+
+}  // namespace dimetrodon::policy

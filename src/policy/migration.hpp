@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sched/machine.hpp"
+
+namespace dimetrodon::policy {
+
+/// Heat-and-Run-style thermal migration (Gomaa et al., cited by the paper as
+/// an orthogonal, potentially complementary multicore technique): move the
+/// thread running on the hottest die to the coolest one when the spread
+/// exceeds a threshold. On a fully-loaded symmetric machine this mostly
+/// rotates heat; its value shows on asymmetric loads — exactly the paper's
+/// observation that migration "may be ineffective on fully-burdened
+/// machines". Can run alongside a DimetrodonController; the two compose.
+class ThermalMigrationPolicy {
+ public:
+  struct Config {
+    sim::SimTime period = sim::from_ms(500);
+    double spread_threshold_c = 3.0;  // min hottest-coolest die gap to act
+  };
+
+  /// Starts the periodic migration loop immediately; must outlive the run.
+  ThermalMigrationPolicy(sched::Machine& machine, Config config);
+  ThermalMigrationPolicy(sched::Machine& machine)
+      : ThermalMigrationPolicy(machine, Config()) {}
+
+  void stop() { running_ = false; }
+
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void schedule_tick();
+  void tick(sim::SimTime now);
+
+  sched::Machine& machine_;
+  Config config_;
+  bool running_ = true;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace dimetrodon::policy

@@ -1,0 +1,20 @@
+#include "policy/thermal_policy.hpp"
+
+#include <cstdio>
+
+namespace dimetrodon::policy {
+
+std::string VfsPolicy::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "vfs[level=%zu]", level_);
+  return buf;
+}
+
+std::string TccPolicy::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "p4tcc[duty=%.1f%%]",
+                100.0 * static_cast<double>(step_) / 8.0);
+  return buf;
+}
+
+}  // namespace dimetrodon::policy

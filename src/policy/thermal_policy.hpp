@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "sched/machine.hpp"
+
+namespace dimetrodon::policy {
+
+/// A static preventive thermal-management actuation, applied to the machine
+/// before a workload runs. These are the comparison points of the paper's
+/// Figure 4; Dimetrodon itself acts through the scheduler hook instead
+/// (src/core) but is wrapped by the experiment harness under the same sweep
+/// interface.
+class ThermalPolicy {
+ public:
+  virtual ~ThermalPolicy() = default;
+
+  /// Configure the machine's knobs (DVFS ladder position, clock duty, ...).
+  virtual void apply(sched::Machine& machine) = 0;
+
+  /// Human-readable identification for result tables.
+  virtual std::string name() const = 0;
+
+  /// First-order expected throughput factor for CPU-bound work in [0,1]
+  /// (e.g. f/f0 for VFS). Used as a sanity cross-check, not as a result.
+  virtual double nominal_throughput_factor(
+      const sched::Machine& machine) const = 0;
+};
+
+/// Unconstrained race-to-idle execution: the paper's baseline.
+class RaceToIdlePolicy final : public ThermalPolicy {
+ public:
+  void apply(sched::Machine&) override {}
+  std::string name() const override { return "race-to-idle"; }
+  double nominal_throughput_factor(const sched::Machine&) const override {
+    return 1.0;
+  }
+};
+
+/// Static voltage/frequency scaling at a fixed ladder level (the paper's VFS
+/// comparison, run under Linux cpufreq in the original; §3.4).
+class VfsPolicy final : public ThermalPolicy {
+ public:
+  explicit VfsPolicy(std::size_t level) : level_(level) {}
+
+  void apply(sched::Machine& machine) override {
+    machine.set_all_dvfs_levels(level_);
+  }
+  std::string name() const override;
+  double nominal_throughput_factor(
+      const sched::Machine& machine) const override {
+    const auto& dvfs = machine.config().dvfs;
+    return dvfs.level(level_).freq_ghz / dvfs.nominal().freq_ghz;
+  }
+  std::size_t level() const { return level_; }
+
+ private:
+  std::size_t level_;
+};
+
+/// Thermal-control-circuit clock duty cycling (the FreeBSD p4tcc driver):
+/// fine-grained clock gating inside C0, 12.5% steps.
+class TccPolicy final : public ThermalPolicy {
+ public:
+  explicit TccPolicy(std::size_t duty_step) : step_(duty_step) {}
+
+  void apply(sched::Machine& machine) override {
+    machine.set_all_clock_duty_steps(step_);
+  }
+  std::string name() const override;
+  double nominal_throughput_factor(const sched::Machine&) const override {
+    return static_cast<double>(step_) / 8.0;
+  }
+  std::size_t duty_step() const { return step_; }
+
+ private:
+  std::size_t step_;
+};
+
+}  // namespace dimetrodon::policy

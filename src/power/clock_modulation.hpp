@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace dimetrodon::power {
+
+/// On-demand clock modulation in the style of the FreeBSD `p4tcc` driver: the
+/// thermal control circuit gates the core clock with a programmable duty
+/// cycle in 12.5% steps (Intel SDM vol. 3A). Crucially this happens at
+/// microsecond granularity, *inside* C0: dynamic power scales with the duty
+/// cycle but the core never enters an idle state, so voltage and leakage are
+/// untouched — the mechanism behind p4tcc's poor showing in the paper's
+/// Figure 4.
+class ClockModulation {
+ public:
+  static constexpr std::size_t kNumSteps = 8;  // 12.5% .. 100%
+
+  ClockModulation() = default;
+
+  /// Set duty cycle as a step index: 1..8 meaning 12.5%..100%.
+  void set_step(std::size_t step) {
+    if (step < 1 || step > kNumSteps) {
+      throw std::invalid_argument("clock modulation step must be in 1..8");
+    }
+    step_ = step;
+  }
+
+  std::size_t step() const { return step_; }
+  double duty() const { return static_cast<double>(step_) / kNumSteps; }
+  bool throttled() const { return step_ < kNumSteps; }
+
+ private:
+  std::size_t step_ = kNumSteps;  // unthrottled
+};
+
+}  // namespace dimetrodon::power

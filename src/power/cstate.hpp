@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::power {
+
+/// Idle states of the simulated Nehalem-class core. The paper's platform
+/// exposed C1E ("which does not flush the processor cache", §3.2) and the
+/// paper's model assumes transition times "in the tens of microseconds"
+/// (§2.2) — negligible at millisecond quanta, ruinous at clock-level duty
+/// cycling.
+enum class CState : std::uint8_t {
+  kC0,   // active, executing
+  kC1,   // halted: core clock gated, voltage unchanged
+  kC1E,  // enhanced halt: clock gated and voltage lowered
+};
+
+struct CStateInfo {
+  std::string_view name;
+  sim::SimTime entry_latency;  // time to enter; power stays at C0 level
+  sim::SimTime exit_latency;   // time to resume execution after wakeup
+  double dynamic_fraction;     // residual dynamic power vs. active at same V,f
+  double voltage_override;     // operating voltage in this state; <0 = keep
+};
+
+constexpr CStateInfo cstate_info(CState s) {
+  switch (s) {
+    case CState::kC1:
+      return CStateInfo{"C1", sim::from_us(2), sim::from_us(2), 0.02, -1.0};
+    case CState::kC1E:
+      return CStateInfo{"C1E", sim::from_us(20), sim::from_us(25), 0.02, 0.85};
+    case CState::kC0:
+    default:
+      return CStateInfo{"C0", 0, 0, 1.0, -1.0};
+  }
+}
+
+}  // namespace dimetrodon::power

@@ -1,0 +1,45 @@
+#include "power/dvfs.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dimetrodon::power {
+
+DvfsTable DvfsTable::e5520() {
+  // 133 MHz steps from 2.26 GHz down to 1.596 GHz. The VID curve is convex,
+  // as on real Nehalem server parts: the top P-states share (nearly) the
+  // nominal voltage — shallow frequency scaling only trims dynamic power
+  // linearly — while deeper setpoints scale voltage and unlock the quadratic
+  // reduction the paper credits VFS with at large temperature reductions
+  // (§3.4).
+  std::vector<DvfsLevel> levels = {
+      {2.261, 1.225}, {2.128, 1.225}, {1.995, 1.213},
+      {1.862, 1.181}, {1.729, 1.133}, {1.596, 1.075},
+  };
+  return DvfsTable(std::move(levels));
+}
+
+DvfsTable::DvfsTable(std::vector<DvfsLevel> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) throw std::invalid_argument("empty DVFS ladder");
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    if (levels_[i].freq_ghz >= levels_[i - 1].freq_ghz) {
+      throw std::invalid_argument("DVFS ladder must be sorted descending");
+    }
+  }
+}
+
+std::size_t DvfsTable::nearest_level(double freq_ghz) const {
+  std::size_t best = 0;
+  double best_d = std::fabs(levels_[0].freq_ghz - freq_ghz);
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    const double d = std::fabs(levels_[i].freq_ghz - freq_ghz);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace dimetrodon::power

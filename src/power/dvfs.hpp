@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dimetrodon::power {
+
+/// One voltage/frequency operating point.
+struct DvfsLevel {
+  double freq_ghz;
+  double voltage_v;
+};
+
+/// The platform's DVFS ladder. Defaults to the paper's Xeon E5520: 2.26 GHz
+/// nominal, scaling "every 133 MHz with a minimum frequency of 1.6 GHz (71% of
+/// maximum)" (§3.2). Voltage scales linearly with frequency across the ladder,
+/// which gives VFS its near-quadratic power advantage at deep setpoints.
+class DvfsTable {
+ public:
+  /// Build the default E5520 ladder (6 levels, 2.26 down to 1.596 GHz).
+  static DvfsTable e5520();
+
+  /// Build a custom ladder; levels must be sorted descending by frequency and
+  /// non-empty.
+  explicit DvfsTable(std::vector<DvfsLevel> levels);
+
+  std::size_t num_levels() const { return levels_.size(); }
+  const DvfsLevel& level(std::size_t i) const { return levels_.at(i); }
+
+  /// Highest-frequency level (index 0): the nominal operating point.
+  const DvfsLevel& nominal() const { return levels_.front(); }
+
+  /// Level with frequency closest to `freq_ghz`.
+  std::size_t nearest_level(double freq_ghz) const;
+
+ private:
+  std::vector<DvfsLevel> levels_;
+};
+
+}  // namespace dimetrodon::power

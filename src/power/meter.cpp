@@ -1,0 +1,40 @@
+#include "power/meter.hpp"
+
+#include <utility>
+
+namespace dimetrodon::power {
+
+PowerMeter::PowerMeter(Config config, sim::Rng rng)
+    : config_(config), rng_(std::move(rng)) {
+  gain_ = 1.0 + rng_.normal(0.0, config_.gain_error_stddev);
+}
+
+void PowerMeter::sample(sim::SimTime at, double true_watts) {
+  const double measured =
+      gain_ * true_watts + rng_.normal(0.0, config_.sample_noise_w);
+  ++count_;
+  sum_w_ += measured;
+  const PowerSample s{at, measured};
+  if (have_prev_) {
+    energy_j_ += 0.5 * (prev_.watts + measured) * sim::to_sec(at - prev_.at);
+  }
+  prev_ = s;
+  have_prev_ = true;
+  if (config_.record_samples) samples_.push_back(s);
+}
+
+double PowerMeter::measured_energy_joules() const { return energy_j_; }
+
+double PowerMeter::mean_power_w() const {
+  return count_ == 0 ? 0.0 : sum_w_ / static_cast<double>(count_);
+}
+
+void PowerMeter::reset() {
+  samples_.clear();
+  count_ = 0;
+  sum_w_ = 0.0;
+  energy_j_ = 0.0;
+  have_prev_ = false;
+}
+
+}  // namespace dimetrodon::power

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::power {
+
+/// One power measurement sample.
+struct PowerSample {
+  sim::SimTime at;
+  double watts;
+};
+
+/// Model of the paper's measurement rig: a Fluke i410 current clamp on the
+/// processor power leads feeding a Keithley 2701 multimeter, sampling "three
+/// times per millisecond" with clamp accuracy "approximately 3.5%" (§3.3).
+/// We model a per-instrument gain error drawn once (clamp calibration) plus
+/// per-sample white noise. Energy integration happens over these *measured*
+/// samples, exactly as in the paper's energy-validation experiment.
+class PowerMeter {
+ public:
+  struct Config {
+    sim::SimTime sample_interval = sim::from_us(333.3);
+    double gain_error_stddev = 0.015;   // clamp calibration error, fraction
+    double sample_noise_w = 0.4;        // white noise per sample, watts
+    bool record_samples = true;         // keep full trace (disable for sweeps)
+  };
+
+  PowerMeter(Config config, sim::Rng rng);
+
+  /// Record one reading of the true instantaneous power.
+  void sample(sim::SimTime at, double true_watts);
+
+  const std::vector<PowerSample>& samples() const { return samples_; }
+  sim::SimTime sample_interval() const { return config_.sample_interval; }
+
+  /// Trapezoidal energy integral of the recorded samples, joules.
+  /// Requires record_samples; returns 0 with fewer than two samples.
+  double measured_energy_joules() const;
+
+  /// Mean of recorded sample values, watts.
+  double mean_power_w() const;
+
+  std::size_t sample_count() const { return count_; }
+
+  /// Reset recorded data (gain error is a property of the physical clamp and
+  /// persists).
+  void reset();
+
+ private:
+  Config config_;
+  sim::Rng rng_;
+  double gain_;  // multiplicative calibration error, fixed per instrument
+  std::vector<PowerSample> samples_;
+  std::size_t count_ = 0;
+  double sum_w_ = 0.0;
+  // Running trapezoid when not recording the full trace.
+  double energy_j_ = 0.0;
+  bool have_prev_ = false;
+  PowerSample prev_{};
+};
+
+}  // namespace dimetrodon::power

@@ -1,0 +1,54 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dimetrodon::power {
+
+double CpuPowerModel::effective_voltage(const CoreOperatingPoint& op) const {
+  // During entry/exit transitions the core has not yet reached the idle
+  // state's operating conditions.
+  if (op.in_transition || op.cstate == CState::kC0) return op.voltage_v;
+  const CStateInfo info = cstate_info(op.cstate);
+  if (info.voltage_override > 0.0) {
+    return std::min(op.voltage_v, info.voltage_override);
+  }
+  return op.voltage_v;
+}
+
+double CpuPowerModel::core_dynamic_power(const CoreOperatingPoint& op) const {
+  const double v0 = params_.nominal_voltage_v;
+  const double f0 = params_.nominal_freq_ghz;
+  double activity = std::clamp(op.activity, 0.0, 1.0);
+  double duty = std::clamp(op.clock_duty, 0.0, 1.0);
+  double v = op.voltage_v;
+  double f = op.freq_ghz;
+  if (!op.in_transition && op.cstate != CState::kC0) {
+    // Idle residual: the halted core keeps a trickle of clocked logic alive.
+    activity = cstate_info(op.cstate).dynamic_fraction;
+    duty = 1.0;
+    v = effective_voltage(op);
+  }
+  return params_.core_dynamic_nominal_w * activity * duty * (v / v0) *
+         (v / v0) * (f / f0);
+}
+
+double CpuPowerModel::core_leakage_power(const CoreOperatingPoint& op,
+                                         double die_temp_c) const {
+  const double v = effective_voltage(op);
+  const double v0 = params_.nominal_voltage_v;
+  const double t0 = params_.leakage_ref_temp_c;
+  // Soft saturation: exponential near T0, flattening far above it so the
+  // leakage feedback loop is physically bounded (see PowerModelParams).
+  const double tsat = params_.leakage_saturation_c;
+  const double dt = tsat * std::tanh((die_temp_c - t0) / tsat);
+  return params_.core_leakage_nominal_w * (v / v0) * (v / v0) *
+         std::exp(params_.leakage_temp_coeff * dt);
+}
+
+double CpuPowerModel::uncore_power(double mean_activity) const {
+  return params_.uncore_base_w +
+         params_.uncore_active_w * std::clamp(mean_activity, 0.0, 1.0);
+}
+
+}  // namespace dimetrodon::power

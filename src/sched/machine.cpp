@@ -1,0 +1,792 @@
+#include "sched/machine.hpp"
+
+#include <algorithm>
+
+#include "power/clock_modulation.hpp"
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dimetrodon::sched {
+
+namespace {
+// Work below two nanoseconds of nominal execution is floating-point residue
+// from segment accounting (event times are integer nanoseconds), not real
+// work; treating it as pending would schedule zero-length segments.
+constexpr double kWorkEpsilon = 2e-9;
+}  // namespace
+
+Machine::Machine(MachineConfig config)
+    : config_(std::move(config)),
+      master_rng_(config_.seed),
+      power_model_(config_.power),
+      energy_(config_.num_cores) {
+  config_.floorplan.num_cores = config_.num_cores;
+  nodes_ = thermal::build_server_floorplan(network_, config_.floorplan);
+  sensors_.reserve(config_.num_cores);
+  for (std::size_t i = 0; i < config_.num_cores; ++i) {
+    sensors_.emplace_back(network_, nodes_.die[i]);
+  }
+  const std::size_t logical_cpus =
+      config_.num_cores * (config_.smt_enabled ? 2 : 1);
+  cores_.reserve(logical_cpus);
+  const auto& nominal = config_.dvfs.nominal();
+  for (std::size_t i = 0; i < logical_cpus; ++i) {
+    Core c;
+    c.id = static_cast<CoreId>(i);
+    c.activity = CoreActivity::kIdle;
+    c.op.cstate = config_.idle_cstate;
+    c.op.in_transition = false;
+    c.op.activity = 0.0;
+    c.op.voltage_v = nominal.voltage_v;
+    c.op.freq_ghz = nominal.freq_ghz;
+    c.op.clock_duty = 1.0;
+    cores_.push_back(c);
+  }
+  window_node_joules_.assign(network_.node_count(), 0.0);
+
+  if (config_.start_at_idle_equilibrium) {
+    // Fixed-point iteration: leakage depends on die temperature which depends
+    // on leakage. Converges quickly because the loop gain is < 1.
+    for (int iter = 0; iter < 32; ++iter) {
+      for (std::size_t i = 0; i < config_.num_cores; ++i) {
+        network_.set_power(nodes_.die[i], physical_core_power(i));
+      }
+      network_.set_power(nodes_.package,
+                         power_model_.uncore_power(mean_c0_activity()));
+      network_.solve_steady_state();
+    }
+  }
+
+  if (config_.scheduler_kind == SchedulerKind::kUle) {
+    scheduler_ = std::make_unique<UleScheduler>(cores_.size(), config_.ule);
+  } else {
+    scheduler_ = std::make_unique<BsdScheduler>(config_.scheduler);
+  }
+  if (config_.enable_meter) {
+    meter_.emplace(config_.meter, master_rng_.fork());
+    schedule_meter_sample();
+  }
+  tm_active_.assign(config_.num_cores, false);
+  schedule_substep();
+  schedule_schedcpu();
+  if (config_.hw_thermal_throttle) schedule_thermal_monitor();
+}
+
+// --------------------------------------------------------------------------
+// Physics
+// --------------------------------------------------------------------------
+
+double Machine::physical_core_power(std::size_t phys) const {
+  // Dynamic power sums over the hardware contexts sharing the die; leakage
+  // is a property of the physical core and its supply voltage. The voltage
+  // only drops to the C1E level once EVERY context is settled in the idle
+  // state — the constraint that made the paper disable SMT (§3.2).
+  double dynamic = 0.0;
+  bool all_deep_idle = true;
+  double voltage = 0.0;
+  std::size_t executing = 0;
+  const std::size_t contexts = config_.smt_enabled ? 2 : 1;
+  for (std::size_t k = 0; k < contexts; ++k) {
+    const Core& c = cores_[phys * contexts + k];
+    dynamic += power_model_.core_dynamic_power(c.op);
+    if (c.activity == CoreActivity::kExecuting) ++executing;
+    if (c.activity != CoreActivity::kIdle || c.op.in_transition ||
+        c.op.cstate != power::CState::kC1E) {
+      all_deep_idle = false;
+    }
+    voltage = std::max(voltage, c.op.voltage_v);
+  }
+  // SMT contexts share execution units: switching power tracks retired work
+  // (each context runs at the SMT throughput factor), not the sum of two
+  // full pipelines.
+  if (executing == 2) dynamic *= config_.smt_throughput_factor;
+  power::CoreOperatingPoint leak_op;
+  leak_op.cstate = all_deep_idle ? power::CState::kC1E : power::CState::kC0;
+  leak_op.in_transition = false;
+  leak_op.voltage_v = voltage;
+  return dynamic + power_model_.core_leakage_power(
+                       leak_op, network_.temperature(nodes_.die[phys]));
+}
+
+Core* Machine::sibling(const Core& c) {
+  if (!config_.smt_enabled) return nullptr;
+  return &cores_[c.id ^ 1u];
+}
+
+double Machine::execution_rate(const Core& c) const {
+  double rate = c.execution_rate(config_.power.nominal_freq_ghz,
+                                 config_.clock_modulation_overhead);
+  if (config_.smt_enabled) {
+    const Core& sib = cores_[c.id ^ 1u];
+    if (sib.activity == CoreActivity::kExecuting && sib.current != nullptr) {
+      rate *= config_.smt_throughput_factor;
+    }
+  }
+  return rate;
+}
+
+void Machine::sibling_checkpoint(Core& c) {
+  Core* sib = sibling(c);
+  if (sib != nullptr && sib->current != nullptr &&
+      sib->activity == CoreActivity::kExecuting) {
+    // Retire the sibling's in-flight work at the rate that held until now;
+    // the caller is about to change this context's activity.
+    checkpoint_segment(*sib);
+  }
+}
+
+void Machine::replan_sibling(Core& c) {
+  Core* sib = sibling(c);
+  if (sib == nullptr || sib->current == nullptr ||
+      sib->activity != CoreActivity::kExecuting) {
+    return;
+  }
+  // The sibling's effective execution rate changed with this context's
+  // activity; retire its in-flight work at the old rate is impossible here
+  // (rate already reflects the new state), so callers must invoke this right
+  // AFTER checkpointing — see call sites.
+  plan_segment(*sib);
+}
+
+double Machine::mean_c0_activity() const {
+  double sum = 0.0;
+  for (const Core& c : cores_) {
+    if (c.activity == CoreActivity::kExecuting) sum += c.op.activity;
+  }
+  return cores_.empty() ? 0.0 : sum / static_cast<double>(cores_.size());
+}
+
+void Machine::integrate_chunk(double dt_seconds) {
+  for (std::size_t i = 0; i < config_.num_cores; ++i) {
+    const double p = physical_core_power(i);
+    network_.set_power(nodes_.die[i], p);
+    energy_.add_core(i, p, dt_seconds);
+    window_node_joules_[nodes_.die[i]] += p * dt_seconds;
+  }
+  const double uncore = power_model_.uncore_power(mean_c0_activity());
+  network_.set_power(nodes_.package, uncore);
+  energy_.add_uncore(uncore, dt_seconds);
+  window_node_joules_[nodes_.package] += uncore * dt_seconds;
+  network_.step(dt_seconds);
+}
+
+void Machine::advance_thermal(sim::SimTime to) {
+  if (to <= last_thermal_update_) return;
+  sim::SimTime remaining = to - last_thermal_update_;
+  while (remaining >= config_.thermal_substep) {
+    integrate_chunk(sim::to_sec(config_.thermal_substep));
+    remaining -= config_.thermal_substep;
+  }
+  if (remaining > 0) integrate_chunk(sim::to_sec(remaining));
+  last_thermal_update_ = to;
+}
+
+void Machine::schedule_substep() {
+  sim_.after(config_.thermal_substep, [this](sim::SimTime t) {
+    advance_thermal(t);
+    schedule_substep();
+  });
+}
+
+void Machine::schedule_meter_sample() {
+  sim_.after(meter_->sample_interval(), [this](sim::SimTime t) {
+    advance_thermal(t);
+    meter_->sample(t, current_total_power());
+    schedule_meter_sample();
+  });
+}
+
+void Machine::schedule_schedcpu() {
+  sim_.after(sim::kSecond, [this](sim::SimTime t) {
+    scheduler_->periodic(scheduler_->runnable_count(), t);
+    schedule_schedcpu();
+  });
+}
+
+double Machine::current_total_power() {
+  double total = power_model_.uncore_power(mean_c0_activity());
+  for (std::size_t i = 0; i < config_.num_cores; ++i) {
+    total += physical_core_power(i);
+  }
+  return total;
+}
+
+double Machine::mean_sensor_temp() const {
+  double sum = 0.0;
+  for (const auto& s : sensors_) sum += s.read();
+  return sum / static_cast<double>(sensors_.size());
+}
+
+void Machine::mark_power_window() {
+  std::fill(window_node_joules_.begin(), window_node_joules_.end(), 0.0);
+  window_start_ = sim_.now();
+}
+
+void Machine::jump_to_average_power_steady_state() {
+  const double span = sim::to_sec(sim_.now() - window_start_);
+  if (span <= 0.0) return;
+  for (std::size_t n = 0; n < network_.node_count(); ++n) {
+    if (!network_.is_fixed(n)) {
+      network_.set_power(n, window_node_joules_[n] / span);
+    }
+  }
+  network_.solve_steady_state();
+  mark_power_window();
+}
+
+// --------------------------------------------------------------------------
+// Thread lifecycle
+// --------------------------------------------------------------------------
+
+ThreadId Machine::create_thread(std::string name, ThreadClass cls, int nice,
+                                std::unique_ptr<ThreadBehavior> behavior,
+                                CoreId affinity) {
+  const auto id = static_cast<ThreadId>(threads_.size());
+  auto t = std::make_unique<Thread>(id, std::move(name), cls, nice,
+                                    std::move(behavior), master_rng_.fork());
+  t->set_created_at(sim_.now());
+  t->set_affinity(affinity);
+  t->set_state(ThreadState::kSleeping);  // make_runnable flips it
+  Thread& ref = *t;
+  threads_.push_back(std::move(t));
+  ++live_threads_;
+  make_runnable(ref);
+  return id;
+}
+
+void Machine::wake_thread(ThreadId id) {
+  Thread& t = *threads_.at(id);
+  if (t.state() != ThreadState::kSleeping) return;
+  // An injection-suspended thread stays descheduled until its idle quantum
+  // expires; external wakeups do not cut the quantum short.
+  if (t.injection_suspended()) return;
+  make_runnable(t);
+}
+
+void Machine::set_thread_affinity(ThreadId id, CoreId target) {
+  Thread& t = *threads_.at(id);
+  if (target != kNoCore && target >= cores_.size()) {
+    throw std::out_of_range("affinity target out of range");
+  }
+  t.set_affinity(target);
+  if (t.state() == ThreadState::kRunning && target != kNoCore &&
+      t.last_core() != target) {
+    // Preempt off the old core; the scheduler re-places it under the new
+    // affinity at the next dispatch, and an idle target picks it up now.
+    Core& old_core = cores_[t.last_core()];
+    if (old_core.current == &t) {
+      advance_thermal(sim_.now());
+      stop_current(old_core, sim_.now());
+      // stop_current re-enqueued it; nudge the target core if it is idle.
+      try_kick_idle_core(t);
+      dispatch(old_core);
+    }
+  } else if (t.state() == ThreadState::kRunnable) {
+    try_kick_idle_core(t);
+  }
+}
+
+void Machine::make_runnable(Thread& t) {
+  assert(t.state() != ThreadState::kDone);
+  if (t.state() == ThreadState::kSleeping && t.sleep_started_at() >= 0) {
+    scheduler_->apply_sleep_decay(
+        t, sim::to_sec(sim_.now() - t.sleep_started_at()));
+    t.set_sleep_started_at(-1);
+  }
+  t.set_state(ThreadState::kRunnable);
+  scheduler_->enqueue(t);
+  if (try_kick_idle_core(t)) return;
+  if (t.thread_class() == ThreadClass::kKernel) {
+    try_preempt_for_kernel_thread(t);
+  }
+}
+
+bool Machine::try_kick_idle_core(Thread& t) {
+  auto available = [&](const Core& c) {
+    if (c.injected_idle) return false;
+    if (c.activity != CoreActivity::kIdle &&
+        c.activity != CoreActivity::kIdleEntering) {
+      return false;
+    }
+    return t.runnable_on(c.id);
+  };
+  // Prefer the core the thread last ran on (cache affinity), then any idle.
+  if (t.last_core() != kNoCore && t.last_core() < cores_.size() &&
+      available(cores_[t.last_core()])) {
+    begin_idle_exit(cores_[t.last_core()]);
+    return true;
+  }
+  for (Core& c : cores_) {
+    if (available(c)) {
+      begin_idle_exit(c);
+      return true;
+    }
+  }
+  // A core already on its way out of idle will re-dispatch shortly and pick
+  // this thread up; treat that as handled to avoid needless preemption.
+  for (Core& c : cores_) {
+    if (c.activity == CoreActivity::kIdleExiting && t.runnable_on(c.id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Machine::try_preempt_for_kernel_thread(Thread& t) {
+  // Standard BSD behaviour: a waking kernel-class thread preempts a running
+  // user thread. Injected idle quanta are NOT cut short unless configured —
+  // this is exactly the double-delay hazard the paper describes in §3.1.
+  for (Core& c : cores_) {
+    if (c.activity == CoreActivity::kExecuting && c.current != nullptr &&
+        c.current->thread_class() == ThreadClass::kUser &&
+        t.runnable_on(c.id)) {
+      stop_current(c, sim_.now());
+      scheduler_->dequeue(t);
+      run_thread(c, t);
+      return true;
+    }
+  }
+  if (config_.kernel_preempts_injection) {
+    for (Core& c : cores_) {
+      if (c.injected_idle && t.runnable_on(c.id)) {
+        end_injected_idle(c);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Machine::suspend_for_injection(Thread& t, sim::SimTime quantum) {
+  t.set_state(ThreadState::kSleeping);
+  t.set_sleep_started_at(-1);
+  t.set_injection_suspended(true);
+  const ThreadId victim = t.id();
+  sim_.after(quantum, [this, victim](sim::SimTime now) {
+    Thread& v = *threads_.at(victim);
+    if (!v.injection_suspended()) return;
+    v.set_injection_suspended(false);
+    if (hook_ != nullptr) {
+      hook_->on_injection_complete(v, v.last_core(), now);
+    }
+    make_runnable(v);
+  });
+}
+
+void Machine::stop_current(Core& core, sim::SimTime now) {
+  advance_thermal(now);
+  core.timer.cancel();
+  Thread& t = *core.current;
+  const double rate = execution_rate(core);
+  const double elapsed =
+      std::max(0.0, sim::to_sec(now - core.segment_start));
+  const double work = std::min(elapsed * rate, t.burst_remaining());
+  t.add_cpu_seconds(elapsed);
+  t.add_work_completed(work);
+  t.set_burst_remaining(t.burst_remaining() - work);
+  core.busy_seconds += elapsed;
+  t.set_state(ThreadState::kRunnable);
+  scheduler_->thread_stopped(t, elapsed, now);
+  scheduler_->enqueue_front(t);
+  sibling_checkpoint(core);
+  core.current = nullptr;
+  replan_sibling(core);
+}
+
+void Machine::finish_thread(Core& core, Thread& t) {
+  t.set_state(ThreadState::kDone);
+  t.set_finished_at(sim_.now());
+  core.current = nullptr;
+  assert(live_threads_ > 0);
+  --live_threads_;
+}
+
+// --------------------------------------------------------------------------
+// Dispatch / execution engine
+// --------------------------------------------------------------------------
+
+void Machine::dispatch(Core& core) {
+  advance_thermal(sim_.now());
+  core.current = nullptr;
+  Thread* t = scheduler_->pick_next(core.id, sim_.now());
+  if (t == nullptr) {
+    enter_idle(core, /*injected=*/false, 0, nullptr);
+    return;
+  }
+  if (hook_ != nullptr) {
+    const auto idle_quantum = hook_->before_dispatch(*t, core.id, sim_.now());
+    if (idle_quantum.has_value() && *idle_quantum > 0) {
+      t->increment_injections_suffered();
+      ++core.injections;
+      if (config_.injection_suspends_thread) {
+        // Per-thread semantics (Fig. 5): deschedule the victim for the idle
+        // quantum; the dispatch loop below finds other work or idles the
+        // core naturally. No interactivity credit accrues for forced idling.
+        suspend_for_injection(*t, *idle_quantum);
+        // Extension of the paper's SMT remark (§3.2): co-schedule the idle
+        // quantum on the sibling hardware context so the whole physical
+        // core can halt into C1E.
+        if (config_.smt_enabled && config_.smt_co_schedule_injection) {
+          Core* sib = sibling(core);
+          if (sib != nullptr && sib->current != nullptr &&
+              sib->activity == CoreActivity::kExecuting &&
+              sib->current->thread_class() == ThreadClass::kUser) {
+            Thread& co_victim = *sib->current;
+            stop_current(*sib, sim_.now());
+            scheduler_->dequeue(co_victim);
+            co_victim.increment_injections_suffered();
+            ++sib->injections;
+            suspend_for_injection(co_victim, *idle_quantum);
+            dispatch(*sib);
+          }
+        }
+        dispatch(core);
+        return;
+      }
+      // Literal §3.1 mechanism: pin the displaced thread on the run queue so
+      // no other core runs it, then run the idle thread for the quantum.
+      t->set_injection_pin(core.id);
+      scheduler_->enqueue_front(*t);
+      enter_idle(core, /*injected=*/true, *idle_quantum, t);
+      return;
+    }
+  }
+  run_thread(core, *t);
+}
+
+void Machine::run_thread(Core& core, Thread& t) {
+  assert(core.current == nullptr);
+  sibling_checkpoint(core);  // sibling ran solo until this dispatch
+  core.current = &t;
+  t.set_state(ThreadState::kRunning);
+  t.set_last_core(core.id);
+  t.increment_times_scheduled();
+  ++core.dispatches;
+
+  const bool switching = core.last_thread != t.id();
+  if (switching) ++core.context_switches;
+  core.last_thread = t.id();
+
+  if (t.burst_remaining() <= kWorkEpsilon) {
+    const Burst b = t.behavior().next_burst(sim_.now(), t.rng());
+    t.set_burst_remaining(std::max(b.work_seconds, 1e-9));
+    t.set_activity(b.activity);
+  }
+
+  core.activity = CoreActivity::kExecuting;
+  core.op.cstate = power::CState::kC0;
+  core.op.in_transition = false;
+  core.op.activity = t.activity();
+
+  const sim::SimTime start =
+      sim_.now() + (switching ? config_.context_switch_cost : 0);
+  core.segment_start = start;
+  core.quantum_deadline = start + scheduler_->timeslice_for(t);
+  if (switching) {
+    core.busy_seconds += sim::to_sec(config_.context_switch_cost);
+  }
+  plan_segment(core);
+  replan_sibling(core);  // sibling now shares the pipeline
+}
+
+void Machine::plan_segment(Core& core) {
+  Thread& t = *core.current;
+  const double rate = execution_rate(core);
+  assert(rate > 0.0);
+  const double finish_seconds = t.burst_remaining() / rate;
+  // Cap to keep the ns conversion far from integer overflow; an effectively
+  // infinite burst just runs out its quantum.
+  // Round the finish time up to the next nanosecond tick: a segment must
+  // always advance simulated time, and the residual sub-ns work is absorbed
+  // by kWorkEpsilon at completion.
+  const sim::SimTime finish_at =
+      finish_seconds > 1e6
+          ? sim::kTimeInfinity
+          : core.segment_start + sim::from_sec(finish_seconds) + 1;
+  const sim::SimTime seg_end = std::min(core.quantum_deadline, finish_at);
+  core.timer.cancel();
+  core.timer = sim_.at(seg_end, [this, &core](sim::SimTime) {
+    on_segment_end(core);
+  });
+}
+
+void Machine::on_segment_end(Core& core) {
+  const sim::SimTime now = sim_.now();
+  advance_thermal(now);
+  Thread& t = *core.current;
+  const double rate = execution_rate(core);
+  const double elapsed = std::max(0.0, sim::to_sec(now - core.segment_start));
+  const double work = std::min(elapsed * rate, t.burst_remaining());
+  t.add_cpu_seconds(elapsed);
+  t.add_work_completed(work);
+  t.set_burst_remaining(t.burst_remaining() - work);
+  core.busy_seconds += elapsed;
+
+  if (t.burst_remaining() > kWorkEpsilon) {
+    // Timeslice expired with work left: round-robin back into the queue.
+    t.set_state(ThreadState::kRunnable);
+    scheduler_->quantum_expired(t, elapsed, now);
+    sibling_checkpoint(core);
+    core.current = nullptr;
+    replan_sibling(core);
+    dispatch(core);
+    return;
+  }
+
+  t.set_burst_remaining(0.0);
+  t.increment_bursts_completed();
+  const BurstOutcome outcome = t.behavior().on_burst_complete(now, t.rng());
+  switch (outcome.kind) {
+    case BurstOutcome::Kind::kContinue: {
+      if (now >= core.quantum_deadline) {
+        t.set_state(ThreadState::kRunnable);
+        scheduler_->quantum_expired(t, elapsed, now);
+        core.current = nullptr;
+        dispatch(core);
+        return;
+      }
+      const Burst b = t.behavior().next_burst(now, t.rng());
+      t.set_burst_remaining(std::max(b.work_seconds, 1e-9));
+      t.set_activity(b.activity);
+      core.op.activity = t.activity();
+      core.segment_start = now;
+      plan_segment(core);
+      return;
+    }
+    case BurstOutcome::Kind::kSleepFor: {
+      t.set_state(ThreadState::kSleeping);
+      t.set_sleep_started_at(now);
+      scheduler_->thread_stopped(t, elapsed, now);
+      sibling_checkpoint(core);
+      core.current = nullptr;
+      replan_sibling(core);
+      const ThreadId id = t.id();
+      sim_.after(std::max<sim::SimTime>(outcome.sleep_for, 0),
+                 [this, id](sim::SimTime) { wake_thread(id); });
+      dispatch(core);
+      return;
+    }
+    case BurstOutcome::Kind::kSleepUntilWoken: {
+      t.set_state(ThreadState::kSleeping);
+      t.set_sleep_started_at(now);
+      scheduler_->thread_stopped(t, elapsed, now);
+      sibling_checkpoint(core);
+      core.current = nullptr;
+      replan_sibling(core);
+      dispatch(core);
+      return;
+    }
+    case BurstOutcome::Kind::kExit: {
+      scheduler_->thread_stopped(t, elapsed, now);
+      sibling_checkpoint(core);
+      finish_thread(core, t);
+      replan_sibling(core);
+      dispatch(core);
+      return;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Idle handling
+// --------------------------------------------------------------------------
+
+void Machine::enter_idle(Core& core, bool injected, sim::SimTime quantum,
+                         Thread* victim) {
+  core.current = nullptr;
+  core.injected_idle = injected;
+  core.injection_victim = victim;
+  core.activity = CoreActivity::kIdleEntering;
+  core.segment_start = sim_.now();
+  core.op.cstate = config_.idle_cstate;
+  core.op.in_transition = true;
+  core.last_thread = kInvalidThread;  // resuming anyone is a context switch
+
+  const auto info = power::cstate_info(config_.idle_cstate);
+  core.transition_timer.cancel();
+  core.transition_timer = sim_.after(
+      info.entry_latency,
+      [this, &core](sim::SimTime) { finish_idle_entry(core); });
+  core.timer.cancel();
+  if (injected) {
+    core.timer = sim_.after(quantum, [this, &core](sim::SimTime) {
+      end_injected_idle(core);
+    });
+  }
+}
+
+void Machine::finish_idle_entry(Core& core) {
+  advance_thermal(sim_.now());
+  core.activity = CoreActivity::kIdle;
+  core.op.in_transition = false;
+  core.op.activity = 0.0;
+}
+
+void Machine::end_injected_idle(Core& core) {
+  assert(core.injected_idle);
+  advance_thermal(sim_.now());
+  core.timer.cancel();
+  Thread* victim = core.injection_victim;
+  if (victim != nullptr) {
+    victim->set_injection_pin(kNoCore);
+    if (hook_ != nullptr) {
+      hook_->on_injection_complete(*victim, core.id, sim_.now());
+    }
+  }
+  begin_idle_exit(core);
+}
+
+void Machine::begin_idle_exit(Core& core) {
+  advance_thermal(sim_.now());
+  // Account the idle residency that just ended.
+  const double idle_span =
+      std::max(0.0, sim::to_sec(sim_.now() - core.segment_start));
+  core.idle_seconds += idle_span;
+  if (core.injected_idle) core.injected_idle_seconds += idle_span;
+  core.injected_idle = false;
+  core.injection_victim = nullptr;
+
+  core.transition_timer.cancel();
+  core.activity = CoreActivity::kIdleExiting;
+  core.op.in_transition = true;
+  const auto info = power::cstate_info(config_.idle_cstate);
+  core.transition_timer = sim_.after(
+      info.exit_latency,
+      [this, &core](sim::SimTime) { finish_idle_exit(core); });
+}
+
+void Machine::finish_idle_exit(Core& core) {
+  advance_thermal(sim_.now());
+  core.op.cstate = power::CState::kC0;
+  core.op.in_transition = false;
+  core.op.activity = 0.0;
+  core.activity = CoreActivity::kExecuting;
+  dispatch(core);
+}
+
+// --------------------------------------------------------------------------
+// Actuation & running
+// --------------------------------------------------------------------------
+
+void Machine::checkpoint_segment(Core& core) {
+  if (core.activity != CoreActivity::kExecuting || core.current == nullptr) {
+    return;
+  }
+  Thread& t = *core.current;
+  const sim::SimTime now = sim_.now();
+  const double rate = execution_rate(core);
+  const double elapsed = std::max(0.0, sim::to_sec(now - core.segment_start));
+  const double work = std::min(elapsed * rate, t.burst_remaining());
+  t.add_cpu_seconds(elapsed);
+  t.add_work_completed(work);
+  t.set_burst_remaining(t.burst_remaining() - work);
+  core.busy_seconds += elapsed;
+  core.segment_start = std::max(now, core.segment_start);
+}
+
+void Machine::set_dvfs_level(CoreId core, std::size_t level) {
+  if (level >= config_.dvfs.num_levels()) {
+    throw std::out_of_range("DVFS level out of range");
+  }
+  advance_thermal(sim_.now());
+  Core& c = cores_.at(core);
+  // Retire in-flight work at the old rate before the rate changes.
+  checkpoint_segment(c);
+  c.dvfs_level = level;
+  c.op.freq_ghz = config_.dvfs.level(level).freq_ghz;
+  c.op.voltage_v = config_.dvfs.level(level).voltage_v;
+  if (c.activity == CoreActivity::kExecuting && c.current != nullptr) {
+    plan_segment(c);
+  }
+}
+
+void Machine::set_all_dvfs_levels(std::size_t level) {
+  for (Core& c : cores_) set_dvfs_level(c.id, level);
+}
+
+void Machine::set_clock_duty_step(CoreId core, std::size_t step) {
+  if (step < 1 || step > power::ClockModulation::kNumSteps) {
+    throw std::out_of_range("clock duty step must be in 1..8");
+  }
+  advance_thermal(sim_.now());
+  Core& c = cores_.at(core);
+  checkpoint_segment(c);
+  c.duty_step_user = step;
+  apply_effective_duty(c);
+  if (c.activity == CoreActivity::kExecuting && c.current != nullptr) {
+    plan_segment(c);
+  }
+}
+
+void Machine::apply_effective_duty(Core& c) {
+  std::size_t step = c.duty_step_user;
+  if (config_.hw_thermal_throttle && tm_active_[physical_of(c.id)]) {
+    step = std::min(step, config_.prochot_duty_step);
+  }
+  c.op.clock_duty =
+      static_cast<double>(step) / power::ClockModulation::kNumSteps;
+}
+
+void Machine::schedule_thermal_monitor() {
+  sim_.after(config_.thermal_monitor_period,
+             [this](sim::SimTime) { thermal_monitor_tick(); });
+}
+
+void Machine::thermal_monitor_tick() {
+  advance_thermal(sim_.now());
+  for (std::size_t phys = 0; phys < config_.num_cores; ++phys) {
+    const double temp = network_.temperature(nodes_.die[phys]);
+    const bool was_active = tm_active_[phys];
+    bool active = was_active;
+    if (!was_active && temp >= config_.prochot_c) {
+      active = true;
+      ++tm_events_;
+    } else if (was_active && temp <= config_.prochot_release_c) {
+      active = false;
+    }
+    if (active == was_active) continue;
+    tm_active_[phys] = active;
+    const std::size_t contexts = config_.smt_enabled ? 2 : 1;
+    for (std::size_t k = 0; k < contexts; ++k) {
+      Core& c = cores_[phys * contexts + k];
+      checkpoint_segment(c);
+      apply_effective_duty(c);
+      if (c.activity == CoreActivity::kExecuting && c.current != nullptr) {
+        plan_segment(c);
+      }
+    }
+  }
+  schedule_thermal_monitor();
+}
+
+void Machine::set_all_clock_duty_steps(std::size_t step) {
+  for (Core& c : cores_) set_clock_duty_step(c.id, step);
+}
+
+void Machine::run_until(sim::SimTime deadline) {
+  sim_.run_until(deadline);
+  advance_thermal(deadline);
+  // Fold in-flight execution into the work counters so observers (throughput
+  // windows, tests) see progress up to `deadline`, not up to the last
+  // segment boundary.
+  for (Core& c : cores_) checkpoint_segment(c);
+}
+
+bool Machine::run_until_condition(const std::function<bool()>& pred,
+                                  sim::SimTime deadline) {
+  while (!pred()) {
+    if (sim_.queue().next_time() > deadline) {
+      run_until(deadline);
+      return pred();
+    }
+    sim_.step();
+  }
+  return true;
+}
+
+void Machine::call_at(sim::SimTime when, std::function<void(sim::SimTime)> fn) {
+  sim_.at(std::max(when, sim_.now()), std::move(fn));
+}
+
+}  // namespace dimetrodon::sched

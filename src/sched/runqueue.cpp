@@ -1,0 +1,71 @@
+#include "sched/runqueue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dimetrodon::sched {
+
+int RunQueue::priority_of(const Thread& t) {
+  if (t.thread_class() == ThreadClass::kKernel) return kPriKernel;
+  // pri = PUSER + estcpu/4 + 2*nice, clamped — the classic 4.4BSD formula.
+  const int pri = kPriUserBase + static_cast<int>(t.estcpu() / 4.0) +
+                  2 * t.nice();
+  return std::clamp(pri, kPriUserBase, kPriMax);
+}
+
+void RunQueue::enqueue(Thread* t) {
+  assert(t != nullptr);
+  buckets_[static_cast<std::size_t>(priority_of(*t) / 4)].push_back(t);
+  ++size_;
+}
+
+void RunQueue::enqueue_front(Thread* t) {
+  assert(t != nullptr);
+  buckets_[static_cast<std::size_t>(priority_of(*t) / 4)].push_front(t);
+  ++size_;
+}
+
+Thread* RunQueue::pick(CoreId core) {
+  for (auto& bucket : buckets_) {
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if ((*it)->runnable_on(core)) {
+        Thread* t = *it;
+        bucket.erase(it);
+        --size_;
+        return t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+Thread* RunQueue::peek(CoreId core) const {
+  for (const auto& bucket : buckets_) {
+    for (Thread* t : bucket) {
+      if (t->runnable_on(core)) return t;
+    }
+  }
+  return nullptr;
+}
+
+void RunQueue::drain_all(std::vector<Thread*>& out) {
+  for (auto& bucket : buckets_) {
+    for (Thread* t : bucket) out.push_back(t);
+    bucket.clear();
+  }
+  size_ = 0;
+}
+
+bool RunQueue::remove(Thread* t) {
+  for (auto& bucket : buckets_) {
+    auto it = std::find(bucket.begin(), bucket.end(), t);
+    if (it != bucket.end()) {
+      bucket.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "sched/thread.hpp"
+
+namespace dimetrodon::sched {
+
+/// 4.4BSD-style multi-level run queue: 64 buckets of 4 priority values each,
+/// round robin within a bucket (the structure of FreeBSD 7.2's default
+/// scheduler, which the paper modified). Priorities grow with accumulated CPU
+/// usage (estcpu) and nice, so CPU hogs sink below interactive threads.
+class RunQueue {
+ public:
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kPriKernel = 16;   // interrupt/kernel threads
+  static constexpr int kPriUserBase = 120;  // PUSER-like base
+  static constexpr int kPriMax = 255;
+
+  /// BSD priority for a thread from its class, estcpu and nice.
+  static int priority_of(const Thread& t);
+
+  /// Insert at the tail of its priority bucket.
+  void enqueue(Thread* t);
+
+  /// Insert at the head of its priority bucket (used to return a thread that
+  /// was displaced by an injected idle quantum without losing its turn).
+  void enqueue_front(Thread* t);
+
+  /// Pop the best thread eligible to run on `core` (honors pins/affinity).
+  /// Returns nullptr if none.
+  Thread* pick(CoreId core);
+
+  /// Best eligible thread without removing it.
+  Thread* peek(CoreId core) const;
+
+  /// Remove a specific thread (e.g. it exited while queued). Returns true if
+  /// it was present.
+  bool remove(Thread* t);
+
+  /// Remove every queued thread, appending them to `out` in priority order
+  /// (used by the schedcpu decay pass, which must re-bucket all threads
+  /// including pinned ones).
+  void drain_all(std::vector<Thread*>& out);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::array<std::deque<Thread*>, kNumBuckets> buckets_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <optional>
+
+#include "sched/runqueue.hpp"
+#include "sched/thread.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::sched {
+
+/// Dimetrodon's attachment point. The machine consults the hook each time the
+/// scheduler is about to dispatch a thread onto a core; returning an idle
+/// quantum length makes the core run the idle thread instead while the
+/// displaced thread sits pinned on the run queue (paper §3.1).
+class InjectionHook {
+ public:
+  virtual ~InjectionHook() = default;
+
+  /// Return the idle quantum length to inject instead of running `t`, or
+  /// nullopt to dispatch normally.
+  virtual std::optional<sim::SimTime> before_dispatch(const Thread& t,
+                                                      CoreId core,
+                                                      sim::SimTime now) = 0;
+
+  /// Notification that the injected idle quantum for `t` on `core` finished.
+  virtual void on_injection_complete(const Thread& t, CoreId core,
+                                     sim::SimTime now) = 0;
+};
+
+/// Scheduler policy interface. The machine owns thread lifecycle and core
+/// state; the scheduler decides ordering and timeslices.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// A thread became runnable (created or woke up).
+  virtual void enqueue(Thread& t) = 0;
+
+  /// Return a displaced thread to the queue without losing its turn
+  /// (idle-injection pin path).
+  virtual void enqueue_front(Thread& t) = 0;
+
+  /// Pop the next thread for `core`; nullptr means the core should idle.
+  virtual Thread* pick_next(CoreId core, sim::SimTime now) = 0;
+
+  /// The running thread's timeslice expired; account and requeue.
+  virtual void quantum_expired(Thread& t, double ran_seconds,
+                               sim::SimTime now) = 0;
+
+  /// The running thread blocked or exited after running for `ran_seconds`.
+  virtual void thread_stopped(Thread& t, double ran_seconds,
+                              sim::SimTime now) = 0;
+
+  /// Remove a queued thread (it exited or was killed while runnable).
+  virtual void dequeue(Thread& t) = 0;
+
+  /// Periodic bookkeeping (the 4.4BSD schedcpu: estcpu decay). Called once
+  /// per second of simulated time with the current runnable-thread count.
+  virtual void periodic(std::size_t runnable_threads, sim::SimTime now) = 0;
+
+  /// A thread is waking after sleeping for `slept_seconds`: apply the
+  /// 4.4BSD p_slptime credit (estcpu decays for the time spent asleep, so a
+  /// periodic process wakes with interactive priority). Called before
+  /// enqueue().
+  virtual void apply_sleep_decay(Thread& t, double slept_seconds) = 0;
+
+  /// Round-robin timeslice.
+  virtual sim::SimTime timeslice() const = 0;
+
+  /// Per-thread timeslice (ULE grants interactive threads shorter slices);
+  /// defaults to the global timeslice.
+  virtual sim::SimTime timeslice_for(const Thread& t) const {
+    (void)t;
+    return timeslice();
+  }
+
+  virtual std::size_t runnable_count() const = 0;
+};
+
+struct BsdSchedulerConfig {
+  sim::SimTime timeslice = sim::from_ms(100);
+  // estcpu gained per second of CPU consumed (ticks at 127 Hz in BSD terms,
+  // normalized here).
+  double estcpu_per_cpu_second = 100.0;
+  // Per-second estcpu decay applied for time spent asleep (p_slptime).
+  double sleep_decay_per_second = 0.75;
+};
+
+/// The FreeBSD 7.2 default ("4.4BSD") scheduler the paper modified: global
+/// multi-level feedback queue, fixed 100 ms round-robin timeslice, estcpu
+/// load-dependent decay once per second.
+class BsdScheduler final : public Scheduler {
+ public:
+  explicit BsdScheduler(BsdSchedulerConfig config = BsdSchedulerConfig())
+      : config_(config) {}
+
+  void enqueue(Thread& t) override;
+  void enqueue_front(Thread& t) override;
+  Thread* pick_next(CoreId core, sim::SimTime now) override;
+  void quantum_expired(Thread& t, double ran_seconds,
+                       sim::SimTime now) override;
+  void thread_stopped(Thread& t, double ran_seconds, sim::SimTime now) override;
+  void dequeue(Thread& t) override;
+  void periodic(std::size_t runnable_threads, sim::SimTime now) override;
+  void apply_sleep_decay(Thread& t, double slept_seconds) override;
+  sim::SimTime timeslice() const override { return config_.timeslice; }
+  std::size_t runnable_count() const override { return queue_.size(); }
+
+ private:
+  void charge(Thread& t, double ran_seconds);
+
+  BsdSchedulerConfig config_;
+  RunQueue queue_;
+};
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::sched {
+
+using ThreadId = std::uint32_t;
+inline constexpr ThreadId kInvalidThread = 0xffffffff;
+using CoreId = std::uint32_t;
+inline constexpr CoreId kNoCore = 0xffffffff;
+
+enum class ThreadState : std::uint8_t {
+  kRunnable,  // on a run queue
+  kRunning,   // current on some core
+  kSleeping,  // blocked (timed or until woken)
+  kDone,      // exited
+};
+
+/// Scheduling class. Kernel threads service interrupts and are exempt from
+/// idle injection under the paper's default policy (§3.1: "We always schedule
+/// kernel-level threads").
+enum class ThreadClass : std::uint8_t { kUser, kKernel };
+
+/// One CPU burst requested by a thread behavior: `work_seconds` of execution
+/// measured at the nominal clock (a core at reduced frequency or clock duty
+/// completes it proportionally slower) with the given switching-activity
+/// factor for the power model.
+struct Burst {
+  double work_seconds = 0.0;
+  double activity = 1.0;
+};
+
+/// What a thread does after finishing a burst.
+struct BurstOutcome {
+  enum class Kind : std::uint8_t {
+    kContinue,        // immediately request the next burst
+    kSleepFor,        // block for `sleep_for`, then request the next burst
+    kSleepUntilWoken, // block until Machine::wake_thread
+    kExit,            // thread terminates
+  };
+  Kind kind = Kind::kExit;
+  sim::SimTime sleep_for = 0;
+
+  static BurstOutcome Continue() { return {Kind::kContinue, 0}; }
+  static BurstOutcome SleepFor(sim::SimTime d) { return {Kind::kSleepFor, d}; }
+  static BurstOutcome SleepUntilWoken() { return {Kind::kSleepUntilWoken, 0}; }
+  static BurstOutcome Exit() { return {Kind::kExit, 0}; }
+};
+
+/// Workload-side interface: supplies CPU bursts and reacts to their
+/// completion. Implementations live in src/workload.
+class ThreadBehavior {
+ public:
+  virtual ~ThreadBehavior() = default;
+
+  /// Next CPU burst. Called when the thread is dispatched with no work left.
+  virtual Burst next_burst(sim::SimTime now, sim::Rng& rng) = 0;
+
+  /// Called when the current burst's work is fully executed.
+  virtual BurstOutcome on_burst_complete(sim::SimTime now, sim::Rng& rng) = 0;
+};
+
+/// Kernel thread control block. Owned by the Machine; scheduler and policies
+/// hold non-owning pointers.
+class Thread {
+ public:
+  Thread(ThreadId id, std::string name, ThreadClass cls, int nice,
+         std::unique_ptr<ThreadBehavior> behavior, sim::Rng rng)
+      : id_(id),
+        name_(std::move(name)),
+        cls_(cls),
+        nice_(nice),
+        behavior_(std::move(behavior)),
+        rng_(std::move(rng)) {}
+
+  ThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ThreadClass thread_class() const { return cls_; }
+  int nice() const { return nice_; }
+
+  ThreadState state() const { return state_; }
+  void set_state(ThreadState s) { state_ = s; }
+
+  /// Hard affinity requested at creation (kNoCore = any).
+  CoreId affinity() const { return affinity_; }
+  void set_affinity(CoreId c) { affinity_ = c; }
+
+  /// Temporary pin applied while an injected idle quantum displaces this
+  /// thread (paper §3.1: the preempted thread is pinned on the run queue so
+  /// no other core runs it, then unpinned when the idle quantum ends).
+  CoreId injection_pin() const { return injection_pin_; }
+  void set_injection_pin(CoreId c) { injection_pin_ = c; }
+
+  /// True while the thread is descheduled by an injected idle quantum under
+  /// suspension semantics; shields it from external wakeups until the
+  /// quantum expires.
+  bool injection_suspended() const { return injection_suspended_; }
+  void set_injection_suspended(bool s) { injection_suspended_ = s; }
+
+  /// Core this thread may run on right now (combines affinity + pin).
+  bool runnable_on(CoreId core) const {
+    if (injection_pin_ != kNoCore && injection_pin_ != core) return false;
+    if (affinity_ != kNoCore && affinity_ != core) return false;
+    return true;
+  }
+
+  ThreadBehavior& behavior() { return *behavior_; }
+  sim::Rng& rng() { return rng_; }
+
+  // --- burst accounting (managed by the Machine) ---
+  double burst_remaining() const { return burst_remaining_; }
+  void set_burst_remaining(double w) { burst_remaining_ = w; }
+  double activity() const { return activity_; }
+  void set_activity(double a) { activity_ = a; }
+
+  double cpu_seconds_consumed() const { return cpu_seconds_; }
+  void add_cpu_seconds(double s) { cpu_seconds_ += s; }
+  double work_completed() const { return work_completed_; }
+  void add_work_completed(double w) { work_completed_ += w; }
+  std::uint64_t bursts_completed() const { return bursts_completed_; }
+  void increment_bursts_completed() { ++bursts_completed_; }
+  std::uint64_t times_scheduled() const { return times_scheduled_; }
+  void increment_times_scheduled() { ++times_scheduled_; }
+  std::uint64_t injections_suffered() const { return injections_suffered_; }
+  void increment_injections_suffered() { ++injections_suffered_; }
+
+  sim::SimTime created_at() const { return created_at_; }
+  void set_created_at(sim::SimTime t) { created_at_ = t; }
+  sim::SimTime finished_at() const { return finished_at_; }
+  void set_finished_at(sim::SimTime t) { finished_at_ = t; }
+
+  // --- 4.4BSD scheduler bookkeeping ---
+  double estcpu() const { return estcpu_; }
+  void set_estcpu(double e) { estcpu_ = e; }
+  /// When the thread last entered a sleeping state (-1 if never slept).
+  sim::SimTime sleep_started_at() const { return sleep_started_at_; }
+  void set_sleep_started_at(sim::SimTime t) { sleep_started_at_ = t; }
+  CoreId last_core() const { return last_core_; }
+  void set_last_core(CoreId c) { last_core_ = c; }
+
+ private:
+  ThreadId id_;
+  std::string name_;
+  ThreadClass cls_;
+  int nice_;
+  std::unique_ptr<ThreadBehavior> behavior_;
+  sim::Rng rng_;
+
+  ThreadState state_ = ThreadState::kRunnable;
+  CoreId affinity_ = kNoCore;
+  CoreId injection_pin_ = kNoCore;
+  bool injection_suspended_ = false;
+
+  double burst_remaining_ = 0.0;
+  double activity_ = 1.0;
+  double cpu_seconds_ = 0.0;
+  double work_completed_ = 0.0;
+  std::uint64_t bursts_completed_ = 0;
+  std::uint64_t times_scheduled_ = 0;
+  std::uint64_t injections_suffered_ = 0;
+  sim::SimTime created_at_ = 0;
+  sim::SimTime finished_at_ = -1;
+
+  double estcpu_ = 0.0;
+  sim::SimTime sleep_started_at_ = -1;
+  CoreId last_core_ = kNoCore;
+};
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,123 @@
+#include "sched/ule_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dimetrodon::sched {
+
+UleScheduler::UleScheduler(std::size_t num_cpus, UleSchedulerConfig config)
+    : config_(config), queues_(num_cpus) {
+  assert(num_cpus > 0);
+}
+
+UleScheduler::History& UleScheduler::history(const Thread& t) {
+  if (histories_.size() <= t.id()) histories_.resize(t.id() + 1);
+  return histories_[t.id()];
+}
+
+const UleScheduler::History& UleScheduler::history(const Thread& t) const {
+  if (histories_.size() <= t.id()) histories_.resize(t.id() + 1);
+  return histories_[t.id()];
+}
+
+double UleScheduler::interactivity_score(const Thread& t) const {
+  // ULE's split scale: threads that sleep more than they run land in
+  // [0, 50), CPU hogs in (50, 100]. Fresh threads score neutral.
+  const History& h = history(t);
+  constexpr double kScale = 50.0;
+  if (h.run_seconds < 1e-9 && h.sleep_seconds < 1e-9) return 25.0;
+  if (h.sleep_seconds >= h.run_seconds) {
+    return kScale * h.run_seconds / std::max(h.sleep_seconds, 1e-9);
+  }
+  return kScale + kScale * (1.0 - h.sleep_seconds /
+                                      std::max(h.run_seconds, 1e-9));
+}
+
+CoreId UleScheduler::home_cpu(const Thread& t) const {
+  if (t.injection_pin() != kNoCore && t.injection_pin() < queues_.size()) {
+    return t.injection_pin();
+  }
+  if (t.affinity() != kNoCore && t.affinity() < queues_.size()) {
+    return t.affinity();
+  }
+  if (t.last_core() != kNoCore && t.last_core() < queues_.size()) {
+    return t.last_core();
+  }
+  return kNoCore;
+}
+
+void UleScheduler::enqueue(Thread& t) {
+  // Fold the interactivity score into the run-queue priority machinery:
+  // interactive threads (low score) queue ahead of batch threads.
+  t.set_estcpu(2.0 * interactivity_score(t));
+  CoreId cpu = home_cpu(t);
+  if (cpu == kNoCore) {
+    cpu = static_cast<CoreId>(next_cpu_);
+    next_cpu_ = (next_cpu_ + 1) % queues_.size();
+  }
+  queues_[cpu].enqueue(&t);
+}
+
+void UleScheduler::enqueue_front(Thread& t) {
+  t.set_estcpu(2.0 * interactivity_score(t));
+  CoreId cpu = home_cpu(t);
+  if (cpu == kNoCore) cpu = 0;
+  queues_[cpu].enqueue_front(&t);
+}
+
+Thread* UleScheduler::pick_next(CoreId core, sim::SimTime /*now*/) {
+  assert(core < queues_.size());
+  if (Thread* t = queues_[core].pick(core)) return t;
+  if (!config_.work_stealing) return nullptr;
+  // Steal from the most loaded sibling queue.
+  std::size_t victim = queues_.size();
+  std::size_t best_load = 0;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    if (q == core) continue;
+    if (queues_[q].peek(core) != nullptr && queues_[q].size() > best_load) {
+      best_load = queues_[q].size();
+      victim = q;
+    }
+  }
+  if (victim == queues_.size()) return nullptr;
+  Thread* t = queues_[victim].pick(core);
+  if (t != nullptr) ++steals_;
+  return t;
+}
+
+void UleScheduler::quantum_expired(Thread& t, double ran_seconds,
+                                   sim::SimTime /*now*/) {
+  history(t).run_seconds += ran_seconds;
+  enqueue(t);
+}
+
+void UleScheduler::thread_stopped(Thread& t, double ran_seconds,
+                                  sim::SimTime /*now*/) {
+  history(t).run_seconds += ran_seconds;
+}
+
+void UleScheduler::dequeue(Thread& t) {
+  for (auto& q : queues_) {
+    if (q.remove(&t)) return;
+  }
+}
+
+void UleScheduler::periodic(std::size_t /*runnable*/, sim::SimTime /*now*/) {
+  // Forget old behaviour so phase changes re-classify threads.
+  for (auto& h : histories_) {
+    h.run_seconds *= config_.history_decay;
+    h.sleep_seconds *= config_.history_decay;
+  }
+}
+
+void UleScheduler::apply_sleep_decay(Thread& t, double slept_seconds) {
+  if (slept_seconds > 0.0) history(t).sleep_seconds += slept_seconds;
+}
+
+std::size_t UleScheduler::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/runqueue.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dimetrodon::sched {
+
+struct UleSchedulerConfig {
+  /// ULE's dynamic timeslice: the base slice granted to batch threads.
+  sim::SimTime base_timeslice = sim::from_ms(100);
+  /// Interactive threads get short slices and queue priority.
+  sim::SimTime interactive_timeslice = sim::from_ms(25);
+  /// Interactivity scoring window: sleep and run time accumulate into a
+  /// score in [0, 100]; below the threshold a thread is "interactive".
+  double interactivity_threshold = 30.0;
+  /// Exponential forgetting applied to the sleep/run history each second.
+  double history_decay = 0.8;
+  /// Steal work from another CPU's queue when the local one is empty.
+  bool work_stealing = true;
+};
+
+/// FreeBSD's ULE scheduler, reduced to the structure that matters for
+/// Dimetrodon: per-CPU run queues with cache affinity, an
+/// interactivity score derived from the sleep:run ratio (interactive threads
+/// preempt batch ones and get short slices), and idle-time work stealing.
+/// The paper modified the 4.4BSD scheduler "for simplicity of
+/// implementation, however the mechanism generalizes to ULE and other
+/// schedulers" (§3.1, fn. 2) — this class is that generalization, exercised
+/// by the scheduler-ablation bench.
+class UleScheduler final : public Scheduler {
+ public:
+  UleScheduler(std::size_t num_cpus, UleSchedulerConfig config);
+  explicit UleScheduler(std::size_t num_cpus)
+      : UleScheduler(num_cpus, UleSchedulerConfig()) {}
+
+  void enqueue(Thread& t) override;
+  void enqueue_front(Thread& t) override;
+  Thread* pick_next(CoreId core, sim::SimTime now) override;
+  void quantum_expired(Thread& t, double ran_seconds,
+                       sim::SimTime now) override;
+  void thread_stopped(Thread& t, double ran_seconds, sim::SimTime now) override;
+  void dequeue(Thread& t) override;
+  void periodic(std::size_t runnable_threads, sim::SimTime now) override;
+  void apply_sleep_decay(Thread& t, double slept_seconds) override;
+  sim::SimTime timeslice() const override { return config_.base_timeslice; }
+  sim::SimTime timeslice_for(const Thread& t) const override {
+    return is_interactive(t) ? config_.interactive_timeslice
+                             : config_.base_timeslice;
+  }
+  std::size_t runnable_count() const override;
+
+  /// ULE's interactivity score for a thread, in [0, 100]; lower is more
+  /// interactive. Exposed for tests and diagnostics.
+  double interactivity_score(const Thread& t) const;
+  bool is_interactive(const Thread& t) const {
+    return interactivity_score(t) < config_.interactivity_threshold;
+  }
+
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  struct History {
+    double run_seconds = 0.0;
+    double sleep_seconds = 0.0;
+  };
+
+  CoreId home_cpu(const Thread& t) const;
+  History& history(const Thread& t);
+  const History& history(const Thread& t) const;
+
+  UleSchedulerConfig config_;
+  std::vector<RunQueue> queues_;  // one per CPU
+  mutable std::vector<History> histories_;  // indexed by ThreadId
+  std::uint64_t steals_ = 0;
+  std::size_t next_cpu_ = 0;  // round-robin placement for fresh threads
+};
+
+}  // namespace dimetrodon::sched

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace dimetrodon::sim {
+
+using detail::EventState;
+
+bool EventHandle::cancel() {
+  if (!ctl_ || ctl_->state != EventState::kPending) return false;
+  ctl_->state = EventState::kCancelled;
+  if (ctl_->live) --*ctl_->live;
+  ctl_.reset();
+  return true;
+}
+
+bool EventHandle::active() const {
+  return ctl_ && ctl_->state == EventState::kPending;
+}
+
+EventHandle EventQueue::schedule(SimTime at, Callback fn) {
+  assert(at >= 0);
+  auto ctl = std::make_shared<detail::EventControl>();
+  ctl->live = live_;
+  heap_.push(Entry{at, next_seq_++, std::move(fn), ctl});
+  ++*live_;
+  return EventHandle(std::move(ctl));
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && heap_.top().ctl->state == EventState::kCancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+SimTime EventQueue::pop_and_run() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // Copy out before popping: the callback may schedule new events.
+  Entry e = heap_.top();
+  heap_.pop();
+  e.ctl->state = EventState::kFired;
+  --*live_;
+  e.fn(e.at);
+  return e.at;
+}
+
+}  // namespace dimetrodon::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::sim {
+
+namespace detail {
+enum class EventState : std::uint8_t { kPending, kCancelled, kFired };
+struct EventControl {
+  EventState state = EventState::kPending;
+  // Shared with the owning queue so cancellation can keep the live count
+  // exact even though the heap entry is discarded lazily.
+  std::shared_ptr<std::size_t> live;
+};
+}  // namespace detail
+
+/// Handle to a scheduled event; allows O(1) cancellation. Cancelled events
+/// stay in the heap but are skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancel the event. Safe to call multiple times or on a default-constructed
+  /// (empty) handle; returns true if the event was live and is now cancelled.
+  bool cancel();
+
+  /// True if this handle refers to an event that has neither fired nor been
+  /// cancelled.
+  bool active() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<detail::EventControl> ctl)
+      : ctl_(std::move(ctl)) {}
+
+  std::shared_ptr<detail::EventControl> ctl_;
+};
+
+/// Min-heap of timestamped callbacks. Ties break by insertion order so event
+/// delivery is fully deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
+
+  /// Schedule `fn` at absolute time `at`. Requires at >= 0.
+  EventHandle schedule(SimTime at, Callback fn);
+
+  /// True if no live events remain. (Lazily discards cancelled heap entries.)
+  bool empty();
+
+  /// Timestamp of the earliest live event; kTimeInfinity when empty.
+  SimTime next_time();
+
+  /// Pop and run the earliest live event, returning its timestamp.
+  /// Requires !empty().
+  SimTime pop_and_run();
+
+  /// Number of live (non-cancelled, unfired) events.
+  std::size_t size() const { return *live_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<detail::EventControl> ctl;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_;
+};
+
+}  // namespace dimetrodon::sim

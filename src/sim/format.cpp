@@ -1,0 +1,22 @@
+#include <cinttypes>
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_sec(t));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms(t));
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 " ns", t);
+  }
+  return buf;
+}
+
+}  // namespace dimetrodon::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dimetrodon::sim {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Each stochastic component of the simulator (scheduler,
+/// injection policy, meter noise, workload arrivals) owns its own stream so
+/// that adding randomness to one component never perturbs another.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial; p is clamped to [0, 1].
+  bool bernoulli(double p);
+
+  /// Normal deviate (Box-Muller; second value cached).
+  double normal(double mean, double stddev);
+
+  /// Exponential deviate with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Derive an independent child stream (useful for spawning per-thread
+  /// streams from one master seed).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace dimetrodon::sim

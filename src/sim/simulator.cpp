@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace dimetrodon::sim {
+
+EventHandle Simulator::at(SimTime when, EventQueue::Callback fn) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventHandle Simulator::after(SimTime delay, EventQueue::Callback fn) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    // Advance the clock BEFORE the callback runs so now() is correct inside
+    // it (callbacks routinely schedule relative follow-ups).
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++events_executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.pop_and_run();
+  ++events_executed_;
+  return true;
+}
+
+}  // namespace dimetrodon::sim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::sim {
+
+/// Discrete-event simulation driver: a clock plus an event queue. All
+/// machine-level components (scheduler timers, injection quanta, meter
+/// sampling, workload arrivals) register callbacks here.
+class Simulator {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulation time `at` (must be >= now()).
+  EventHandle at(SimTime when, EventQueue::Callback fn);
+
+  /// Schedule `fn` after a relative delay (must be >= 0).
+  EventHandle after(SimTime delay, EventQueue::Callback fn);
+
+  /// Run events until the queue empties or the clock would pass `deadline`.
+  /// The clock is left at min(deadline, time of last event). Events scheduled
+  /// exactly at `deadline` are executed.
+  void run_until(SimTime deadline);
+
+  /// Run a single event if one exists; returns false when the queue is empty.
+  bool step();
+
+  /// Total events executed (diagnostics).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  EventQueue& queue() { return queue_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace dimetrodon::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace dimetrodon::sim {
+
+/// Simulation time. All event timestamps are integral nanoseconds so that
+/// event ordering is exact and runs are bit-for-bit reproducible; physics
+/// code converts to floating-point seconds at the boundary.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime from_ns(std::int64_t ns) { return ns; }
+constexpr SimTime from_us(double us) {
+  return static_cast<SimTime>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimTime from_ms(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimTime from_sec(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_sec(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_ms(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+constexpr double to_us(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMicrosecond);
+}
+
+/// Human-readable rendering ("12.345 ms", "3.2 s") for traces and logs.
+std::string format_time(SimTime t);
+
+}  // namespace dimetrodon::sim

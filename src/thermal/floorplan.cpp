@@ -1,0 +1,44 @@
+#include "thermal/floorplan.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dimetrodon::thermal {
+
+FloorplanNodes build_server_floorplan(RcNetwork& network,
+                                      const FloorplanParams& params) {
+  if (params.num_cores == 0 || params.num_cores > 8) {
+    throw std::invalid_argument("floorplan supports 1..8 cores");
+  }
+  if (params.fan_speed_fraction <= 0.0 || params.fan_speed_fraction > 1.0) {
+    throw std::invalid_argument("fan speed fraction must be in (0, 1]");
+  }
+
+  FloorplanNodes nodes;
+  nodes.ambient = network.add_fixed_node("ambient", params.ambient_c);
+  nodes.heatsink =
+      network.add_node("heatsink", params.hs_capacitance, params.ambient_c);
+  nodes.package =
+      network.add_node("package", params.pkg_capacitance, params.ambient_c);
+
+  const double fan_factor = std::pow(params.fan_speed_fraction, 0.8);
+  network.connect(nodes.heatsink, nodes.ambient,
+                  fan_factor / params.hs_to_ambient_resistance);
+  network.connect_r(nodes.package, nodes.heatsink,
+                    params.pkg_to_hs_resistance);
+
+  for (std::size_t i = 0; i < params.num_cores; ++i) {
+    nodes.die[i] = network.add_node("die" + std::to_string(i),
+                                    params.die_capacitance, params.ambient_c);
+    network.connect_r(nodes.die[i], nodes.package,
+                      params.die_to_pkg_resistance);
+    if (i > 0) {
+      network.connect_r(nodes.die[i], nodes.die[i - 1],
+                        params.die_lateral_resistance);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace dimetrodon::thermal

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "thermal/rc_network.hpp"
+
+namespace dimetrodon::thermal {
+
+/// Calibration constants for the simulated 1U server (Xeon E5520-class quad
+/// core in a Supermicro chassis, thermostat setpoint 25.2 °C, fans pinned at
+/// full speed — the configuration of the paper's testbed, §3.2).
+///
+/// Topology: per-core die node -> shared package node -> heatsink node ->
+/// fixed ambient, plus weak lateral coupling between adjacent dies. The two
+/// widely separated time constants reproduce the paper's observations that
+/// cores "cool exponentially quickly within a short time window" (die, ~ms)
+/// while overall temperatures stabilize only "after approximately 300
+/// seconds" (heatsink, ~minute).
+struct FloorplanParams {
+  std::size_t num_cores = 4;
+  double ambient_c = 25.2;
+
+  // Die: small thermal mass, fast response.
+  double die_capacitance = 0.009;   // J/°C
+  double die_to_pkg_resistance = 1.3;  // °C/W
+  double die_lateral_resistance = 4.0;  // °C/W between adjacent cores
+
+  // Package / integrated heat spreader.
+  double pkg_capacitance = 15.0;     // J/°C
+  double pkg_to_hs_resistance = 0.08;  // °C/W
+
+  // Heatsink + chassis airflow (fan at full speed).
+  double hs_capacitance = 200.0;    // J/°C
+  double hs_to_ambient_resistance = 0.22;  // °C/W at full fan speed
+
+  // Fan law: effective hs->ambient conductance scales ~ speed^0.8.
+  double fan_speed_fraction = 1.0;  // (0, 1]
+};
+
+/// Node handles into the constructed network.
+struct FloorplanNodes {
+  std::array<NodeId, 8> die{};  // first `num_cores` entries valid
+  NodeId package = 0;
+  NodeId heatsink = 0;
+  NodeId ambient = 0;
+};
+
+/// Build the server thermal network. All free nodes start at the ambient
+/// temperature; call `network.solve_steady_state()` after setting idle powers
+/// to start from thermal equilibrium instead.
+FloorplanNodes build_server_floorplan(RcNetwork& network,
+                                      const FloorplanParams& params);
+
+}  // namespace dimetrodon::thermal

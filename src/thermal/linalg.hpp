@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dimetrodon::thermal {
+
+/// Minimal dense linear algebra for the small (≤ ~16 node) thermal networks
+/// this library builds. Row-major square matrices.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  explicit DenseMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
+
+  std::size_t size() const { return n_; }
+  double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+};
+
+/// LU factorization with partial pivoting. Factor once, solve many times —
+/// the implicit-Euler thermal stepper reuses one factorization for every
+/// substep at a fixed dt.
+class LuFactorization {
+ public:
+  /// Factor `m`. Returns false (and leaves the object unusable) if the matrix
+  /// is numerically singular.
+  bool factor(const DenseMatrix& m);
+
+  /// Solve A x = b in place; `b` must have size() elements.
+  /// Requires a successful factor().
+  void solve(std::vector<double>& b) const;
+
+  bool valid() const { return valid_; }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  bool valid_ = false;
+};
+
+}  // namespace dimetrodon::thermal

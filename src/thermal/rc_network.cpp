@@ -1,0 +1,153 @@
+#include "thermal/rc_network.hpp"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace dimetrodon::thermal {
+
+NodeId RcNetwork::add_node(std::string name, double capacitance_j_per_c,
+                           double initial_temp_c) {
+  if (capacitance_j_per_c <= 0.0) {
+    throw std::invalid_argument("thermal node capacitance must be positive");
+  }
+  nodes_.push_back(Node{std::move(name), capacitance_j_per_c, false});
+  temps_.push_back(initial_temp_c);
+  powers_.push_back(0.0);
+  cached_dt_ = -1.0;
+  return nodes_.size() - 1;
+}
+
+NodeId RcNetwork::add_fixed_node(std::string name, double temp_c) {
+  nodes_.push_back(Node{std::move(name), 0.0, true});
+  temps_.push_back(temp_c);
+  powers_.push_back(0.0);
+  cached_dt_ = -1.0;
+  return nodes_.size() - 1;
+}
+
+void RcNetwork::connect(NodeId a, NodeId b, double conductance_w_per_c) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  if (conductance_w_per_c <= 0.0) {
+    throw std::invalid_argument("thermal conductance must be positive");
+  }
+  edges_.push_back(Edge{a, b, conductance_w_per_c});
+  cached_dt_ = -1.0;
+}
+
+void RcNetwork::set_temperature(NodeId n, double t) {
+  assert(n < nodes_.size());
+  temps_[n] = t;
+}
+
+void RcNetwork::set_all_temperatures(double t) {
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].fixed) temps_[n] = t;
+  }
+}
+
+double RcNetwork::total_power() const {
+  double sum = 0.0;
+  for (double p : powers_) sum += p;
+  return sum;
+}
+
+void RcNetwork::build_step_matrix(double dt_seconds) {
+  free_index_.assign(nodes_.size(), std::numeric_limits<std::size_t>::max());
+  free_nodes_.clear();
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].fixed) {
+      free_index_[n] = free_nodes_.size();
+      free_nodes_.push_back(n);
+    }
+  }
+  const std::size_t nf = free_nodes_.size();
+  DenseMatrix a(nf);
+  // Implicit Euler: (C/dt + G_free) T' = C/dt T + P + G_boundary T_fixed.
+  // Here we assemble A = C/dt + G over free nodes; boundary coupling moves to
+  // the right-hand side at solve time.
+  for (std::size_t i = 0; i < nf; ++i) {
+    a.at(i, i) = nodes_[free_nodes_[i]].capacitance / dt_seconds;
+  }
+  for (const Edge& e : edges_) {
+    const std::size_t ia = free_index_[e.a];
+    const std::size_t ib = free_index_[e.b];
+    if (ia != std::numeric_limits<std::size_t>::max()) a.at(ia, ia) += e.g;
+    if (ib != std::numeric_limits<std::size_t>::max()) a.at(ib, ib) += e.g;
+    if (ia != std::numeric_limits<std::size_t>::max() &&
+        ib != std::numeric_limits<std::size_t>::max()) {
+      a.at(ia, ib) -= e.g;
+      a.at(ib, ia) -= e.g;
+    }
+  }
+  if (!step_lu_.factor(a)) {
+    throw std::runtime_error("thermal step matrix is singular");
+  }
+  cached_dt_ = dt_seconds;
+  cached_topology_edges_ = edges_.size();
+  cached_topology_nodes_ = nodes_.size();
+}
+
+void RcNetwork::step(double dt_seconds) {
+  assert(dt_seconds > 0.0);
+  if (cached_dt_ != dt_seconds || cached_topology_edges_ != edges_.size() ||
+      cached_topology_nodes_ != nodes_.size()) {
+    build_step_matrix(dt_seconds);
+  }
+  const std::size_t nf = free_nodes_.size();
+  rhs_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const NodeId n = free_nodes_[i];
+    rhs_[i] = nodes_[n].capacitance / dt_seconds * temps_[n] + powers_[n];
+  }
+  for (const Edge& e : edges_) {
+    const std::size_t ia = free_index_[e.a];
+    const std::size_t ib = free_index_[e.b];
+    const bool a_free = ia != std::numeric_limits<std::size_t>::max();
+    const bool b_free = ib != std::numeric_limits<std::size_t>::max();
+    if (a_free && !b_free) rhs_[ia] += e.g * temps_[e.b];
+    if (b_free && !a_free) rhs_[ib] += e.g * temps_[e.a];
+  }
+  step_lu_.solve(rhs_);
+  for (std::size_t i = 0; i < nf; ++i) temps_[free_nodes_[i]] = rhs_[i];
+}
+
+void RcNetwork::solve_steady_state() {
+  // Steady state is the dt -> infinity limit; assemble G alone.
+  free_index_.assign(nodes_.size(), std::numeric_limits<std::size_t>::max());
+  free_nodes_.clear();
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (!nodes_[n].fixed) {
+      free_index_[n] = free_nodes_.size();
+      free_nodes_.push_back(n);
+    }
+  }
+  const std::size_t nf = free_nodes_.size();
+  DenseMatrix g(nf);
+  rhs_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < nf; ++i) rhs_[i] = powers_[free_nodes_[i]];
+  for (const Edge& e : edges_) {
+    const std::size_t ia = free_index_[e.a];
+    const std::size_t ib = free_index_[e.b];
+    const bool a_free = ia != std::numeric_limits<std::size_t>::max();
+    const bool b_free = ib != std::numeric_limits<std::size_t>::max();
+    if (a_free) g.at(ia, ia) += e.g;
+    if (b_free) g.at(ib, ib) += e.g;
+    if (a_free && b_free) {
+      g.at(ia, ib) -= e.g;
+      g.at(ib, ia) -= e.g;
+    }
+    if (a_free && !b_free) rhs_[ia] += e.g * temps_[e.b];
+    if (b_free && !a_free) rhs_[ib] += e.g * temps_[e.a];
+  }
+  LuFactorization lu;
+  if (!lu.factor(g)) {
+    throw std::runtime_error(
+        "thermal network has a free node with no path to a fixed node");
+  }
+  lu.solve(rhs_);
+  for (std::size_t i = 0; i < nf; ++i) temps_[free_nodes_[i]] = rhs_[i];
+  cached_dt_ = -1.0;  // step matrix cache no longer matches free-index state
+}
+
+}  // namespace dimetrodon::thermal

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "thermal/linalg.hpp"
+
+namespace dimetrodon::thermal {
+
+using NodeId = std::size_t;
+
+/// Lumped RC thermal network (the standard compact model behind tools like
+/// HotSpot). Nodes are thermal masses (capacitance J/°C) or fixed-temperature
+/// boundaries (ambient); edges are thermal conductances (W/°C). Power sources
+/// inject heat at nodes; `step()` advances temperatures with unconditionally
+/// stable implicit Euler, so the millisecond-scale die dynamics and the
+/// minute-scale heatsink dynamics integrate correctly with one step size.
+class RcNetwork {
+ public:
+  /// Add a thermal mass. `capacitance` must be > 0.
+  NodeId add_node(std::string name, double capacitance_j_per_c,
+                  double initial_temp_c);
+
+  /// Add a fixed-temperature boundary node (e.g. ambient air).
+  NodeId add_fixed_node(std::string name, double temp_c);
+
+  /// Connect two nodes with thermal conductance g (W/°C). `resistance`
+  /// convenience: connect_r uses g = 1/r.
+  void connect(NodeId a, NodeId b, double conductance_w_per_c);
+  void connect_r(NodeId a, NodeId b, double resistance_c_per_w) {
+    connect(a, b, 1.0 / resistance_c_per_w);
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& name(NodeId n) const { return nodes_[n].name; }
+  bool is_fixed(NodeId n) const { return nodes_[n].fixed; }
+
+  double temperature(NodeId n) const { return temps_[n]; }
+  void set_temperature(NodeId n, double t);
+
+  /// Set every free node to `t` (fixed nodes keep their boundary value).
+  void set_all_temperatures(double t);
+
+  double power(NodeId n) const { return powers_[n]; }
+  void set_power(NodeId n, double watts) { powers_[n] = watts; }
+
+  /// Advance all free-node temperatures by `dt_seconds` with the current
+  /// power vector held constant (implicit Euler). The LU factorization is
+  /// cached and reused while dt and the topology stay the same.
+  void step(double dt_seconds);
+
+  /// Jump straight to the steady state for the current power vector.
+  /// Requires every free node to have a conduction path to a fixed node.
+  void solve_steady_state();
+
+  /// Sum of injected power over all nodes (diagnostics / conservation tests).
+  double total_power() const;
+
+ private:
+  struct Node {
+    std::string name;
+    double capacitance = 0.0;  // J/°C; 0 for fixed nodes
+    bool fixed = false;
+  };
+  struct Edge {
+    NodeId a;
+    NodeId b;
+    double g;  // W/°C
+  };
+
+  void build_step_matrix(double dt_seconds);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<double> temps_;
+  std::vector<double> powers_;
+
+  // Mapping between all nodes and the free (non-fixed) subset the linear
+  // solves operate on.
+  std::vector<std::size_t> free_index_;  // node -> dense row, SIZE_MAX if fixed
+  std::vector<NodeId> free_nodes_;       // dense row -> node
+
+  LuFactorization step_lu_;
+  double cached_dt_ = -1.0;
+  std::size_t cached_topology_edges_ = 0;
+  std::size_t cached_topology_nodes_ = 0;
+  std::vector<double> rhs_;
+};
+
+}  // namespace dimetrodon::thermal

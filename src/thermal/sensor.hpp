@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cmath>
+
+#include "thermal/rc_network.hpp"
+
+namespace dimetrodon::thermal {
+
+/// Digital thermal sensor in the style of the FreeBSD `coretemp` driver the
+/// paper reads: per-core junction temperature with 1 °C readout resolution.
+/// The paper's most extreme efficiency points are sub-degree effects seen
+/// through this quantization, so benchmarks must read temperatures through
+/// this path rather than the continuous model state.
+class CoreTempSensor {
+ public:
+  CoreTempSensor(const RcNetwork& network, NodeId node,
+                 double quantization_c = 1.0)
+      : network_(&network), node_(node), quantization_(quantization_c) {}
+
+  /// Quantized reading (floor to the sensor's resolution, like the MSR's
+  /// integer degrees field).
+  double read() const {
+    const double t = network_->temperature(node_);
+    if (quantization_ <= 0.0) return t;
+    return std::floor(t / quantization_) * quantization_;
+  }
+
+  /// Unquantized model temperature (for validation against the analytic
+  /// model only; experiment harnesses use read()).
+  double read_exact() const { return network_->temperature(node_); }
+
+  NodeId node() const { return node_; }
+
+ private:
+  const RcNetwork* network_;
+  NodeId node_;
+  double quantization_;
+};
+
+}  // namespace dimetrodon::thermal

@@ -1,0 +1,44 @@
+#include "trace/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dimetrodon::trace {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+  write_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (const char c : s) {
+    if (c == '"') q += "\"\"";
+    else q += c;
+  }
+  q += '"';
+  return q;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  char buf[64];
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out_ << ',';
+    std::snprintf(buf, sizeof buf, "%.10g", values[i]);
+    out_ << buf;
+  }
+  out_ << '\n';
+}
+
+}  // namespace dimetrodon::trace

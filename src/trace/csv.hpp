@@ -1,0 +1,29 @@
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dimetrodon::trace {
+
+/// Minimal CSV emitter for time series and sweep results (plot-ready output
+/// for every figure bench). Values are written with full precision; strings
+/// containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row. Throws on I/O error.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace dimetrodon::trace

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dimetrodon::trace {
+
+/// Fixed-width text table for benchmark output (the "rows the paper
+/// reports"). Columns are sized to fit content; numeric cells should be
+/// pre-formatted by the caller.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule. Rows shorter than the header are padded.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (for table cells).
+std::string fmt(const char* format, ...);
+
+}  // namespace dimetrodon::trace

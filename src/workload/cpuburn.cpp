@@ -1,0 +1,43 @@
+#include "workload/cpuburn.hpp"
+
+#include <algorithm>
+
+namespace dimetrodon::workload {
+
+sched::Burst CpuBurnBehavior::next_burst(sim::SimTime /*now*/,
+                                         sim::Rng& /*rng*/) {
+  if (remaining_ <= 0.0) return sched::Burst{kChunkSeconds, activity_};
+  const double w = std::min(remaining_, kChunkSeconds);
+  return sched::Burst{w, activity_};
+}
+
+sched::BurstOutcome CpuBurnBehavior::on_burst_complete(sim::SimTime /*now*/,
+                                                       sim::Rng& /*rng*/) {
+  if (remaining_ <= 0.0) return sched::BurstOutcome::Continue();  // infinite
+  remaining_ -= kChunkSeconds;
+  if (remaining_ <= 1e-12) return sched::BurstOutcome::Exit();
+  return sched::BurstOutcome::Continue();
+}
+
+void CpuBurnFleet::deploy(sched::Machine& machine) {
+  for (std::size_t i = 0; i < instances_; ++i) {
+    threads_.push_back(machine.create_thread(
+        "cpuburn" + std::to_string(i), sched::ThreadClass::kUser, 0,
+        std::make_unique<CpuBurnBehavior>(work_seconds_, activity_)));
+  }
+}
+
+double CpuBurnFleet::progress(const sched::Machine& machine) const {
+  double total = 0.0;
+  for (const auto id : threads_) total += machine.thread(id).work_completed();
+  return total;
+}
+
+bool CpuBurnFleet::all_done(const sched::Machine& machine) const {
+  for (const auto id : threads_) {
+    if (machine.thread(id).state() != sched::ThreadState::kDone) return false;
+  }
+  return true;
+}
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace dimetrodon::workload {
+
+/// Behavior of one cpuburn (burnP6) instance: "a single-threaded infinite
+/// loop containing a compact sequence of x86 instructions designed to
+/// thermally stress test processors" (§3.3). Activity factor 1.0 — the
+/// worst-case heat generator. A finite variant runs a fixed amount of work
+/// and exits (the paper's model-validation binary).
+class CpuBurnBehavior final : public sched::ThreadBehavior {
+ public:
+  /// `total_work_seconds` <= 0 means run forever.
+  explicit CpuBurnBehavior(double total_work_seconds = -1.0,
+                           double activity = 1.0)
+      : remaining_(total_work_seconds), activity_(activity) {}
+
+  sched::Burst next_burst(sim::SimTime now, sim::Rng& rng) override;
+  sched::BurstOutcome on_burst_complete(sim::SimTime now,
+                                        sim::Rng& rng) override;
+
+ private:
+  double remaining_;
+  double activity_;
+  static constexpr double kChunkSeconds = 60.0;  // arbitrary; re-requested
+};
+
+/// A fleet of cpuburn instances ("we executed four instances of each
+/// benchmark in parallel (one per core)", §3.2).
+class CpuBurnFleet final : public Workload {
+ public:
+  CpuBurnFleet(std::size_t instances, double work_seconds_each = -1.0,
+               double activity = 1.0)
+      : instances_(instances),
+        work_seconds_(work_seconds_each),
+        activity_(activity) {}
+
+  void deploy(sched::Machine& machine) override;
+  double progress(const sched::Machine& machine) const override;
+
+  /// True once every (finite) instance has exited.
+  bool all_done(const sched::Machine& machine) const;
+
+ private:
+  std::size_t instances_;
+  double work_seconds_;
+  double activity_;
+};
+
+}  // namespace dimetrodon::workload

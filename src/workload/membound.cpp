@@ -1,0 +1,44 @@
+#include "workload/membound.hpp"
+
+#include <algorithm>
+
+namespace dimetrodon::workload {
+
+sched::Burst MemBoundBehavior::next_burst(sim::SimTime /*now*/,
+                                          sim::Rng& rng) {
+  // Jitter the CPU burst a little (cache behaviour varies by phase).
+  const double jitter = std::clamp(rng.normal(1.0, 0.15), 0.5, 1.5);
+  double w = profile_.burst_seconds * jitter;
+  if (remaining_ > 0.0) w = std::min(remaining_, w);
+  return sched::Burst{w, profile_.activity};
+}
+
+sched::BurstOutcome MemBoundBehavior::on_burst_complete(sim::SimTime /*now*/,
+                                                        sim::Rng& rng) {
+  if (remaining_ > 0.0) {
+    remaining_ -= profile_.burst_seconds;  // jittered tail absorbed below
+    if (remaining_ <= 1e-12) return sched::BurstOutcome::Exit();
+  }
+  // The memory-stall portion: the thread blocks (DRAM latency aggregated to
+  // scheduler scale), freeing the core — which may clock-gate meanwhile.
+  const double stall = profile_.burst_seconds * profile_.stall_fraction /
+                       std::max(1e-9, 1.0 - profile_.stall_fraction);
+  const double jitter = std::clamp(rng.normal(1.0, 0.2), 0.4, 1.8);
+  return sched::BurstOutcome::SleepFor(sim::from_sec(stall * jitter));
+}
+
+void MemBoundFleet::deploy(sched::Machine& machine) {
+  for (std::size_t i = 0; i < instances_; ++i) {
+    threads_.push_back(machine.create_thread(
+        "membound" + std::to_string(i), sched::ThreadClass::kUser, 0,
+        std::make_unique<MemBoundBehavior>(profile_, work_seconds_)));
+  }
+}
+
+double MemBoundFleet::progress(const sched::Machine& machine) const {
+  double total = 0.0;
+  for (const auto id : threads_) total += machine.thread(id).work_completed();
+  return total;
+}
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "workload/workload.hpp"
+
+namespace dimetrodon::workload {
+
+/// Extension beyond the paper's suite: a memory-bound workload in the style
+/// of mcf/lbm. The paper observed its SPEC selections were "entirely
+/// CPU-bound" (§3.5); this profile models the other regime — frequent
+/// last-level-cache misses stall the pipeline, so switching activity (heat)
+/// is low AND nominal-frequency slowdowns are partially hidden behind memory
+/// latency. Under DVFS the workload loses less throughput than f/f0
+/// (memory time is frequency-invariant), which erodes VFS efficiency and
+/// strengthens the case for injection on cool, stall-heavy threads.
+struct MemBoundProfile {
+  double activity = 0.35;        // low switching activity while stalled
+  double stall_fraction = 0.55;  // fraction of time waiting on memory
+  double burst_seconds = 0.02;   // CPU portion of each compute/stall cycle
+};
+
+class MemBoundBehavior final : public sched::ThreadBehavior {
+ public:
+  explicit MemBoundBehavior(MemBoundProfile profile,
+                            double total_work_seconds = -1.0)
+      : profile_(profile), remaining_(total_work_seconds) {}
+
+  sched::Burst next_burst(sim::SimTime now, sim::Rng& rng) override;
+  sched::BurstOutcome on_burst_complete(sim::SimTime now,
+                                        sim::Rng& rng) override;
+
+ private:
+  MemBoundProfile profile_;
+  double remaining_;
+};
+
+/// Fleet of memory-bound instances.
+class MemBoundFleet final : public Workload {
+ public:
+  MemBoundFleet(MemBoundProfile profile, std::size_t instances,
+                double work_seconds_each = -1.0)
+      : profile_(profile),
+        instances_(instances),
+        work_seconds_(work_seconds_each) {}
+
+  void deploy(sched::Machine& machine) override;
+  double progress(const sched::Machine& machine) const override;
+
+ private:
+  MemBoundProfile profile_;
+  std::size_t instances_;
+  double work_seconds_;
+};
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,68 @@
+#include "workload/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dimetrodon::workload {
+
+const std::vector<SpecProfile>& spec2006_profiles() {
+  // Activity factors calibrated so steady-state temperature rises over idle
+  // land at Table 1's "Rise %" column relative to cpuburn (activity 1.0).
+  // Swings/periods reflect the benchmarks' qualitative phase structure:
+  // bzip2 and gcc are phase-heavy (compression blocks, compilation units),
+  // namd/calculix are steady numeric kernels, astar alternates search and
+  // backtracking phases and runs coolest.
+  static const std::vector<SpecProfile> kProfiles = {
+      {"calculix", 0.990, 0.01, 20.0, 0.01},
+      {"namd", 0.929, 0.03, 10.0, 0.02},
+      {"dealII", 0.909, 0.05, 8.0, 0.02},
+      {"bzip2", 0.909, 0.09, 2.0, 0.04},
+      {"gcc", 0.878, 0.11, 1.0, 0.05},
+      {"astar", 0.803, 0.08, 4.0, 0.03},
+  };
+  return kProfiles;
+}
+
+std::optional<SpecProfile> find_spec_profile(std::string_view name) {
+  for (const auto& p : spec2006_profiles()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+sched::Burst SpecBehavior::next_burst(sim::SimTime now, sim::Rng& rng) {
+  const double t = sim::to_sec(now);
+  const double phase =
+      profile_.activity_swing *
+      std::sin(2.0 * M_PI * t / std::max(profile_.phase_seconds, 1e-3));
+  const double noise = rng.normal(0.0, profile_.jitter);
+  const double activity =
+      std::clamp(profile_.activity_mean + phase + noise, 0.05, 1.0);
+  double w = kBurstSeconds;
+  if (remaining_ > 0.0) w = std::min(remaining_, kBurstSeconds);
+  return sched::Burst{w, activity};
+}
+
+sched::BurstOutcome SpecBehavior::on_burst_complete(sim::SimTime /*now*/,
+                                                    sim::Rng& /*rng*/) {
+  if (remaining_ <= 0.0) return sched::BurstOutcome::Continue();
+  remaining_ -= kBurstSeconds;
+  if (remaining_ <= 1e-12) return sched::BurstOutcome::Exit();
+  return sched::BurstOutcome::Continue();
+}
+
+void SpecFleet::deploy(sched::Machine& machine) {
+  for (std::size_t i = 0; i < instances_; ++i) {
+    threads_.push_back(machine.create_thread(
+        profile_.name + std::to_string(i), sched::ThreadClass::kUser, 0,
+        std::make_unique<SpecBehavior>(profile_, work_seconds_)));
+  }
+}
+
+double SpecFleet::progress(const sched::Machine& machine) const {
+  double total = 0.0;
+  for (const auto id : threads_) total += machine.thread(id).work_completed();
+  return total;
+}
+
+}  // namespace dimetrodon::workload

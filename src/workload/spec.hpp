@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace dimetrodon::workload {
+
+/// Synthetic stand-in for a SPEC CPU2006 benchmark: fully CPU-bound (the
+/// paper found "the workloads were entirely CPU-bound", §3.5) with a
+/// benchmark-specific switching-activity profile that reproduces the
+/// *thermal* differentiation of Table 1 — a mean activity level plus slow
+/// phase oscillation and per-burst jitter.
+struct SpecProfile {
+  std::string name;
+  double activity_mean;    // dynamic-power activity factor in [0,1]
+  double activity_swing;   // phase oscillation amplitude
+  double phase_seconds;    // phase period
+  double jitter = 0.02;    // per-burst activity noise (stddev)
+};
+
+/// The six benchmarks the paper selected to span its thermal-profile range
+/// (Table 1), hottest to coolest: calculix, namd, dealII, bzip2, gcc, astar.
+const std::vector<SpecProfile>& spec2006_profiles();
+
+/// Look up a profile by benchmark name; nullopt if unknown.
+std::optional<SpecProfile> find_spec_profile(std::string_view name);
+
+/// One SPEC benchmark instance: an endless sequence of short CPU bursts with
+/// profile-driven activity (or a finite total, for completion-time runs).
+class SpecBehavior final : public sched::ThreadBehavior {
+ public:
+  explicit SpecBehavior(SpecProfile profile, double total_work_seconds = -1.0)
+      : profile_(std::move(profile)), remaining_(total_work_seconds) {}
+
+  sched::Burst next_burst(sim::SimTime now, sim::Rng& rng) override;
+  sched::BurstOutcome on_burst_complete(sim::SimTime now,
+                                        sim::Rng& rng) override;
+
+ private:
+  SpecProfile profile_;
+  double remaining_;
+  static constexpr double kBurstSeconds = 0.02;
+};
+
+/// Fleet of identical SPEC instances, one per core in the paper's
+/// methodology.
+class SpecFleet final : public Workload {
+ public:
+  SpecFleet(SpecProfile profile, std::size_t instances,
+            double work_seconds_each = -1.0)
+      : profile_(std::move(profile)),
+        instances_(instances),
+        work_seconds_(work_seconds_each) {}
+
+  void deploy(sched::Machine& machine) override;
+  double progress(const sched::Machine& machine) const override;
+  const SpecProfile& profile() const { return profile_; }
+
+ private:
+  SpecProfile profile_;
+  std::size_t instances_;
+  double work_seconds_;
+};
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace dimetrodon::workload {
+
+/// Closed-loop web-serving workload modeled on the paper's SPECWeb2005
+/// eCommerce runs (§3.7): 440 simultaneous connections issue requests after
+/// a think time; each request is first handled by a kernel network thread
+/// (interrupt servicing) and then by a user-level worker thread (the
+/// two-stage path whose double-delay hazard §3.1 discusses). Response
+/// latency is bucketed by the SPECWeb QoS thresholds: "good" (<= 3 s),
+/// "tolerable" (<= 5 s), "fail" (> 5 s).
+class WebWorkload final : public Workload {
+ public:
+  struct Config {
+    std::size_t connections = 440;
+    double think_mean_s = 1.8;       // per-connection think time (exp)
+    double demand_mean_s = 0.0040;   // user-level service demand (exp)
+    double kernel_demand_s = 0.00012;  // per-request interrupt handling
+    std::size_t workers = 8;         // server worker-thread pool
+    double worker_activity = 0.8;    // web-serving switching activity
+    double good_threshold_s = 3.0;
+    double tolerable_threshold_s = 5.0;
+  };
+
+  struct QosStats {
+    std::uint64_t good = 0;
+    std::uint64_t tolerable = 0;  // includes good
+    std::uint64_t fail = 0;
+    std::uint64_t total = 0;
+    double mean_latency_s = 0.0;
+    double max_latency_s = 0.0;
+
+    double good_fraction() const {
+      return total == 0 ? 1.0
+                        : static_cast<double>(good) /
+                              static_cast<double>(total);
+    }
+    double tolerable_fraction() const {
+      return total == 0 ? 1.0
+                        : static_cast<double>(tolerable) /
+                              static_cast<double>(total);
+    }
+  };
+
+  WebWorkload() : config_() {}
+  explicit WebWorkload(Config config) : config_(config) {}
+
+  void deploy(sched::Machine& machine) override;
+
+  /// Completed requests (throughput proxy).
+  double progress(const sched::Machine& machine) const override;
+
+  /// Start/stop windowed QoS accounting.
+  void mark();
+  QosStats stats_since_mark() const;
+
+  std::uint64_t completed_requests() const { return completed_; }
+  std::size_t outstanding_requests() const {
+    return pending_kernel_.size() + ready_.size() + in_service_;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  friend class WebKernelBehavior;
+  friend class WebWorkerBehavior;
+
+  struct Request {
+    sim::SimTime issued_at;
+    std::uint32_t connection;
+  };
+
+  void issue_request(std::uint32_t connection);
+  void schedule_think(std::uint32_t connection);
+  void complete_request(const Request& r);
+  void wake_one_worker();
+
+  Config config_;
+  sched::Machine* machine_ = nullptr;
+
+  std::deque<Request> pending_kernel_;  // awaiting interrupt servicing
+  std::deque<Request> ready_;           // awaiting a worker
+  std::size_t in_service_ = 0;
+
+  sched::ThreadId kernel_tid_ = sched::kInvalidThread;
+  std::vector<sched::ThreadId> worker_tids_;
+
+  std::unique_ptr<sim::Rng> client_rng_;
+
+  std::uint64_t completed_ = 0;
+  std::vector<double> window_latencies_;
+  bool window_open_ = false;
+};
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/machine.hpp"
+#include "sched/thread.hpp"
+
+namespace dimetrodon::workload {
+
+/// A deployable workload: creates its threads on a machine and exposes a
+/// monotone progress metric the experiment harness differentiates into
+/// throughput.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// Create threads / event loops on the machine. Call exactly once.
+  virtual void deploy(sched::Machine& machine) = 0;
+
+  /// Monotone non-decreasing progress counter (nominal-seconds of work
+  /// completed, requests served, ...). Throughput over a window is the
+  /// difference of this metric across the window.
+  virtual double progress(const sched::Machine& machine) const = 0;
+
+  /// Threads this workload created (empty before deploy()).
+  const std::vector<sched::ThreadId>& threads() const { return threads_; }
+
+ protected:
+  std::vector<sched::ThreadId> threads_;
+};
+
+}  // namespace dimetrodon::workload

@@ -1,0 +1,101 @@
+#include "analysis/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace dimetrodon::analysis {
+namespace {
+
+TEST(LinearFitTest, RecoversExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFitTest, NoisyDataLowersRSquared) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  unsigned state = 7;
+  for (int i = 0; i < 100; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double noise = (static_cast<double>(state % 2000) - 1000.0) / 500.0;
+    xs.push_back(i);
+    ys.push_back(0.5 * i + noise);
+  }
+  const LinearFit f = fit_linear(xs, ys);
+  EXPECT_NEAR(f.slope, 0.5, 0.05);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_GT(f.r_squared, 0.9);
+}
+
+TEST(LinearFitTest, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_linear({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_linear({3, 3, 3}, {1, 2, 3}), std::invalid_argument);
+}
+
+using PowerLawParams = std::tuple<double, double>;  // alpha, beta
+class PowerLawRecovery : public ::testing::TestWithParam<PowerLawParams> {};
+
+TEST_P(PowerLawRecovery, RecoversParameters) {
+  // The form the paper fits to pareto boundaries: T(r) = alpha * r^beta
+  // with Table 1's parameter ranges (alpha ~1.1-1.5, beta ~1.4-1.8).
+  const auto [alpha, beta] = GetParam();
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double r = 0.05; r <= 0.75; r += 0.05) {
+    xs.push_back(r);
+    ys.push_back(alpha * std::pow(r, beta));
+  }
+  const PowerLawFit f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.alpha, alpha, 1e-9);
+  EXPECT_NEAR(f.beta, beta, 1e-9);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-9);
+  EXPECT_EQ(f.points_used, xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Range, PowerLawRecovery,
+    ::testing::Values(PowerLawParams{1.092, 1.541},    // cpuburn
+                      PowerLawParams{1.282, 1.697},    // calculix
+                      PowerLawParams{1.529, 1.811},    // bzip2
+                      PowerLawParams{1.351, 1.416}));  // astar
+
+TEST(PowerLawFitTest, SkipsNonPositivePoints) {
+  const std::vector<double> xs{0.0, -1.0, 0.1, 0.2, 0.4};
+  const std::vector<double> ys{5.0, 2.0, 0.1, 0.2, 0.4};
+  const PowerLawFit f = fit_power_law(xs, ys);
+  EXPECT_EQ(f.points_used, 3u);
+  EXPECT_NEAR(f.beta, 1.0, 1e-9);
+  EXPECT_NEAR(f.alpha, 1.0, 1e-9);
+}
+
+TEST(PowerLawFitTest, ThrowsWithFewerThanTwoUsable) {
+  EXPECT_THROW(fit_power_law({0.0, 0.1}, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1.0, 2.0}, {0.0, -1.0}), std::invalid_argument);
+}
+
+TEST(PowerLawFitTest, NoisyFitStillClose) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  unsigned state = 21;
+  for (double r = 0.05; r <= 0.75; r += 0.025) {
+    state = state * 1664525u + 1013904223u;
+    const double jitter =
+        1.0 + (static_cast<double>(state % 200) - 100.0) / 2000.0;
+    xs.push_back(r);
+    ys.push_back(1.2 * std::pow(r, 1.6) * jitter);
+  }
+  const PowerLawFit f = fit_power_law(xs, ys);
+  EXPECT_NEAR(f.alpha, 1.2, 0.12);
+  EXPECT_NEAR(f.beta, 1.6, 0.1);
+}
+
+}  // namespace
+}  // namespace dimetrodon::analysis

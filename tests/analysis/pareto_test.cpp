@@ -1,0 +1,72 @@
+#include "analysis/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::analysis {
+namespace {
+
+TradeoffPoint pt(double r, double perf, const char* label = "") {
+  return TradeoffPoint{r, perf, label};
+}
+
+TEST(ParetoTest, DominationRequiresStrictImprovement) {
+  EXPECT_TRUE(dominates(pt(0.5, 0.9), pt(0.4, 0.9)));
+  EXPECT_TRUE(dominates(pt(0.5, 0.9), pt(0.5, 0.8)));
+  EXPECT_FALSE(dominates(pt(0.5, 0.9), pt(0.5, 0.9)));
+  EXPECT_FALSE(dominates(pt(0.6, 0.7), pt(0.5, 0.9)));  // trade-off, no dom
+}
+
+TEST(ParetoTest, FrontierDropsDominatedPoints) {
+  const auto frontier = pareto_frontier({
+      pt(0.1, 0.99, "a"),
+      pt(0.1, 0.80, "dominated-by-a"),
+      pt(0.5, 0.70, "b"),
+      pt(0.4, 0.60, "dominated-by-b"),
+  });
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].label, "a");
+  EXPECT_EQ(frontier[1].label, "b");
+}
+
+TEST(ParetoTest, FrontierSortedByTempReduction) {
+  const auto frontier = pareto_frontier({
+      pt(0.7, 0.3),
+      pt(0.1, 0.95),
+      pt(0.4, 0.8),
+  });
+  ASSERT_EQ(frontier.size(), 3u);
+  EXPECT_LT(frontier[0].temp_reduction, frontier[1].temp_reduction);
+  EXPECT_LT(frontier[1].temp_reduction, frontier[2].temp_reduction);
+}
+
+TEST(ParetoTest, AllIncomparablePointsKept) {
+  // A proper trade-off curve: every point non-dominated.
+  std::vector<TradeoffPoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(pt(0.1 * i, 1.0 - 0.08 * i));
+  }
+  EXPECT_EQ(pareto_frontier(pts).size(), 10u);
+}
+
+TEST(ParetoTest, DuplicatePointsAllSurvive) {
+  const auto frontier = pareto_frontier({pt(0.3, 0.7), pt(0.3, 0.7)});
+  EXPECT_EQ(frontier.size(), 2u);  // equal points don't dominate each other
+}
+
+TEST(ParetoTest, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(pareto_frontier({}).empty());
+}
+
+TEST(EfficiencyTest, MatchesPaperDefinition) {
+  // 30% temperature reduction at 10% throughput cost -> 3:1.
+  EXPECT_NEAR(pt(0.3, 0.9).efficiency(), 3.0, 1e-12);
+  // 1:1 reference line.
+  EXPECT_NEAR(pt(0.5, 0.5).efficiency(), 1.0, 1e-12);
+}
+
+TEST(EfficiencyTest, FreeCoolingIsHugeEfficiency) {
+  EXPECT_GT(pt(0.05, 1.0).efficiency(), 1e6);
+}
+
+}  // namespace
+}  // namespace dimetrodon::analysis

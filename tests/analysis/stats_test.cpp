@@ -1,0 +1,78 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::analysis {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(OnlineStatsTest, KnownSample) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MatchesBatchFormulas) {
+  OnlineStats s;
+  std::vector<double> xs;
+  unsigned state = 99;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 1664525u + 1013904223u;
+    const double x = static_cast<double>(state % 1000) / 10.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-9);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatsTest, StddevNeedsTwoPoints) {
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(PercentileTest, ExtremesAreMinMax) {
+  const std::vector<double> xs{7.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(PercentileTest, OutOfRangeQClamped) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
+}
+
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dimetrodon::analysis

@@ -1,0 +1,89 @@
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::core {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+TEST(AdaptiveControllerTest, ConvergesBelowTargetTemperature) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  AdaptiveController::Config cfg;
+  cfg.target_temp_c = 52.0;
+  cfg.idle_quantum = sim::from_ms(10);  // duty ceiling ~66%: target reachable
+  AdaptiveController adaptive(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  // Accelerated settling toward the controlled equilibrium.
+  for (int i = 0; i < 4; ++i) {
+    m.mark_power_window();
+    m.run_for(sim::from_sec(10));
+    m.jump_to_average_power_steady_state();
+  }
+  // The loop limit-cycles a couple of degrees around the setpoint (Bernoulli
+  // injection noise); judge the window average, as the paper's methodology
+  // does, not an instantaneous reading.
+  double sum = 0.0;
+  const int samples = 40;
+  for (int s = 0; s < samples; ++s) {
+    m.run_for(sim::from_ms(500));
+    sum += m.mean_sensor_temp();
+  }
+  const double avg = sum / samples;
+  // Unconstrained cpuburn would sit near 64 C; the loop must hold ~target.
+  EXPECT_LT(avg, cfg.target_temp_c + 2.5);
+  EXPECT_GT(avg, cfg.target_temp_c - 4.0);
+  EXPECT_GT(adaptive.current_probability(), 0.05);
+  EXPECT_GT(adaptive.updates(), 10u);
+}
+
+TEST(AdaptiveControllerTest, ColdSystemGetsNoInjection) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  AdaptiveController::Config cfg;
+  cfg.target_temp_c = 70.0;  // far above anything the idle machine reaches
+  AdaptiveController adaptive(m, dim, cfg);
+  m.run_for(sim::from_sec(5));
+  EXPECT_DOUBLE_EQ(adaptive.current_probability(), 0.0);
+  EXPECT_EQ(dim.stats().injections, 0u);
+}
+
+TEST(AdaptiveControllerTest, StopFreezesSetpoint) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  AdaptiveController::Config cfg;
+  cfg.target_temp_c = 45.0;
+  AdaptiveController adaptive(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(5));
+  adaptive.stop();
+  const auto updates = adaptive.updates();
+  m.run_for(sim::from_sec(5));
+  EXPECT_EQ(adaptive.updates(), updates);
+}
+
+TEST(AdaptiveControllerTest, ProbabilityRespectsCap) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  AdaptiveController::Config cfg;
+  cfg.target_temp_c = 20.0;  // unreachable: below ambient
+  cfg.max_probability = 0.6;
+  AdaptiveController adaptive(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(30));
+  EXPECT_LE(adaptive.current_probability(), 0.6 + 1e-12);
+  EXPECT_GT(adaptive.current_probability(), 0.55);
+}
+
+}  // namespace
+}  // namespace dimetrodon::core

@@ -1,0 +1,101 @@
+#include "core/analytic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace dimetrodon::core {
+namespace {
+
+TEST(AnalyticModelTest, PaperExampleHalfProbabilityDoublesRuntime) {
+  // §2.2: "if p is 50% and L is the same length as a scheduling quantum,
+  // then we double the length of time for the job to run".
+  EXPECT_DOUBLE_EQ(AnalyticModel::predicted_runtime(10.0, 0.1, 0.5, 0.1),
+                   20.0);
+  EXPECT_DOUBLE_EQ(AnalyticModel::throughput_ratio(0.1, 0.5, 0.1), 0.5);
+}
+
+TEST(AnalyticModelTest, PaperExampleThreeQuartersGivesThreeIdlePerExec) {
+  // §2.2: "if we idle with probability 75%, ... there will be 3 idle quanta
+  // for every 1 executed quanta".
+  EXPECT_DOUBLE_EQ(AnalyticModel::idle_quanta_per_exec_quantum(0.75), 3.0);
+}
+
+TEST(AnalyticModelTest, ZeroProbabilityMeansUnchangedRuntime) {
+  EXPECT_DOUBLE_EQ(AnalyticModel::predicted_runtime(7.0, 0.1, 0.0, 0.05),
+                   7.0);
+  EXPECT_DOUBLE_EQ(AnalyticModel::throughput_ratio(0.1, 0.0, 0.05), 1.0);
+}
+
+TEST(AnalyticModelTest, RuntimeScalesLinearlyInL) {
+  const double base = AnalyticModel::predicted_runtime(10.0, 0.1, 0.5, 0.025);
+  const double twice = AnalyticModel::predicted_runtime(10.0, 0.1, 0.5, 0.05);
+  EXPECT_NEAR(twice - 10.0, 2.0 * (base - 10.0), 1e-12);
+}
+
+TEST(AnalyticModelTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(AnalyticModel::idle_quanta_per_exec_quantum(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(AnalyticModel::idle_quanta_per_exec_quantum(-0.1),
+               std::invalid_argument);
+}
+
+TEST(AnalyticModelTest, IdleDutyFractionConsistentWithThroughput) {
+  // duty + throughput_ratio == 1 by construction.
+  for (const double p : {0.1, 0.5, 0.75}) {
+    for (const double l : {0.001, 0.01, 0.1}) {
+      EXPECT_NEAR(AnalyticModel::idle_duty_fraction(0.1, p, l) +
+                      AnalyticModel::throughput_ratio(0.1, p, l),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(AnalyticModelTest, RaceToIdleEnergyComponents) {
+  // 10 s at 60 W + 5 s at 20 W.
+  EXPECT_DOUBLE_EQ(AnalyticModel::race_to_idle_energy(60.0, 20.0, 10.0, 15.0),
+                   700.0);
+}
+
+using EnergyParams = std::tuple<double, double>;  // p, L
+class EnergyEquality : public ::testing::TestWithParam<EnergyParams> {};
+
+TEST_P(EnergyEquality, DimetrodonEqualsRaceToIdleOverItsWindow) {
+  // The paper's equal-energy claim (§2.2): with the same idle power reachable
+  // between quanta as after completion, Dimetrodon's energy for the job
+  // equals race-to-idle's energy over a window of length D(t).
+  const auto [p, l] = GetParam();
+  const double u = 65.0;
+  const double m = 22.0;
+  const double r = 30.0;
+  const double q = 0.1;
+  const double window = AnalyticModel::predicted_runtime(r, q, p, l);
+  EXPECT_NEAR(AnalyticModel::dimetrodon_energy(u, m, r, q, p, l),
+              AnalyticModel::race_to_idle_energy(u, m, r, window), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnergyEquality,
+    ::testing::Combine(::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9),
+                       ::testing::Values(0.001, 0.01, 0.05, 0.1)));
+
+TEST(AnalyticModelTest, PowerLawTradeoffMatchesTable1Form) {
+  // cpuburn row of Table 1: alpha=1.092, beta=1.541; T(0.5) ≈ 0.375.
+  const double t = AnalyticModel::throughput_reduction_for(1.092, 1.541, 0.5);
+  EXPECT_NEAR(t, 1.092 * std::pow(0.5, 1.541), 1e-12);
+  EXPECT_GT(t, 0.3);
+  EXPECT_LT(t, 0.45);
+}
+
+TEST(AnalyticModelTest, PredictedRuntimeMonotoneInP) {
+  double prev = 0.0;
+  for (const double p : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    const double d = AnalyticModel::predicted_runtime(5.0, 0.1, p, 0.05);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace dimetrodon::core

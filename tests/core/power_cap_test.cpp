@@ -1,0 +1,87 @@
+#include "core/power_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::core {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+double run_with_cap(double cap_w, double* held_power = nullptr,
+                    double* final_p = nullptr) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  PowerCapController::Config cfg;
+  cfg.power_cap_w = cap_w;
+  PowerCapController capper(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(30));  // let the loop converge
+  const double e0 = m.energy().total_joules();
+  const double w0 = fleet.progress(m);
+  m.run_for(sim::from_sec(20));
+  if (held_power != nullptr) {
+    *held_power = (m.energy().total_joules() - e0) / 20.0;
+  }
+  if (final_p != nullptr) *final_p = capper.current_probability();
+  return (fleet.progress(m) - w0) / 20.0;
+}
+
+TEST(PowerCapTest, HoldsPowerNearBudget) {
+  double held = 0.0;
+  run_with_cap(50.0, &held);
+  EXPECT_NEAR(held, 50.0, 3.0);
+}
+
+TEST(PowerCapTest, TighterCapMeansLessThroughput) {
+  const double thr60 = run_with_cap(60.0);
+  const double thr45 = run_with_cap(45.0);
+  EXPECT_LT(thr45, thr60 - 0.3);
+}
+
+TEST(PowerCapTest, GenerousCapLeavesWorkloadAlone) {
+  double held = 0.0;
+  double p = 0.0;
+  const double thr = run_with_cap(120.0, &held, &p);
+  EXPECT_NEAR(thr, 4.0, 0.1);        // unconstrained throughput
+  EXPECT_LT(p, 0.02);                // no injection needed
+  EXPECT_LT(held, 80.0);             // natural power, far below cap
+}
+
+TEST(PowerCapTest, StopFreezesController) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  PowerCapController::Config cfg;
+  cfg.power_cap_w = 45.0;
+  PowerCapController capper(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(5));
+  capper.stop();
+  const auto updates = capper.updates();
+  m.run_for(sim::from_sec(5));
+  EXPECT_EQ(capper.updates(), updates);
+}
+
+TEST(PowerCapTest, ReportsObservedPower) {
+  sched::Machine m(small_config());
+  DimetrodonController dim(m);
+  PowerCapController::Config cfg;
+  cfg.power_cap_w = 55.0;
+  PowerCapController capper(m, dim, cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(10));
+  EXPECT_GT(capper.last_observed_power_w(), 20.0);
+  EXPECT_LT(capper.last_observed_power_w(), 90.0);
+  EXPECT_GT(capper.updates(), 30u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::core

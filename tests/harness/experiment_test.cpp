@@ -1,0 +1,130 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::harness {
+namespace {
+
+ExperimentRunner make_runner() {
+  sched::MachineConfig cfg;
+  MeasurementConfig mc;
+  mc.measure_window = sim::from_sec(10);  // shorter for unit tests
+  return ExperimentRunner(cfg, mc);
+}
+
+ExperimentRunner::WorkloadFactory cpuburn4() {
+  return [] { return std::make_unique<workload::CpuBurnFleet>(4); };
+}
+
+TEST(ExperimentTest, BaselineRunIsHotAndFast) {
+  auto runner = make_runner();
+  const RunResult r = runner.measure(cpuburn4(), no_actuation());
+  EXPECT_GT(r.avg_sensor_temp_c, r.idle_sensor_temp_c + 20.0);
+  EXPECT_NEAR(r.throughput, 4.0, 0.05);
+  EXPECT_GT(r.avg_power_w, 60.0);
+  EXPECT_DOUBLE_EQ(r.injected_idle_fraction, 0.0);
+  EXPECT_FALSE(r.has_qos);
+}
+
+TEST(ExperimentTest, DimetrodonRunCoolerAndSlower) {
+  auto runner = make_runner();
+  const RunResult base = runner.measure(cpuburn4(), no_actuation());
+  const RunResult dim =
+      runner.measure(cpuburn4(), dimetrodon_global(0.5, sim::from_ms(25)));
+  EXPECT_LT(dim.avg_sensor_temp_c, base.avg_sensor_temp_c - 3.0);
+  EXPECT_LT(dim.throughput, base.throughput * 0.9);
+  EXPECT_GT(dim.injected_idle_fraction, 0.1);
+
+  const Tradeoff t = compute_tradeoff(base, dim);
+  EXPECT_GT(t.temp_reduction, 0.1);
+  EXPECT_GT(t.throughput_reduction, 0.1);
+  EXPECT_GT(t.efficiency, 1.0);
+}
+
+TEST(ExperimentTest, TradeoffOfBaselineAgainstItselfIsZero) {
+  auto runner = make_runner();
+  const RunResult base = runner.measure(cpuburn4(), no_actuation());
+  const Tradeoff t = compute_tradeoff(base, base);
+  EXPECT_DOUBLE_EQ(t.temp_reduction, 0.0);
+  EXPECT_DOUBLE_EQ(t.throughput_reduction, 0.0);
+}
+
+TEST(ExperimentTest, VfsActuationSlowsByFrequencyRatio) {
+  auto runner = make_runner();
+  const RunResult base = runner.measure(cpuburn4(), no_actuation());
+  const RunResult vfs = runner.measure(cpuburn4(), vfs_setpoint(5));
+  const Tradeoff t = compute_tradeoff(base, vfs);
+  EXPECT_NEAR(t.throughput_retained, 1.596 / 2.261, 0.01);
+}
+
+TEST(ExperimentTest, RunsAreReproducible) {
+  auto runner = make_runner();
+  const RunResult a =
+      runner.measure(cpuburn4(), dimetrodon_global(0.25, sim::from_ms(10)));
+  const RunResult b =
+      runner.measure(cpuburn4(), dimetrodon_global(0.25, sim::from_ms(10)));
+  EXPECT_DOUBLE_EQ(a.avg_sensor_temp_c, b.avg_sensor_temp_c);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(ExperimentTest, PostDeployHookSeesThreads) {
+  auto runner = make_runner();
+  bool called = false;
+  runner.measure(
+      cpuburn4(), dimetrodon_global(0.5, sim::from_ms(10)),
+      [&](sched::Machine& m, workload::Workload& wl,
+          core::DimetrodonController* ctl) {
+        called = true;
+        EXPECT_EQ(wl.threads().size(), 4u);
+        ASSERT_NE(ctl, nullptr);
+        ctl->sys_shield_thread(wl.threads()[0]);
+        (void)m;
+      });
+  EXPECT_TRUE(called);
+}
+
+TEST(ExperimentTest, RunToCompletionReportsTime) {
+  auto runner = make_runner();
+  const auto burn = [] {
+    return std::make_unique<workload::CpuBurnFleet>(4, 2.0);
+  };
+  const WindowResult r =
+      runner.run_to_completion(burn, no_actuation(), sim::from_sec(30));
+  EXPECT_NEAR(r.completion_seconds, 2.0, 0.05);
+  EXPECT_GT(r.meter_energy_j, 0.0);
+  EXPECT_NEAR(r.meter_energy_j, r.true_energy_j, 0.12 * r.true_energy_j);
+}
+
+TEST(ExperimentTest, RunToCompletionDeadlineMiss) {
+  auto runner = make_runner();
+  const auto burn = [] {
+    return std::make_unique<workload::CpuBurnFleet>(4, 50.0);
+  };
+  const WindowResult r =
+      runner.run_to_completion(burn, no_actuation(), sim::from_sec(1));
+  EXPECT_LT(r.completion_seconds, 0.0);
+  EXPECT_NEAR(r.wall_seconds, 1.0, 1e-9);
+}
+
+TEST(ExperimentTest, RunWindowTracksCompletionInsideWindow) {
+  auto runner = make_runner();
+  const auto burn = [] {
+    return std::make_unique<workload::CpuBurnFleet>(4, 1.0);
+  };
+  const WindowResult r =
+      runner.run_window(burn, no_actuation(), sim::from_sec(5));
+  EXPECT_NEAR(r.completion_seconds, 1.0, 0.05);
+  EXPECT_NEAR(r.wall_seconds, 5.0, 1e-9);
+}
+
+TEST(ExperimentTest, LabelsPropagate) {
+  EXPECT_EQ(dimetrodon_global(0.25, sim::from_ms(50)).label,
+            "dimetrodon[p=0.25,L=50ms]");
+  EXPECT_EQ(vfs_setpoint(2).label, "vfs[level=2]");
+  EXPECT_EQ(no_actuation().label, "race-to-idle");
+}
+
+}  // namespace
+}  // namespace dimetrodon::harness

@@ -1,0 +1,190 @@
+// Property-style sweeps over the full stack: the qualitative laws the
+// paper's evaluation rests on must hold across the parameter space.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analytic_model.hpp"
+#include "harness/experiment.hpp"
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon {
+namespace {
+
+harness::ExperimentRunner make_runner() {
+  sched::MachineConfig cfg;
+  harness::MeasurementConfig mc;
+  mc.measure_window = sim::from_sec(10);
+  return harness::ExperimentRunner(cfg, mc);
+}
+
+harness::ExperimentRunner::WorkloadFactory cpuburn4() {
+  return [] { return std::make_unique<workload::CpuBurnFleet>(4); };
+}
+
+using PL = std::tuple<double, double>;  // p, L(ms)
+
+class InjectionSweep : public ::testing::TestWithParam<PL> {
+ protected:
+  static harness::RunResult baseline() {
+    static const harness::RunResult r =
+        make_runner().measure(cpuburn4(), harness::no_actuation());
+    return r;
+  }
+};
+
+TEST_P(InjectionSweep, ThroughputTracksAnalyticModel) {
+  const auto [p, l_ms] = GetParam();
+  auto runner = make_runner();
+  const auto run = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(p, sim::from_ms(l_ms)));
+  const auto t = harness::compute_tradeoff(baseline(), run);
+  const double predicted_retained =
+      core::AnalyticModel::throughput_ratio(0.1, p, l_ms / 1000.0);
+  EXPECT_NEAR(t.throughput_retained, predicted_retained,
+              0.05 + 0.05 * (1.0 - predicted_retained));
+}
+
+TEST_P(InjectionSweep, InjectedDutyMatchesModel) {
+  const auto [p, l_ms] = GetParam();
+  auto runner = make_runner();
+  const auto run = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(p, sim::from_ms(l_ms)));
+  const double predicted =
+      core::AnalyticModel::idle_duty_fraction(0.1, p, l_ms / 1000.0);
+  EXPECT_NEAR(run.injected_idle_fraction, predicted, 0.03 + 0.05 * predicted);
+}
+
+TEST_P(InjectionSweep, TemperatureNeverAboveBaseline) {
+  const auto [p, l_ms] = GetParam();
+  auto runner = make_runner();
+  const auto run = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(p, sim::from_ms(l_ms)));
+  EXPECT_LE(run.avg_exact_temp_c, baseline().avg_exact_temp_c + 0.3);
+}
+
+TEST_P(InjectionSweep, TradeoffBetterThanOneToOne) {
+  // The paper: "Dimetrodon achieved at least a 1:1 trade-off ... but
+  // typically achieved better" (§3.4), for the continuous (exact) pipeline.
+  const auto [p, l_ms] = GetParam();
+  auto runner = make_runner();
+  const auto run = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(p, sim::from_ms(l_ms)));
+  const auto t = harness::compute_tradeoff(baseline(), run);
+  if (t.throughput_reduction > 0.02) {
+    EXPECT_GT(t.temp_reduction_exact / t.throughput_reduction, 0.95);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PLGrid, InjectionSweep,
+    ::testing::Values(PL{0.25, 10.0}, PL{0.25, 50.0}, PL{0.5, 5.0},
+                      PL{0.5, 25.0}, PL{0.5, 100.0}, PL{0.75, 10.0},
+                      PL{0.75, 50.0}));
+
+TEST(InjectionProperties, TemperatureMonotoneInProbability) {
+  auto runner = make_runner();
+  double prev = 1e9;
+  for (const double p : {0.0, 0.25, 0.5, 0.75}) {
+    const auto act = p == 0.0
+                         ? harness::no_actuation()
+                         : harness::dimetrodon_global(p, sim::from_ms(50));
+    const auto run = runner.measure(cpuburn4(), act);
+    EXPECT_LT(run.avg_exact_temp_c, prev + 0.2) << "p=" << p;
+    prev = run.avg_exact_temp_c;
+  }
+}
+
+TEST(InjectionProperties, ShortQuantaMoreEfficientThanLong) {
+  // Figure 3's headline: at matched duty cycle, shorter idle quanta achieve
+  // a better temperature:throughput trade-off (diminishing marginal benefit
+  // of quanta length).
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto short_l = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(5)));
+  const auto long_l = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(100)));
+  const auto t_short = harness::compute_tradeoff(base, short_l);
+  const auto t_long = harness::compute_tradeoff(base, long_l);
+  const double eff_short =
+      t_short.temp_reduction_exact / t_short.throughput_reduction;
+  const double eff_long =
+      t_long.temp_reduction_exact / t_long.throughput_reduction;
+  EXPECT_GT(eff_short, 1.2 * eff_long);
+}
+
+TEST(InjectionProperties, VfsBeatsInjectionAtDeepReductions) {
+  // Figure 4's crossover: for large temperature reductions VFS's quadratic
+  // voltage advantage wins.
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto vfs = runner.measure(cpuburn4(), harness::vfs_setpoint(5));
+  const auto dim = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.75, sim::from_ms(50)));
+  const auto t_vfs = harness::compute_tradeoff(base, vfs);
+  const auto t_dim = harness::compute_tradeoff(base, dim);
+  EXPECT_GT(t_vfs.temp_reduction, 0.4);
+  EXPECT_GT(t_vfs.efficiency, t_dim.efficiency);
+}
+
+TEST(InjectionProperties, InjectionBeatsVfsAtShallowReductions) {
+  // ... and for small reductions short-quantum injection wins (the paper's
+  // "up to 30%" region).
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto vfs = runner.measure(cpuburn4(), harness::vfs_setpoint(1));
+  const auto dim = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.25, sim::from_ms(10)));
+  const auto t_vfs = harness::compute_tradeoff(base, vfs);
+  const auto t_dim = harness::compute_tradeoff(base, dim);
+  EXPECT_GT(t_dim.temp_reduction_exact / t_dim.throughput_reduction,
+            t_vfs.temp_reduction_exact / t_vfs.throughput_reduction);
+}
+
+TEST(InjectionProperties, TccWorstAtDeepReductions) {
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto tcc = runner.measure(cpuburn4(), harness::tcc_setpoint(2));
+  const auto vfs = runner.measure(cpuburn4(), harness::vfs_setpoint(5));
+  const auto t_tcc = harness::compute_tradeoff(base, tcc);
+  const auto t_vfs = harness::compute_tradeoff(base, vfs);
+  EXPECT_LT(t_tcc.efficiency, 1.05);  // "failing to achieve even 1:1"
+  EXPECT_LT(t_tcc.efficiency, t_vfs.efficiency);
+}
+
+TEST(InjectionProperties, EnergyConservedAcrossPolicies) {
+  // Idle injection shifts *when* heat is produced, not the energy per unit
+  // of work (modulo the leakage-temperature second-order term): J per unit
+  // of completed work stays within a small band of race-to-idle's.
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto dim = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(50)));
+  const double base_j_per_work = base.avg_power_w / base.throughput;
+  // Subtract the idle-floor power spent during injected gaps: compare busy
+  // energy. Coarse bound: within 15%.
+  EXPECT_NEAR(dim.avg_power_w / dim.throughput / base_j_per_work, 1.0, 0.35);
+}
+
+TEST(InjectionProperties, StratifiedMatchesBernoulliMeanBehavior) {
+  auto runner = make_runner();
+  const auto base = runner.measure(cpuburn4(), harness::no_actuation());
+  const auto bern = runner.measure(
+      cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(25)));
+  const auto strat = runner.measure(
+      cpuburn4(), harness::dimetrodon_global_stratified(0.5, sim::from_ms(25)));
+  const auto t_bern = harness::compute_tradeoff(base, bern);
+  const auto t_strat = harness::compute_tradeoff(base, strat);
+  EXPECT_NEAR(t_strat.throughput_retained, t_bern.throughput_retained, 0.03);
+  // Deterministic spacing never clumps idle quanta, so at matched duty it
+  // cools at least as well as Bernoulli (clumped idles behave like longer,
+  // less efficient quanta) — the paper's "smoother curves" suggestion pays.
+  EXPECT_GE(t_strat.temp_reduction_exact,
+            t_bern.temp_reduction_exact - 0.02);
+  EXPECT_LT(t_strat.temp_reduction_exact,
+            t_bern.temp_reduction_exact + 0.15);
+}
+
+}  // namespace
+}  // namespace dimetrodon

@@ -1,0 +1,84 @@
+#include "policy/thermal_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::policy {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+TEST(ThermalPolicyTest, RaceToIdleChangesNothing) {
+  sched::Machine m(small_config());
+  RaceToIdlePolicy policy;
+  policy.apply(m);
+  EXPECT_EQ(m.core(0).dvfs_level, 0u);
+  EXPECT_DOUBLE_EQ(m.core(0).op.clock_duty, 1.0);
+  EXPECT_DOUBLE_EQ(policy.nominal_throughput_factor(m), 1.0);
+}
+
+TEST(ThermalPolicyTest, VfsSetsAllCores) {
+  sched::Machine m(small_config());
+  VfsPolicy policy(3);
+  policy.apply(m);
+  for (std::size_t i = 0; i < m.num_cores(); ++i) {
+    const auto& core = m.core(static_cast<sched::CoreId>(i));
+    EXPECT_EQ(core.dvfs_level, 3u);
+    EXPECT_DOUBLE_EQ(core.op.freq_ghz, m.config().dvfs.level(3).freq_ghz);
+    EXPECT_DOUBLE_EQ(core.op.voltage_v, m.config().dvfs.level(3).voltage_v);
+  }
+}
+
+TEST(ThermalPolicyTest, VfsThroughputFactorIsFrequencyRatio) {
+  sched::Machine m(small_config());
+  VfsPolicy policy(5);
+  EXPECT_NEAR(policy.nominal_throughput_factor(m), 1.596 / 2.261, 1e-9);
+}
+
+TEST(ThermalPolicyTest, TccSetsDutyOnAllCores) {
+  sched::Machine m(small_config());
+  TccPolicy policy(4);
+  policy.apply(m);
+  for (std::size_t i = 0; i < m.num_cores(); ++i) {
+    EXPECT_DOUBLE_EQ(m.core(static_cast<sched::CoreId>(i)).op.clock_duty,
+                     0.5);
+  }
+  EXPECT_DOUBLE_EQ(policy.nominal_throughput_factor(m), 0.5);
+}
+
+TEST(ThermalPolicyTest, NamesIdentifySetpoints) {
+  EXPECT_EQ(VfsPolicy(2).name(), "vfs[level=2]");
+  EXPECT_EQ(TccPolicy(4).name(), "p4tcc[duty=50.0%]");
+  EXPECT_EQ(RaceToIdlePolicy().name(), "race-to-idle");
+}
+
+TEST(ThermalPolicyTest, VfsCoolsLoadedMachine) {
+  auto settled = [](std::unique_ptr<ThermalPolicy> policy) {
+    sched::MachineConfig cfg;
+    cfg.enable_meter = false;
+    sched::Machine m(cfg);
+    policy->apply(m);
+    workload::CpuBurnFleet fleet(4);
+    fleet.deploy(m);
+    for (int i = 0; i < 4; ++i) {
+      m.mark_power_window();
+      m.run_for(sim::from_sec(8));
+      m.jump_to_average_power_steady_state();
+    }
+    m.run_for(sim::from_sec(3));
+    return m.mean_sensor_temp();
+  };
+  const double unconstrained = settled(std::make_unique<RaceToIdlePolicy>());
+  const double vfs = settled(std::make_unique<VfsPolicy>(5));
+  const double tcc = settled(std::make_unique<TccPolicy>(2));
+  EXPECT_LT(vfs, unconstrained - 8.0);
+  EXPECT_LT(tcc, unconstrained - 10.0);
+}
+
+}  // namespace
+}  // namespace dimetrodon::policy

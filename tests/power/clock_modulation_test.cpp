@@ -1,0 +1,31 @@
+#include "power/clock_modulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::power {
+namespace {
+
+TEST(ClockModulationTest, DefaultsToUnthrottled) {
+  ClockModulation cm;
+  EXPECT_EQ(cm.step(), 8u);
+  EXPECT_DOUBLE_EQ(cm.duty(), 1.0);
+  EXPECT_FALSE(cm.throttled());
+}
+
+TEST(ClockModulationTest, StepsAreEighths) {
+  ClockModulation cm;
+  cm.set_step(1);
+  EXPECT_DOUBLE_EQ(cm.duty(), 0.125);
+  cm.set_step(4);
+  EXPECT_DOUBLE_EQ(cm.duty(), 0.5);
+  EXPECT_TRUE(cm.throttled());
+}
+
+TEST(ClockModulationTest, RejectsOutOfRangeSteps) {
+  ClockModulation cm;
+  EXPECT_THROW(cm.set_step(0), std::invalid_argument);
+  EXPECT_THROW(cm.set_step(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dimetrodon::power

@@ -1,0 +1,41 @@
+#include "power/cstate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::power {
+namespace {
+
+TEST(CStateTest, C0IsImmediateAndFullPower) {
+  const CStateInfo info = cstate_info(CState::kC0);
+  EXPECT_EQ(info.entry_latency, 0);
+  EXPECT_EQ(info.exit_latency, 0);
+  EXPECT_DOUBLE_EQ(info.dynamic_fraction, 1.0);
+}
+
+TEST(CStateTest, C1EHasTensOfMicrosecondsTransitions) {
+  // Paper §2.2: "Transition times in the tens of us are negligible at quanta
+  // lengths measured in ms".
+  const CStateInfo info = cstate_info(CState::kC1E);
+  EXPECT_GE(info.entry_latency, sim::from_us(5));
+  EXPECT_LE(info.entry_latency, sim::from_us(100));
+  EXPECT_GE(info.exit_latency, sim::from_us(5));
+  EXPECT_LE(info.exit_latency, sim::from_us(100));
+}
+
+TEST(CStateTest, C1EDropsVoltageC1DoesNot) {
+  EXPECT_GT(cstate_info(CState::kC1E).voltage_override, 0.0);
+  EXPECT_LT(cstate_info(CState::kC1).voltage_override, 0.0);
+}
+
+TEST(CStateTest, IdleStatesGateAlmostAllDynamicPower) {
+  EXPECT_LT(cstate_info(CState::kC1).dynamic_fraction, 0.1);
+  EXPECT_LT(cstate_info(CState::kC1E).dynamic_fraction, 0.1);
+}
+
+TEST(CStateTest, C1CheaperToEnterThanC1E) {
+  EXPECT_LT(cstate_info(CState::kC1).entry_latency,
+            cstate_info(CState::kC1E).entry_latency);
+}
+
+}  // namespace
+}  // namespace dimetrodon::power

@@ -1,0 +1,70 @@
+#include "power/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::power {
+namespace {
+
+TEST(DvfsTest, E5520LadderShape) {
+  const DvfsTable table = DvfsTable::e5520();
+  // Paper §3.2: steps every 133 MHz, minimum 1.6 GHz (71% of maximum).
+  EXPECT_EQ(table.num_levels(), 6u);
+  EXPECT_NEAR(table.nominal().freq_ghz, 2.261, 1e-9);
+  EXPECT_NEAR(table.level(5).freq_ghz, 1.596, 1e-9);
+  EXPECT_NEAR(table.level(5).freq_ghz / table.nominal().freq_ghz, 0.71, 0.01);
+  for (std::size_t i = 1; i < table.num_levels(); ++i) {
+    EXPECT_NEAR(table.level(i - 1).freq_ghz - table.level(i).freq_ghz, 0.133,
+                1e-9);
+  }
+}
+
+TEST(DvfsTest, VoltageMonotoneNonIncreasing) {
+  const DvfsTable table = DvfsTable::e5520();
+  for (std::size_t i = 1; i < table.num_levels(); ++i) {
+    EXPECT_LE(table.level(i).voltage_v, table.level(i - 1).voltage_v);
+  }
+}
+
+TEST(DvfsTest, TopOfLadderIsVoltageFlat) {
+  // Nehalem's top P-states share VID: shallow VFS scales frequency only.
+  const DvfsTable table = DvfsTable::e5520();
+  EXPECT_NEAR(table.level(0).voltage_v, table.level(1).voltage_v, 1e-9);
+}
+
+TEST(DvfsTest, DeepLadderScalesVoltageSubstantially) {
+  const DvfsTable table = DvfsTable::e5520();
+  EXPECT_LT(table.level(5).voltage_v, 0.92 * table.level(0).voltage_v);
+}
+
+TEST(DvfsTest, NearestLevelExactHit) {
+  const DvfsTable table = DvfsTable::e5520();
+  EXPECT_EQ(table.nearest_level(1.596), 5u);
+  EXPECT_EQ(table.nearest_level(2.261), 0u);
+}
+
+TEST(DvfsTest, NearestLevelRounds) {
+  const DvfsTable table = DvfsTable::e5520();
+  EXPECT_EQ(table.nearest_level(2.2), 0u);
+  EXPECT_EQ(table.nearest_level(2.05), 2u);
+  EXPECT_EQ(table.nearest_level(0.5), 5u);
+  EXPECT_EQ(table.nearest_level(10.0), 0u);
+}
+
+TEST(DvfsTest, RejectsEmptyLadder) {
+  EXPECT_THROW(DvfsTable({}), std::invalid_argument);
+}
+
+TEST(DvfsTest, RejectsUnsortedLadder) {
+  EXPECT_THROW(DvfsTable({{1.0, 1.0}, {2.0, 1.1}}), std::invalid_argument);
+  EXPECT_THROW(DvfsTable({{2.0, 1.1}, {2.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(DvfsTest, CustomLadderAccessible) {
+  const DvfsTable table({{3.0, 1.3}, {2.0, 1.1}});
+  EXPECT_EQ(table.num_levels(), 2u);
+  EXPECT_DOUBLE_EQ(table.level(1).voltage_v, 1.1);
+  EXPECT_THROW(table.level(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dimetrodon::power

@@ -1,0 +1,48 @@
+#include "power/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::power {
+namespace {
+
+TEST(EnergyTest, StartsAtZero) {
+  EnergyAccountant e(4);
+  EXPECT_DOUBLE_EQ(e.total_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(e.core_joules(0), 0.0);
+  EXPECT_DOUBLE_EQ(e.uncore_joules(), 0.0);
+}
+
+TEST(EnergyTest, AccumulatesPerCore) {
+  EnergyAccountant e(2);
+  e.add_core(0, 10.0, 2.0);
+  e.add_core(1, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(e.core_joules(0), 20.0);
+  EXPECT_DOUBLE_EQ(e.core_joules(1), 5.0);
+  EXPECT_DOUBLE_EQ(e.total_joules(), 25.0);
+}
+
+TEST(EnergyTest, UncoreCountsTowardTotal) {
+  EnergyAccountant e(1);
+  e.add_uncore(16.0, 0.5);
+  EXPECT_DOUBLE_EQ(e.uncore_joules(), 8.0);
+  EXPECT_DOUBLE_EQ(e.total_joules(), 8.0);
+}
+
+TEST(EnergyTest, ResetZeroesEverything) {
+  EnergyAccountant e(2);
+  e.add_core(0, 1.0, 1.0);
+  e.add_uncore(2.0, 1.0);
+  e.reset();
+  EXPECT_DOUBLE_EQ(e.total_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(e.core_joules(0), 0.0);
+  EXPECT_DOUBLE_EQ(e.uncore_joules(), 0.0);
+}
+
+TEST(EnergyTest, OutOfRangeCoreThrows) {
+  EnergyAccountant e(2);
+  EXPECT_THROW(e.add_core(2, 1.0, 1.0), std::out_of_range);
+  EXPECT_THROW(e.core_joules(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dimetrodon::power

@@ -1,0 +1,109 @@
+#include "power/meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dimetrodon::power {
+namespace {
+
+PowerMeter::Config noiseless() {
+  PowerMeter::Config c;
+  c.gain_error_stddev = 0.0;
+  c.sample_noise_w = 0.0;
+  return c;
+}
+
+TEST(MeterTest, NoiselessMeterIsExact) {
+  PowerMeter meter(noiseless(), sim::Rng(1));
+  meter.sample(0, 50.0);
+  meter.sample(sim::kSecond, 50.0);
+  EXPECT_NEAR(meter.measured_energy_joules(), 50.0, 1e-9);
+  EXPECT_NEAR(meter.mean_power_w(), 50.0, 1e-9);
+}
+
+TEST(MeterTest, TrapezoidIntegration) {
+  PowerMeter meter(noiseless(), sim::Rng(1));
+  meter.sample(0, 0.0);
+  meter.sample(sim::kSecond, 100.0);  // ramp: integral = 50 J
+  EXPECT_NEAR(meter.measured_energy_joules(), 50.0, 1e-9);
+}
+
+TEST(MeterTest, EnergyAccumulatesAcrossSamples) {
+  PowerMeter meter(noiseless(), sim::Rng(1));
+  for (int i = 0; i <= 10; ++i) {
+    meter.sample(i * sim::from_ms(100), 30.0);
+  }
+  EXPECT_NEAR(meter.measured_energy_joules(), 30.0, 1e-9);
+  EXPECT_EQ(meter.sample_count(), 11u);
+}
+
+TEST(MeterTest, RecordsSampleTrace) {
+  PowerMeter meter(noiseless(), sim::Rng(1));
+  meter.sample(5, 12.0);
+  meter.sample(10, 14.0);
+  ASSERT_EQ(meter.samples().size(), 2u);
+  EXPECT_EQ(meter.samples()[0].at, 5);
+  EXPECT_DOUBLE_EQ(meter.samples()[1].watts, 14.0);
+}
+
+TEST(MeterTest, TraceCanBeDisabled) {
+  PowerMeter::Config cfg = noiseless();
+  cfg.record_samples = false;
+  PowerMeter meter(cfg, sim::Rng(1));
+  meter.sample(0, 20.0);
+  meter.sample(sim::kSecond, 20.0);
+  EXPECT_TRUE(meter.samples().empty());
+  // Energy still integrates.
+  EXPECT_NEAR(meter.measured_energy_joules(), 20.0, 1e-9);
+}
+
+TEST(MeterTest, GainErrorIsSystematicPerInstrument) {
+  PowerMeter::Config cfg;
+  cfg.gain_error_stddev = 0.035;  // paper's clamp accuracy
+  cfg.sample_noise_w = 0.0;
+  PowerMeter meter(cfg, sim::Rng(99));
+  meter.sample(0, 100.0);
+  meter.sample(sim::kSecond, 100.0);
+  const double gain = meter.mean_power_w() / 100.0;
+  // All samples share the same calibration error.
+  for (const auto& s : meter.samples()) {
+    EXPECT_NEAR(s.watts, gain * 100.0, 1e-9);
+  }
+  EXPECT_NEAR(gain, 1.0, 0.15);
+}
+
+TEST(MeterTest, SampleNoiseAveragesOut) {
+  PowerMeter::Config cfg;
+  cfg.gain_error_stddev = 0.0;
+  cfg.sample_noise_w = 2.0;
+  cfg.record_samples = false;
+  PowerMeter meter(cfg, sim::Rng(7));
+  for (int i = 0; i < 50000; ++i) {
+    meter.sample(i, 60.0);
+  }
+  EXPECT_NEAR(meter.mean_power_w(), 60.0, 0.1);
+}
+
+TEST(MeterTest, ResetClearsDataKeepsCalibration) {
+  PowerMeter::Config cfg;
+  cfg.gain_error_stddev = 0.035;
+  cfg.sample_noise_w = 0.0;
+  PowerMeter meter(cfg, sim::Rng(3));
+  meter.sample(0, 100.0);
+  const double gain_before = meter.mean_power_w();
+  meter.reset();
+  EXPECT_EQ(meter.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(meter.measured_energy_joules(), 0.0);
+  meter.sample(0, 100.0);
+  EXPECT_NEAR(meter.mean_power_w(), gain_before, 1e-9);
+}
+
+TEST(MeterTest, DefaultsMatchPaperRig) {
+  // "three times per millisecond" (§3.3).
+  const PowerMeter::Config cfg;
+  EXPECT_NEAR(sim::to_us(cfg.sample_interval), 333.3, 1.0);
+}
+
+}  // namespace
+}  // namespace dimetrodon::power

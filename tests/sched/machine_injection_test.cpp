@@ -1,0 +1,236 @@
+// Tests of the machine's dispatch-hook mechanism using a hand-rolled hook
+// (the Dimetrodon controller itself is covered in tests/core).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "sched/machine.hpp"
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::sched {
+namespace {
+
+MachineConfig small_config() {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  // This file exercises the literal §3.1 mechanism (idle thread occupies the
+  // core for the quantum, victim pinned on the run queue).
+  cfg.injection_suspends_thread = false;
+  return cfg;
+}
+
+MachineConfig suspend_config() {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.injection_suspends_thread = true;
+  return cfg;
+}
+
+/// Injects an idle quantum on every Nth dispatch of user threads.
+class EveryNthHook final : public InjectionHook {
+ public:
+  EveryNthHook(int n, sim::SimTime quantum) : n_(n), quantum_(quantum) {}
+
+  std::optional<sim::SimTime> before_dispatch(const Thread& t, CoreId,
+                                              sim::SimTime) override {
+    if (t.thread_class() != ThreadClass::kUser) return std::nullopt;
+    ++decisions;
+    if (decisions % n_ == 0) return quantum_;
+    return std::nullopt;
+  }
+  void on_injection_complete(const Thread&, CoreId, sim::SimTime) override {
+    ++completions;
+  }
+
+  int decisions = 0;
+  int completions = 0;
+
+ private:
+  int n_;
+  sim::SimTime quantum_;
+};
+
+TEST(MachineInjectionTest, HookSeesEveryDispatch) {
+  Machine m(small_config());
+  EveryNthHook hook(1000000, sim::from_ms(10));  // effectively never injects
+  m.set_injection_hook(&hook);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(1));
+  // 4 cores x 10 quantum expiries per second.
+  EXPECT_GE(hook.decisions, 36);
+  EXPECT_LE(hook.decisions, 48);
+}
+
+TEST(MachineInjectionTest, InjectionRunsIdleQuantumThenResumes) {
+  Machine m(small_config());
+  EveryNthHook hook(2, sim::from_ms(50));
+  m.set_injection_hook(&hook);
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(2));
+  EXPECT_GT(hook.completions, 0);
+  EXPECT_EQ(hook.completions, hook.decisions / 2);
+  // Alternating inject/run: one 50 ms idle per 100 ms execution quantum, so
+  // the thread completes work at 2/3 of wall-clock rate.
+  const Thread& t = m.thread(fleet.threads()[0]);
+  EXPECT_GT(t.injections_suffered(), 0u);
+  EXPECT_NEAR(t.work_completed(), 2.0 / (1.0 + 50.0 / 100.0), 0.1);
+}
+
+TEST(MachineInjectionTest, InjectedIdleTimeAccounted) {
+  Machine m(small_config());
+  EveryNthHook hook(2, sim::from_ms(50));
+  m.set_injection_hook(&hook);
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(2));
+  const Core& c = m.core(m.thread(fleet.threads()[0]).last_core());
+  EXPECT_NEAR(c.injected_idle_seconds,
+              0.05 * static_cast<double>(hook.completions), 0.01);
+}
+
+TEST(MachineInjectionTest, VictimPinnedDuringInjection) {
+  // One thread, hook injects a long quantum; during the idle window no other
+  // core may steal the pinned victim even though three cores are free.
+  Machine m(small_config());
+  class InjectOnceHook final : public InjectionHook {
+   public:
+    std::optional<sim::SimTime> before_dispatch(const Thread& t, CoreId,
+                                                sim::SimTime) override {
+      if (t.thread_class() != ThreadClass::kUser || fired) return std::nullopt;
+      fired = true;
+      return sim::from_ms(200);
+    }
+    void on_injection_complete(const Thread&, CoreId, sim::SimTime) override {}
+    bool fired = false;
+  };
+  InjectOnceHook hook;
+  m.set_injection_hook(&hook);
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_ms(100));  // inside the injected quantum
+  const Thread& t = m.thread(fleet.threads()[0]);
+  EXPECT_EQ(t.state(), ThreadState::kRunnable);
+  EXPECT_NE(t.injection_pin(), kNoCore);
+  EXPECT_NEAR(t.work_completed(), 0.0, 1e-9);
+  m.run_for(sim::from_ms(200));
+  // After the quantum the pin is released and the thread runs again.
+  EXPECT_EQ(t.injection_pin(), kNoCore);
+  EXPECT_GT(t.work_completed(), 0.05);
+}
+
+TEST(MachineInjectionTest, InjectionLowersTemperatureAndThroughput) {
+  auto run = [](bool inject) {
+    Machine m(small_config());
+    EveryNthHook hook(inject ? 2 : 1000000, sim::from_ms(50));
+    m.set_injection_hook(&hook);
+    workload::CpuBurnFleet fleet(4);
+    fleet.deploy(m);
+    m.run_for(sim::from_sec(30));
+    return std::make_pair(m.die_temperature(0), fleet.progress(m));
+  };
+  const auto unconstrained = run(false);
+  const auto injected = run(true);
+  EXPECT_LT(injected.first, unconstrained.first - 2.0);
+  EXPECT_LT(injected.second, unconstrained.second * 0.8);
+}
+
+TEST(MachineInjectionTest, CoreEntersIdleCStateDuringInjection) {
+  Machine m(small_config());
+  EveryNthHook hook(1, sim::from_ms(100));  // always inject
+  m.set_injection_hook(&hook);
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_ms(50));
+  const Core& c = m.core(m.thread(fleet.threads()[0]).injection_pin());
+  EXPECT_EQ(c.activity, CoreActivity::kIdle);
+  EXPECT_EQ(c.op.cstate, power::CState::kC1E);
+}
+
+/// Injects a fixed quantum on every dispatch of one specific thread.
+class TargetOneHook final : public InjectionHook {
+ public:
+  TargetOneHook(ThreadId target, sim::SimTime quantum)
+      : target_(target), quantum_(quantum) {}
+  std::optional<sim::SimTime> before_dispatch(const Thread& t, CoreId,
+                                              sim::SimTime) override {
+    if (t.id() == target_) return quantum_;
+    return std::nullopt;
+  }
+  void on_injection_complete(const Thread&, CoreId, sim::SimTime) override {
+    ++completions;
+  }
+  int completions = 0;
+
+ private:
+  ThreadId target_;
+  sim::SimTime quantum_;
+};
+
+TEST(MachineInjectionTest, SuspensionModeFreesCoreForOtherThreads) {
+  // Under suspension semantics (Fig. 5), injecting one thread must not stall
+  // the others: five runnable threads, four cores, one permanently injected.
+  Machine m(suspend_config());
+  workload::CpuBurnFleet fleet(5);
+  fleet.deploy(m);
+  TargetOneHook hook(fleet.threads()[4], sim::from_ms(100));
+  m.set_injection_hook(&hook);
+  m.run_for(sim::from_sec(4));
+  // The four unshackled threads share four cores at full speed.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(m.thread(fleet.threads()[i]).work_completed(), 3.5) << i;
+  }
+  // The victim makes almost no progress (only slivers between quanta).
+  EXPECT_LT(m.thread(fleet.threads()[4]).work_completed(), 0.4);
+  EXPECT_GT(hook.completions, 10);
+}
+
+TEST(MachineInjectionTest, SuspensionModeVictimSleepsNotQueued) {
+  Machine m(suspend_config());
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  TargetOneHook hook(fleet.threads()[0], sim::from_ms(300));
+  m.set_injection_hook(&hook);
+  m.run_for(sim::from_ms(100));
+  const Thread& t = m.thread(fleet.threads()[0]);
+  EXPECT_EQ(t.state(), ThreadState::kSleeping);
+  EXPECT_TRUE(t.injection_suspended());
+  // External wakeups must not cut the idle quantum short.
+  m.wake_thread(t.id());
+  EXPECT_EQ(t.state(), ThreadState::kSleeping);
+}
+
+TEST(MachineInjectionTest, SuspensionAndLiteralModesAgreeOnePerCore) {
+  // With one thread per core the two semantics coincide: same throughput and
+  // near-identical thermals.
+  auto run = [](bool suspend) {
+    MachineConfig cfg;
+    cfg.enable_meter = false;
+    cfg.injection_suspends_thread = suspend;
+    Machine m(cfg);
+    EveryNthHook hook(2, sim::from_ms(50));
+    m.set_injection_hook(&hook);
+    workload::CpuBurnFleet fleet(4);
+    fleet.deploy(m);
+    m.run_for(sim::from_sec(20));
+    return std::make_pair(fleet.progress(m), m.die_temperature(0));
+  };
+  const auto literal = run(false);
+  const auto suspended = run(true);
+  EXPECT_NEAR(suspended.first, literal.first, 0.05 * literal.first);
+  EXPECT_NEAR(suspended.second, literal.second, 1.5);
+}
+
+TEST(MachineInjectionTest, NullHookMeansNoInjection) {
+  Machine m(small_config());
+  workload::CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(1));
+  EXPECT_EQ(m.thread(fleet.threads()[0]).injections_suffered(), 0u);
+  EXPECT_NEAR(m.thread(fleet.threads()[0]).work_completed(), 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dimetrodon::sched

@@ -1,0 +1,112 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace dimetrodon::sched {
+namespace {
+
+std::unique_ptr<Thread> make_thread(ThreadId id) {
+  class Noop final : public ThreadBehavior {
+    Burst next_burst(sim::SimTime, sim::Rng&) override { return {1.0, 1.0}; }
+    BurstOutcome on_burst_complete(sim::SimTime, sim::Rng&) override {
+      return BurstOutcome::Exit();
+    }
+  };
+  return std::make_unique<Thread>(id, "t", ThreadClass::kUser, 0,
+                                  std::make_unique<Noop>(), sim::Rng(id));
+}
+
+TEST(BsdSchedulerTest, DefaultTimesliceIs100ms) {
+  // FreeBSD 7.2's 4.4BSD scheduler: "a traditional multi-level feedback
+  // queue with a fixed timeslice of 100ms".
+  BsdScheduler sched;
+  EXPECT_EQ(sched.timeslice(), sim::from_ms(100));
+}
+
+TEST(BsdSchedulerTest, PickReturnsNullWhenEmpty) {
+  BsdScheduler sched;
+  EXPECT_EQ(sched.pick_next(0, 0), nullptr);
+}
+
+TEST(BsdSchedulerTest, RoundRobinAcrossEqualThreads) {
+  BsdScheduler sched;
+  auto a = make_thread(1);
+  auto b = make_thread(2);
+  sched.enqueue(*a);
+  sched.enqueue(*b);
+  Thread* first = sched.pick_next(0, 0);
+  EXPECT_EQ(first, a.get());
+  sched.quantum_expired(*first, 0.1, sim::from_ms(100));
+  EXPECT_EQ(sched.pick_next(0, sim::from_ms(100)), b.get());
+}
+
+TEST(BsdSchedulerTest, QuantumExpiryChargesEstcpu) {
+  BsdScheduler sched;
+  auto t = make_thread(1);
+  sched.enqueue(*t);
+  Thread* picked = sched.pick_next(0, 0);
+  sched.quantum_expired(*picked, 0.1, 0);
+  EXPECT_GT(t->estcpu(), 0.0);
+}
+
+TEST(BsdSchedulerTest, CpuHogSinksBelowFreshThread) {
+  BsdScheduler sched;
+  auto hog = make_thread(1);
+  auto fresh = make_thread(2);
+  sched.enqueue(*hog);
+  // Let the hog accumulate substantial CPU.
+  for (int i = 0; i < 20; ++i) {
+    Thread* p = sched.pick_next(0, 0);
+    ASSERT_EQ(p, hog.get());
+    sched.quantum_expired(*p, 0.1, 0);
+  }
+  sched.enqueue(*fresh);
+  EXPECT_EQ(sched.pick_next(0, 0), fresh.get());
+}
+
+TEST(BsdSchedulerTest, PeriodicDecayRestoresPriority) {
+  BsdScheduler sched;
+  auto hog = make_thread(1);
+  hog->set_estcpu(200.0);
+  sched.enqueue(*hog);
+  // schedcpu with load 1: decay 2/3 per second.
+  for (int i = 0; i < 30; ++i) sched.periodic(1, i * sim::kSecond);
+  Thread* p = sched.pick_next(0, 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_LT(p->estcpu(), 1.0);
+}
+
+TEST(BsdSchedulerTest, ThreadStoppedChargesWithoutRequeue) {
+  BsdScheduler sched;
+  auto t = make_thread(1);
+  sched.enqueue(*t);
+  Thread* p = sched.pick_next(0, 0);
+  sched.thread_stopped(*p, 0.05, 0);
+  EXPECT_GT(t->estcpu(), 0.0);
+  EXPECT_EQ(sched.runnable_count(), 0u);
+  EXPECT_EQ(sched.pick_next(0, 0), nullptr);
+}
+
+TEST(BsdSchedulerTest, DequeueRemovesQueuedThread) {
+  BsdScheduler sched;
+  auto t = make_thread(1);
+  sched.enqueue(*t);
+  sched.dequeue(*t);
+  EXPECT_EQ(sched.pick_next(0, 0), nullptr);
+}
+
+TEST(BsdSchedulerTest, EnqueueFrontJumpsQueueWithinPriority) {
+  BsdScheduler sched;
+  auto a = make_thread(1);
+  auto b = make_thread(2);
+  sched.enqueue(*a);
+  sched.enqueue(*b);
+  Thread* first = sched.pick_next(0, 0);
+  sched.enqueue_front(*first);
+  EXPECT_EQ(sched.pick_next(0, 0), first);
+}
+
+}  // namespace
+}  // namespace dimetrodon::sched

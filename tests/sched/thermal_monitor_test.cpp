@@ -1,0 +1,128 @@
+// Hardware thermal monitor (TM1/PROCHOT): the worst-case DTM mechanism the
+// paper distinguishes preventive management from (§1). It must stay dormant
+// in every paper-scale experiment and only engage under thermal overload.
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::sched {
+namespace {
+
+TEST(ThermalMonitorTest, DormantUnderPaperWorkloads) {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  Machine m(cfg);
+  workload::CpuBurnFleet fleet(4);  // the paper's worst-case load
+  fleet.deploy(m);
+  for (int i = 0; i < 4; ++i) {
+    m.mark_power_window();
+    m.run_for(sim::from_sec(8));
+    m.jump_to_average_power_steady_state();
+  }
+  m.run_for(sim::from_sec(5));
+  EXPECT_EQ(m.thermal_throttle_engagements(), 0u);
+  for (std::size_t i = 0; i < m.num_physical_cores(); ++i) {
+    EXPECT_FALSE(m.thermal_throttle_active(i));
+  }
+}
+
+TEST(ThermalMonitorTest, EngagesUnderThermalOverload) {
+  // Cripple the cooling (fan at 40%) to force a thermal emergency the
+  // monitor can still contain (at even lower airflow leakage alone exceeds
+  // what duty cycling can remove).
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.floorplan.fan_speed_fraction = 0.4;
+  Machine m(cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  for (int i = 0; i < 5; ++i) {
+    m.mark_power_window();
+    m.run_for(sim::from_sec(8));
+    m.jump_to_average_power_steady_state();
+  }
+  m.run_for(sim::from_sec(5));
+  EXPECT_GT(m.thermal_throttle_engagements(), 0u);
+  // The monitor caps die temperature near PROCHOT (limit-cycling below it).
+  for (std::size_t i = 0; i < m.num_physical_cores(); ++i) {
+    EXPECT_LT(m.die_temperature(static_cast<CoreId>(i)), cfg.prochot_c + 5.0);
+  }
+}
+
+TEST(ThermalMonitorTest, ThrottlingCostsThroughput) {
+  auto throughput = [](double fan) {
+    MachineConfig cfg;
+    cfg.enable_meter = false;
+    cfg.floorplan.fan_speed_fraction = fan;
+    Machine m(cfg);
+    workload::CpuBurnFleet fleet(4);
+    fleet.deploy(m);
+    for (int i = 0; i < 5; ++i) {
+      m.mark_power_window();
+      m.run_for(sim::from_sec(8));
+      m.jump_to_average_power_steady_state();
+    }
+    const double w0 = fleet.progress(m);
+    m.run_for(sim::from_sec(10));
+    return (fleet.progress(m) - w0) / 10.0;
+  };
+  EXPECT_LT(throughput(0.4), 0.9 * throughput(1.0));
+}
+
+TEST(ThermalMonitorTest, DimetrodonKeepsSystemOutOfEmergency) {
+  // Preventive injection holds the crippled-fan system below PROCHOT, so
+  // the blunt hardware mechanism never fires — the paper's §1 thesis.
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.floorplan.fan_speed_fraction = 0.4;
+  Machine m(cfg);
+  core::DimetrodonController ctl(m);
+  ctl.sys_set_global(0.85, sim::from_ms(25));  // ~59% idle duty
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  for (int i = 0; i < 5; ++i) {
+    m.mark_power_window();
+    m.run_for(sim::from_sec(8));
+    m.jump_to_average_power_steady_state();
+  }
+  m.run_for(sim::from_sec(5));
+  EXPECT_EQ(m.thermal_throttle_engagements(), 0u);
+}
+
+TEST(ThermalMonitorTest, CanBeDisabled) {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.hw_thermal_throttle = false;
+  cfg.floorplan.fan_speed_fraction = 0.3;
+  Machine m(cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  for (int i = 0; i < 5; ++i) {
+    m.mark_power_window();
+    m.run_for(sim::from_sec(8));
+    m.jump_to_average_power_steady_state();
+  }
+  EXPECT_EQ(m.thermal_throttle_engagements(), 0u);
+  // Without the safety net the die exceeds PROCHOT.
+  EXPECT_GT(m.die_temperature(0), cfg.prochot_c);
+}
+
+TEST(ThermalMonitorTest, UserDutyRestoredAfterRelease) {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.floorplan.fan_speed_fraction = 0.3;
+  Machine m(cfg);
+  m.set_all_clock_duty_steps(7);  // user setpoint below TM step
+  workload::CpuBurnFleet fleet(4, 5.0);  // finite: machine cools afterwards
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(120));
+  // Workload done, machine cooled: user duty request is back in force.
+  EXPECT_FALSE(m.thermal_throttle_active(0));
+  EXPECT_DOUBLE_EQ(m.core(0).op.clock_duty, 7.0 / 8.0);
+  EXPECT_EQ(m.core(0).duty_step_user, 7u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::sched

@@ -1,0 +1,199 @@
+#include "sched/ule_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "sched/machine.hpp"
+#include "workload/cpuburn.hpp"
+#include "workload/web.hpp"
+
+namespace dimetrodon::sched {
+namespace {
+
+std::unique_ptr<Thread> make_thread(ThreadId id) {
+  class Noop final : public ThreadBehavior {
+    Burst next_burst(sim::SimTime, sim::Rng&) override { return {1.0, 1.0}; }
+    BurstOutcome on_burst_complete(sim::SimTime, sim::Rng&) override {
+      return BurstOutcome::Exit();
+    }
+  };
+  return std::make_unique<Thread>(id, "t", ThreadClass::kUser, 0,
+                                  std::make_unique<Noop>(), sim::Rng(id));
+}
+
+TEST(UleSchedulerTest, FreshThreadScoresNeutral) {
+  UleScheduler sched(4);
+  auto t = make_thread(1);
+  EXPECT_NEAR(sched.interactivity_score(*t), 25.0, 1e-9);
+  EXPECT_TRUE(sched.is_interactive(*t));
+}
+
+TEST(UleSchedulerTest, SleeperScoresInteractive) {
+  UleScheduler sched(4);
+  auto t = make_thread(1);
+  sched.thread_stopped(*t, 0.1, 0);       // ran 100 ms
+  sched.apply_sleep_decay(*t, 2.0);       // slept 2 s
+  EXPECT_LT(sched.interactivity_score(*t), 5.0);
+  EXPECT_TRUE(sched.is_interactive(*t));
+}
+
+TEST(UleSchedulerTest, CpuHogScoresBatch) {
+  UleScheduler sched(4);
+  auto t = make_thread(1);
+  for (int i = 0; i < 50; ++i) sched.quantum_expired(*t, 0.1, 0);
+  sched.dequeue(*t);
+  EXPECT_GT(sched.interactivity_score(*t), 90.0);
+  EXPECT_FALSE(sched.is_interactive(*t));
+}
+
+TEST(UleSchedulerTest, InteractiveThreadsGetShortSlices) {
+  UleSchedulerConfig cfg;
+  UleScheduler sched(4, cfg);
+  auto sleeper = make_thread(1);
+  sched.thread_stopped(*sleeper, 0.05, 0);
+  sched.apply_sleep_decay(*sleeper, 3.0);
+  auto hog = make_thread(2);
+  for (int i = 0; i < 50; ++i) sched.quantum_expired(*hog, 0.1, 0);
+  sched.dequeue(*hog);
+  EXPECT_EQ(sched.timeslice_for(*sleeper), cfg.interactive_timeslice);
+  EXPECT_EQ(sched.timeslice_for(*hog), cfg.base_timeslice);
+}
+
+TEST(UleSchedulerTest, InteractiveBeatsBatchInQueue) {
+  UleScheduler sched(1);
+  auto hog = make_thread(1);
+  for (int i = 0; i < 50; ++i) sched.quantum_expired(*hog, 0.1, 0);
+  sched.dequeue(*hog);
+  auto sleeper = make_thread(2);
+  sched.apply_sleep_decay(*sleeper, 3.0);
+  sched.enqueue(*hog);
+  sched.enqueue(*sleeper);
+  EXPECT_EQ(sched.pick_next(0, 0), sleeper.get());
+}
+
+TEST(UleSchedulerTest, PerCpuQueuesKeepAffinity) {
+  UleScheduler sched(2);
+  auto a = make_thread(1);
+  a->set_last_core(1);
+  sched.enqueue(*a);
+  // CPU 1's queue holds it; CPU 0 only obtains it by stealing.
+  UleSchedulerConfig no_steal;
+  no_steal.work_stealing = false;
+  UleScheduler strict(2, no_steal);
+  auto b = make_thread(2);
+  b->set_last_core(1);
+  strict.enqueue(*b);
+  EXPECT_EQ(strict.pick_next(0, 0), nullptr);
+  EXPECT_EQ(strict.pick_next(1, 0), b.get());
+  (void)sched;
+}
+
+TEST(UleSchedulerTest, WorkStealingBalancesLoad) {
+  UleScheduler sched(2);
+  auto a = make_thread(1);
+  auto b = make_thread(2);
+  a->set_last_core(1);
+  b->set_last_core(1);
+  sched.enqueue(*a);
+  sched.enqueue(*b);
+  EXPECT_NE(sched.pick_next(0, 0), nullptr);  // stolen from CPU 1
+  EXPECT_EQ(sched.steals(), 1u);
+  EXPECT_NE(sched.pick_next(1, 0), nullptr);
+}
+
+TEST(UleSchedulerTest, StealRespectsInjectionPin) {
+  UleScheduler sched(2);
+  auto a = make_thread(1);
+  a->set_last_core(1);
+  a->set_injection_pin(1);
+  sched.enqueue(*a);
+  EXPECT_EQ(sched.pick_next(0, 0), nullptr);  // pinned to CPU 1
+  EXPECT_EQ(sched.pick_next(1, 0), a.get());
+}
+
+TEST(UleSchedulerTest, HistoryDecayForgetsOldBehavior) {
+  UleScheduler sched(1);
+  auto t = make_thread(1);
+  for (int i = 0; i < 50; ++i) sched.quantum_expired(*t, 0.1, 0);
+  sched.dequeue(*t);
+  EXPECT_FALSE(sched.is_interactive(*t));
+  for (int i = 0; i < 40; ++i) {
+    sched.periodic(1, i * sim::kSecond);
+    sched.apply_sleep_decay(*t, 0.5);
+  }
+  EXPECT_TRUE(sched.is_interactive(*t));
+}
+
+TEST(UleSchedulerTest, RunnableCountSpansQueues) {
+  UleScheduler sched(4);
+  auto a = make_thread(1);
+  auto b = make_thread(2);
+  sched.enqueue(*a);
+  sched.enqueue(*b);
+  EXPECT_EQ(sched.runnable_count(), 2u);
+}
+
+// --- machine-level: the Dimetrodon mechanism generalizes to ULE ----------
+
+MachineConfig ule_config() {
+  MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.scheduler_kind = SchedulerKind::kUle;
+  return cfg;
+}
+
+TEST(UleMachineTest, CpuBoundFleetRunsAtFullSpeed) {
+  Machine m(ule_config());
+  workload::CpuBurnFleet fleet(4, 2.0);
+  fleet.deploy(m);
+  m.run_until_condition([&] { return fleet.all_done(m); }, sim::from_sec(10));
+  EXPECT_TRUE(fleet.all_done(m));
+  EXPECT_LT(sim::to_sec(m.now()), 2.3);
+}
+
+TEST(UleMachineTest, InjectionWorksUnderUle) {
+  Machine m(ule_config());
+  core::DimetrodonController ctl(m);
+  ctl.sys_set_global(0.5, sim::from_ms(10));
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(20));
+  EXPECT_GT(ctl.stats().injections, 100u);
+  EXPECT_NEAR(ctl.observed_injection_rate(), 0.5, 0.08);
+  // Throughput cost ~ (p/(1-p)) L/q with q = 100 ms batch slices.
+  EXPECT_NEAR(fleet.progress(m) / 20.0, 4.0 / 1.1, 0.25);
+}
+
+TEST(UleMachineTest, InjectionCoolsUnderUle) {
+  auto settled = [](double p) {
+    Machine m(ule_config());
+    core::DimetrodonController ctl(m);
+    if (p > 0) ctl.sys_set_global(p, sim::from_ms(25));
+    workload::CpuBurnFleet fleet(4);
+    fleet.deploy(m);
+    for (int i = 0; i < 4; ++i) {
+      m.mark_power_window();
+      m.run_for(sim::from_sec(8));
+      m.jump_to_average_power_steady_state();
+    }
+    m.run_for(sim::from_sec(3));
+    return m.mean_sensor_temp();
+  };
+  EXPECT_LT(settled(0.5), settled(0.0) - 5.0);
+}
+
+TEST(UleMachineTest, WebWorkloadServesUnderUle) {
+  Machine m(ule_config());
+  workload::WebWorkload::Config wcfg;
+  wcfg.connections = 40;
+  wcfg.think_mean_s = 0.5;
+  workload::WebWorkload web(wcfg);
+  web.deploy(m);
+  m.run_for(sim::from_sec(10));
+  EXPECT_GT(web.completed_requests(), 400u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::sched

@@ -1,0 +1,131 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dimetrodon::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueueTest, DeliversInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&](SimTime) { order.push_back(3); });
+  q.schedule(10, [&](SimTime) { order.push_back(1); });
+  q.schedule(20, [&](SimTime) { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(77, [](SimTime t) { EXPECT_EQ(t, 77); });
+  EXPECT_EQ(q.pop_and_run(), 77);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(5, [&](SimTime) { ran = true; });
+  EXPECT_TRUE(h.active());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.active());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  EventHandle h = q.schedule(5, [](SimTime) {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInactive) {
+  EventHandle h;
+  EXPECT_FALSE(h.active());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, SizeTracksCancellation) {
+  EventQueue q;
+  EventHandle a = q.schedule(1, [](SimTime) {});
+  EventHandle b = q.schedule(2, [](SimTime) {});
+  EXPECT_EQ(q.size(), 2u);
+  a.cancel();
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 0u);
+  (void)b;
+}
+
+TEST(EventQueueTest, HandleInactiveAfterFiring) {
+  EventQueue q;
+  EventHandle h = q.schedule(1, [](SimTime) {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.active());
+  EXPECT_FALSE(h.cancel());
+}
+
+TEST(EventQueueTest, CancelledHeadSkipped) {
+  EventQueue q;
+  bool first = false;
+  bool second = false;
+  EventHandle h = q.schedule(1, [&](SimTime) { first = true; });
+  q.schedule(2, [&](SimTime) { second = true; });
+  h.cancel();
+  EXPECT_EQ(q.next_time(), 2);
+  q.pop_and_run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1, [&](SimTime) {
+    ++fired;
+    q.schedule(2, [&](SimTime) { ++fired; });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  SimTime last = -1;
+  // Deterministic pseudo-shuffled insertion times.
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime t = (i * 7919) % 104729;
+    q.schedule(t, [&last](SimTime at) {
+      EXPECT_GE(at, last);
+      last = at;
+    });
+  }
+  std::size_t count = 0;
+  while (!q.empty()) {
+    q.pop_and_run();
+    ++count;
+  }
+  EXPECT_EQ(count, 5000u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::sim

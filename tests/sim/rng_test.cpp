@@ -1,0 +1,150 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace dimetrodon::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "diverged at draw " << i;
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.5);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+class RngBernoulliRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngBernoulliRate, MatchesProbability) {
+  const double p = GetParam();
+  Rng rng(23);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  const double rate = static_cast<double>(hits) / n;
+  // 4-sigma binomial band.
+  const double sigma = std::sqrt(p * (1 - p) / n);
+  EXPECT_NEAR(rate, p, 4.0 * sigma + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RngBernoulliRate,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(31);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 0.25, 0.005);
+}
+
+TEST(RngTest, ExponentialNonNegative) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(41);
+  (void)parent_copy.next_u64();  // consume the draw used by fork()
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace dimetrodon::sim

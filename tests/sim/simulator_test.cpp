@@ -1,0 +1,99 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadline) {
+  Simulator s;
+  s.run_until(from_ms(5));
+  EXPECT_EQ(s.now(), from_ms(5));
+}
+
+TEST(SimulatorTest, EventsExecuteAtTheirTimestamp) {
+  Simulator s;
+  SimTime seen = -1;
+  s.at(from_ms(3), [&](SimTime t) { seen = t; });
+  s.run_until(from_ms(10));
+  EXPECT_EQ(seen, from_ms(3));
+  EXPECT_EQ(s.now(), from_ms(10));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator s;
+  s.run_until(from_ms(2));
+  SimTime seen = -1;
+  s.after(from_ms(3), [&](SimTime t) { seen = t; });
+  s.run_until(from_ms(10));
+  EXPECT_EQ(seen, from_ms(5));
+}
+
+TEST(SimulatorTest, EventExactlyAtDeadlineRuns) {
+  Simulator s;
+  bool ran = false;
+  s.at(from_ms(10), [&](SimTime) { ran = true; });
+  s.run_until(from_ms(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, EventAfterDeadlineDoesNotRun) {
+  Simulator s;
+  bool ran = false;
+  s.at(from_ms(11), [&](SimTime) { ran = true; });
+  s.run_until(from_ms(10));
+  EXPECT_FALSE(ran);
+  // ... but runs when the deadline extends.
+  s.run_until(from_ms(12));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, SelfReschedulingEventChains) {
+  Simulator s;
+  int fired = 0;
+  std::function<void(SimTime)> tick = [&](SimTime) {
+    ++fired;
+    if (fired < 5) s.after(from_ms(1), tick);
+  };
+  s.after(from_ms(1), tick);
+  s.run_until(from_ms(100));
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, StepRunsSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  s.at(1, [&](SimTime) { ++fired; });
+  s.at(2, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, CancelledEventViaHandle) {
+  Simulator s;
+  bool ran = false;
+  EventHandle h = s.at(5, [&](SimTime) { ran = true; });
+  h.cancel();
+  s.run_until(10);
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, ClockNeverRunsBackwards) {
+  Simulator s;
+  s.run_until(from_ms(10));
+  s.run_until(from_ms(5));  // earlier deadline: no-op
+  EXPECT_EQ(s.now(), from_ms(10));
+}
+
+}  // namespace
+}  // namespace dimetrodon::sim

@@ -1,0 +1,41 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::sim {
+namespace {
+
+TEST(TimeTest, UnitConstants) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000LL * 1000 * 1000);
+}
+
+TEST(TimeTest, FromConversionsRoundTrip) {
+  EXPECT_EQ(from_ms(1.0), kMillisecond);
+  EXPECT_EQ(from_us(1.0), kMicrosecond);
+  EXPECT_EQ(from_sec(1.0), kSecond);
+  EXPECT_EQ(from_sec(2.5), 2'500'000'000LL);
+  EXPECT_EQ(from_ms(0.5), 500'000);
+}
+
+TEST(TimeTest, ToConversions) {
+  EXPECT_DOUBLE_EQ(to_sec(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_ms(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_us(kMillisecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(123.456)), 123.456);
+}
+
+TEST(TimeTest, FormatPicksUnit) {
+  EXPECT_EQ(format_time(from_sec(3.25)), "3.250 s");
+  EXPECT_EQ(format_time(from_ms(12.5)), "12.500 ms");
+  EXPECT_EQ(format_time(from_us(7.0)), "7.000 us");
+  EXPECT_EQ(format_time(420), "420 ns");
+}
+
+TEST(TimeTest, InfinityIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(kTimeInfinity, from_sec(1e9));
+}
+
+}  // namespace
+}  // namespace dimetrodon::sim

@@ -1,0 +1,118 @@
+#include "thermal/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::thermal {
+namespace {
+
+TEST(FloorplanTest, BuildsExpectedNodeCount) {
+  RcNetwork net;
+  FloorplanParams params;
+  params.num_cores = 4;
+  const FloorplanNodes nodes = build_server_floorplan(net, params);
+  // ambient + heatsink + package + 4 dies
+  EXPECT_EQ(net.node_count(), 7u);
+  EXPECT_TRUE(net.is_fixed(nodes.ambient));
+  EXPECT_FALSE(net.is_fixed(nodes.heatsink));
+  EXPECT_FALSE(net.is_fixed(nodes.package));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FALSE(net.is_fixed(nodes.die[i]));
+}
+
+TEST(FloorplanTest, AllNodesStartAtAmbient) {
+  RcNetwork net;
+  FloorplanParams params;
+  const FloorplanNodes nodes = build_server_floorplan(net, params);
+  EXPECT_DOUBLE_EQ(net.temperature(nodes.heatsink), params.ambient_c);
+  EXPECT_DOUBLE_EQ(net.temperature(nodes.die[0]), params.ambient_c);
+}
+
+TEST(FloorplanTest, SteadyStateStackOrdering) {
+  RcNetwork net;
+  FloorplanParams params;
+  const FloorplanNodes nodes = build_server_floorplan(net, params);
+  for (std::size_t i = 0; i < params.num_cores; ++i) {
+    net.set_power(nodes.die[i], 10.0);
+  }
+  net.set_power(nodes.package, 18.0);
+  net.solve_steady_state();
+  // Heat flows die -> package -> heatsink -> ambient: monotone temperatures.
+  EXPECT_GT(net.temperature(nodes.die[0]), net.temperature(nodes.package));
+  EXPECT_GT(net.temperature(nodes.package), net.temperature(nodes.heatsink));
+  EXPECT_GT(net.temperature(nodes.heatsink), params.ambient_c);
+}
+
+TEST(FloorplanTest, SymmetricLoadGivesSymmetricDies) {
+  RcNetwork net;
+  FloorplanParams params;
+  const FloorplanNodes nodes = build_server_floorplan(net, params);
+  for (std::size_t i = 0; i < params.num_cores; ++i) {
+    net.set_power(nodes.die[i], 12.0);
+  }
+  net.solve_steady_state();
+  // Outer and inner cores differ only through the weak lateral path.
+  EXPECT_NEAR(net.temperature(nodes.die[0]), net.temperature(nodes.die[3]),
+              1e-9);
+  EXPECT_NEAR(net.temperature(nodes.die[1]), net.temperature(nodes.die[2]),
+              1e-9);
+}
+
+TEST(FloorplanTest, HotCoreWarmsNeighborThroughLateralCoupling) {
+  RcNetwork net;
+  FloorplanParams params;
+  const FloorplanNodes nodes = build_server_floorplan(net, params);
+  net.set_power(nodes.die[0], 15.0);
+  net.solve_steady_state();
+  // die1 (adjacent) must be warmer than die3 (two hops away).
+  EXPECT_GT(net.temperature(nodes.die[1]), net.temperature(nodes.die[3]));
+}
+
+TEST(FloorplanTest, LowerFanSpeedRunsHotter) {
+  auto steady_die_temp = [](double fan) {
+    RcNetwork net;
+    FloorplanParams params;
+    params.fan_speed_fraction = fan;
+    const FloorplanNodes nodes = build_server_floorplan(net, params);
+    for (std::size_t i = 0; i < params.num_cores; ++i) {
+      net.set_power(nodes.die[i], 10.0);
+    }
+    net.solve_steady_state();
+    return net.temperature(nodes.die[0]);
+  };
+  EXPECT_GT(steady_die_temp(0.5), steady_die_temp(1.0));
+}
+
+TEST(FloorplanTest, RejectsInvalidCoreCount) {
+  RcNetwork net;
+  FloorplanParams params;
+  params.num_cores = 0;
+  EXPECT_THROW(build_server_floorplan(net, params), std::invalid_argument);
+  params.num_cores = 9;
+  EXPECT_THROW(build_server_floorplan(net, params), std::invalid_argument);
+}
+
+TEST(FloorplanTest, RejectsInvalidFanSpeed) {
+  RcNetwork net;
+  FloorplanParams params;
+  params.fan_speed_fraction = 0.0;
+  EXPECT_THROW(build_server_floorplan(net, params), std::invalid_argument);
+  params.fan_speed_fraction = 1.5;
+  EXPECT_THROW(build_server_floorplan(net, params), std::invalid_argument);
+}
+
+TEST(FloorplanTest, DieTimeConstantIsMilliseconds) {
+  const FloorplanParams params;
+  const double tau = params.die_capacitance * params.die_to_pkg_resistance;
+  EXPECT_GT(tau, 0.001);
+  EXPECT_LT(tau, 0.1);
+}
+
+TEST(FloorplanTest, HeatsinkTimeConstantIsTensOfSeconds) {
+  // The paper observed stabilization "after approximately 300 seconds".
+  const FloorplanParams params;
+  const double tau = params.hs_capacitance * params.hs_to_ambient_resistance;
+  EXPECT_GT(tau, 20.0);
+  EXPECT_LT(tau, 120.0);
+}
+
+}  // namespace
+}  // namespace dimetrodon::thermal

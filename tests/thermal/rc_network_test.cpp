@@ -1,0 +1,185 @@
+#include "thermal/rc_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dimetrodon::thermal {
+namespace {
+
+// Single RC node against ambient: T(t) = T_inf + (T0 - T_inf) e^{-t/RC}.
+struct SingleRc {
+  RcNetwork net;
+  NodeId node;
+  NodeId amb;
+  double r = 2.0;
+  double c = 5.0;
+
+  SingleRc() {
+    amb = net.add_fixed_node("amb", 25.0);
+    node = net.add_node("n", c, 25.0);
+    net.connect_r(node, amb, r);
+  }
+};
+
+TEST(RcNetworkTest, SteadyStateMatchesOhmsLaw) {
+  SingleRc s;
+  s.net.set_power(s.node, 10.0);
+  s.net.solve_steady_state();
+  EXPECT_NEAR(s.net.temperature(s.node), 25.0 + 10.0 * 2.0, 1e-9);
+}
+
+TEST(RcNetworkTest, StepConvergesToSteadyState) {
+  SingleRc s;
+  s.net.set_power(s.node, 10.0);
+  for (int i = 0; i < 20000; ++i) s.net.step(0.01);  // 200 s >> RC=10 s
+  EXPECT_NEAR(s.net.temperature(s.node), 45.0, 1e-3);
+}
+
+TEST(RcNetworkTest, TransientMatchesAnalyticExponential) {
+  SingleRc s;
+  s.net.set_power(s.node, 10.0);
+  const double tau = s.r * s.c;  // 10 s
+  const double dt = 0.001;
+  double t = 0.0;
+  for (int i = 0; i < 10000; ++i) {  // 10 s = 1 tau
+    s.net.step(dt);
+    t += dt;
+  }
+  const double analytic = 45.0 - 20.0 * std::exp(-t / tau);
+  // Implicit Euler at dt = tau/10000: sub-0.1% error.
+  EXPECT_NEAR(s.net.temperature(s.node), analytic, 0.02);
+}
+
+TEST(RcNetworkTest, CoolingFollowsExponentialDecay) {
+  SingleRc s;
+  s.net.set_temperature(s.node, 65.0);
+  s.net.set_power(s.node, 0.0);
+  const double dt = 0.001;
+  for (int i = 0; i < 5000; ++i) s.net.step(dt);  // 5 s = tau/2
+  const double analytic = 25.0 + 40.0 * std::exp(-5.0 / 10.0);
+  EXPECT_NEAR(s.net.temperature(s.node), analytic, 0.05);
+}
+
+TEST(RcNetworkTest, ImplicitEulerStableAtHugeTimestep) {
+  SingleRc s;
+  s.net.set_power(s.node, 10.0);
+  // dt = 100*tau: explicit integration would explode; implicit must not.
+  s.net.step(1000.0);
+  EXPECT_GT(s.net.temperature(s.node), 25.0);
+  EXPECT_LT(s.net.temperature(s.node), 45.0 + 1e-9);
+  s.net.step(1000.0);
+  EXPECT_NEAR(s.net.temperature(s.node), 45.0, 0.5);
+}
+
+TEST(RcNetworkTest, FixedNodeNeverChanges) {
+  SingleRc s;
+  s.net.set_power(s.node, 50.0);
+  for (int i = 0; i < 100; ++i) s.net.step(0.1);
+  EXPECT_DOUBLE_EQ(s.net.temperature(s.amb), 25.0);
+}
+
+TEST(RcNetworkTest, TwoNodeChainSteadyState) {
+  RcNetwork net;
+  const NodeId amb = net.add_fixed_node("amb", 20.0);
+  const NodeId hs = net.add_node("hs", 100.0, 20.0);
+  const NodeId die = net.add_node("die", 0.01, 20.0);
+  net.connect_r(hs, amb, 0.5);
+  net.connect_r(die, hs, 1.5);
+  net.set_power(die, 10.0);
+  net.set_power(hs, 2.0);
+  net.solve_steady_state();
+  // All 12 W flow hs->amb: hs = 20 + 12*0.5 = 26; die = 26 + 10*1.5 = 41.
+  EXPECT_NEAR(net.temperature(hs), 26.0, 1e-9);
+  EXPECT_NEAR(net.temperature(die), 41.0, 1e-9);
+}
+
+TEST(RcNetworkTest, HeatFlowsFromHotToCold) {
+  RcNetwork net;
+  const NodeId a = net.add_node("a", 1.0, 80.0);
+  const NodeId b = net.add_node("b", 1.0, 20.0);
+  net.connect(a, b, 0.5);
+  net.step(0.1);
+  EXPECT_LT(net.temperature(a), 80.0);
+  EXPECT_GT(net.temperature(b), 20.0);
+  // Isolated pair conserves energy: temperatures converge to the mean.
+  for (int i = 0; i < 1000; ++i) net.step(0.1);
+  EXPECT_NEAR(net.temperature(a), 50.0, 1e-6);
+  EXPECT_NEAR(net.temperature(b), 50.0, 1e-6);
+}
+
+TEST(RcNetworkTest, EnergyConservationIsolatedPair) {
+  RcNetwork net;
+  const NodeId a = net.add_node("a", 2.0, 70.0);
+  const NodeId b = net.add_node("b", 3.0, 30.0);
+  net.connect(a, b, 0.7);
+  const double initial = 2.0 * 70.0 + 3.0 * 30.0;
+  for (int i = 0; i < 500; ++i) net.step(0.05);
+  const double final_energy =
+      2.0 * net.temperature(a) + 3.0 * net.temperature(b);
+  EXPECT_NEAR(final_energy, initial, 1e-6);
+}
+
+TEST(RcNetworkTest, SetAllTemperaturesSkipsFixedNodes) {
+  SingleRc s;
+  s.net.set_all_temperatures(55.0);
+  EXPECT_DOUBLE_EQ(s.net.temperature(s.node), 55.0);
+  EXPECT_DOUBLE_EQ(s.net.temperature(s.amb), 25.0);
+}
+
+TEST(RcNetworkTest, TotalPowerSumsInjections) {
+  SingleRc s;
+  s.net.set_power(s.node, 7.5);
+  EXPECT_DOUBLE_EQ(s.net.total_power(), 7.5);
+}
+
+TEST(RcNetworkTest, RejectsNonPositiveCapacitance) {
+  RcNetwork net;
+  EXPECT_THROW(net.add_node("bad", 0.0, 25.0), std::invalid_argument);
+  EXPECT_THROW(net.add_node("bad", -1.0, 25.0), std::invalid_argument);
+}
+
+TEST(RcNetworkTest, RejectsNonPositiveConductance) {
+  RcNetwork net;
+  const NodeId a = net.add_node("a", 1.0, 25.0);
+  const NodeId b = net.add_node("b", 1.0, 25.0);
+  EXPECT_THROW(net.connect(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.connect(a, b, -2.0), std::invalid_argument);
+}
+
+TEST(RcNetworkTest, SteadyStateRequiresPathToFixedNode) {
+  RcNetwork net;
+  net.add_node("floating", 1.0, 25.0);
+  net.set_power(0, 1.0);
+  EXPECT_THROW(net.solve_steady_state(), std::runtime_error);
+}
+
+TEST(RcNetworkTest, TopologyChangeInvalidatesStepCache) {
+  RcNetwork net;
+  const NodeId amb = net.add_fixed_node("amb", 25.0);
+  const NodeId a = net.add_node("a", 1.0, 25.0);
+  net.connect_r(a, amb, 1.0);
+  net.set_power(a, 10.0);
+  net.step(0.1);
+  // Add a second path to ambient; the step matrix must be rebuilt.
+  net.connect_r(a, amb, 1.0);
+  for (int i = 0; i < 200; ++i) net.step(0.1);
+  EXPECT_NEAR(net.temperature(a), 25.0 + 10.0 * 0.5, 1e-3);
+}
+
+// Property sweep: steady state is linear in injected power.
+class RcLinearity : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcLinearity, SteadyStateScalesWithPower) {
+  const double p = GetParam();
+  SingleRc s;
+  s.net.set_power(s.node, p);
+  s.net.solve_steady_state();
+  EXPECT_NEAR(s.net.temperature(s.node) - 25.0, p * s.r, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, RcLinearity,
+                         ::testing::Values(0.0, 1.0, 5.0, 20.0, 100.0));
+
+}  // namespace
+}  // namespace dimetrodon::thermal

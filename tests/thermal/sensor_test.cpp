@@ -1,0 +1,61 @@
+#include "thermal/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::thermal {
+namespace {
+
+struct SensorFixture : public ::testing::Test {
+  RcNetwork net;
+  NodeId node = 0;
+
+  void SetUp() override { node = net.add_node("die", 1.0, 25.0); }
+};
+
+TEST_F(SensorFixture, QuantizesDownward) {
+  CoreTempSensor sensor(net, node, 1.0);
+  net.set_temperature(node, 57.9);
+  EXPECT_DOUBLE_EQ(sensor.read(), 57.0);
+  net.set_temperature(node, 57.0);
+  EXPECT_DOUBLE_EQ(sensor.read(), 57.0);
+}
+
+TEST_F(SensorFixture, ExactReadBypassesQuantization) {
+  CoreTempSensor sensor(net, node, 1.0);
+  net.set_temperature(node, 57.9);
+  EXPECT_DOUBLE_EQ(sensor.read_exact(), 57.9);
+}
+
+TEST_F(SensorFixture, SubDegreeChangesInvisible) {
+  // The paper's smallest reported temperature reductions sit below the
+  // coretemp resolution — this is the mechanism.
+  CoreTempSensor sensor(net, node, 1.0);
+  net.set_temperature(node, 60.2);
+  const double before = sensor.read();
+  net.set_temperature(node, 60.9);
+  EXPECT_DOUBLE_EQ(sensor.read(), before);
+}
+
+TEST_F(SensorFixture, CustomQuantization) {
+  CoreTempSensor sensor(net, node, 0.5);
+  net.set_temperature(node, 57.76);
+  EXPECT_DOUBLE_EQ(sensor.read(), 57.5);
+}
+
+TEST_F(SensorFixture, ZeroQuantizationMeansContinuous) {
+  CoreTempSensor sensor(net, node, 0.0);
+  net.set_temperature(node, 57.76);
+  EXPECT_DOUBLE_EQ(sensor.read(), 57.76);
+}
+
+TEST_F(SensorFixture, TracksNodeDynamically) {
+  const NodeId amb = net.add_fixed_node("amb", 25.0);
+  net.connect_r(node, amb, 1.0);
+  CoreTempSensor sensor(net, node);
+  net.set_power(node, 30.0);
+  net.solve_steady_state();
+  EXPECT_DOUBLE_EQ(sensor.read(), 55.0);
+}
+
+}  // namespace
+}  // namespace dimetrodon::thermal

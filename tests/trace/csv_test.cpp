@@ -1,0 +1,57 @@
+#include "trace/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dimetrodon::trace {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "dimetrodon_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"t", "temp"});
+    w.write_row(std::vector<double>{1.0, 55.5});
+    w.write_row(std::vector<double>{2.0, 56.0});
+  }
+  EXPECT_EQ(read_file(path_), "t,temp\n1,55.5\n2,56\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"label"});
+    w.write_row(std::vector<std::string>{"a,b"});
+    w.write_row(std::vector<std::string>{"say \"hi\""});
+  }
+  EXPECT_EQ(read_file(path_), "label\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, FullPrecisionDoubles) {
+  {
+    CsvWriter w(path_, {"x"});
+    w.write_row(std::vector<double>{0.123456789});
+  }
+  EXPECT_NE(read_file(path_).find("0.123456789"), std::string::npos);
+}
+
+TEST(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dimetrodon::trace

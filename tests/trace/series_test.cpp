@@ -1,0 +1,100 @@
+#include "trace/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dimetrodon::trace {
+namespace {
+
+std::vector<SeriesPoint> ramp(std::size_t n) {
+  std::vector<SeriesPoint> s;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back({static_cast<double>(i), static_cast<double>(i)});
+  }
+  return s;
+}
+
+TEST(DownsampleTest, ShortSeriesPassesThrough) {
+  const auto s = ramp(10);
+  const auto out = downsample(s, 20);
+  EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(DownsampleTest, ReducesToRequestedPoints) {
+  const auto out = downsample(ramp(1000), 50);
+  EXPECT_LE(out.size(), 50u);
+  EXPECT_GE(out.size(), 45u);
+}
+
+TEST(DownsampleTest, PreservesMeanOfRamp) {
+  const auto s = ramp(1000);
+  const auto out = downsample(s, 40);
+  double sum = 0.0;
+  for (const auto& p : out) sum += p.value;
+  EXPECT_NEAR(sum / static_cast<double>(out.size()), 499.5, 15.0);
+}
+
+TEST(DownsampleTest, TimesMonotone) {
+  const auto out = downsample(ramp(1000), 37);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i].t, out[i - 1].t);
+  }
+}
+
+TEST(DownsampleTest, DegenerateTimeSpanReturnsSinglePoint) {
+  std::vector<SeriesPoint> s{{5.0, 1.0}, {5.0, 3.0}, {5.0, 9.0}};
+  const auto out = downsample(s, 2);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(EmaTest, ConstantSeriesUnchanged) {
+  std::vector<SeriesPoint> s;
+  for (int i = 0; i < 100; ++i) s.push_back({0.1 * i, 7.0});
+  const auto out = ema(s, 1.0);
+  for (const auto& p : out) EXPECT_DOUBLE_EQ(p.value, 7.0);
+}
+
+TEST(EmaTest, StepResponseConvergesWithTau) {
+  // Step from 0 to 1 at t=0; after 3*tau the EMA is within 5% of 1.
+  std::vector<SeriesPoint> s;
+  for (int i = 0; i <= 400; ++i) s.push_back({0.01 * i, 1.0});
+  s.front().value = 0.0;  // seed state at 0
+  const auto out = ema(s, 1.0);
+  EXPECT_NEAR(out.back().value, 1.0, 0.05);  // t = 4 tau
+  // At t ~ tau the response is ~1 - e^-1.
+  EXPECT_NEAR(out[100].value, 1.0 - std::exp(-1.0), 0.05);
+}
+
+TEST(EmaTest, ZeroTauTracksInput) {
+  std::vector<SeriesPoint> s{{0, 1}, {1, 5}, {2, -3}};
+  const auto out = ema(s, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(out[2].value, -3.0);
+}
+
+TEST(AsciiChartTest, RendersTitleAndAxis) {
+  const auto s = ramp(100);
+  const std::string chart = ascii_chart(s, 40, 8, "ramp");
+  EXPECT_NE(chart.find("ramp"), std::string::npos);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  EXPECT_NE(chart.find("t: 0.00 .. 99.00"), std::string::npos);
+  // Height rows + title + axis.
+  EXPECT_EQ(std::count(chart.begin(), chart.end(), '\n'), 8 + 2);
+}
+
+TEST(AsciiChartTest, EmptySeriesSafe) {
+  EXPECT_EQ(ascii_chart({}, 10, 5), "(empty series)\n");
+}
+
+TEST(AsciiChartTest, MonotoneRampFillsTopRightCorner) {
+  const auto s = ramp(100);
+  const std::string chart = ascii_chart(s, 20, 6);
+  // First data row (the max row) should have its '#' near the right edge.
+  const auto first_line_end = chart.find('\n');
+  const std::string top = chart.substr(0, first_line_end);
+  EXPECT_GT(top.rfind('#'), top.size() - 4);
+}
+
+}  // namespace
+}  // namespace dimetrodon::trace

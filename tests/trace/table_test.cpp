@@ -1,0 +1,52 @@
+#include "trace/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dimetrodon::trace {
+namespace {
+
+TEST(TableTest, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.09"});
+  t.add_row({"beta", "1.54"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header;
+  std::string rule;
+  std::string row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  // The y-column of the header starts at the same offset as in the row.
+  EXPECT_EQ(header.find('y'), row.find('1'));
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+TEST(FmtTest, FormatsLikePrintf) {
+  EXPECT_EQ(fmt("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(fmt("p=%.2f,L=%dms", 0.5, 25), "p=0.50,L=25ms");
+}
+
+}  // namespace
+}  // namespace dimetrodon::trace

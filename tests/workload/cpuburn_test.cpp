@@ -1,0 +1,73 @@
+#include "workload/cpuburn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::workload {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+TEST(CpuBurnTest, FiniteFleetCompletes) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(4, 1.5);
+  fleet.deploy(m);
+  EXPECT_EQ(fleet.threads().size(), 4u);
+  m.run_for(sim::from_sec(3));
+  EXPECT_TRUE(fleet.all_done(m));
+  EXPECT_NEAR(fleet.progress(m), 6.0, 1e-6);
+}
+
+TEST(CpuBurnTest, InfiniteFleetNeverCompletes) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(2);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(2));
+  EXPECT_FALSE(fleet.all_done(m));
+  EXPECT_NEAR(fleet.progress(m), 4.0, 0.05);
+}
+
+TEST(CpuBurnTest, WorstCaseActivityFactor) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(1);
+  fleet.deploy(m);
+  m.run_for(sim::from_ms(50));
+  const auto& t = m.thread(fleet.threads()[0]);
+  EXPECT_DOUBLE_EQ(t.activity(), 1.0);
+}
+
+TEST(CpuBurnTest, CustomActivityRespected) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(1, -1.0, 0.7);
+  fleet.deploy(m);
+  m.run_for(sim::from_ms(50));
+  EXPECT_DOUBLE_EQ(m.thread(fleet.threads()[0]).activity(), 0.7);
+}
+
+TEST(CpuBurnTest, MoreInstancesThanCoresTimeshare) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(8, 0.5);  // 4 s of work on 4 cores
+  fleet.deploy(m);
+  m.run_until_condition([&] { return fleet.all_done(m); }, sim::from_sec(5));
+  EXPECT_TRUE(fleet.all_done(m));
+  EXPECT_NEAR(fleet.progress(m), 4.0, 1e-6);
+}
+
+TEST(CpuBurnTest, ProgressMonotone) {
+  sched::Machine m(small_config());
+  CpuBurnFleet fleet(4);
+  fleet.deploy(m);
+  double prev = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    m.run_for(sim::from_ms(100));
+    const double p = fleet.progress(m);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace dimetrodon::workload

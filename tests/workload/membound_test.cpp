@@ -1,0 +1,94 @@
+#include "workload/membound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "workload/cpuburn.hpp"
+
+namespace dimetrodon::workload {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+TEST(MemBoundTest, ThroughputGatedByStallFraction) {
+  sched::Machine m(small_config());
+  MemBoundProfile profile;  // 55% stalled
+  MemBoundFleet fleet(profile, 4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(10));
+  // CPU-resident fraction ~ (1 - stall) per instance.
+  const double per_instance = fleet.progress(m) / 4.0 / 10.0;
+  EXPECT_NEAR(per_instance, 1.0 - profile.stall_fraction, 0.08);
+}
+
+TEST(MemBoundTest, RunsMuchCoolerThanCpuBound) {
+  auto mean_power = [](bool membound) {
+    sched::MachineConfig cfg;
+    cfg.enable_meter = false;
+    sched::Machine m(cfg);
+    std::unique_ptr<Workload> wl;
+    if (membound) {
+      wl = std::make_unique<MemBoundFleet>(MemBoundProfile{}, 4);
+    } else {
+      wl = std::make_unique<CpuBurnFleet>(4);
+    }
+    wl->deploy(m);
+    m.run_for(sim::from_sec(10));
+    return m.energy().total_joules() / 10.0;
+  };
+  EXPECT_LT(mean_power(true), mean_power(false) - 15.0);
+}
+
+TEST(MemBoundTest, FiniteWorkCompletes) {
+  sched::Machine m(small_config());
+  MemBoundFleet fleet(MemBoundProfile{}, 2, 0.5);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(6));
+  for (const auto tid : fleet.threads()) {
+    EXPECT_EQ(m.thread(tid).state(), sched::ThreadState::kDone) << tid;
+  }
+  EXPECT_NEAR(fleet.progress(m), 1.0, 0.1);
+}
+
+TEST(MemBoundTest, DvfsHurtsLessThanCpuBound) {
+  // Memory time is frequency-invariant: scaling f to 70% costs a CPU-bound
+  // thread ~30% throughput but a memory-bound one much less.
+  auto relative_throughput = [](bool membound) {
+    auto run = [&](std::size_t level) {
+      sched::MachineConfig cfg;
+      cfg.enable_meter = false;
+      sched::Machine m(cfg);
+      m.set_all_dvfs_levels(level);
+      std::unique_ptr<Workload> wl;
+      if (membound) {
+        wl = std::make_unique<MemBoundFleet>(MemBoundProfile{}, 4);
+      } else {
+        wl = std::make_unique<CpuBurnFleet>(4);
+      }
+      wl->deploy(m);
+      m.run_for(sim::from_sec(10));
+      return wl->progress(m);
+    };
+    return run(5) / run(0);
+  };
+  EXPECT_GT(relative_throughput(true), relative_throughput(false) + 0.1);
+}
+
+TEST(MemBoundTest, InjectionStillThrottlesIt) {
+  sched::Machine m(small_config());
+  core::DimetrodonController ctl(m);
+  ctl.sys_set_global(0.75, sim::from_ms(50));
+  MemBoundFleet fleet(MemBoundProfile{}, 4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(10));
+  EXPECT_GT(ctl.stats().injections, 20u);
+  const double per_instance = fleet.progress(m) / 4.0 / 10.0;
+  EXPECT_LT(per_instance, 0.35);  // well below the uninjected 0.45
+}
+
+}  // namespace
+}  // namespace dimetrodon::workload

@@ -1,0 +1,97 @@
+#include "workload/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::workload {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+TEST(SpecProfilesTest, PaperBenchmarksPresent) {
+  // Table 1's six selected benchmarks.
+  for (const char* name :
+       {"calculix", "namd", "dealII", "bzip2", "gcc", "astar"}) {
+    EXPECT_TRUE(find_spec_profile(name).has_value()) << name;
+  }
+  EXPECT_FALSE(find_spec_profile("povray").has_value());
+}
+
+TEST(SpecProfilesTest, ThermalOrderingMatchesTable1) {
+  // calculix hottest ... astar coolest (activity is the heat proxy).
+  const auto& profiles = spec2006_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles.front().name, "calculix");
+  EXPECT_EQ(profiles.back().name, "astar");
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_LE(profiles[i].activity_mean, profiles[i - 1].activity_mean + 0.01)
+        << profiles[i].name;
+  }
+  EXPECT_LT(profiles.back().activity_mean, 0.85);
+  EXPECT_GT(profiles.front().activity_mean, 0.95);
+}
+
+TEST(SpecBehaviorTest, ActivityStaysInBounds) {
+  SpecBehavior b(*find_spec_profile("gcc"));
+  sim::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const sched::Burst burst = b.next_burst(sim::from_ms(i * 20), rng);
+    EXPECT_GE(burst.activity, 0.05);
+    EXPECT_LE(burst.activity, 1.0);
+    EXPECT_GT(burst.work_seconds, 0.0);
+  }
+}
+
+TEST(SpecBehaviorTest, PhaseOscillationVisible) {
+  // Activity at opposite phase points differs by about twice the swing.
+  SpecProfile profile = *find_spec_profile("bzip2");
+  profile.jitter = 0.0;
+  SpecBehavior b(profile);
+  sim::Rng rng(1);
+  const double peak =
+      b.next_burst(sim::from_sec(profile.phase_seconds / 4.0), rng).activity;
+  const double trough =
+      b.next_burst(sim::from_sec(3.0 * profile.phase_seconds / 4.0), rng)
+          .activity;
+  EXPECT_NEAR(peak - trough, 2.0 * profile.activity_swing, 0.01);
+}
+
+TEST(SpecFleetTest, EndlessFleetIsCpuBound) {
+  // Paper §3.5: "the workloads were entirely CPU-bound" — all wall-clock
+  // time converts to work.
+  sched::Machine m(small_config());
+  SpecFleet fleet(*find_spec_profile("namd"), 4);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(5));
+  EXPECT_NEAR(fleet.progress(m), 4 * 5.0, 0.2);
+}
+
+TEST(SpecFleetTest, FiniteFleetCompletes) {
+  sched::Machine m(small_config());
+  SpecFleet fleet(*find_spec_profile("astar"), 2, 1.0);
+  fleet.deploy(m);
+  m.run_for(sim::from_sec(3));
+  for (const auto tid : fleet.threads()) {
+    EXPECT_EQ(m.thread(tid).state(), sched::ThreadState::kDone);
+  }
+  EXPECT_NEAR(fleet.progress(m), 2.0, 0.01);
+}
+
+TEST(SpecFleetTest, HotterProfileDissipatesMorePower) {
+  auto mean_power = [](const char* name) {
+    sched::MachineConfig cfg;
+    cfg.enable_meter = false;
+    sched::Machine m(cfg);
+    SpecFleet fleet(*find_spec_profile(name), 4);
+    fleet.deploy(m);
+    m.run_for(sim::from_sec(10));
+    return m.energy().total_joules() / 10.0;
+  };
+  EXPECT_GT(mean_power("calculix"), mean_power("astar") + 5.0);
+}
+
+}  // namespace
+}  // namespace dimetrodon::workload

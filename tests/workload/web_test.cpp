@@ -1,0 +1,136 @@
+#include "workload/web.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+
+namespace dimetrodon::workload {
+namespace {
+
+sched::MachineConfig small_config() {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  return cfg;
+}
+
+WebWorkload::Config light_config() {
+  WebWorkload::Config cfg;
+  cfg.connections = 40;
+  cfg.think_mean_s = 0.5;
+  return cfg;
+}
+
+TEST(WebWorkloadTest, ServesRequests) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  m.run_for(sim::from_sec(10));
+  // 40 connections / 0.5 s think ≈ 80 req/s nominal.
+  EXPECT_GT(web.completed_requests(), 400u);
+  EXPECT_LT(web.completed_requests(), 1000u);
+}
+
+TEST(WebWorkloadTest, DeploysKernelAndWorkerThreads) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  ASSERT_EQ(web.threads().size(), 1u + web.config().workers);
+  EXPECT_EQ(m.thread(web.threads()[0]).thread_class(),
+            sched::ThreadClass::kKernel);
+  for (std::size_t i = 1; i < web.threads().size(); ++i) {
+    EXPECT_EQ(m.thread(web.threads()[i]).thread_class(),
+              sched::ThreadClass::kUser);
+  }
+}
+
+TEST(WebWorkloadTest, UnloadedLatenciesAreFast) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  m.run_for(sim::from_sec(2));
+  web.mark();
+  m.run_for(sim::from_sec(10));
+  const auto s = web.stats_since_mark();
+  ASSERT_GT(s.total, 100u);
+  // At ~5% load, responses come back in milliseconds: 100% good QoS.
+  EXPECT_DOUBLE_EQ(s.good_fraction(), 1.0);
+  EXPECT_LT(s.mean_latency_s, 0.1);
+}
+
+TEST(WebWorkloadTest, QosBucketsConsistent) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  web.mark();
+  m.run_for(sim::from_sec(5));
+  const auto s = web.stats_since_mark();
+  EXPECT_LE(s.good, s.tolerable);
+  EXPECT_EQ(s.tolerable + s.fail, s.total);
+  EXPECT_GE(s.max_latency_s, s.mean_latency_s);
+}
+
+TEST(WebWorkloadTest, PaperScaleLoadLevel) {
+  // 440 connections over two client machines (§3.7): "approximately 15-25%
+  // load per core".
+  sched::Machine m(small_config());
+  WebWorkload web;  // paper defaults
+  web.deploy(m);
+  const double busy0 = [&] {
+    double b = 0.0;
+    for (std::size_t i = 0; i < m.num_cores(); ++i) {
+      b += m.core(static_cast<sched::CoreId>(i)).busy_seconds;
+    }
+    return b;
+  }();
+  m.run_for(sim::from_sec(20));
+  double busy = -busy0;
+  for (std::size_t i = 0; i < m.num_cores(); ++i) {
+    busy += m.core(static_cast<sched::CoreId>(i)).busy_seconds;
+  }
+  const double load_per_core = busy / (20.0 * 4.0);
+  EXPECT_GT(load_per_core, 0.10);
+  EXPECT_LT(load_per_core, 0.30);
+}
+
+TEST(WebWorkloadTest, InjectionDelaysButServesRequests) {
+  // With aggressive injection the server still works; QoS-relevant latency
+  // grows (the deferral dynamics of §3.7).
+  auto mean_latency = [](double p) {
+    sched::MachineConfig cfg;
+    cfg.enable_meter = false;
+    sched::Machine m(cfg);
+    std::unique_ptr<core::DimetrodonController> ctl;
+    WebWorkload web(WebWorkload::Config{});
+    if (p > 0) {
+      ctl = std::make_unique<core::DimetrodonController>(m);
+      ctl->sys_set_global(p, sim::from_ms(100));
+    }
+    web.deploy(m);
+    m.run_for(sim::from_sec(5));
+    web.mark();
+    m.run_for(sim::from_sec(20));
+    return web.stats_since_mark().mean_latency_s;
+  };
+  EXPECT_GT(mean_latency(0.9), 2.0 * mean_latency(0.0));
+}
+
+TEST(WebWorkloadTest, MarkResetsWindow) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  m.run_for(sim::from_sec(5));
+  web.mark();
+  EXPECT_EQ(web.stats_since_mark().total, 0u);
+}
+
+TEST(WebWorkloadTest, OutstandingRequestsBounded) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  m.run_for(sim::from_sec(10));
+  // Closed loop: outstanding can never exceed the connection count.
+  EXPECT_LE(web.outstanding_requests(), 40u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::workload
