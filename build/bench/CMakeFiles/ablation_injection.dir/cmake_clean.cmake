@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_injection.dir/ablation_injection.cpp.o"
+  "CMakeFiles/ablation_injection.dir/ablation_injection.cpp.o.d"
+  "ablation_injection"
+  "ablation_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_power_trace.dir/fig1_power_trace.cpp.o"
+  "CMakeFiles/fig1_power_trace.dir/fig1_power_trace.cpp.o.d"
+  "fig1_power_trace"
+  "fig1_power_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_power_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_temperature_curves.dir/fig2_temperature_curves.cpp.o"
+  "CMakeFiles/fig2_temperature_curves.dir/fig2_temperature_curves.cpp.o.d"
+  "fig2_temperature_curves"
+  "fig2_temperature_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_temperature_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

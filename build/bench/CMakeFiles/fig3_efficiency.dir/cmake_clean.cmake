@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_efficiency.dir/fig3_efficiency.cpp.o"
+  "CMakeFiles/fig3_efficiency.dir/fig3_efficiency.cpp.o.d"
+  "fig3_efficiency"
+  "fig3_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

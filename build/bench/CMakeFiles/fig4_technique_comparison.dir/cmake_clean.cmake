@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_technique_comparison.dir/fig4_technique_comparison.cpp.o"
+  "CMakeFiles/fig4_technique_comparison.dir/fig4_technique_comparison.cpp.o.d"
+  "fig4_technique_comparison"
+  "fig4_technique_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_technique_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_per_thread_control.dir/fig5_per_thread_control.cpp.o"
+  "CMakeFiles/fig5_per_thread_control.dir/fig5_per_thread_control.cpp.o.d"
+  "fig5_per_thread_control"
+  "fig5_per_thread_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_per_thread_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_per_thread_control.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_web_qos.cpp" "bench/CMakeFiles/fig6_web_qos.dir/fig6_web_qos.cpp.o" "gcc" "bench/CMakeFiles/fig6_web_qos.dir/fig6_web_qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dimetrodon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dimetrodon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/dimetrodon_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dimetrodon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dimetrodon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dimetrodon_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dimetrodon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dimetrodon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dimetrodon_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_web_qos.dir/fig6_web_qos.cpp.o"
+  "CMakeFiles/fig6_web_qos.dir/fig6_web_qos.cpp.o.d"
+  "fig6_web_qos"
+  "fig6_web_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_web_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

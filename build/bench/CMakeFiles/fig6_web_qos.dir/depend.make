@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_web_qos.
+# This may be replaced when dependencies are built.

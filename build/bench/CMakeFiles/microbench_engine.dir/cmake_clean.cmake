@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_engine.dir/microbench_engine.cpp.o"
+  "CMakeFiles/microbench_engine.dir/microbench_engine.cpp.o.d"
+  "microbench_engine"
+  "microbench_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spec_workloads.dir/table1_spec_workloads.cpp.o"
+  "CMakeFiles/table1_spec_workloads.dir/table1_spec_workloads.cpp.o.d"
+  "table1_spec_workloads"
+  "table1_spec_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spec_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_model.dir/validation_model.cpp.o"
+  "CMakeFiles/validation_model.dir/validation_model.cpp.o.d"
+  "validation_model"
+  "validation_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

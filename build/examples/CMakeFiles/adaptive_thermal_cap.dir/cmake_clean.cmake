@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_thermal_cap.dir/adaptive_thermal_cap.cpp.o"
+  "CMakeFiles/adaptive_thermal_cap.dir/adaptive_thermal_cap.cpp.o.d"
+  "adaptive_thermal_cap"
+  "adaptive_thermal_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_thermal_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

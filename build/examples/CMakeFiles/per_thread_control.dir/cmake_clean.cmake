@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_thread_control.dir/per_thread_control.cpp.o"
+  "CMakeFiles/per_thread_control.dir/per_thread_control.cpp.o.d"
+  "per_thread_control"
+  "per_thread_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_thread_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

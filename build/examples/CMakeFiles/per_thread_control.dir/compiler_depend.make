@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for per_thread_control.
+# This may be replaced when dependencies are built.

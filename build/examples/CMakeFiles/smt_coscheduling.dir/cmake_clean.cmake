@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_coscheduling.dir/smt_coscheduling.cpp.o"
+  "CMakeFiles/smt_coscheduling.dir/smt_coscheduling.cpp.o.d"
+  "smt_coscheduling"
+  "smt_coscheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_coscheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smt_coscheduling.
+# This may be replaced when dependencies are built.

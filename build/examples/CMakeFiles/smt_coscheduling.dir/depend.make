@@ -1,0 +1,2 @@
+# Empty dependencies file for smt_coscheduling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_qos.dir/web_server_qos.cpp.o"
+  "CMakeFiles/web_server_qos.dir/web_server_qos.cpp.o.d"
+  "web_server_qos"
+  "web_server_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bootstrap.cpp" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/bootstrap.cpp.o" "gcc" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/analysis/fit.cpp" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/fit.cpp.o" "gcc" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/fit.cpp.o.d"
+  "/root/repo/src/analysis/pareto.cpp" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/pareto.cpp.o" "gcc" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/pareto.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/dimetrodon_analysis.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

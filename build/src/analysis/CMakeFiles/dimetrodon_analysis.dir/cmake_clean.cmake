@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_analysis.dir/bootstrap.cpp.o"
+  "CMakeFiles/dimetrodon_analysis.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/dimetrodon_analysis.dir/fit.cpp.o"
+  "CMakeFiles/dimetrodon_analysis.dir/fit.cpp.o.d"
+  "CMakeFiles/dimetrodon_analysis.dir/pareto.cpp.o"
+  "CMakeFiles/dimetrodon_analysis.dir/pareto.cpp.o.d"
+  "CMakeFiles/dimetrodon_analysis.dir/stats.cpp.o"
+  "CMakeFiles/dimetrodon_analysis.dir/stats.cpp.o.d"
+  "libdimetrodon_analysis.a"
+  "libdimetrodon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/dimetrodon_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/dimetrodon_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/analytic_model.cpp" "src/core/CMakeFiles/dimetrodon_core.dir/analytic_model.cpp.o" "gcc" "src/core/CMakeFiles/dimetrodon_core.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/dimetrodon_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/dimetrodon_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/injection.cpp" "src/core/CMakeFiles/dimetrodon_core.dir/injection.cpp.o" "gcc" "src/core/CMakeFiles/dimetrodon_core.dir/injection.cpp.o.d"
+  "/root/repo/src/core/power_cap.cpp" "src/core/CMakeFiles/dimetrodon_core.dir/power_cap.cpp.o" "gcc" "src/core/CMakeFiles/dimetrodon_core.dir/power_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dimetrodon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dimetrodon_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dimetrodon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_core.dir/adaptive.cpp.o"
+  "CMakeFiles/dimetrodon_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/dimetrodon_core.dir/analytic_model.cpp.o"
+  "CMakeFiles/dimetrodon_core.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/dimetrodon_core.dir/controller.cpp.o"
+  "CMakeFiles/dimetrodon_core.dir/controller.cpp.o.d"
+  "CMakeFiles/dimetrodon_core.dir/injection.cpp.o"
+  "CMakeFiles/dimetrodon_core.dir/injection.cpp.o.d"
+  "CMakeFiles/dimetrodon_core.dir/power_cap.cpp.o"
+  "CMakeFiles/dimetrodon_core.dir/power_cap.cpp.o.d"
+  "libdimetrodon_core.a"
+  "libdimetrodon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_harness.dir/experiment.cpp.o"
+  "CMakeFiles/dimetrodon_harness.dir/experiment.cpp.o.d"
+  "libdimetrodon_harness.a"
+  "libdimetrodon_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdimetrodon_harness.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dimetrodon_harness.
+# This may be replaced when dependencies are built.

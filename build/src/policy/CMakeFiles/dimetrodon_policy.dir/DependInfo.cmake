@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/migration.cpp" "src/policy/CMakeFiles/dimetrodon_policy.dir/migration.cpp.o" "gcc" "src/policy/CMakeFiles/dimetrodon_policy.dir/migration.cpp.o.d"
+  "/root/repo/src/policy/thermal_policy.cpp" "src/policy/CMakeFiles/dimetrodon_policy.dir/thermal_policy.cpp.o" "gcc" "src/policy/CMakeFiles/dimetrodon_policy.dir/thermal_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/dimetrodon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dimetrodon_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dimetrodon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

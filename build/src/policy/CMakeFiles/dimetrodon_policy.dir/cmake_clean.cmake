@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_policy.dir/migration.cpp.o"
+  "CMakeFiles/dimetrodon_policy.dir/migration.cpp.o.d"
+  "CMakeFiles/dimetrodon_policy.dir/thermal_policy.cpp.o"
+  "CMakeFiles/dimetrodon_policy.dir/thermal_policy.cpp.o.d"
+  "libdimetrodon_policy.a"
+  "libdimetrodon_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

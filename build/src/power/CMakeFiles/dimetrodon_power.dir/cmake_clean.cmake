@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_power.dir/dvfs.cpp.o"
+  "CMakeFiles/dimetrodon_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/dimetrodon_power.dir/meter.cpp.o"
+  "CMakeFiles/dimetrodon_power.dir/meter.cpp.o.d"
+  "CMakeFiles/dimetrodon_power.dir/power_model.cpp.o"
+  "CMakeFiles/dimetrodon_power.dir/power_model.cpp.o.d"
+  "libdimetrodon_power.a"
+  "libdimetrodon_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/machine.cpp" "src/sched/CMakeFiles/dimetrodon_sched.dir/machine.cpp.o" "gcc" "src/sched/CMakeFiles/dimetrodon_sched.dir/machine.cpp.o.d"
+  "/root/repo/src/sched/runqueue.cpp" "src/sched/CMakeFiles/dimetrodon_sched.dir/runqueue.cpp.o" "gcc" "src/sched/CMakeFiles/dimetrodon_sched.dir/runqueue.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/dimetrodon_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dimetrodon_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/ule_scheduler.cpp" "src/sched/CMakeFiles/dimetrodon_sched.dir/ule_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/dimetrodon_sched.dir/ule_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dimetrodon_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dimetrodon_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

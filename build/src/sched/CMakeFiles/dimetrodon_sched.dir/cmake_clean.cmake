@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_sched.dir/machine.cpp.o"
+  "CMakeFiles/dimetrodon_sched.dir/machine.cpp.o.d"
+  "CMakeFiles/dimetrodon_sched.dir/runqueue.cpp.o"
+  "CMakeFiles/dimetrodon_sched.dir/runqueue.cpp.o.d"
+  "CMakeFiles/dimetrodon_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/dimetrodon_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dimetrodon_sched.dir/ule_scheduler.cpp.o"
+  "CMakeFiles/dimetrodon_sched.dir/ule_scheduler.cpp.o.d"
+  "libdimetrodon_sched.a"
+  "libdimetrodon_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dimetrodon_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dimetrodon_sim.dir/format.cpp.o"
+  "CMakeFiles/dimetrodon_sim.dir/format.cpp.o.d"
+  "CMakeFiles/dimetrodon_sim.dir/rng.cpp.o"
+  "CMakeFiles/dimetrodon_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/dimetrodon_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dimetrodon_sim.dir/simulator.cpp.o.d"
+  "libdimetrodon_sim.a"
+  "libdimetrodon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

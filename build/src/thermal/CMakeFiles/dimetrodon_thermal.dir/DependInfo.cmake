@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cpp" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/floorplan.cpp.o" "gcc" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/linalg.cpp" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/linalg.cpp.o" "gcc" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/linalg.cpp.o.d"
+  "/root/repo/src/thermal/rc_network.cpp" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/rc_network.cpp.o" "gcc" "src/thermal/CMakeFiles/dimetrodon_thermal.dir/rc_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

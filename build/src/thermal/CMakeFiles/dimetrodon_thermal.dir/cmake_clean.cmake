@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/dimetrodon_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/dimetrodon_thermal.dir/linalg.cpp.o"
+  "CMakeFiles/dimetrodon_thermal.dir/linalg.cpp.o.d"
+  "CMakeFiles/dimetrodon_thermal.dir/rc_network.cpp.o"
+  "CMakeFiles/dimetrodon_thermal.dir/rc_network.cpp.o.d"
+  "libdimetrodon_thermal.a"
+  "libdimetrodon_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

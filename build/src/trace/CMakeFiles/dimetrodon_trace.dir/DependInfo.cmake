@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/dimetrodon_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/dimetrodon_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/series.cpp" "src/trace/CMakeFiles/dimetrodon_trace.dir/series.cpp.o" "gcc" "src/trace/CMakeFiles/dimetrodon_trace.dir/series.cpp.o.d"
+  "/root/repo/src/trace/table.cpp" "src/trace/CMakeFiles/dimetrodon_trace.dir/table.cpp.o" "gcc" "src/trace/CMakeFiles/dimetrodon_trace.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

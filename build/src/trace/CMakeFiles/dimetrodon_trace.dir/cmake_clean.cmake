@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_trace.dir/csv.cpp.o"
+  "CMakeFiles/dimetrodon_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/dimetrodon_trace.dir/series.cpp.o"
+  "CMakeFiles/dimetrodon_trace.dir/series.cpp.o.d"
+  "CMakeFiles/dimetrodon_trace.dir/table.cpp.o"
+  "CMakeFiles/dimetrodon_trace.dir/table.cpp.o.d"
+  "libdimetrodon_trace.a"
+  "libdimetrodon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

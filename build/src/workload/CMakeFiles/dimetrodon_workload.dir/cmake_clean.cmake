@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimetrodon_workload.dir/cpuburn.cpp.o"
+  "CMakeFiles/dimetrodon_workload.dir/cpuburn.cpp.o.d"
+  "CMakeFiles/dimetrodon_workload.dir/membound.cpp.o"
+  "CMakeFiles/dimetrodon_workload.dir/membound.cpp.o.d"
+  "CMakeFiles/dimetrodon_workload.dir/spec.cpp.o"
+  "CMakeFiles/dimetrodon_workload.dir/spec.cpp.o.d"
+  "CMakeFiles/dimetrodon_workload.dir/web.cpp.o"
+  "CMakeFiles/dimetrodon_workload.dir/web.cpp.o.d"
+  "libdimetrodon_workload.a"
+  "libdimetrodon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimetrodon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/bootstrap_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/bootstrap_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/fit_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/fit_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/pareto_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/pareto_test.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

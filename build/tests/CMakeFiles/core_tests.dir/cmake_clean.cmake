@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/analytic_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/analytic_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/injection_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/injection_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_table_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policy_table_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/power_cap_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/power_cap_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_tests.dir/harness/experiment_test.cpp.o"
+  "CMakeFiles/harness_tests.dir/harness/experiment_test.cpp.o.d"
+  "harness_tests"
+  "harness_tests.pdb"
+  "harness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_tests.dir/policy/migration_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/migration_test.cpp.o.d"
+  "CMakeFiles/policy_tests.dir/policy/thermal_policy_test.cpp.o"
+  "CMakeFiles/policy_tests.dir/policy/thermal_policy_test.cpp.o.d"
+  "policy_tests"
+  "policy_tests.pdb"
+  "policy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

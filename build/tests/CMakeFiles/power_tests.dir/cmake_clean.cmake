@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_tests.dir/power/clock_modulation_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/clock_modulation_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/cstate_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/cstate_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/dvfs_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/dvfs_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/energy_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/energy_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/meter_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/meter_test.cpp.o.d"
+  "CMakeFiles/power_tests.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/power_tests.dir/power/power_model_test.cpp.o.d"
+  "power_tests"
+  "power_tests.pdb"
+  "power_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

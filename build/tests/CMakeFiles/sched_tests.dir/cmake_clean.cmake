@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/machine_edge_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/machine_edge_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/machine_injection_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/machine_injection_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/machine_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/machine_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/runqueue_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/runqueue_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/smt_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/smt_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/thermal_monitor_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/thermal_monitor_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/ule_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/ule_scheduler_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_tests.dir/thermal/floorplan_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/floorplan_test.cpp.o.d"
+  "CMakeFiles/thermal_tests.dir/thermal/linalg_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/linalg_test.cpp.o.d"
+  "CMakeFiles/thermal_tests.dir/thermal/rc_network_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/rc_network_test.cpp.o.d"
+  "CMakeFiles/thermal_tests.dir/thermal/sensor_test.cpp.o"
+  "CMakeFiles/thermal_tests.dir/thermal/sensor_test.cpp.o.d"
+  "thermal_tests"
+  "thermal_tests.pdb"
+  "thermal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/csv_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/csv_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/series_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/series_test.cpp.o.d"
+  "CMakeFiles/trace_tests.dir/trace/table_test.cpp.o"
+  "CMakeFiles/trace_tests.dir/trace/table_test.cpp.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/cool_process_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/cool_process_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/cool_process_test.cpp.o.d"
+  "/root/repo/tests/workload/cpuburn_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/cpuburn_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/cpuburn_test.cpp.o.d"
+  "/root/repo/tests/workload/membound_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/membound_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/membound_test.cpp.o.d"
+  "/root/repo/tests/workload/spec_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/spec_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/spec_test.cpp.o.d"
+  "/root/repo/tests/workload/web_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/web_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/web_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dimetrodon_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dimetrodon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/dimetrodon_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dimetrodon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dimetrodon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/dimetrodon_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dimetrodon_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dimetrodon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dimetrodon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dimetrodon_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

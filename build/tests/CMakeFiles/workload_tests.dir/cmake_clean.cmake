@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/cool_process_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/cool_process_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/cpuburn_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/cpuburn_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/membound_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/membound_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/spec_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/spec_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/web_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/web_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
