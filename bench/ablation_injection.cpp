@@ -16,8 +16,121 @@ using namespace dimetrodon;
 
 namespace {
 
-harness::ExperimentRunner::WorkloadFactory cpuburn4() {
-  return [] { return std::make_unique<workload::CpuBurnFleet>(4); };
+/// (1) Steady-state temperature statistics under one injection policy.
+runner::RunSpec policy_spec(const sched::MachineConfig& base, bool stratified) {
+  sched::MachineConfig mcfg = base;
+  mcfg.enable_meter = false;
+  auto spec = bench::custom_spec(
+      base, trace::fmt("ablation-policy[stratified=%d]", stratified ? 1 : 0),
+      [stratified](const runner::RunSpec&, const sched::MachineConfig& cfg) {
+        sched::Machine machine(cfg);
+        std::unique_ptr<core::InjectionPolicy> policy;
+        if (stratified) policy = std::make_unique<core::StratifiedInjection>();
+        core::DimetrodonController ctl(machine, std::move(policy));
+        ctl.sys_set_global(0.5, sim::from_ms(50));
+        workload::CpuBurnFleet fleet(4);
+        fleet.deploy(machine);
+        for (int i = 0; i < 4; ++i) {
+          machine.mark_power_window();
+          machine.run_for(sim::from_sec(8));
+          machine.jump_to_average_power_steady_state();
+        }
+        analysis::OnlineStats temp;
+        const double w0 = fleet.progress(machine);
+        for (int s = 0; s < 60; ++s) {
+          machine.run_for(sim::kSecond);
+          temp.add(machine.mean_sensor_temp());
+        }
+        runner::RunRecord rec;
+        rec.extra = {{"mean_temp", temp.mean()},
+                     {"stddev_temp", temp.stddev()},
+                     {"throughput", (fleet.progress(machine) - w0) / 60.0},
+                     {"observed_rate", ctl.observed_injection_rate()},
+                     {"sim_seconds", sim::to_sec(machine.now())}};
+        return rec;
+      });
+  spec.machine = std::move(mcfg);
+  return spec;
+}
+
+/// (4) Closed-loop capping: hold the sensor temperature at `target`.
+runner::RunSpec adaptive_spec(const sched::MachineConfig& base, double target) {
+  sched::MachineConfig mcfg = base;
+  mcfg.enable_meter = false;
+  auto spec = bench::custom_spec(
+      base, trace::fmt("ablation-adaptive[target=%a]", target),
+      [target](const runner::RunSpec&, const sched::MachineConfig& cfg) {
+        sched::Machine machine(cfg);
+        core::DimetrodonController ctl(machine);
+        core::AdaptiveController::Config acfg;
+        acfg.target_temp_c = target;
+        core::AdaptiveController adaptive(machine, ctl, acfg);
+        workload::CpuBurnFleet fleet(4);
+        fleet.deploy(machine);
+        for (int i = 0; i < 4; ++i) {
+          machine.mark_power_window();
+          machine.run_for(sim::from_sec(10));
+          machine.jump_to_average_power_steady_state();
+        }
+        analysis::OnlineStats temp;
+        for (int s = 0; s < 30; ++s) {
+          machine.run_for(sim::kSecond);
+          temp.add(machine.mean_sensor_temp());
+        }
+        runner::RunRecord rec;
+        rec.extra = {{"mean_temp", temp.mean()},
+                     {"stddev_temp", temp.stddev()},
+                     {"probability", adaptive.current_probability()},
+                     {"sim_seconds", sim::to_sec(machine.now())}};
+        return rec;
+      });
+  spec.machine = std::move(mcfg);
+  return spec;
+}
+
+/// (6) Crippled cooling: ride PROCHOT, or prevent it with injection.
+runner::RunSpec prochot_spec(const sched::MachineConfig& base, bool inject) {
+  sched::MachineConfig mcfg = base;
+  mcfg.enable_meter = false;
+  mcfg.floorplan.fan_speed_fraction = 0.4;
+  auto spec = bench::custom_spec(
+      base, trace::fmt("ablation-prochot[inject=%d]", inject ? 1 : 0),
+      [inject](const runner::RunSpec&, const sched::MachineConfig& cfg) {
+        sched::Machine machine(cfg);
+        core::DimetrodonController ctl(machine);
+        if (inject) ctl.sys_set_global(0.85, sim::from_ms(25));
+        workload::CpuBurnFleet fleet(4);
+        fleet.deploy(machine);
+        for (int i = 0; i < 5; ++i) {
+          machine.mark_power_window();
+          machine.run_for(sim::from_sec(8));
+          machine.jump_to_average_power_steady_state();
+        }
+        const double w0 = fleet.progress(machine);
+        machine.run_for(sim::from_sec(10));
+        runner::RunRecord rec;
+        rec.extra = {
+            {"mean_temp", machine.mean_sensor_temp()},
+            {"throughput", (fleet.progress(machine) - w0) / 10.0},
+            {"prochot",
+             static_cast<double>(machine.thermal_throttle_engagements())},
+            {"sim_seconds", sim::to_sec(machine.now())}};
+        return rec;
+      });
+  spec.machine = std::move(mcfg);
+  return spec;
+}
+
+/// Appends a baseline + injected-run pair on a machine-config variant;
+/// sections (2)/(3)/(5) consume the records pairwise.
+void add_pair(std::vector<runner::RunSpec>& specs, sched::MachineConfig mcfg,
+              double p, sim::SimTime quantum) {
+  specs.push_back(bench::measure_spec_on(mcfg, bench::cpuburn_key(4),
+                                         bench::cpuburn_fleet(4),
+                                         runner::ActuationSpec::none()));
+  specs.push_back(bench::measure_spec_on(
+      mcfg, bench::cpuburn_key(4), bench::cpuburn_fleet(4),
+      runner::ActuationSpec::global(p, quantum)));
 }
 
 }  // namespace
@@ -25,37 +138,51 @@ harness::ExperimentRunner::WorkloadFactory cpuburn4() {
 int main() {
   std::printf("=== Ablations ===\n");
   sched::MachineConfig cfg;
+  auto engine = bench::make_engine(cfg, "ablation_injection");
+
+  // The whole ablation suite is one engine grid; each section then reads its
+  // records back in submission order.
+  std::vector<runner::RunSpec> specs;
+  for (const bool stratified : {false, true}) {  // (1)
+    specs.push_back(policy_spec(cfg, stratified));
+  }
+  for (const power::CState cstate :
+       {power::CState::kC1, power::CState::kC1E}) {  // (2)
+    sched::MachineConfig mcfg = cfg;
+    mcfg.idle_cstate = cstate;
+    add_pair(specs, mcfg, 0.5, sim::from_ms(10));
+  }
+  for (const bool suspend : {true, false}) {  // (3)
+    sched::MachineConfig mcfg = cfg;
+    mcfg.injection_suspends_thread = suspend;
+    add_pair(specs, mcfg, 0.5, sim::from_ms(25));
+  }
+  for (const double target : {48.0, 52.0, 56.0}) {  // (4)
+    specs.push_back(adaptive_spec(cfg, target));
+  }
+  for (const auto kind :
+       {sched::SchedulerKind::kBsd, sched::SchedulerKind::kUle}) {  // (5)
+    sched::MachineConfig mcfg = cfg;
+    mcfg.scheduler_kind = kind;
+    add_pair(specs, mcfg, 0.5, sim::from_ms(25));
+  }
+  for (const bool inject : {false, true}) {  // (6)
+    specs.push_back(prochot_spec(cfg, inject));
+  }
+  const auto records = engine.run(specs);
+  std::size_t next_record = 0;
 
   // (1) Bernoulli vs stratified: same duty, temperature variance and
   // trade-off compared. Variance computed over 1 Hz sensor samples.
   std::printf("\n-- (1) Bernoulli vs deterministic injection (p=0.5, "
               "L=50 ms) --\n");
   for (const bool stratified : {false, true}) {
-    sched::MachineConfig mcfg;
-    mcfg.enable_meter = false;
-    sched::Machine machine(mcfg);
-    std::unique_ptr<core::InjectionPolicy> policy;
-    if (stratified) policy = std::make_unique<core::StratifiedInjection>();
-    core::DimetrodonController ctl(machine, std::move(policy));
-    ctl.sys_set_global(0.5, sim::from_ms(50));
-    workload::CpuBurnFleet fleet(4);
-    fleet.deploy(machine);
-    for (int i = 0; i < 4; ++i) {
-      machine.mark_power_window();
-      machine.run_for(sim::from_sec(8));
-      machine.jump_to_average_power_steady_state();
-    }
-    analysis::OnlineStats temp;
-    const double w0 = fleet.progress(machine);
-    for (int s = 0; s < 60; ++s) {
-      machine.run_for(sim::kSecond);
-      temp.add(machine.mean_sensor_temp());
-    }
+    const auto& r = records.at(next_record++);
     std::printf("  %-12s mean temp %.2f C, stddev %.3f C, throughput %.3f, "
                 "observed rate %.3f\n",
-                stratified ? "stratified" : "bernoulli", temp.mean(),
-                temp.stddev(), (fleet.progress(machine) - w0) / 60.0,
-                ctl.observed_injection_rate());
+                stratified ? "stratified" : "bernoulli", r.metric("mean_temp"),
+                r.metric("stddev_temp"), r.metric("throughput"),
+                r.metric("observed_rate"));
   }
   std::printf("  expectation: identical duty; stratified runs cooler-or-equal "
               "with visibly smaller fluctuation (the paper's 'smoother "
@@ -65,13 +192,9 @@ int main() {
   std::printf("\n-- (2) idle C-state depth under injection (p=0.5, "
               "L=10 ms) --\n");
   for (const power::CState cstate : {power::CState::kC1, power::CState::kC1E}) {
-    sched::MachineConfig mcfg = cfg;
-    mcfg.idle_cstate = cstate;
-    harness::ExperimentRunner r2(mcfg, harness::MeasurementConfig{});
-    const auto base2 = r2.measure(cpuburn4(), harness::no_actuation());
-    const auto run = r2.measure(
-        cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(10)));
-    const auto t = harness::compute_tradeoff(base2, run);
+    const auto& base = records.at(next_record++).result;
+    const auto& run = records.at(next_record++).result;
+    const auto t = harness::compute_tradeoff(base, run);
     std::printf("  %-4s temp reduction %5.2f%% at %5.2f%% throughput cost "
                 "(efficiency %.2f)\n",
                 power::cstate_info(cstate).name.data(),
@@ -85,13 +208,9 @@ int main() {
   std::printf("\n-- (3) suspension vs literal idle-the-core semantics "
               "(4 threads / 4 cores, p=0.5, L=25 ms) --\n");
   for (const bool suspend : {true, false}) {
-    sched::MachineConfig mcfg = cfg;
-    mcfg.injection_suspends_thread = suspend;
-    harness::ExperimentRunner r3(mcfg, harness::MeasurementConfig{});
-    const auto base3 = r3.measure(cpuburn4(), harness::no_actuation());
-    const auto run = r3.measure(
-        cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(25)));
-    const auto t = harness::compute_tradeoff(base3, run);
+    const auto& base = records.at(next_record++).result;
+    const auto& run = records.at(next_record++).result;
+    const auto t = harness::compute_tradeoff(base, run);
     std::printf("  %-10s temp red %5.2f%%, throughput red %5.2f%%\n",
                 suspend ? "suspend" : "idle-core", 100 * t.temp_reduction,
                 100 * t.throughput_reduction);
@@ -102,29 +221,11 @@ int main() {
   // (4) Adaptive temperature capping.
   std::printf("\n-- (4) adaptive temperature capping (extension) --\n");
   for (const double target : {48.0, 52.0, 56.0}) {
-    sched::MachineConfig mcfg;
-    mcfg.enable_meter = false;
-    sched::Machine machine(mcfg);
-    core::DimetrodonController ctl(machine);
-    core::AdaptiveController::Config acfg;
-    acfg.target_temp_c = target;
-    core::AdaptiveController adaptive(machine, ctl, acfg);
-    workload::CpuBurnFleet fleet(4);
-    fleet.deploy(machine);
-    for (int i = 0; i < 4; ++i) {
-      machine.mark_power_window();
-      machine.run_for(sim::from_sec(10));
-      machine.jump_to_average_power_steady_state();
-    }
-    analysis::OnlineStats temp;
-    for (int s = 0; s < 30; ++s) {
-      machine.run_for(sim::kSecond);
-      temp.add(machine.mean_sensor_temp());
-    }
+    const auto& r = records.at(next_record++);
     std::printf("  target %4.1f C -> held %5.2f C (stddev %.2f) at "
                 "p=%.3f\n",
-                target, temp.mean(), temp.stddev(),
-                adaptive.current_probability());
+                target, r.metric("mean_temp"), r.metric("stddev_temp"),
+                r.metric("probability"));
   }
   std::printf("  expectation: sensor temperature tracks each target; hotter "
               "targets need smaller p.\n");
@@ -134,13 +235,9 @@ int main() {
               "L=25 ms) --\n");
   for (const auto kind :
        {sched::SchedulerKind::kBsd, sched::SchedulerKind::kUle}) {
-    sched::MachineConfig mcfg = cfg;
-    mcfg.scheduler_kind = kind;
-    harness::ExperimentRunner r5(mcfg, harness::MeasurementConfig{});
-    const auto base5 = r5.measure(cpuburn4(), harness::no_actuation());
-    const auto run = r5.measure(
-        cpuburn4(), harness::dimetrodon_global(0.5, sim::from_ms(25)));
-    const auto t = harness::compute_tradeoff(base5, run);
+    const auto& base = records.at(next_record++).result;
+    const auto& run = records.at(next_record++).result;
+    const auto t = harness::compute_tradeoff(base, run);
     std::printf("  %-7s temp red %5.2f%%, throughput red %5.2f%%, "
                 "efficiency %.2f\n",
                 kind == sched::SchedulerKind::kBsd ? "4.4BSD" : "ULE",
@@ -154,28 +251,12 @@ int main() {
   std::printf("\n-- (6) Dimetrodon vs PROCHOT under crippled cooling "
               "(fan at 40%%) --\n");
   for (const bool inject : {false, true}) {
-    sched::MachineConfig mcfg;
-    mcfg.enable_meter = false;
-    mcfg.floorplan.fan_speed_fraction = 0.4;
-    sched::Machine machine(mcfg);
-    core::DimetrodonController ctl(machine);
-    if (inject) ctl.sys_set_global(0.85, sim::from_ms(25));
-    workload::CpuBurnFleet fleet(4);
-    fleet.deploy(machine);
-    for (int i = 0; i < 5; ++i) {
-      machine.mark_power_window();
-      machine.run_for(sim::from_sec(8));
-      machine.jump_to_average_power_steady_state();
-    }
-    const double w0 = fleet.progress(machine);
-    machine.run_for(sim::from_sec(10));
+    const auto& r = records.at(next_record++);
     std::printf("  %-14s temp %5.1f C, throughput %.2f w/s, PROCHOT "
                 "engagements %llu\n",
-                inject ? "dimetrodon" : "unconstrained",
-                machine.mean_sensor_temp(),
-                (fleet.progress(machine) - w0) / 10.0,
-                static_cast<unsigned long long>(
-                    machine.thermal_throttle_engagements()));
+                inject ? "dimetrodon" : "unconstrained", r.metric("mean_temp"),
+                r.metric("throughput"),
+                static_cast<unsigned long long>(r.metric("prochot")));
   }
   std::printf("  expectation: unconstrained execution rides the hardware "
               "throttle (reactive, worst-case DTM); preventive injection "

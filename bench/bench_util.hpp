@@ -6,12 +6,16 @@
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/pareto.hpp"
 #include "harness/experiment.hpp"
+#include "runner/sweep_engine.hpp"
 #include "trace/csv.hpp"
 #include "trace/table.hpp"
+#include "workload/cpuburn.hpp"
+#include "workload/spec.hpp"
 
 namespace dimetrodon::bench {
 
@@ -65,6 +69,113 @@ inline std::vector<std::string> pareto_labels(
     labels.push_back(tp.label);
   }
   return labels;
+}
+
+// --- sweep-engine plumbing --------------------------------------------------
+// All grid-shaped benches execute through one runner::SweepEngine: points run
+// on a work-stealing pool (DIMETRODON_SWEEP_THREADS, default all cores) and
+// completed points are replayed from bench_results/cache/ on re-runs
+// (DIMETRODON_SWEEP_CACHE=0 disables). Progress goes to stderr; a metrics
+// JSON lands next to the bench's CSV.
+
+/// Engine over `cfg` with env-tunable parallelism/caching; `bench_name`
+/// names the metrics JSON (bench_results/<bench_name>_metrics.json).
+inline runner::SweepEngine make_engine(const sched::MachineConfig& cfg,
+                                       const std::string& bench_name) {
+  results_dir();  // the metrics JSON needs the directory to exist
+  return runner::SweepEngine(cfg,
+                             runner::SweepEngineConfig::from_env(bench_name));
+}
+
+/// Workload factory + stable cache key for an n-instance cpuburn fleet.
+inline harness::ExperimentRunner::WorkloadFactory cpuburn_fleet(int n) {
+  return [n] { return std::make_unique<workload::CpuBurnFleet>(n); };
+}
+inline std::string cpuburn_key(int n) {
+  return "cpuburn:" + std::to_string(n);
+}
+
+/// Factory + key for an n-instance SPEC CPU2006 fleet ("cpuburn" maps to the
+/// cpuburn fleet so Table-1-style loops can treat all rows uniformly).
+inline harness::ExperimentRunner::WorkloadFactory workload_fleet(
+    const std::string& name, int n) {
+  if (name == "cpuburn") return cpuburn_fleet(n);
+  const auto profile = *workload::find_spec_profile(name);
+  return [profile, n] {
+    return std::make_unique<workload::SpecFleet>(profile, n);
+  };
+}
+inline std::string workload_key(const std::string& name, int n) {
+  return name == "cpuburn" ? cpuburn_key(n)
+                           : "spec:" + name + ":" + std::to_string(n);
+}
+
+/// Measured-run spec under `cfg`. The seed defaults to the machine's own, so
+/// an engine sweep is bit-identical to the serial ExperimentRunner loop it
+/// replaces.
+inline runner::RunSpec measure_spec(
+    const sched::MachineConfig& cfg, std::string key,
+    harness::ExperimentRunner::WorkloadFactory factory,
+    runner::ActuationSpec actuation,
+    harness::MeasurementConfig mc = harness::MeasurementConfig{}) {
+  runner::RunSpec spec;
+  spec.workload_key = std::move(key);
+  spec.workload = std::move(factory);
+  spec.actuation = actuation;
+  spec.measurement = mc;
+  spec.seed = cfg.seed;
+  return spec;
+}
+
+/// Measured-run spec with a per-run machine override (C-state, scheduler,
+/// and injection-semantics ablations).
+inline runner::RunSpec measure_spec_on(
+    sched::MachineConfig machine, std::string key,
+    harness::ExperimentRunner::WorkloadFactory factory,
+    runner::ActuationSpec actuation,
+    harness::MeasurementConfig mc = harness::MeasurementConfig{}) {
+  runner::RunSpec spec = measure_spec(machine, std::move(key),
+                                      std::move(factory), actuation, mc);
+  spec.machine = std::move(machine);
+  return spec;
+}
+
+/// Custom-run spec: `tag` is the run's cache identity (it must encode every
+/// parameter the function closes over), `fn` receives the machine config with
+/// the spec's seed already applied.
+inline runner::RunSpec custom_spec(
+    const sched::MachineConfig& cfg, std::string tag,
+    std::function<runner::RunRecord(const runner::RunSpec&,
+                                    const sched::MachineConfig&)>
+        fn) {
+  runner::RunSpec spec;
+  spec.kind = runner::RunSpec::Kind::kCustom;
+  spec.custom_tag = std::move(tag);
+  spec.custom = std::move(fn);
+  spec.seed = cfg.seed;
+  return spec;
+}
+
+/// A baseline-plus-grid sweep executed in one engine pass: specs[0] is the
+/// unconstrained baseline and every later spec becomes a SweepPoint with its
+/// trade-off computed against it — the loop fig3/fig4/table1 each hand-rolled.
+struct MeasuredSweep {
+  harness::RunResult baseline;
+  std::vector<SweepPoint> points;
+};
+
+inline MeasuredSweep run_measured_sweep(runner::SweepEngine& engine,
+                                        std::vector<runner::RunSpec> specs) {
+  const auto records = engine.run(specs);
+  MeasuredSweep out;
+  out.baseline = records.at(0).result;
+  out.points.reserve(records.size() - 1);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    const auto& run = records[i].result;
+    out.points.push_back(SweepPoint{
+        run.label, harness::compute_tradeoff(out.baseline, run), run});
+  }
+  return out;
 }
 
 }  // namespace dimetrodon::bench

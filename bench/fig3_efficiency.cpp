@@ -17,11 +17,20 @@ int main() {
   const std::vector<double> ls_ms = {1, 2, 5, 10, 25, 50, 75, 100};
 
   sched::MachineConfig cfg;
-  harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
-  const auto cpuburn = [] {
-    return std::make_unique<workload::CpuBurnFleet>(4);
-  };
-  const auto baseline = runner.measure(cpuburn, harness::no_actuation());
+  auto engine = bench::make_engine(cfg, "fig3_efficiency");
+  std::vector<runner::RunSpec> specs;
+  specs.push_back(bench::measure_spec(cfg, bench::cpuburn_key(4),
+                                      bench::cpuburn_fleet(4),
+                                      runner::ActuationSpec::none()));
+  for (const double l : ls_ms) {
+    for (const double p : ps) {
+      specs.push_back(bench::measure_spec(
+          cfg, bench::cpuburn_key(4), bench::cpuburn_fleet(4),
+          runner::ActuationSpec::global(p, sim::from_ms(l))));
+    }
+  }
+  const auto records = engine.run(specs);
+  const auto& baseline = records.at(0).result;
   std::printf("baseline: rise over idle %.1f C (sensor), throughput %.3f\n",
               baseline.avg_sensor_temp_c - baseline.idle_sensor_temp_c,
               baseline.throughput);
@@ -32,11 +41,11 @@ int main() {
                         "efficiency_exact"});
   trace::Table table({"L(ms)", "p=.1", "p=.25", "p=.5", "p=.75"});
   std::vector<bench::SweepPoint> all_points;
+  std::size_t next_record = 1;
   for (const double l : ls_ms) {
     std::vector<std::string> row{trace::fmt("%.0f", l)};
     for (const double p : ps) {
-      const auto run = runner.measure(
-          cpuburn, harness::dimetrodon_global(p, sim::from_ms(l)));
+      const auto& run = records.at(next_record++).result;
       const auto t = harness::compute_tradeoff(baseline, run);
       const double eff_exact =
           t.throughput_reduction <= 1e-9

@@ -14,46 +14,47 @@ using namespace dimetrodon;
 int main() {
   std::printf("=== Figure 4: Dimetrodon vs VFS vs p4tcc (cpuburn) ===\n");
   sched::MachineConfig cfg;
-  harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
-  const auto cpuburn = [] {
-    return std::make_unique<workload::CpuBurnFleet>(4);
+  auto engine = bench::make_engine(cfg, "fig4_technique_comparison");
+
+  // One grid, three technique families: baseline first, then Dimetrodon,
+  // the VFS ladder, and the p4tcc duty steps.
+  std::vector<runner::RunSpec> specs;
+  const auto add = [&](runner::ActuationSpec act) {
+    specs.push_back(bench::measure_spec(cfg, bench::cpuburn_key(4),
+                                        bench::cpuburn_fleet(4), act));
   };
-  const auto baseline = runner.measure(cpuburn, harness::no_actuation());
+  add(runner::ActuationSpec::none());
+  std::size_t num_dim = 0;
+  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    for (const double l : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
+      add(runner::ActuationSpec::global(p, sim::from_ms(l)));
+      ++num_dim;
+    }
+  }
+  std::size_t num_vfs = 0;
+  for (std::size_t level = 1; level < cfg.dvfs.num_levels(); ++level) {
+    add(runner::ActuationSpec::vfs(level));
+    ++num_vfs;
+  }
+  for (std::size_t step = 7; step >= 2; --step) {
+    add(runner::ActuationSpec::tcc(step));
+  }
+
+  const auto sweep = bench::run_measured_sweep(engine, std::move(specs));
+  const auto dim_points = std::vector<bench::SweepPoint>(
+      sweep.points.begin(), sweep.points.begin() + num_dim);
+  const auto vfs_points = std::vector<bench::SweepPoint>(
+      sweep.points.begin() + num_dim,
+      sweep.points.begin() + num_dim + num_vfs);
+  const auto tcc_points = std::vector<bench::SweepPoint>(
+      sweep.points.begin() + num_dim + num_vfs, sweep.points.end());
 
   trace::CsvWriter csv(bench::csv_path("fig4_technique_comparison.csv"),
                        {"technique", "config", "temp_reduction",
                         "throughput_reduction", "efficiency", "on_pareto"});
 
-  std::vector<bench::SweepPoint> dim_points;
-  for (const double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
-    for (const double l : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0}) {
-      const auto act = harness::dimetrodon_global(p, sim::from_ms(l));
-      const auto run = runner.measure(cpuburn, act);
-      dim_points.push_back(bench::SweepPoint{
-          act.label, harness::compute_tradeoff(baseline, run), run});
-    }
-  }
-  std::vector<bench::SweepPoint> vfs_points;
-  for (std::size_t level = 1; level < cfg.dvfs.num_levels(); ++level) {
-    const auto act = harness::vfs_setpoint(level);
-    const auto run = runner.measure(cpuburn, act);
-    vfs_points.push_back(bench::SweepPoint{
-        act.label, harness::compute_tradeoff(baseline, run), run});
-  }
-  std::vector<bench::SweepPoint> tcc_points;
-  for (std::size_t step = 7; step >= 2; --step) {
-    const auto act = harness::tcc_setpoint(step);
-    const auto run = runner.measure(cpuburn, act);
-    tcc_points.push_back(bench::SweepPoint{
-        act.label, harness::compute_tradeoff(baseline, run), run});
-  }
-
   // Joint pareto boundary across all techniques (the darkened curve).
-  std::vector<bench::SweepPoint> all;
-  all.insert(all.end(), dim_points.begin(), dim_points.end());
-  all.insert(all.end(), vfs_points.begin(), vfs_points.end());
-  all.insert(all.end(), tcc_points.begin(), tcc_points.end());
-  const auto frontier = bench::pareto_labels(all);
+  const auto frontier = bench::pareto_labels(sweep.points);
   const auto on_frontier = [&](const std::string& label) {
     for (const auto& f : frontier) {
       if (f == label) return true;

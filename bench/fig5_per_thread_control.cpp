@@ -20,64 +20,84 @@ struct Outcome {
   double cool_throughput = 0.0;  // fraction of unconstrained cool progress
 };
 
-struct RawRun {
-  double avg_temp = 0.0;
-  double cool_burst_rate = 0.0;  // 1/stretch: execution speed of its bursts
-  double idle_temp = 0.0;
-};
-
-RawRun run_config(double p, sim::SimTime quantum, bool per_thread) {
-  sched::MachineConfig cfg;
-  cfg.enable_meter = false;
-  sched::Machine machine(cfg);
-  const double idle_temp = machine.mean_sensor_temp();
-  core::DimetrodonController ctl(machine);
-  workload::SpecFleet hot(*workload::find_spec_profile("calculix"), 4);
-  workload::CoolProcess cool;
-  hot.deploy(machine);
-  cool.deploy(machine);
-  if (p > 0.0) {
-    if (per_thread) {
-      // Target only the hot threads; the cool process is untouched.
-      for (const auto tid : hot.threads()) {
-        ctl.sys_set_thread(tid, p, quantum);
-      }
-    } else {
-      ctl.sys_set_global(p, quantum);
-    }
-  }
-  // Settle, then measure over two cool-process periods.
-  for (int i = 0; i < 4; ++i) {
-    machine.mark_power_window();
-    machine.run_for(sim::from_sec(8));
-    machine.jump_to_average_power_steady_state();
-  }
-  machine.run_for(sim::from_sec(3));
-  analysis::OnlineStats temp;
-  const int seconds = 200;  // covers a few cool-process periods
-  for (int s = 0; s < seconds; ++s) {
-    machine.run_for(sim::kSecond);
-    temp.add(machine.mean_sensor_temp());
-  }
-  RawRun r;
-  r.avg_temp = temp.mean();
-  r.cool_burst_rate = 1.0 / cool.mean_burst_stretch();
-  r.idle_temp = idle_temp;
-  return r;
+// Custom engine run: deploy hot calculix + the cool process, apply the
+// policy globally or to the hot threads only, settle, then measure over a
+// few cool-process periods. Returns extras: avg_temp, cool_burst_rate
+// (1/stretch: execution speed of its bursts), idle_temp.
+runner::RunSpec config_spec(const sched::MachineConfig& base, double p,
+                            sim::SimTime quantum, bool per_thread) {
+  const std::string tag =
+      trace::fmt("fig5[p=%a,L=%lld,scope=%s]", p,
+                 static_cast<long long>(quantum),
+                 per_thread ? "per-thread" : "global");
+  return bench::custom_spec(
+      base, tag,
+      [p, quantum, per_thread](const runner::RunSpec&,
+                               const sched::MachineConfig& cfg) {
+        sched::Machine machine(cfg);
+        const double idle_temp = machine.mean_sensor_temp();
+        core::DimetrodonController ctl(machine);
+        workload::SpecFleet hot(*workload::find_spec_profile("calculix"), 4);
+        workload::CoolProcess cool;
+        hot.deploy(machine);
+        cool.deploy(machine);
+        if (p > 0.0) {
+          if (per_thread) {
+            // Target only the hot threads; the cool process is untouched.
+            for (const auto tid : hot.threads()) {
+              ctl.sys_set_thread(tid, p, quantum);
+            }
+          } else {
+            ctl.sys_set_global(p, quantum);
+          }
+        }
+        // Settle, then measure over two cool-process periods.
+        for (int i = 0; i < 4; ++i) {
+          machine.mark_power_window();
+          machine.run_for(sim::from_sec(8));
+          machine.jump_to_average_power_steady_state();
+        }
+        machine.run_for(sim::from_sec(3));
+        analysis::OnlineStats temp;
+        const int seconds = 200;  // covers a few cool-process periods
+        for (int s = 0; s < seconds; ++s) {
+          machine.run_for(sim::kSecond);
+          temp.add(machine.mean_sensor_temp());
+        }
+        runner::RunRecord rec;
+        rec.extra = {{"avg_temp", temp.mean()},
+                     {"cool_burst_rate", 1.0 / cool.mean_burst_stretch()},
+                     {"idle_temp", idle_temp},
+                     {"sim_seconds", sim::to_sec(machine.now())}};
+        return rec;
+      });
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== Figure 5: global vs thread-specific control ===\n");
-  const RawRun base = run_config(0.0, 0, false);
-  const double base_rise = base.avg_temp - base.idle_temp;
-  std::printf("unconstrained: temp rise %.1f C, cool-process burst rate "
-              "%.3f\n",
-              base_rise, base.cool_burst_rate);
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  auto engine = bench::make_engine(cfg, "fig5_per_thread_control");
 
   const std::vector<std::pair<double, double>> settings = {
       {0.25, 25.0}, {0.5, 25.0}, {0.5, 100.0}, {0.75, 100.0}, {0.9, 100.0}};
+
+  std::vector<runner::RunSpec> specs;
+  specs.push_back(config_spec(cfg, 0.0, 0, false));  // unconstrained
+  for (const bool per_thread : {false, true}) {
+    for (const auto& [p, l] : settings) {
+      specs.push_back(config_spec(cfg, p, sim::from_ms(l), per_thread));
+    }
+  }
+  const auto records = engine.run(specs);
+
+  const auto& base = records.at(0);
+  const double base_rise = base.metric("avg_temp") - base.metric("idle_temp");
+  std::printf("unconstrained: temp rise %.1f C, cool-process burst rate "
+              "%.3f\n",
+              base_rise, base.metric("cool_burst_rate"));
 
   trace::CsvWriter csv(bench::csv_path("fig5_per_thread_control.csv"),
                        {"scope", "p", "L_ms", "temp_reduction_pct",
@@ -85,14 +105,16 @@ int main() {
   trace::Table table({"scope", "p", "L(ms)", "temp_red(%)", "cool_thr(%)"});
   std::vector<analysis::TradeoffPoint> per_thread_pts;
   std::vector<analysis::TradeoffPoint> global_pts;
+  std::size_t next_record = 1;
   for (const bool per_thread : {false, true}) {
     for (const auto& [p, l] : settings) {
-      const RawRun r = run_config(p, sim::from_ms(l), per_thread);
+      const auto& r = records.at(next_record++);
       Outcome o;
-      o.temp_reduction = (base.avg_temp - r.avg_temp) / base_rise;
+      o.temp_reduction = (base.metric("avg_temp") - r.metric("avg_temp")) /
+                         base_rise;
       // Normalized to uncontended execution (stretch 1.0); the co-located
       // unconstrained baseline itself sits at ~82% due to CPU contention.
-      o.cool_throughput = r.cool_burst_rate;
+      o.cool_throughput = r.metric("cool_burst_rate");
       const char* scope = per_thread ? "per-thread" : "global";
       table.add_row({scope, trace::fmt("%.2f", p), trace::fmt("%.0f", l),
                      trace::fmt("%5.1f", 100 * o.temp_reduction),

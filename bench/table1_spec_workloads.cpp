@@ -35,26 +35,33 @@ int main() {
   std::printf("=== Table 1: SPEC CPU2006 thermal profiles and trade-off "
               "fits ===\n");
   sched::MachineConfig cfg;
-  harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
+  auto engine = bench::make_engine(cfg, "table1_spec_workloads");
 
   // Sweep grid per workload (pareto boundary is fit over these).
   const std::vector<double> ps = {0.25, 0.5, 0.75};
   const std::vector<double> ls_ms = {5, 10, 25, 50, 100};
+  const std::size_t grid_size = ps.size() * ls_ms.size();
 
-  const auto make_workload =
-      [&](const std::string& name) -> harness::ExperimentRunner::WorkloadFactory {
-    if (name == "cpuburn") {
-      return [] { return std::make_unique<workload::CpuBurnFleet>(4); };
+  // One engine pass over every workload's baseline + grid: per workload,
+  // records [w*(1+grid)] is the unconstrained baseline and the grid follows.
+  std::vector<runner::RunSpec> specs;
+  for (const PaperRow& row : kPaperRows) {
+    const auto key = bench::workload_key(row.name, 4);
+    const auto factory = bench::workload_fleet(row.name, 4);
+    specs.push_back(
+        bench::measure_spec(cfg, key, factory, runner::ActuationSpec::none()));
+    for (const double p : ps) {
+      for (const double l : ls_ms) {
+        specs.push_back(bench::measure_spec(
+            cfg, key, factory,
+            runner::ActuationSpec::global(p, sim::from_ms(l))));
+      }
     }
-    const auto profile = *workload::find_spec_profile(name);
-    return [profile] {
-      return std::make_unique<workload::SpecFleet>(profile, 4);
-    };
-  };
+  }
+  const auto records = engine.run(specs);
 
-  // cpuburn reference rise.
-  const auto burn_base =
-      runner.measure(make_workload("cpuburn"), harness::no_actuation());
+  // cpuburn reference rise (kPaperRows[0] is cpuburn).
+  const auto& burn_base = records.at(0).result;
   const double burn_rise =
       burn_base.avg_sensor_temp_c - burn_base.idle_sensor_temp_c;
 
@@ -64,22 +71,19 @@ int main() {
   trace::Table table({"Workload", "Rise(%)", "alpha", "beta",
                       "paper:Rise", "paper:a", "paper:b"});
 
+  std::size_t next_record = 0;
   for (const PaperRow& row : kPaperRows) {
-    const auto factory = make_workload(row.name);
-    const auto base = runner.measure(factory, harness::no_actuation());
+    const auto& base = records.at(next_record++).result;
     const double rise_pct =
         100.0 * (base.avg_sensor_temp_c - base.idle_sensor_temp_c) /
         burn_rise;
 
-    // Sweep, take the pareto boundary, fit T(r) = alpha * r^beta, r<=0.5.
+    // Pareto boundary over the grid, fit T(r) = alpha * r^beta, r<=0.5.
     std::vector<bench::SweepPoint> points;
-    for (const double p : ps) {
-      for (const double l : ls_ms) {
-        const auto act = harness::dimetrodon_global(p, sim::from_ms(l));
-        const auto run = runner.measure(factory, act);
-        points.push_back(bench::SweepPoint{
-            act.label, harness::compute_tradeoff(base, run), run});
-      }
+    for (std::size_t g = 0; g < grid_size; ++g) {
+      const auto& run = records.at(next_record++).result;
+      points.push_back(bench::SweepPoint{
+          run.label, harness::compute_tradeoff(base, run), run});
     }
     std::vector<analysis::TradeoffPoint> tps;
     for (const auto& pt : points) tps.push_back(bench::to_tradeoff_point(pt));

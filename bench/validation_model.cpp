@@ -21,37 +21,109 @@ namespace {
 constexpr double kWorkSeconds = 7.0;  // the paper's 7 s cpuburn loop
 constexpr double kQuantumSeconds = 0.1;
 
-/// Per-instance completion times across trials with distinct seeds.
-std::vector<double> measured_runtimes(double p, sim::SimTime quantum,
-                                      int trials) {
-  std::vector<double> out;
-  for (int trial = 0; trial < trials; ++trial) {
-    sched::MachineConfig cfg;
-    cfg.enable_meter = false;
-    cfg.seed = 0x1234 + 7919ULL * static_cast<std::uint64_t>(trial);
-    sched::Machine machine(cfg);
-    core::DimetrodonController ctl(machine);
-    ctl.sys_set_global(p, quantum);
-    workload::CpuBurnFleet fleet(4, kWorkSeconds);
-    fleet.deploy(machine);
-    machine.run_until_condition([&] { return fleet.all_done(machine); },
-                                sim::from_sec(300));
-    for (const auto tid : fleet.threads()) {
-      out.push_back(sim::to_sec(machine.thread(tid).finished_at() -
-                                machine.thread(tid).created_at()));
-    }
-  }
-  return out;
+// Master seeds of the two trial families; trial k runs under
+// sim::derive_stream_seed(master, k), so every trial is an independent,
+// order-insensitive stream.
+constexpr std::uint64_t kThroughputSeed = 0x1234;
+constexpr std::uint64_t kEnergySeed = 0x900d;
+
+/// One runtime trial: run the finite cpuburn fleet to completion and record
+/// each instance's completion time as a sample.
+runner::RunSpec runtime_trial_spec(const sched::MachineConfig& base, double p,
+                                   sim::SimTime quantum, int trial) {
+  auto spec = bench::custom_spec(
+      base,
+      trace::fmt("validation-throughput[p=%a,L=%lld,work=%a,trial=%d]", p,
+                 static_cast<long long>(quantum), kWorkSeconds, trial),
+      [p, quantum](const runner::RunSpec&, const sched::MachineConfig& cfg) {
+        sched::MachineConfig mcfg = cfg;
+        mcfg.enable_meter = false;
+        sched::Machine machine(mcfg);
+        core::DimetrodonController ctl(machine);
+        ctl.sys_set_global(p, quantum);
+        workload::CpuBurnFleet fleet(4, kWorkSeconds);
+        fleet.deploy(machine);
+        machine.run_until_condition([&] { return fleet.all_done(machine); },
+                                    sim::from_sec(300));
+        runner::RunRecord rec;
+        for (const auto tid : fleet.threads()) {
+          rec.samples.push_back(
+              sim::to_sec(machine.thread(tid).finished_at() -
+                          machine.thread(tid).created_at()));
+        }
+        rec.extra = {{"sim_seconds", sim::to_sec(machine.now())}};
+        return rec;
+      });
+  spec.seed = sim::derive_stream_seed(kThroughputSeed,
+                                      static_cast<std::uint64_t>(trial));
+  return spec;
+}
+
+/// One energy trial: Dimetrodon run to completion, then race-to-idle over
+/// the same wall window; extras carry the two metered energies.
+runner::RunSpec energy_trial_spec(const sched::MachineConfig& base, double p,
+                                  sim::SimTime quantum, int trial) {
+  auto spec = bench::custom_spec(
+      base,
+      trace::fmt("validation-energy[p=%a,L=%lld,work=%a,trial=%d]", p,
+                 static_cast<long long>(quantum), kWorkSeconds, trial),
+      [p, quantum](const runner::RunSpec&, const sched::MachineConfig& cfg) {
+        harness::ExperimentRunner r(cfg, harness::MeasurementConfig{});
+        const auto burn = [] {
+          return std::make_unique<workload::CpuBurnFleet>(4, kWorkSeconds);
+        };
+        const auto dim = r.run_to_completion(
+            burn, harness::dimetrodon_global(p, quantum), sim::from_sec(300));
+        const auto rti = r.run_window(burn, harness::no_actuation(),
+                                      sim::from_sec(dim.completion_seconds));
+        runner::RunRecord rec;
+        rec.window = dim;
+        rec.extra = {{"e_dim_j", dim.meter_energy_j},
+                     {"e_rti_j", rti.meter_energy_j},
+                     {"sim_seconds", rti.wall_seconds}};
+        return rec;
+      });
+  spec.seed =
+      sim::derive_stream_seed(kEnergySeed, static_cast<std::uint64_t>(trial));
+  return spec;
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== Section 3.3: model validation ===\n");
+  sched::MachineConfig cfg;
+  auto engine = bench::make_engine(cfg, "validation_model");
+
+  const std::vector<double> ps = {0.25, 0.5, 0.75};
+  const std::vector<double> throughput_ls_ms = {25.0, 50.0, 75.0, 100.0};
+  const std::vector<double> energy_ls_ms = {50.0, 100.0};
+  constexpr int kRuntimeTrials = 25;
+  constexpr int kEnergyTrials = 5;
+
+  // Both experiment families go through the engine as one flat grid.
+  std::vector<runner::RunSpec> specs;
+  for (const double p : ps) {
+    for (const double l_ms : throughput_ls_ms) {
+      for (int trial = 0; trial < kRuntimeTrials; ++trial) {
+        specs.push_back(runtime_trial_spec(cfg, p, sim::from_ms(l_ms), trial));
+      }
+    }
+  }
+  for (const double p : ps) {
+    for (const double l_ms : energy_ls_ms) {
+      for (int trial = 0; trial < kEnergyTrials; ++trial) {
+        specs.push_back(energy_trial_spec(cfg, p, sim::from_ms(l_ms), trial));
+      }
+    }
+  }
+  const auto records = engine.run(specs);
+  std::size_t next_record = 0;
 
   // (a) Throughput model.
   std::printf("\n-- Throughput: measured vs D(t) = R + (R/q)(p/(1-p))L "
-              "(mean of 25 trials x 4 instances) --\n");
+              "(mean of %d trials x 4 instances) --\n",
+              kRuntimeTrials);
   trace::CsvWriter csv(bench::csv_path("validation_throughput.csv"),
                        {"p", "L_ms", "predicted_s", "measured_s",
                         "deviation_pct"});
@@ -59,12 +131,15 @@ int main() {
                       "95% CI", "dev(%)"});
   double dev_sum = 0.0;
   int dev_n = 0;
-  for (const double p : {0.25, 0.5, 0.75}) {
-    for (const double l_ms : {25.0, 50.0, 75.0, 100.0}) {
+  for (const double p : ps) {
+    for (const double l_ms : throughput_ls_ms) {
       const double predicted = core::AnalyticModel::predicted_runtime(
           kWorkSeconds, kQuantumSeconds, p, l_ms / 1000.0);
-      const auto samples =
-          measured_runtimes(p, sim::from_ms(l_ms), /*trials=*/25);
+      std::vector<double> samples;
+      for (int trial = 0; trial < kRuntimeTrials; ++trial) {
+        const auto& rec = records.at(next_record++);
+        samples.insert(samples.end(), rec.samples.begin(), rec.samples.end());
+      }
       const auto ci = analysis::bootstrap_mean_ci(samples);
       const double measured = ci.mean;
       const double dev = 100.0 * (measured - predicted) / predicted;
@@ -85,7 +160,8 @@ int main() {
 
   // (b) Energy model.
   std::printf("\n-- Energy: Dimetrodon vs race-to-idle over equal windows "
-              "(measured through the clamp model, 5 trials each) --\n");
+              "(measured through the clamp model, %d trials each) --\n",
+              kEnergyTrials);
   trace::Table etable({"p", "L(ms)", "E_dim(J)", "E_rti(J)", "ratio"});
   trace::CsvWriter ecsv(bench::csv_path("validation_energy.csv"),
                         {"p", "L_ms", "e_dimetrodon_j", "e_race_to_idle_j",
@@ -93,36 +169,25 @@ int main() {
   double ratio_sum = 0.0;
   double absdev_sum = 0.0;
   int ratio_n = 0;
-  for (const double p : {0.25, 0.5, 0.75}) {
-    for (const double l_ms : {50.0, 100.0}) {
+  for (const double p : ps) {
+    for (const double l_ms : energy_ls_ms) {
       double edim_sum = 0.0;
       double erti_sum = 0.0;
-      for (int trial = 0; trial < 5; ++trial) {
-        sched::MachineConfig cfg;
-        cfg.seed = 0x900d + 104729ULL * static_cast<std::uint64_t>(trial);
-        harness::ExperimentRunner runner(cfg, harness::MeasurementConfig{});
-        const auto burn = [] {
-          return std::make_unique<workload::CpuBurnFleet>(4, kWorkSeconds);
-        };
-        const auto dim = runner.run_to_completion(
-            burn, harness::dimetrodon_global(p, sim::from_ms(l_ms)),
-            sim::from_sec(300));
-        const auto rti =
-            runner.run_window(burn, harness::no_actuation(),
-                              sim::from_sec(dim.completion_seconds));
-        edim_sum += dim.meter_energy_j;
-        erti_sum += rti.meter_energy_j;
+      for (int trial = 0; trial < kEnergyTrials; ++trial) {
+        const auto& rec = records.at(next_record++);
+        edim_sum += rec.metric("e_dim_j");
+        erti_sum += rec.metric("e_rti_j");
       }
       const double ratio = edim_sum / erti_sum;
       ratio_sum += ratio;
       absdev_sum += std::fabs(ratio - 1.0);
       ++ratio_n;
       etable.add_row({trace::fmt("%.2f", p), trace::fmt("%.0f", l_ms),
-                      trace::fmt("%.1f", edim_sum / 5),
-                      trace::fmt("%.1f", erti_sum / 5),
+                      trace::fmt("%.1f", edim_sum / kEnergyTrials),
+                      trace::fmt("%.1f", erti_sum / kEnergyTrials),
                       trace::fmt("%.3f", ratio)});
-      ecsv.write_row(
-          std::vector<double>{p, l_ms, edim_sum / 5, erti_sum / 5, ratio});
+      ecsv.write_row(std::vector<double>{p, l_ms, edim_sum / kEnergyTrials,
+                                         erti_sum / kEnergyTrials, ratio});
     }
   }
   etable.print(std::cout);

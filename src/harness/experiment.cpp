@@ -161,6 +161,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
     result.qos = web->stats_since_mark();
     result.has_qos = true;
   }
+  result.sim_seconds = sim::to_sec(machine.now());
   return result;
 }
 

@@ -54,6 +54,7 @@ struct RunResult {
   double throughput = 0.0;          // workload progress per second
   double avg_power_w = 0.0;         // true energy over window / window
   double injected_idle_fraction = 0.0;  // of total core-time in window
+  double sim_seconds = 0.0;  // total simulated time incl. settling
   workload::WebWorkload::QosStats qos;  // populated for web workloads
   bool has_qos = false;
 };

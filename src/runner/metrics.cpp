@@ -1,0 +1,94 @@
+#include "runner/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dimetrodon::runner {
+
+SweepMetrics::SweepMetrics(std::size_t total_runs)
+    : total_(total_runs), start_(std::chrono::steady_clock::now()) {}
+
+void SweepMetrics::on_run_started() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++in_flight_;
+}
+
+void SweepMetrics::on_cache_hit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  ++cache_hits_;
+}
+
+void SweepMetrics::on_run_executed(double sim_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  ++executed_;
+  sim_seconds_done_ += sim_seconds;
+}
+
+MetricsSnapshot SweepMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.total_runs = total_;
+  s.cache_hits = cache_hits_;
+  s.executed = executed_;
+  s.completed = cache_hits_ + executed_;
+  s.in_flight = in_flight_;
+  s.cache_hit_rate =
+      s.completed == 0
+          ? 0.0
+          : static_cast<double>(cache_hits_) / static_cast<double>(s.completed);
+  s.sim_seconds_done = sim_seconds_done_;
+  s.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  if (s.wall_seconds > 0.0) {
+    s.sim_seconds_per_second = sim_seconds_done_ / s.wall_seconds;
+    s.runs_per_second = static_cast<double>(s.completed) / s.wall_seconds;
+  }
+  if (s.completed > 0 && s.completed < s.total_runs) {
+    s.eta_seconds = s.wall_seconds *
+                    static_cast<double>(s.total_runs - s.completed) /
+                    static_cast<double>(s.completed);
+  }
+  return s;
+}
+
+std::string SweepMetrics::progress_line(const MetricsSnapshot& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "sweep %zu/%zu done (%zu in flight) | cache %zu hits | "
+                "%.0f sim-s/s | ETA %.0fs",
+                s.completed, s.total_runs, s.in_flight, s.cache_hits,
+                s.sim_seconds_per_second, s.eta_seconds);
+  return buf;
+}
+
+std::string SweepMetrics::to_json(const MetricsSnapshot& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\n"
+      "  \"total_runs\": %zu,\n"
+      "  \"completed\": %zu,\n"
+      "  \"cache_hits\": %zu,\n"
+      "  \"runs_executed\": %zu,\n"
+      "  \"cache_hit_rate\": %.4f,\n"
+      "  \"sim_seconds_done\": %.3f,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"sim_seconds_per_second\": %.1f,\n"
+      "  \"runs_per_second\": %.2f\n"
+      "}\n",
+      s.total_runs, s.completed, s.cache_hits, s.executed, s.cache_hit_rate,
+      s.sim_seconds_done, s.wall_seconds, s.sim_seconds_per_second,
+      s.runs_per_second);
+  return buf;
+}
+
+void SweepMetrics::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << to_json(snapshot());
+}
+
+}  // namespace dimetrodon::runner

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+namespace dimetrodon::runner {
+
+/// Point-in-time view of a sweep's progress.
+struct MetricsSnapshot {
+  std::size_t total_runs = 0;
+  std::size_t completed = 0;   // cache hits + executed
+  std::size_t in_flight = 0;
+  std::size_t cache_hits = 0;
+  std::size_t executed = 0;    // simulations actually run
+  double cache_hit_rate = 0.0;           // hits / completed
+  double sim_seconds_done = 0.0;         // simulated time of executed runs
+  double wall_seconds = 0.0;
+  double sim_seconds_per_second = 0.0;   // aggregate simulation throughput
+  double runs_per_second = 0.0;
+  double eta_seconds = 0.0;              // 0 when unknown or done
+};
+
+/// Thread-safe progress/throughput accounting for one sweep. Cheap enough to
+/// update per run (runs are whole simulations); rendered as a one-line
+/// progress string during the sweep and dumped as JSON at the end.
+class SweepMetrics {
+ public:
+  explicit SweepMetrics(std::size_t total_runs);
+
+  void on_run_started();
+  void on_cache_hit();
+  void on_run_executed(double sim_seconds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// "sweep 12/32 done (4 in flight) | cache 3 hits | 412.1 sim-s/s | ETA 8s"
+  static std::string progress_line(const MetricsSnapshot& s);
+  static std::string to_json(const MetricsSnapshot& s);
+
+  /// Write `to_json(snapshot())` to `path` (best-effort; errors ignored).
+  void write_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t total_;
+  std::size_t in_flight_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t executed_ = 0;
+  double sim_seconds_done_ = 0.0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dimetrodon::runner

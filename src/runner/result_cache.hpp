@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "runner/run_spec.hpp"
+
+namespace dimetrodon::runner {
+
+/// 128-bit content hash (two independent FNV-1a streams) of a canonical spec
+/// string. The hex form names the cache file.
+struct CacheKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  static CacheKey of(const std::string& canonical);
+  std::string hex() const;
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// On-disk cache of RunRecords keyed by the canonical spec content. One file
+/// per key under `dir`; files are self-validating (version header, embedded
+/// canonical spec compared verbatim, payload checksum, end marker), so a
+/// corrupt, truncated, or colliding entry loads as a miss and is recomputed
+/// rather than trusted. Writes go through a temp file + rename, making
+/// concurrent writers of the same key benign.
+class ResultCache {
+ public:
+  /// A disabled cache (empty `dir` or enabled=false) never hits and never
+  /// writes.
+  ResultCache(std::string dir, bool enabled);
+
+  bool enabled() const { return enabled_; }
+  const std::string& dir() const { return dir_; }
+
+  std::optional<RunRecord> load(const CacheKey& key,
+                                const std::string& canonical) const;
+  void store(const CacheKey& key, const std::string& canonical,
+             const RunRecord& record) const;
+
+  std::string path_for(const CacheKey& key) const;
+
+  /// Serialization used inside cache files; exposed for tests.
+  static std::string serialize_record(const RunRecord& record);
+  static std::optional<RunRecord> parse_record(const std::string& payload);
+
+ private:
+  std::string dir_;
+  bool enabled_;
+};
+
+}  // namespace dimetrodon::runner

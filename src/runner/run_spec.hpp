@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sched/machine.hpp"
+
+namespace dimetrodon::runner {
+
+/// Declarative, hashable counterpart of harness::ActuationSetup. The sweep
+/// engine needs actuations as *data* (they feed the cache key), so the
+/// closure is built on demand via `to_setup()` from the same constructors the
+/// serial benches used — labels and behaviour are identical.
+struct ActuationSpec {
+  enum class Kind : std::uint8_t {
+    kNone,              // race-to-idle baseline
+    kGlobal,            // Dimetrodon global Bernoulli policy
+    kGlobalStratified,  // deterministic (stratified) injection
+    kVfs,               // static DVFS ladder setpoint
+    kTcc,               // static p4tcc clock-duty setpoint
+  };
+
+  Kind kind = Kind::kNone;
+  double probability = 0.0;   // kGlobal / kGlobalStratified
+  sim::SimTime quantum = 0;   // kGlobal / kGlobalStratified
+  std::size_t level = 0;      // kVfs ladder index / kTcc duty step
+
+  static ActuationSpec none() { return {}; }
+  static ActuationSpec global(double p, sim::SimTime quantum) {
+    return {Kind::kGlobal, p, quantum, 0};
+  }
+  static ActuationSpec global_stratified(double p, sim::SimTime quantum) {
+    return {Kind::kGlobalStratified, p, quantum, 0};
+  }
+  static ActuationSpec vfs(std::size_t level) {
+    return {Kind::kVfs, 0.0, 0, level};
+  }
+  static ActuationSpec tcc(std::size_t duty_step) {
+    return {Kind::kTcc, 0.0, 0, duty_step};
+  }
+
+  harness::ActuationSetup to_setup() const;
+  std::string label() const { return to_setup().label; }
+};
+
+/// Everything the engine caches about one run: the union of what the sweep
+/// benches read out. Measured runs fill `result`; custom runs fill whichever
+/// of `window`, `samples`, and `extra` they produce.
+struct RunRecord {
+  harness::RunResult result;
+  harness::WindowResult window;
+  std::vector<double> samples;  // e.g. per-thread completion times
+  std::vector<std::pair<std::string, double>> extra;  // named custom metrics
+
+  /// Lookup in `extra`; dies if absent (a cache-format mismatch bug).
+  double metric(const std::string& key) const;
+
+  /// Simulated seconds consumed producing this record (progress metrics).
+  /// Measured runs report it via result.sim_seconds; window runs via
+  /// window.wall_seconds; custom runs may add an "sim_seconds" extra.
+  double sim_seconds_estimate() const;
+};
+
+/// One point of a sweep grid. A spec is pure data plus the factories needed
+/// to execute it; the data half (everything except the std::functions) is
+/// canonicalized into the cache key, so two specs collide exactly when they
+/// describe the same simulation.
+struct RunSpec {
+  enum class Kind : std::uint8_t {
+    kMeasure,  // steady-state settle + 30 s-window measurement
+    kCustom,   // arbitrary bench-supplied computation
+  };
+
+  Kind kind = Kind::kMeasure;
+
+  /// Stable identity of what `workload` builds (e.g. "cpuburn:4",
+  /// "spec:calculix:4"). Part of the cache key; the factory itself cannot be
+  /// hashed, so the caller vouches that equal keys build equal workloads.
+  std::string workload_key;
+  harness::ExperimentRunner::WorkloadFactory workload;
+
+  ActuationSpec actuation;
+  harness::MeasurementConfig measurement{};
+
+  /// Master seed of this run's machine. Every RNG stream in the simulation
+  /// derives from it, which is what makes runs independent of execution
+  /// order and thread placement.
+  std::uint64_t seed = 0;
+
+  /// Overrides the engine's base machine config for this run (C-state or
+  /// scheduler ablations). Hashed canonically either way.
+  std::optional<sched::MachineConfig> machine;
+
+  /// kCustom only: the computation, plus a tag naming it in the cache key.
+  /// The tag must change whenever the function's meaning changes — the
+  /// engine cannot see through the closure.
+  std::function<RunRecord(const RunSpec&, const sched::MachineConfig&)> custom;
+  std::string custom_tag;
+};
+
+/// Deterministic canonical serialization of a spec's data half (machine
+/// config, measurement config, workload key, actuation, seed, custom tag).
+/// Doubles are rendered as hex floats, so the text is bit-exact. This string
+/// *is* the cache identity: it is hashed for the key and stored verbatim in
+/// the cache file to rule out hash collisions.
+std::string canonical_spec(const RunSpec& spec,
+                           const sched::MachineConfig& base);
+
+}  // namespace dimetrodon::runner

@@ -1,0 +1,127 @@
+#include "runner/sweep_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runner/thread_pool.hpp"
+
+namespace dimetrodon::runner {
+
+SweepEngineConfig SweepEngineConfig::from_env(const std::string& bench_name) {
+  SweepEngineConfig cfg;
+  if (const char* t = std::getenv("DIMETRODON_SWEEP_THREADS")) {
+    cfg.threads = static_cast<std::size_t>(std::strtoul(t, nullptr, 10));
+  }
+  if (const char* c = std::getenv("DIMETRODON_SWEEP_CACHE")) {
+    cfg.use_cache = std::string(c) != "0";
+  }
+  if (const char* d = std::getenv("DIMETRODON_SWEEP_CACHE_DIR")) {
+    cfg.cache_dir = d;
+  }
+  if (const char* p = std::getenv("DIMETRODON_SWEEP_PROGRESS")) {
+    cfg.progress = std::string(p) != "0";
+  }
+  if (!bench_name.empty()) {
+    cfg.metrics_json_path = "bench_results/" + bench_name + "_metrics.json";
+  }
+  return cfg;
+}
+
+SweepEngine::SweepEngine(sched::MachineConfig base, SweepEngineConfig config)
+    : base_(std::move(base)),
+      config_(std::move(config)),
+      cache_(config_.cache_dir, config_.use_cache) {}
+
+RunRecord SweepEngine::execute(const RunSpec& spec,
+                               const sched::MachineConfig& base) {
+  sched::MachineConfig cfg = spec.machine ? *spec.machine : base;
+  cfg.seed = spec.seed;
+  if (spec.kind == RunSpec::Kind::kCustom) {
+    if (!spec.custom) {
+      throw std::logic_error("kCustom RunSpec without a custom function");
+    }
+    return spec.custom(spec, cfg);
+  }
+  if (!spec.workload) {
+    throw std::logic_error("kMeasure RunSpec without a workload factory");
+  }
+  harness::ExperimentRunner runner(cfg, spec.measurement);
+  RunRecord rec;
+  rec.result = runner.measure(spec.workload, spec.actuation.to_setup());
+  return rec;
+}
+
+std::vector<RunRecord> SweepEngine::run(const std::vector<RunSpec>& specs) {
+  std::vector<RunRecord> results(specs.size());
+  SweepMetrics metrics(specs.size());
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // Never spin up more workers than runs; threads==1 executes the grid on
+  // the submitting thread in spec order — the serial reference.
+  threads = std::min(threads, specs.size());
+  ThreadPool pool(threads <= 1 ? 0 : threads);
+
+  std::atomic<bool> done{false};
+  std::thread reporter;
+  if (config_.progress) {
+    reporter = std::thread([&] {
+      // Redraw ~1 Hz, but poll finer so a fast (all-cached) sweep isn't
+      // held up by the reporter.
+      int ticks = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (done.load(std::memory_order_relaxed)) break;
+        if (++ticks % 20 == 0) {
+          std::fprintf(stderr, "[runner] %s\n",
+                       SweepMetrics::progress_line(metrics.snapshot()).c_str());
+        }
+      }
+    });
+  }
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool.submit([&, i] {
+      const RunSpec& spec = specs[i];
+      metrics.on_run_started();
+      const std::string canon = canonical_spec(spec, base_);
+      const CacheKey key = CacheKey::of(canon);
+      if (auto hit = cache_.load(key, canon)) {
+        results[i] = std::move(*hit);
+        metrics.on_cache_hit();
+        return;
+      }
+      results[i] = execute(spec, base_);
+      cache_.store(key, canon, results[i]);
+      metrics.on_run_executed(results[i].sim_seconds_estimate());
+    });
+  }
+  pool.wait_idle();
+
+  done.store(true, std::memory_order_relaxed);
+  if (reporter.joinable()) reporter.join();
+
+  last_metrics_ = metrics.snapshot();
+  if (config_.progress) {
+    std::fprintf(stderr,
+                 "[runner] done: %zu runs (%zu simulated, %zu cached) in "
+                 "%.1fs on %zu threads | %.0f sim-s/s\n",
+                 last_metrics_.completed, last_metrics_.executed,
+                 last_metrics_.cache_hits, last_metrics_.wall_seconds,
+                 threads, last_metrics_.sim_seconds_per_second);
+  }
+  if (!config_.metrics_json_path.empty()) {
+    metrics.write_json(config_.metrics_json_path);
+  }
+  return results;
+}
+
+}  // namespace dimetrodon::runner

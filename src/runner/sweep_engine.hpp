@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/metrics.hpp"
+#include "runner/result_cache.hpp"
+#include "runner/run_spec.hpp"
+#include "sched/machine.hpp"
+
+namespace dimetrodon::runner {
+
+struct SweepEngineConfig {
+  /// Worker threads. 0 = one per hardware thread; 1 = serial reference mode.
+  std::size_t threads = 0;
+
+  bool use_cache = true;
+  std::string cache_dir = "bench_results/cache";
+
+  /// Print a progress line to stderr while the sweep runs.
+  bool progress = true;
+
+  /// If non-empty, dump the final MetricsSnapshot as JSON here.
+  std::string metrics_json_path;
+
+  /// Reads DIMETRODON_SWEEP_THREADS, DIMETRODON_SWEEP_CACHE ("0" disables),
+  /// DIMETRODON_SWEEP_CACHE_DIR, and DIMETRODON_SWEEP_PROGRESS ("0"
+  /// disables) on top of the defaults; `bench_name` names the metrics JSON
+  /// (bench_results/<bench_name>_metrics.json).
+  static SweepEngineConfig from_env(const std::string& bench_name = "");
+};
+
+/// Batch executor for sweep grids. Each RunSpec is an independent
+/// simulation: its machine is seeded solely from spec.seed, so results are
+/// a pure function of the spec and the engine is free to execute points in
+/// any order on any thread — a parallel sweep is bit-identical to the serial
+/// loop it replaced. Completed points are stored in a content-hash-keyed
+/// on-disk cache, so re-running a figure replays its grid instantly.
+class SweepEngine {
+ public:
+  SweepEngine(sched::MachineConfig base, SweepEngineConfig config);
+
+  /// Execute all specs (cache-hit or simulate); results in spec order.
+  std::vector<RunRecord> run(const std::vector<RunSpec>& specs);
+
+  /// Snapshot of the last run() (total counters; reset per call).
+  MetricsSnapshot last_metrics() const { return last_metrics_; }
+
+  const sched::MachineConfig& base_config() const { return base_; }
+  const SweepEngineConfig& config() const { return config_; }
+
+  /// Cache identity of a spec under this engine's base config (tests and
+  /// diagnostics).
+  std::string canonical(const RunSpec& spec) const {
+    return canonical_spec(spec, base_);
+  }
+  CacheKey key_for(const RunSpec& spec) const {
+    return CacheKey::of(canonical(spec));
+  }
+
+  /// Execute one spec, no cache involvement (the cache-miss path).
+  static RunRecord execute(const RunSpec& spec,
+                           const sched::MachineConfig& base);
+
+ private:
+  sched::MachineConfig base_;
+  SweepEngineConfig config_;
+  ResultCache cache_;
+  MetricsSnapshot last_metrics_;
+};
+
+}  // namespace dimetrodon::runner

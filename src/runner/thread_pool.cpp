@@ -1,0 +1,111 @@
+#include "runner/thread_pool.hpp"
+
+#include <utility>
+
+namespace dimetrodon::runner {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  std::size_t target = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ++pending_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(state_mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t ThreadPool::steal_count() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return steals_;
+}
+
+bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
+  auto& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  task = std::move(q.tasks.front());
+  q.tasks.pop_front();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    auto& q = *queues_[(self + off) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    task = std::move(q.tasks.back());  // steal the coldest end
+    q.tasks.pop_back();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    bool stolen = false;
+    if (!try_pop_own(self, task)) {
+      stolen = try_steal(self, task);
+      if (!stolen) {
+        std::unique_lock<std::mutex> lock(state_mu_);
+        // Re-check under the lock: a task may have been submitted between
+        // the failed scans and here.
+        work_cv_.wait(lock, [this, self] {
+          if (shutdown_) return true;
+          for (std::size_t i = 0; i < queues_.size(); ++i) {
+            std::lock_guard<std::mutex> qlock(queues_[i]->mu);
+            if (!queues_[i]->tasks.empty()) return true;
+          }
+          return false;
+        });
+        if (shutdown_) return;
+        continue;
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (stolen) ++steals_;
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace dimetrodon::runner

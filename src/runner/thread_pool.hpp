@@ -1,0 +1,65 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dimetrodon::runner {
+
+/// Work-stealing pool for coarse-grained simulation tasks. Each worker owns
+/// a deque: it pops its own work from the front (submission order) and, when
+/// empty, steals from the back of a sibling's deque. Tasks must not throw —
+/// an escaping exception terminates (simulation tasks capture failures in
+/// their results instead).
+///
+/// `num_threads == 0` degenerates to inline execution: submit() runs the
+/// task on the calling thread. This is the reference serial mode parallel
+/// sweeps are checked against.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue one task (round-robin across worker deques).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Tasks completed by stealing rather than from the owner's own deque
+  /// (load-balance diagnostics).
+  std::size_t steal_count() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t self, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable work_cv_;   // workers wait here for new tasks
+  std::condition_variable idle_cv_;   // wait_idle() waits here
+  std::size_t pending_ = 0;           // submitted but not yet finished
+  std::size_t next_queue_ = 0;
+  std::size_t steals_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dimetrodon::runner

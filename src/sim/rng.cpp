@@ -86,4 +86,18 @@ double Rng::exponential(double mean) {
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
+Rng Rng::stream(std::uint64_t master, std::uint64_t stream_id) {
+  return Rng(derive_stream_seed(master, stream_id));
+}
+
+std::uint64_t derive_stream_seed(std::uint64_t master,
+                                 std::uint64_t stream_id) {
+  // Offset by (stream_id + 1) golden gammas so stream 0 differs from the
+  // master itself, then run two SplitMix64 finalization rounds to decorrelate
+  // nearby ids.
+  std::uint64_t x = master ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace dimetrodon::sim

@@ -35,13 +35,25 @@ class Rng {
   double exponential(double mean);
 
   /// Derive an independent child stream (useful for spawning per-thread
-  /// streams from one master seed).
+  /// streams from one master seed). Note this *advances* the parent; for a
+  /// pure, order-independent derivation use `derive_stream_seed`.
   Rng fork();
+
+  /// Generator for stream `stream_id` of master seed `master`; equivalent to
+  /// `Rng(derive_stream_seed(master, stream_id))`.
+  static Rng stream(std::uint64_t master, std::uint64_t stream_id);
 
  private:
   std::array<std::uint64_t, 4> state_{};
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
 };
+
+/// Seed of independent stream `stream_id` under master seed `master`. Pure:
+/// the same pair always yields the same seed regardless of how many other
+/// streams were derived or in what order — unlike `Rng::fork`, which mutates
+/// the parent. Parallel sweeps use this so that run k sees the same random
+/// world whether it executes first, last, or concurrently with its siblings.
+std::uint64_t derive_stream_seed(std::uint64_t master, std::uint64_t stream_id);
 
 }  // namespace dimetrodon::sim

@@ -146,5 +146,33 @@ TEST(RngTest, ForkIsDeterministic) {
   for (int i = 0; i < 100; ++i) ASSERT_EQ(ca.next_u64(), cb.next_u64());
 }
 
+TEST(RngTest, DeriveStreamSeedIsPureAndDistinct) {
+  // Unlike fork(), derivation is a pure function: it never touches parent
+  // state, so the order streams are derived in cannot matter.
+  EXPECT_EQ(derive_stream_seed(47, 0), derive_stream_seed(47, 0));
+  EXPECT_NE(derive_stream_seed(47, 0), derive_stream_seed(47, 1));
+  EXPECT_NE(derive_stream_seed(47, 0), derive_stream_seed(48, 0));
+  // stream_id 0 must not degenerate to the master seed itself.
+  EXPECT_NE(derive_stream_seed(47, 0), 47u);
+}
+
+TEST(RngTest, StreamMatchesDerivedSeed) {
+  Rng direct(derive_stream_seed(53, 7));
+  Rng via_stream = Rng::stream(53, 7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(direct.next_u64(), via_stream.next_u64());
+  }
+}
+
+TEST(RngTest, DerivedStreamsAreIndependent) {
+  Rng a = Rng::stream(59, 0);
+  Rng b = Rng::stream(59, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
 }  // namespace
 }  // namespace dimetrodon::sim
