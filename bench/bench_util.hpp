@@ -87,6 +87,16 @@ inline runner::SweepEngine make_engine(const sched::MachineConfig& cfg,
                              runner::SweepEngineConfig::from_env(bench_name));
 }
 
+/// `cfg` with a shared ring-buffer trace sink attached (src/obs): every
+/// machine built from the returned config emits structured events into
+/// `sink`. Trace runs must bypass the result cache — a cached replay never
+/// constructs a machine, so nothing would be traced.
+inline sched::MachineConfig with_trace(
+    sched::MachineConfig cfg, std::shared_ptr<obs::RingBufferSink> sink) {
+  cfg.trace_sink_factory = [sink]() { return sink; };
+  return cfg;
+}
+
 /// Workload factory + stable cache key for an n-instance cpuburn fleet.
 inline harness::ExperimentRunner::WorkloadFactory cpuburn_fleet(int n) {
   return [n] { return std::make_unique<workload::CpuBurnFleet>(n); };

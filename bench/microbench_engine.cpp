@@ -96,6 +96,30 @@ void BM_MachineSecondUnderInjection(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineSecondUnderInjection)->Arg(1)->Arg(10)->Arg(100);
 
+// Tracing overhead on the scheduler hot path. Arg 0: no sink attached (the
+// probes must collapse to counter increments plus one predicted branch —
+// the subsystem's <2% overhead budget). Arg 1: ring-buffer sink attached,
+// showing the full cost of event capture. High-frequency injection maximizes
+// probe density (sched switches + C-state transitions + injection events).
+void BM_MachineSecondTracing(benchmark::State& state) {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  auto sink = std::make_shared<obs::RingBufferSink>();
+  if (state.range(0) != 0) {
+    cfg.trace_sink_factory = [sink]() { return sink; };
+  }
+  sched::Machine machine(cfg);
+  core::DimetrodonController ctl(machine);
+  ctl.sys_set_global(0.75, sim::from_ms(1));
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(machine);
+  for (auto _ : state) machine.run_for(sim::kSecond);
+  state.SetLabel(state.range(0) != 0 ? "ring-buffer sink" : "no sink");
+  state.counters["events"] =
+      static_cast<double>(machine.tracer().counters().totals().dispatches);
+}
+BENCHMARK(BM_MachineSecondTracing)->Arg(0)->Arg(1);
+
 }  // namespace
 
 BENCHMARK_MAIN();

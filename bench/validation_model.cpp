@@ -73,8 +73,8 @@ runner::RunSpec energy_trial_spec(const sched::MachineConfig& base, double p,
           return std::make_unique<workload::CpuBurnFleet>(4, kWorkSeconds);
         };
         const auto dim = r.run_to_completion(
-            burn, harness::dimetrodon_global(p, quantum), sim::from_sec(300));
-        const auto rti = r.run_window(burn, harness::no_actuation(),
+            burn, harness::actuation::dimetrodon(p, quantum), sim::from_sec(300));
+        const auto rti = r.run_window(burn, harness::actuation::none(),
                                       sim::from_sec(dim.completion_seconds));
         runner::RunRecord rec;
         rec.window = dim;

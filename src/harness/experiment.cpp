@@ -8,12 +8,14 @@
 
 namespace dimetrodon::harness {
 
-ActuationSetup no_actuation() {
+namespace actuation {
+
+ActuationSetup none() {
   return ActuationSetup{"race-to-idle",
                         [](sched::Machine&) { return nullptr; }};
 }
 
-ActuationSetup dimetrodon_global(double probability, sim::SimTime quantum) {
+ActuationSetup dimetrodon(double probability, sim::SimTime quantum) {
   return ActuationSetup{
       trace::fmt("dimetrodon[p=%.2f,L=%.0fms]", probability,
                  sim::to_ms(quantum)),
@@ -24,8 +26,8 @@ ActuationSetup dimetrodon_global(double probability, sim::SimTime quantum) {
       }};
 }
 
-ActuationSetup dimetrodon_global_stratified(double probability,
-                                            sim::SimTime quantum) {
+ActuationSetup dimetrodon_stratified(double probability,
+                                     sim::SimTime quantum) {
   return ActuationSetup{
       trace::fmt("dimetrodon-det[p=%.2f,L=%.0fms]", probability,
                  sim::to_ms(quantum)),
@@ -37,7 +39,7 @@ ActuationSetup dimetrodon_global_stratified(double probability,
       }};
 }
 
-ActuationSetup vfs_setpoint(std::size_t level) {
+ActuationSetup vfs(std::size_t level) {
   return ActuationSetup{trace::fmt("vfs[level=%zu]", level),
                         [level](sched::Machine& m) {
                           m.set_all_dvfs_levels(level);
@@ -45,13 +47,15 @@ ActuationSetup vfs_setpoint(std::size_t level) {
                         }};
 }
 
-ActuationSetup tcc_setpoint(std::size_t duty_step) {
+ActuationSetup tcc(std::size_t duty_step) {
   return ActuationSetup{trace::fmt("p4tcc[step=%zu]", duty_step),
                         [duty_step](sched::Machine& m) {
                           m.set_all_clock_duty_steps(duty_step);
                           return nullptr;
                         }};
 }
+
+}  // namespace actuation
 
 Tradeoff compute_tradeoff(const RunResult& baseline, const RunResult& run) {
   Tradeoff t;
@@ -80,6 +84,17 @@ Tradeoff compute_tradeoff(const RunResult& baseline, const RunResult& run) {
 ExperimentRunner::ExperimentRunner(sched::MachineConfig base,
                                    MeasurementConfig mc)
     : base_(std::move(base)), mc_(mc) {}
+
+ExperimentRunner& ExperimentRunner::with_config(
+    const std::function<void(sched::MachineConfig&)>& fn) {
+  if (fn) fn(base_);
+  return *this;
+}
+
+ExperimentRunner& ExperimentRunner::with_trace(obs::SinkFactory factory) {
+  base_.trace_sink_factory = std::move(factory);
+  return *this;
+}
 
 double ExperimentRunner::mean_exact_temp(const sched::Machine& m) const {
   double sum = 0.0;
@@ -133,6 +148,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
     return s;
   };
   const double injected0 = injected_seconds();
+  const obs::CounterTotals counters0 = machine.counters().totals();
   auto* web = dynamic_cast<workload::WebWorkload*>(wl.get());
   if (web != nullptr) web->mark();
 
@@ -157,10 +173,8 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   result.injected_idle_fraction =
       (injected_seconds() - injected0) /
       (window_s * static_cast<double>(machine.num_cores()));
-  if (web != nullptr) {
-    result.qos = web->stats_since_mark();
-    result.has_qos = true;
-  }
+  result.counters = machine.counters().totals() - counters0;
+  if (web != nullptr) result.qos = web->stats_since_mark();
   result.sim_seconds = sim::to_sec(machine.now());
   return result;
 }

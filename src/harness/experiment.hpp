@@ -2,9 +2,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/controller.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace_sink.hpp"
 #include "sched/machine.hpp"
 #include "workload/web.hpp"
 #include "workload/workload.hpp"
@@ -33,16 +36,23 @@ struct ActuationSetup {
       configure;  // may return nullptr (hardware-only actuations)
 };
 
-ActuationSetup no_actuation();
+/// The actuation catalogue: every baseline technique and the Dimetrodon
+/// configurations from the paper's comparisons, under one namespace.
+/// (Labels are stable identifiers consumed by CSV output and tests.)
+namespace actuation {
+
+/// Unconstrained baseline ("race-to-idle").
+ActuationSetup none();
 /// Global Dimetrodon policy with the paper's Bernoulli injection.
-ActuationSetup dimetrodon_global(double probability, sim::SimTime quantum);
+ActuationSetup dimetrodon(double probability, sim::SimTime quantum);
 /// Global Dimetrodon policy with deterministic (stratified) injection.
-ActuationSetup dimetrodon_global_stratified(double probability,
-                                            sim::SimTime quantum);
+ActuationSetup dimetrodon_stratified(double probability, sim::SimTime quantum);
 /// Static DVFS setpoint (ladder index).
-ActuationSetup vfs_setpoint(std::size_t level);
+ActuationSetup vfs(std::size_t level);
 /// Static p4tcc clock-duty setpoint (step 1..8).
-ActuationSetup tcc_setpoint(std::size_t duty_step);
+ActuationSetup tcc(std::size_t duty_step);
+
+}  // namespace actuation
 
 /// Outcome of one steady-state measured run.
 struct RunResult {
@@ -55,8 +65,11 @@ struct RunResult {
   double avg_power_w = 0.0;         // true energy over window / window
   double injected_idle_fraction = 0.0;  // of total core-time in window
   double sim_seconds = 0.0;  // total simulated time incl. settling
-  workload::WebWorkload::QosStats qos;  // populated for web workloads
-  bool has_qos = false;
+  /// QoS latency buckets; engaged only for web workloads.
+  std::optional<workload::WebWorkload::QosStats> qos;
+  /// Structured counter totals accrued inside the measurement window
+  /// (settling excluded), from the machine's always-on registry.
+  obs::CounterTotals counters;
 };
 
 /// Derived trade-off versus an unconstrained baseline run — the paper's
@@ -97,6 +110,18 @@ class ExperimentRunner {
 
   ExperimentRunner(sched::MachineConfig base, MeasurementConfig mc);
 
+  /// Builder-style configuration. The machine config is fixed at
+  /// construction; targeted tweaks go through `with_config`, which applies
+  /// `fn` to the stored base config and returns *this for chaining. This
+  /// replaces the old mutable_base_config() escape hatch: every mutation now
+  /// happens through a named, greppable call.
+  ExperimentRunner& with_config(
+      const std::function<void(sched::MachineConfig&)>& fn);
+
+  /// Attach structured tracing to every machine this runner builds: the
+  /// factory is invoked once per constructed machine (src/obs).
+  ExperimentRunner& with_trace(obs::SinkFactory factory);
+
   /// Steady-state measured run (temperature/throughput experiments).
   RunResult measure(const WorkloadFactory& factory,
                     const ActuationSetup& actuation,
@@ -116,7 +141,6 @@ class ExperimentRunner {
 
   const sched::MachineConfig& base_config() const { return base_; }
   const MeasurementConfig& measurement_config() const { return mc_; }
-  sched::MachineConfig& mutable_base_config() { return base_; }
 
  private:
   double mean_exact_temp(const sched::Machine& m) const;

@@ -1,0 +1,70 @@
+#include "obs/counters.hpp"
+
+#include <cstdio>
+
+namespace dimetrodon::obs {
+
+const std::vector<CounterTotals::Field>& CounterTotals::fields() {
+  static const std::vector<Field> kFields = {
+      {"dispatches", &CounterTotals::dispatches},
+      {"context_switches", &CounterTotals::context_switches},
+      {"injections", &CounterTotals::injections},
+      {"injected_idle_ns", &CounterTotals::injected_idle_ns},
+      {"idle_ns", &CounterTotals::idle_ns},
+      {"c1e_residency_ns", &CounterTotals::c1e_residency_ns},
+      {"cstate_entries", &CounterTotals::cstate_entries},
+      {"prochot_activations", &CounterTotals::prochot_activations},
+      {"dvfs_changes", &CounterTotals::dvfs_changes},
+      {"meter_samples", &CounterTotals::meter_samples},
+      {"sensor_samples", &CounterTotals::sensor_samples},
+      {"requests_completed", &CounterTotals::requests_completed},
+  };
+  return kFields;
+}
+
+CounterTotals& CounterTotals::operator+=(const CounterTotals& o) {
+  for (const auto& [name, member] : fields()) this->*member += o.*member;
+  return *this;
+}
+
+CounterTotals& CounterTotals::operator-=(const CounterTotals& o) {
+  for (const auto& [name, member] : fields()) this->*member -= o.*member;
+  return *this;
+}
+
+CounterTotals CounterRegistry::totals() const {
+  CounterTotals t;
+  for (const auto& c : per_core_) {
+    t.dispatches += c.dispatches;
+    t.context_switches += c.context_switches;
+    t.injections += c.injections;
+    t.injected_idle_ns += c.injected_idle_ns;
+    t.idle_ns += c.idle_ns;
+    t.c1e_residency_ns += c.c1e_residency_ns;
+    t.cstate_entries += c.cstate_entries;
+  }
+  t.prochot_activations = prochot_activations;
+  t.dvfs_changes = dvfs_changes;
+  t.meter_samples = meter_samples;
+  t.sensor_samples = sensor_samples;
+  t.requests_completed = requests_completed;
+  return t;
+}
+
+std::string totals_to_json(const CounterTotals& t, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "{\n";
+  const auto& fields = CounterTotals::fields();
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s  \"%s\": %llu%s\n", pad.c_str(),
+                  fields[i].first,
+                  static_cast<unsigned long long>(t.*(fields[i].second)),
+                  i + 1 < fields.size() ? "," : "");
+    out += buf;
+  }
+  out += pad + "}";
+  return out;
+}
+
+}  // namespace dimetrodon::obs

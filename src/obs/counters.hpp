@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dimetrodon::obs {
+
+/// Per-logical-core counters, incremented inline by the machine regardless of
+/// whether a trace sink is attached (plain integer adds; the registry is the
+/// always-on half of the observability layer).
+struct CoreCounters {
+  std::uint64_t dispatches = 0;        // threads placed on this core
+  std::uint64_t context_switches = 0;  // dispatches that charged a switch
+  std::uint64_t injections = 0;        // idle quanta injected here
+  std::uint64_t injected_idle_ns = 0;  // completed injected-idle residency
+  std::uint64_t idle_ns = 0;           // total idle span (incl. transitions)
+  std::uint64_t c1e_residency_ns = 0;  // settled time in the idle C-state
+  std::uint64_t cstate_entries = 0;    // idle-path entries
+};
+
+/// Machine-wide counter totals: the flat, serializable summary surfaced in
+/// harness::RunResult and merged into sweep metrics JSON. Fieldwise
+/// subtraction yields window deltas.
+struct CounterTotals {
+  std::uint64_t dispatches = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t injections = 0;
+  std::uint64_t injected_idle_ns = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t c1e_residency_ns = 0;
+  std::uint64_t cstate_entries = 0;
+  std::uint64_t prochot_activations = 0;
+  std::uint64_t dvfs_changes = 0;
+  std::uint64_t meter_samples = 0;
+  std::uint64_t sensor_samples = 0;  // trace-only sampler; 0 without a sink
+  std::uint64_t requests_completed = 0;
+
+  /// Stable (name, member) listing driving every serialization of the totals
+  /// (result cache, metrics JSON, CSV) so the field set cannot drift apart.
+  using Field = std::pair<const char*, std::uint64_t CounterTotals::*>;
+  static const std::vector<Field>& fields();
+
+  CounterTotals& operator+=(const CounterTotals& o);
+  CounterTotals& operator-=(const CounterTotals& o);
+  friend CounterTotals operator-(CounterTotals a, const CounterTotals& b) {
+    a -= b;
+    return a;
+  }
+  bool operator==(const CounterTotals&) const = default;
+};
+
+/// The machine's counter registry: per-core rows plus machine-global
+/// counters, owned by the tracer and readable at any time.
+class CounterRegistry {
+ public:
+  void resize(std::size_t num_cores) { per_core_.assign(num_cores, {}); }
+
+  CoreCounters& core(std::size_t i) { return per_core_.at(i); }
+  const CoreCounters& core(std::size_t i) const { return per_core_.at(i); }
+  std::size_t num_cores() const { return per_core_.size(); }
+
+  std::uint64_t prochot_activations = 0;
+  std::uint64_t dvfs_changes = 0;
+  std::uint64_t meter_samples = 0;
+  std::uint64_t sensor_samples = 0;
+  std::uint64_t requests_completed = 0;
+
+  CounterTotals totals() const;
+
+ private:
+  std::vector<CoreCounters> per_core_;
+};
+
+/// Render totals as `"prefix": {...}` JSON (no trailing newline).
+std::string totals_to_json(const CounterTotals& t, int indent);
+
+}  // namespace dimetrodon::obs

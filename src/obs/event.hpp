@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::obs {
+
+/// What happened. One enumerator per observable state change the simulator
+/// makes; each carries a fixed-size payload in TraceEvent so events can live
+/// in a binary ring buffer with no allocation on the hot path.
+enum class EventKind : std::uint8_t {
+  kSchedSwitch,      // a core began executing a thread
+  kInjectionBegin,   // a Dimetrodon idle quantum displaced a thread
+  kInjectionEnd,     // that quantum finished (arg = actual duration, ns)
+  kCStateChange,     // a core moved along the C0 <-> C1E transition path
+  kDvfsChange,       // a core's DVFS operating point was set
+  kProchotThrottle,  // the hardware thermal monitor engaged / released
+  kSensorSample,     // periodic die-temperature reading (trace-only)
+  kMeterSample,      // the clamp power meter took a sample
+  kRequestComplete,  // a workload request finished (value = latency, s)
+};
+
+constexpr std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSchedSwitch:     return "sched_switch";
+    case EventKind::kInjectionBegin:  return "injection_begin";
+    case EventKind::kInjectionEnd:    return "injection_end";
+    case EventKind::kCStateChange:    return "cstate_change";
+    case EventKind::kDvfsChange:      return "dvfs_change";
+    case EventKind::kProchotThrottle: return "prochot_throttle";
+    case EventKind::kSensorSample:    return "sensor_sample";
+    case EventKind::kMeterSample:     return "meter_sample";
+    case EventKind::kRequestComplete: return "request_complete";
+  }
+  return "unknown";
+}
+
+/// Phase of a kCStateChange along the idle path. Exporters render the span
+/// kEnterBegin..kExitDone as one idle residency on the core's state track.
+enum class CStatePhase : std::uint8_t {
+  kEnterBegin = 0,  // core committed to idling; entry transition starts
+  kEnterDone = 1,   // settled in the idle C-state
+  kExitBegin = 2,   // wakeup started; exit transition
+  kExitDone = 3,    // back in C0, about to dispatch
+};
+
+/// One trace record: 32 bytes, trivially copyable, meaning determined by
+/// `kind`. Field use by kind:
+///   kSchedSwitch:      core, tid, phase = 1 if a context switch was charged
+///   kInjectionBegin:   core, tid (victim), arg = requested quantum (ns)
+///   kInjectionEnd:     core, tid (victim), arg = actual idle duration (ns)
+///   kCStateChange:     core, phase = CStatePhase, arg = power::CState
+///   kDvfsChange:       core, arg = ladder level, value = frequency (GHz)
+///   kProchotThrottle:  core = physical core, arg = 1 engage / 0 release,
+///                      value = die temperature (C)
+///   kSensorSample:     core = physical core, value = die temperature (C)
+///   kMeterSample:      value = measured package power (W)
+///   kRequestComplete:  tid = workload-defined id, value = latency (s)
+struct TraceEvent {
+  sim::SimTime at = 0;
+  EventKind kind = EventKind::kSchedSwitch;
+  std::uint8_t phase = 0;
+  std::uint16_t core = 0;
+  std::uint32_t tid = 0xffffffff;
+  std::uint64_t arg = 0;
+  double value = 0.0;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay ring-friendly");
+
+}  // namespace dimetrodon::obs

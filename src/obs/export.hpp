@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dimetrodon::obs {
+
+/// Context an exporter needs beyond the raw events: track labels and the
+/// thread-id -> name mapping (binary events carry ids only).
+struct TraceMeta {
+  std::string process_name;               // e.g. "race-to-idle"
+  int pid = 0;                            // Chrome/Perfetto process group
+  std::size_t num_cores = 0;              // logical CPUs (tracks per core)
+  std::vector<std::string> thread_names;  // indexed by ThreadId
+};
+
+/// A closed injected-idle interval reconstructed from Begin/End events.
+struct InjectionSpan {
+  std::uint16_t core = 0;
+  std::uint32_t tid = 0;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+};
+
+/// Pair kInjectionBegin/kInjectionEnd per (core, victim) into closed spans
+/// (under suspension semantics one core can have two pending injections with
+/// distinct victims, so the core alone is not a unique handle). An End
+/// whose Begin was overwritten in the ring is recovered from its recorded
+/// duration; a Begin with no End (trace stopped mid-quantum) is skipped,
+/// mirroring the counter registry's accrue-at-completion rule — so
+/// sum(end - begin) equals the registry's injected_idle_ns exactly.
+std::vector<InjectionSpan> injected_idle_spans(
+    const std::vector<TraceEvent>& events);
+
+std::uint64_t summed_injection_ns(const std::vector<InjectionSpan>& spans);
+
+/// Chrome trace-event / Perfetto exporter. Each added machine becomes one
+/// process group with, per core: a running-thread track (sched switches), a
+/// C-state track (idle residencies), an injected-idle track, plus die
+/// temperature and package power counter tracks. Load the output at
+/// https://ui.perfetto.dev or chrome://tracing.
+class ChromeTraceExporter {
+ public:
+  void add_machine(const TraceMeta& meta,
+                   const std::vector<TraceEvent>& events);
+
+  /// Write the complete JSON document ({"traceEvents": [...], ...}).
+  void write(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  void emit(const std::string& entry) { entries_.push_back(entry); }
+  std::vector<std::string> entries_;
+};
+
+/// Flat CSV of raw events: time_ns,kind,phase,core,tid,arg,value.
+void write_csv(std::ostream& out, const std::vector<TraceEvent>& events);
+
+}  // namespace dimetrodon::obs

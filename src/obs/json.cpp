@@ -1,0 +1,250 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dimetrodon::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult run() {
+    skip_ws();
+    if (!value()) return fail();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error_ = "trailing content after top-level value";
+      return fail();
+    }
+    ParseResult r;
+    r.ok = true;
+    r.values = values_;
+    return r;
+  }
+
+ private:
+  ParseResult fail() const {
+    ParseResult r;
+    r.error_pos = pos_;
+    r.error = error_.empty() ? "malformed JSON" : error_;
+    return r;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t start = pos_;
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) {
+        pos_ = start;
+        error_ = "bad literal";
+        return false;
+      }
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool value() {
+    if (eof()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    ++values_;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        error_ = "expected object key";
+        return false;
+      }
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        error_ = "expected ':' after key";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) {
+        error_ = "unterminated object";
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eof()) {
+        error_ = "unterminated array";
+        return false;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      error_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (!eof()) {
+      const unsigned char c = static_cast<unsigned char>(peek());
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (eof()) break;
+        const char esc = peek();
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(peek()))) {
+              error_ = "bad \\u escape";
+              return false;
+            }
+            ++pos_;
+          }
+          continue;
+        }
+        if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+            esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          error_ = "bad escape";
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      if (c < 0x20) {
+        error_ = "raw control character in string";
+        return false;
+      }
+      ++pos_;
+    }
+    error_ = "unterminated string";
+    return false;
+  }
+
+  bool digits() {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      error_ = "expected digit";
+      return false;
+    }
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    if (eof()) {
+      error_ = "bad number";
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero must stand alone
+    } else if (!digits()) {
+      return false;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t values_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult validate(const std::string& text) { return Parser(text).run(); }
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace dimetrodon::obs::json

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace dimetrodon::obs::json {
+
+/// Result of validating a JSON document.
+struct ParseResult {
+  bool ok = false;
+  std::size_t error_pos = 0;   // byte offset of the first error
+  std::string error;           // empty when ok
+  std::size_t values = 0;      // total JSON values parsed (round-trip proof)
+};
+
+/// Strict recursive-descent validation of a complete JSON text (RFC 8259
+/// grammar: objects, arrays, strings with escapes, numbers, literals).
+/// Exporter output must round-trip through this before we call it valid —
+/// the acceptance gate for every trace we write.
+ParseResult validate(const std::string& text);
+
+/// Escape a string for embedding inside a JSON string literal.
+std::string escape(const std::string& s);
+
+}  // namespace dimetrodon::obs::json

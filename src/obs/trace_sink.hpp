@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dimetrodon::obs {
+
+/// Consumer of trace events. The machine's tracer holds at most one sink and
+/// guards every emission behind a single null check, so an unattached
+/// machine pays one predictable branch per event site and nothing else.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
+/// How a sink reaches a machine: MachineConfig carries a factory (configs are
+/// copied per run; the factory is invoked once per constructed machine).
+/// Returning nullptr leaves the machine untraced.
+using SinkFactory = std::function<std::shared_ptr<TraceSink>()>;
+
+/// Fixed-capacity binary ring buffer of events: the default per-machine sink.
+/// Writes are O(1) with no allocation after construction; once full, the
+/// oldest events are overwritten and counted as dropped. `snapshot()` returns
+/// the surviving events oldest-first.
+class RingBufferSink final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;  // 8 MiB
+
+  explicit RingBufferSink(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    buffer_.reserve(capacity_);
+  }
+
+  void on_event(const TraceEvent& e) override {
+    ++total_;
+    if (buffer_.size() < capacity_) {
+      buffer_.push_back(e);
+      return;
+    }
+    buffer_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return buffer_.size(); }
+  /// Events ever offered, including overwritten ones.
+  std::uint64_t total_events() const { return total_; }
+  /// Events lost to overwrite (total_events - size).
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Surviving events, oldest first.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(buffer_.size());
+    for (std::size_t i = 0; i < buffer_.size(); ++i) {
+      out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    buffer_.clear();
+    head_ = 0;
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // oldest element once the buffer is full
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> buffer_;
+};
+
+}  // namespace dimetrodon::obs

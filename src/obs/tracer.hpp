@@ -1,0 +1,173 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "obs/counters.hpp"
+#include "obs/event.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::obs {
+
+/// The machine's probe points, bundled: an always-on CounterRegistry plus an
+/// optional TraceSink. Every emit method increments its counters (integer
+/// adds) and then tests `sink_raw_` once; with no sink attached the event is
+/// never even constructed, so the scheduler hot path pays a single
+/// well-predicted branch per probe.
+///
+/// Emission is strictly read-only with respect to the simulation: no RNG
+/// draws, no event-queue interaction, no state writes outside the registry —
+/// attaching a sink cannot change simulated behavior.
+class Tracer {
+ public:
+  void attach(std::shared_ptr<TraceSink> sink) {
+    sink_ = std::move(sink);
+    sink_raw_ = sink_.get();
+  }
+
+  bool active() const { return sink_raw_ != nullptr; }
+  TraceSink* sink() const { return sink_raw_; }
+
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
+  // --- probes -------------------------------------------------------------
+
+  void sched_switch(sim::SimTime at, std::uint32_t core, std::uint32_t tid,
+                    bool switching) {
+    auto& c = counters_.core(core);
+    ++c.dispatches;
+    if (switching) ++c.context_switches;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kSchedSwitch;
+    e.phase = switching ? 1 : 0;
+    e.core = static_cast<std::uint16_t>(core);
+    e.tid = tid;
+    sink_raw_->on_event(e);
+  }
+
+  void injection_begin(sim::SimTime at, std::uint32_t core, std::uint32_t tid,
+                       sim::SimTime quantum) {
+    ++counters_.core(core).injections;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kInjectionBegin;
+    e.core = static_cast<std::uint16_t>(core);
+    e.tid = tid;
+    e.arg = static_cast<std::uint64_t>(quantum);
+    sink_raw_->on_event(e);
+  }
+
+  /// `actual` is the realized idle duration (may undercut the requested
+  /// quantum when kernel preemption is enabled). The registry accrues
+  /// injected idle here, at completion, mirroring the machine's own span
+  /// accounting — so exported Begin/End spans sum to exactly this counter.
+  void injection_end(sim::SimTime at, std::uint32_t core, std::uint32_t tid,
+                     sim::SimTime actual) {
+    counters_.core(core).injected_idle_ns += static_cast<std::uint64_t>(actual);
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kInjectionEnd;
+    e.core = static_cast<std::uint16_t>(core);
+    e.tid = tid;
+    e.arg = static_cast<std::uint64_t>(actual);
+    sink_raw_->on_event(e);
+  }
+
+  void cstate_change(sim::SimTime at, std::uint32_t core, CStatePhase phase,
+                     std::uint8_t cstate) {
+    if (phase == CStatePhase::kEnterBegin) {
+      ++counters_.core(core).cstate_entries;
+    }
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kCStateChange;
+    e.phase = static_cast<std::uint8_t>(phase);
+    e.core = static_cast<std::uint16_t>(core);
+    e.arg = cstate;
+    sink_raw_->on_event(e);
+  }
+
+  /// Counter-only: settled residency in the idle C-state just ended.
+  void c1e_residency(std::uint32_t core, sim::SimTime ns) {
+    counters_.core(core).c1e_residency_ns += static_cast<std::uint64_t>(ns);
+  }
+
+  /// Counter-only: a full idle span (transitions included) just ended.
+  void idle_span(std::uint32_t core, sim::SimTime ns) {
+    counters_.core(core).idle_ns += static_cast<std::uint64_t>(ns);
+  }
+
+  void dvfs_change(sim::SimTime at, std::uint32_t core, std::uint64_t level,
+                   double freq_ghz) {
+    ++counters_.dvfs_changes;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kDvfsChange;
+    e.core = static_cast<std::uint16_t>(core);
+    e.arg = level;
+    e.value = freq_ghz;
+    sink_raw_->on_event(e);
+  }
+
+  void prochot(sim::SimTime at, std::uint32_t phys, bool engaged,
+               double temp_c) {
+    if (engaged) ++counters_.prochot_activations;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kProchotThrottle;
+    e.core = static_cast<std::uint16_t>(phys);
+    e.arg = engaged ? 1 : 0;
+    e.value = temp_c;
+    sink_raw_->on_event(e);
+  }
+
+  void meter_sample(sim::SimTime at, double watts) {
+    ++counters_.meter_samples;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kMeterSample;
+    e.value = watts;
+    sink_raw_->on_event(e);
+  }
+
+  /// Emitted only by the trace-time sensor sampler, which runs only with a
+  /// sink attached — the one counter that is sink-dependent by nature.
+  void sensor_sample(sim::SimTime at, std::uint32_t phys, double temp_c) {
+    ++counters_.sensor_samples;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kSensorSample;
+    e.core = static_cast<std::uint16_t>(phys);
+    e.value = temp_c;
+    sink_raw_->on_event(e);
+  }
+
+  void request_complete(sim::SimTime at, std::uint32_t id, double latency_s) {
+    ++counters_.requests_completed;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kRequestComplete;
+    e.tid = id;
+    e.value = latency_s;
+    sink_raw_->on_event(e);
+  }
+
+ private:
+  std::shared_ptr<TraceSink> sink_;
+  TraceSink* sink_raw_ = nullptr;
+  CounterRegistry counters_;
+};
+
+}  // namespace dimetrodon::obs

@@ -26,6 +26,11 @@ void SweepMetrics::on_run_executed(double sim_seconds) {
   sim_seconds_done_ += sim_seconds;
 }
 
+void SweepMetrics::add_counters(const obs::CounterTotals& t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ += t;
+}
+
 MetricsSnapshot SweepMetrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
@@ -51,6 +56,7 @@ MetricsSnapshot SweepMetrics::snapshot() const {
                     static_cast<double>(s.total_runs - s.completed) /
                     static_cast<double>(s.completed);
   }
+  s.counters = counters_;
   return s;
 }
 
@@ -77,12 +83,15 @@ std::string SweepMetrics::to_json(const MetricsSnapshot& s) {
       "  \"sim_seconds_done\": %.3f,\n"
       "  \"wall_seconds\": %.3f,\n"
       "  \"sim_seconds_per_second\": %.1f,\n"
-      "  \"runs_per_second\": %.2f\n"
-      "}\n",
+      "  \"runs_per_second\": %.2f,\n"
+      "  \"counters\": ",
       s.total_runs, s.completed, s.cache_hits, s.executed, s.cache_hit_rate,
       s.sim_seconds_done, s.wall_seconds, s.sim_seconds_per_second,
       s.runs_per_second);
-  return buf;
+  std::string out = buf;
+  out += obs::totals_to_json(s.counters, 2);
+  out += "\n}\n";
+  return out;
 }
 
 void SweepMetrics::write_json(const std::string& path) const {

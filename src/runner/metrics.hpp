@@ -5,6 +5,8 @@
 #include <mutex>
 #include <string>
 
+#include "obs/counters.hpp"
+
 namespace dimetrodon::runner {
 
 /// Point-in-time view of a sweep's progress.
@@ -20,6 +22,9 @@ struct MetricsSnapshot {
   double sim_seconds_per_second = 0.0;   // aggregate simulation throughput
   double runs_per_second = 0.0;
   double eta_seconds = 0.0;              // 0 when unknown or done
+  /// Sum of the per-run counter windows across every completed run
+  /// (cache hits included: counters are part of the cached record).
+  obs::CounterTotals counters;
 };
 
 /// Thread-safe progress/throughput accounting for one sweep. Cheap enough to
@@ -32,6 +37,8 @@ class SweepMetrics {
   void on_run_started();
   void on_cache_hit();
   void on_run_executed(double sim_seconds);
+  /// Fold one run's counter window into the sweep-wide totals.
+  void add_counters(const obs::CounterTotals& t);
 
   MetricsSnapshot snapshot() const;
 
@@ -49,6 +56,7 @@ class SweepMetrics {
   std::size_t cache_hits_ = 0;
   std::size_t executed_ = 0;
   double sim_seconds_done_ = 0.0;
+  obs::CounterTotals counters_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -13,7 +13,10 @@ namespace dimetrodon::runner {
 
 namespace {
 
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v1";
+// v2: optional QoS block + structured counter totals in the record payload.
+// Bumping the magic makes every v1 file a clean miss, so old caches are
+// recomputed rather than misparsed.
+constexpr char kFileMagic[] = "dimetrodon-sweep-cache v2";
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;
@@ -132,13 +135,20 @@ std::string ResultCache::serialize_record(const RunRecord& record) {
   put_line(out, "result.avg_power_w", r.avg_power_w);
   put_line(out, "result.injected_idle_fraction", r.injected_idle_fraction);
   put_line(out, "result.sim_seconds", r.sim_seconds);
-  put_line(out, "result.has_qos", static_cast<std::uint64_t>(r.has_qos));
-  put_line(out, "qos.good", r.qos.good);
-  put_line(out, "qos.tolerable", r.qos.tolerable);
-  put_line(out, "qos.fail", r.qos.fail);
-  put_line(out, "qos.total", r.qos.total);
-  put_line(out, "qos.mean_latency_s", r.qos.mean_latency_s);
-  put_line(out, "qos.max_latency_s", r.qos.max_latency_s);
+  put_line(out, "result.has_qos",
+           static_cast<std::uint64_t>(r.qos.has_value()));
+  const workload::WebWorkload::QosStats qos =
+      r.qos.value_or(workload::WebWorkload::QosStats{});
+  put_line(out, "qos.good", qos.good);
+  put_line(out, "qos.tolerable", qos.tolerable);
+  put_line(out, "qos.fail", qos.fail);
+  put_line(out, "qos.total", qos.total);
+  put_line(out, "qos.mean_latency_s", qos.mean_latency_s);
+  put_line(out, "qos.max_latency_s", qos.max_latency_s);
+  for (const auto& [name, member] : obs::CounterTotals::fields()) {
+    put_line(out, (std::string("counter.") + name).c_str(),
+             r.counters.*member);
+  }
   const auto& w = record.window;
   put_line(out, "window.completion_seconds", w.completion_seconds);
   put_line(out, "window.meter_energy_j", w.meter_energy_j);
@@ -179,14 +189,22 @@ std::optional<RunRecord> ResultCache::parse_record(const std::string& payload) {
     return std::nullopt;
   }
   if (!in.get_u64("result.has_qos", u) || u > 1) return std::nullopt;
-  r.has_qos = u == 1;
-  if (!in.get_u64("qos.good", r.qos.good) ||
-      !in.get_u64("qos.tolerable", r.qos.tolerable) ||
-      !in.get_u64("qos.fail", r.qos.fail) ||
-      !in.get_u64("qos.total", r.qos.total) ||
-      !in.get_double("qos.mean_latency_s", r.qos.mean_latency_s) ||
-      !in.get_double("qos.max_latency_s", r.qos.max_latency_s)) {
+  const bool has_qos = u == 1;
+  workload::WebWorkload::QosStats qos;
+  if (!in.get_u64("qos.good", qos.good) ||
+      !in.get_u64("qos.tolerable", qos.tolerable) ||
+      !in.get_u64("qos.fail", qos.fail) ||
+      !in.get_u64("qos.total", qos.total) ||
+      !in.get_double("qos.mean_latency_s", qos.mean_latency_s) ||
+      !in.get_double("qos.max_latency_s", qos.max_latency_s)) {
     return std::nullopt;
+  }
+  if (has_qos) r.qos = qos;
+  for (const auto& [name, member] : obs::CounterTotals::fields()) {
+    if (!in.get_u64((std::string("counter.") + name).c_str(),
+                    r.counters.*member)) {
+      return std::nullopt;
+    }
   }
   auto& w = rec.window;
   if (!in.get_double("window.completion_seconds", w.completion_seconds) ||

@@ -99,15 +99,15 @@ void append_machine(std::string& out, const sched::MachineConfig& m) {
 harness::ActuationSetup ActuationSpec::to_setup() const {
   switch (kind) {
     case Kind::kNone:
-      return harness::no_actuation();
+      return harness::actuation::none();
     case Kind::kGlobal:
-      return harness::dimetrodon_global(probability, quantum);
+      return harness::actuation::dimetrodon(probability, quantum);
     case Kind::kGlobalStratified:
-      return harness::dimetrodon_global_stratified(probability, quantum);
+      return harness::actuation::dimetrodon_stratified(probability, quantum);
     case Kind::kVfs:
-      return harness::vfs_setpoint(level);
+      return harness::actuation::vfs(level);
     case Kind::kTcc:
-      return harness::tcc_setpoint(level);
+      return harness::actuation::tcc(level);
   }
   throw std::logic_error("unknown ActuationSpec::Kind");
 }

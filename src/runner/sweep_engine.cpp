@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -13,19 +17,66 @@
 
 namespace dimetrodon::runner {
 
+namespace {
+
+void warn_env_once(const char* var, const char* value, const char* expected) {
+  // A sweep may build several configs; nag about a given variable only once.
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned.insert(var).second) return;
+  std::fprintf(stderr,
+               "[runner] ignoring %s=\"%s\" (expected %s); using default\n",
+               var, value, expected);
+}
+
+/// Strict non-negative integer parse; returns nullopt (after a one-time
+/// stderr warning) on anything else, so a typo'd env var degrades to the
+/// default instead of silently becoming 0 threads.
+std::optional<std::size_t> env_size_t(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || raw[0] == '-' ||
+      v > 4096ULL) {
+    warn_env_once(var, raw, "an integer in 0..4096");
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Boolean env parse: accepts 0/1 (and a few spellings); warns otherwise.
+std::optional<bool> env_bool(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  const std::string v(raw);
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  warn_env_once(var, raw, "0 or 1");
+  return std::nullopt;
+}
+
+}  // namespace
+
 SweepEngineConfig SweepEngineConfig::from_env(const std::string& bench_name) {
   SweepEngineConfig cfg;
-  if (const char* t = std::getenv("DIMETRODON_SWEEP_THREADS")) {
-    cfg.threads = static_cast<std::size_t>(std::strtoul(t, nullptr, 10));
+  if (const auto t = env_size_t("DIMETRODON_SWEEP_THREADS")) {
+    cfg.threads = *t;
   }
-  if (const char* c = std::getenv("DIMETRODON_SWEEP_CACHE")) {
-    cfg.use_cache = std::string(c) != "0";
+  if (const auto c = env_bool("DIMETRODON_SWEEP_CACHE")) {
+    cfg.use_cache = *c;
   }
   if (const char* d = std::getenv("DIMETRODON_SWEEP_CACHE_DIR")) {
-    cfg.cache_dir = d;
+    if (*d == '\0') {
+      warn_env_once("DIMETRODON_SWEEP_CACHE_DIR", d, "a non-empty path");
+    } else {
+      cfg.cache_dir = d;
+    }
   }
-  if (const char* p = std::getenv("DIMETRODON_SWEEP_PROGRESS")) {
-    cfg.progress = std::string(p) != "0";
+  if (const auto p = env_bool("DIMETRODON_SWEEP_PROGRESS")) {
+    cfg.progress = *p;
   }
   if (!bench_name.empty()) {
     cfg.metrics_json_path = "bench_results/" + bench_name + "_metrics.json";
@@ -96,11 +147,13 @@ std::vector<RunRecord> SweepEngine::run(const std::vector<RunSpec>& specs) {
       const CacheKey key = CacheKey::of(canon);
       if (auto hit = cache_.load(key, canon)) {
         results[i] = std::move(*hit);
+        metrics.add_counters(results[i].result.counters);
         metrics.on_cache_hit();
         return;
       }
       results[i] = execute(spec, base_);
       cache_.store(key, canon, results[i]);
+      metrics.add_counters(results[i].result.counters);
       metrics.on_run_executed(results[i].sim_seconds_estimate());
     });
   }

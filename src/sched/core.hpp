@@ -39,6 +39,7 @@ struct Core {
   sim::SimTime segment_start = 0;      // when useful execution began
   sim::SimTime quantum_deadline = 0;   // end of the current timeslice
   double quantum_ran_seconds = 0.0;    // CPU time consumed this timeslice
+  sim::SimTime idle_settled_at = 0;    // when the idle C-state was reached
 
   // Statistics.
   double busy_seconds = 0.0;

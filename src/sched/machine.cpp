@@ -44,6 +44,13 @@ Machine::Machine(MachineConfig config)
     cores_.push_back(c);
   }
   window_node_joules_.assign(network_.node_count(), 0.0);
+  tracer_.counters().resize(cores_.size());
+  if (config_.trace_sink_factory) {
+    if (auto sink = config_.trace_sink_factory()) {
+      tracer_.attach(std::move(sink));
+      schedule_trace_sensor();
+    }
+  }
 
   if (config_.start_at_idle_equilibrium) {
     // Fixed-point iteration: leakage depends on die temperature which depends
@@ -192,8 +199,23 @@ void Machine::schedule_substep() {
 void Machine::schedule_meter_sample() {
   sim_.after(meter_->sample_interval(), [this](sim::SimTime t) {
     advance_thermal(t);
-    meter_->sample(t, current_total_power());
+    const double watts = current_total_power();
+    meter_->sample(t, watts);
+    tracer_.meter_sample(t, watts);
     schedule_meter_sample();
+  });
+}
+
+void Machine::schedule_trace_sensor() {
+  // Pure observation: reads the current network state without advancing the
+  // thermal integrator, so chunk boundaries — and therefore every simulated
+  // result — are bit-identical with and without tracing.
+  sim_.after(config_.trace_sensor_period, [this](sim::SimTime t) {
+    for (std::size_t phys = 0; phys < config_.num_cores; ++phys) {
+      tracer_.sensor_sample(t, static_cast<std::uint32_t>(phys),
+                            network_.temperature(nodes_.die[phys]));
+    }
+    schedule_trace_sensor();
   });
 }
 
@@ -358,15 +380,20 @@ bool Machine::try_preempt_for_kernel_thread(Thread& t) {
   return false;
 }
 
-void Machine::suspend_for_injection(Thread& t, sim::SimTime quantum) {
+void Machine::suspend_for_injection(Thread& t, CoreId where,
+                                    sim::SimTime quantum) {
   t.set_state(ThreadState::kSleeping);
   t.set_sleep_started_at(-1);
   t.set_injection_suspended(true);
   const ThreadId victim = t.id();
-  sim_.after(quantum, [this, victim](sim::SimTime now) {
+  tracer_.injection_begin(sim_.now(), where, victim, quantum);
+  sim_.after(quantum, [this, victim, where, quantum](sim::SimTime now) {
     Thread& v = *threads_.at(victim);
     if (!v.injection_suspended()) return;
     v.set_injection_suspended(false);
+    // The suspension always runs its full quantum (wake_thread refuses to
+    // cut it short), so the realized duration equals the request.
+    tracer_.injection_end(now, where, victim, quantum);
     if (hook_ != nullptr) {
       hook_->on_injection_complete(v, v.last_core(), now);
     }
@@ -423,7 +450,7 @@ void Machine::dispatch(Core& core) {
         // Per-thread semantics (Fig. 5): deschedule the victim for the idle
         // quantum; the dispatch loop below finds other work or idles the
         // core naturally. No interactivity credit accrues for forced idling.
-        suspend_for_injection(*t, *idle_quantum);
+        suspend_for_injection(*t, core.id, *idle_quantum);
         // Extension of the paper's SMT remark (§3.2): co-schedule the idle
         // quantum on the sibling hardware context so the whole physical
         // core can halt into C1E.
@@ -437,7 +464,7 @@ void Machine::dispatch(Core& core) {
             scheduler_->dequeue(co_victim);
             co_victim.increment_injections_suffered();
             ++sib->injections;
-            suspend_for_injection(co_victim, *idle_quantum);
+            suspend_for_injection(co_victim, sib->id, *idle_quantum);
             dispatch(*sib);
           }
         }
@@ -467,6 +494,7 @@ void Machine::run_thread(Core& core, Thread& t) {
   const bool switching = core.last_thread != t.id();
   if (switching) ++core.context_switches;
   core.last_thread = t.id();
+  tracer_.sched_switch(sim_.now(), core.id, t.id(), switching);
 
   if (t.burst_remaining() <= kWorkEpsilon) {
     const Burst b = t.behavior().next_burst(sim_.now(), t.rng());
@@ -603,6 +631,14 @@ void Machine::enter_idle(Core& core, bool injected, sim::SimTime quantum,
   core.op.in_transition = true;
   core.last_thread = kInvalidThread;  // resuming anyone is a context switch
 
+  tracer_.cstate_change(sim_.now(), core.id, obs::CStatePhase::kEnterBegin,
+                        static_cast<std::uint8_t>(config_.idle_cstate));
+  if (injected) {
+    tracer_.injection_begin(sim_.now(), core.id,
+                            victim != nullptr ? victim->id() : kInvalidThread,
+                            quantum);
+  }
+
   const auto info = power::cstate_info(config_.idle_cstate);
   core.transition_timer.cancel();
   core.transition_timer = sim_.after(
@@ -621,6 +657,9 @@ void Machine::finish_idle_entry(Core& core) {
   core.activity = CoreActivity::kIdle;
   core.op.in_transition = false;
   core.op.activity = 0.0;
+  core.idle_settled_at = sim_.now();
+  tracer_.cstate_change(sim_.now(), core.id, obs::CStatePhase::kEnterDone,
+                        static_cast<std::uint8_t>(config_.idle_cstate));
 }
 
 void Machine::end_injected_idle(Core& core) {
@@ -640,15 +679,31 @@ void Machine::end_injected_idle(Core& core) {
 void Machine::begin_idle_exit(Core& core) {
   advance_thermal(sim_.now());
   // Account the idle residency that just ended.
-  const double idle_span =
-      std::max(0.0, sim::to_sec(sim_.now() - core.segment_start));
+  const sim::SimTime span_ns = std::max<sim::SimTime>(
+      sim::SimTime{0}, sim_.now() - core.segment_start);
+  const double idle_span = std::max(0.0, sim::to_sec(span_ns));
   core.idle_seconds += idle_span;
   if (core.injected_idle) core.injected_idle_seconds += idle_span;
+  tracer_.idle_span(core.id, span_ns);
+  if (core.activity == CoreActivity::kIdle) {
+    tracer_.c1e_residency(core.id, sim_.now() - core.idle_settled_at);
+  }
+  if (core.injected_idle) {
+    // Realized span of a pinned (§3.1) injection; same integer timestamps the
+    // exporter pairs into a Begin/End span, so the two sums match exactly.
+    tracer_.injection_end(sim_.now(), core.id,
+                          core.injection_victim != nullptr
+                              ? core.injection_victim->id()
+                              : kInvalidThread,
+                          span_ns);
+  }
   core.injected_idle = false;
   core.injection_victim = nullptr;
 
   core.transition_timer.cancel();
   core.activity = CoreActivity::kIdleExiting;
+  tracer_.cstate_change(sim_.now(), core.id, obs::CStatePhase::kExitBegin,
+                        static_cast<std::uint8_t>(config_.idle_cstate));
   core.op.in_transition = true;
   const auto info = power::cstate_info(config_.idle_cstate);
   core.transition_timer = sim_.after(
@@ -662,6 +717,8 @@ void Machine::finish_idle_exit(Core& core) {
   core.op.in_transition = false;
   core.op.activity = 0.0;
   core.activity = CoreActivity::kExecuting;
+  tracer_.cstate_change(sim_.now(), core.id, obs::CStatePhase::kExitDone,
+                        static_cast<std::uint8_t>(power::CState::kC0));
   dispatch(core);
 }
 
@@ -696,6 +753,7 @@ void Machine::set_dvfs_level(CoreId core, std::size_t level) {
   c.dvfs_level = level;
   c.op.freq_ghz = config_.dvfs.level(level).freq_ghz;
   c.op.voltage_v = config_.dvfs.level(level).voltage_v;
+  tracer_.dvfs_change(sim_.now(), c.id, level, c.op.freq_ghz);
   if (c.activity == CoreActivity::kExecuting && c.current != nullptr) {
     plan_segment(c);
   }
@@ -747,6 +805,8 @@ void Machine::thermal_monitor_tick() {
     }
     if (active == was_active) continue;
     tm_active_[phys] = active;
+    tracer_.prochot(sim_.now(), static_cast<std::uint32_t>(phys), active,
+                    temp);
     const std::size_t contexts = config_.smt_enabled ? 2 : 1;
     for (std::size_t k = 0; k < contexts; ++k) {
       Core& c = cores_[phys * contexts + k];

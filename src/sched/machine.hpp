@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hpp"
 #include "power/energy.hpp"
 #include "power/meter.hpp"
 #include "power/power_model.hpp"
@@ -96,6 +97,18 @@ struct MachineConfig {
   /// with the victim pinned on the run queue. The two are identical whenever
   /// runnable threads <= cores (every single-workload experiment).
   bool injection_suspends_thread = true;
+
+  /// Observability. Invoked once at construction; the returned sink receives
+  /// every structured trace event (see src/obs). Leave empty (or return
+  /// nullptr) for the zero-overhead path: counters still accrue, but no event
+  /// is ever constructed. Configs are copied freely (e.g. per sweep run), so
+  /// attachment is expressed as a factory rather than a sink instance.
+  obs::SinkFactory trace_sink_factory;
+
+  /// Period of the trace-time die-temperature sampler. Scheduled only when a
+  /// sink is attached, and strictly read-only (no thermal-integration calls),
+  /// so tracing can never perturb the simulation it observes.
+  sim::SimTime trace_sensor_period = sim::from_ms(1);
 
   std::uint64_t seed = 0x5eed;
 };
@@ -201,6 +214,13 @@ class Machine {
   /// Fork an independent RNG stream from the machine's master seed.
   sim::Rng fork_rng() { return master_rng_.fork(); }
 
+  // --- observability --------------------------------------------------------
+  /// Structured event probes + always-on counter registry (src/obs).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
+  /// Shorthand for the counter registry the tracer maintains.
+  const obs::CounterRegistry& counters() const { return tracer_.counters(); }
+
   // --- accelerated thermal settling ----------------------------------------
   /// Average per-node power since the last mark (for steady-state jumps).
   void mark_power_window();
@@ -224,7 +244,7 @@ class Machine {
   void begin_idle_exit(Core& core);
   void finish_idle_exit(Core& core);
   void make_runnable(Thread& t);
-  void suspend_for_injection(Thread& t, sim::SimTime quantum);
+  void suspend_for_injection(Thread& t, CoreId where, sim::SimTime quantum);
   void stop_current(Core& core, sim::SimTime now);
   void checkpoint_segment(Core& core);
   bool try_kick_idle_core(Thread& t);
@@ -241,6 +261,7 @@ class Machine {
   void integrate_chunk(double dt_seconds);
   void schedule_substep();
   void schedule_meter_sample();
+  void schedule_trace_sensor();
   void schedule_schedcpu();
   void schedule_thermal_monitor();
   void thermal_monitor_tick();
@@ -262,6 +283,7 @@ class Machine {
 
   std::unique_ptr<Scheduler> scheduler_;
   InjectionHook* hook_ = nullptr;
+  obs::Tracer tracer_;
 
   std::vector<Core> cores_;
   std::vector<std::unique_ptr<Thread>> threads_;

@@ -124,6 +124,7 @@ void WebWorkload::wake_one_worker() {
 void WebWorkload::complete_request(const Request& r) {
   ++completed_;
   const double latency = sim::to_sec(machine_->now() - r.issued_at);
+  machine_->tracer().request_complete(machine_->now(), r.connection, latency);
   if (window_open_) window_latencies_.push_back(latency);
   schedule_think(r.connection);
 }

@@ -20,19 +20,22 @@ ExperimentRunner::WorkloadFactory cpuburn4() {
 
 TEST(ExperimentTest, BaselineRunIsHotAndFast) {
   auto runner = make_runner();
-  const RunResult r = runner.measure(cpuburn4(), no_actuation());
+  const RunResult r = runner.measure(cpuburn4(), actuation::none());
   EXPECT_GT(r.avg_sensor_temp_c, r.idle_sensor_temp_c + 20.0);
   EXPECT_NEAR(r.throughput, 4.0, 0.05);
   EXPECT_GT(r.avg_power_w, 60.0);
   EXPECT_DOUBLE_EQ(r.injected_idle_fraction, 0.0);
-  EXPECT_FALSE(r.has_qos);
+  EXPECT_FALSE(r.qos.has_value());
+  EXPECT_EQ(r.counters.injections, 0u);
+  EXPECT_GT(r.counters.dispatches, 0u);
+  EXPECT_EQ(r.counters.sensor_samples, 0u);  // no sink, no trace sampler
 }
 
 TEST(ExperimentTest, DimetrodonRunCoolerAndSlower) {
   auto runner = make_runner();
-  const RunResult base = runner.measure(cpuburn4(), no_actuation());
+  const RunResult base = runner.measure(cpuburn4(), actuation::none());
   const RunResult dim =
-      runner.measure(cpuburn4(), dimetrodon_global(0.5, sim::from_ms(25)));
+      runner.measure(cpuburn4(), actuation::dimetrodon(0.5, sim::from_ms(25)));
   EXPECT_LT(dim.avg_sensor_temp_c, base.avg_sensor_temp_c - 3.0);
   EXPECT_LT(dim.throughput, base.throughput * 0.9);
   EXPECT_GT(dim.injected_idle_fraction, 0.1);
@@ -45,7 +48,7 @@ TEST(ExperimentTest, DimetrodonRunCoolerAndSlower) {
 
 TEST(ExperimentTest, TradeoffOfBaselineAgainstItselfIsZero) {
   auto runner = make_runner();
-  const RunResult base = runner.measure(cpuburn4(), no_actuation());
+  const RunResult base = runner.measure(cpuburn4(), actuation::none());
   const Tradeoff t = compute_tradeoff(base, base);
   EXPECT_DOUBLE_EQ(t.temp_reduction, 0.0);
   EXPECT_DOUBLE_EQ(t.throughput_reduction, 0.0);
@@ -53,8 +56,8 @@ TEST(ExperimentTest, TradeoffOfBaselineAgainstItselfIsZero) {
 
 TEST(ExperimentTest, VfsActuationSlowsByFrequencyRatio) {
   auto runner = make_runner();
-  const RunResult base = runner.measure(cpuburn4(), no_actuation());
-  const RunResult vfs = runner.measure(cpuburn4(), vfs_setpoint(5));
+  const RunResult base = runner.measure(cpuburn4(), actuation::none());
+  const RunResult vfs = runner.measure(cpuburn4(), actuation::vfs(5));
   const Tradeoff t = compute_tradeoff(base, vfs);
   EXPECT_NEAR(t.throughput_retained, 1.596 / 2.261, 0.01);
 }
@@ -62,9 +65,9 @@ TEST(ExperimentTest, VfsActuationSlowsByFrequencyRatio) {
 TEST(ExperimentTest, RunsAreReproducible) {
   auto runner = make_runner();
   const RunResult a =
-      runner.measure(cpuburn4(), dimetrodon_global(0.25, sim::from_ms(10)));
+      runner.measure(cpuburn4(), actuation::dimetrodon(0.25, sim::from_ms(10)));
   const RunResult b =
-      runner.measure(cpuburn4(), dimetrodon_global(0.25, sim::from_ms(10)));
+      runner.measure(cpuburn4(), actuation::dimetrodon(0.25, sim::from_ms(10)));
   EXPECT_DOUBLE_EQ(a.avg_sensor_temp_c, b.avg_sensor_temp_c);
   EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
 }
@@ -73,7 +76,7 @@ TEST(ExperimentTest, PostDeployHookSeesThreads) {
   auto runner = make_runner();
   bool called = false;
   runner.measure(
-      cpuburn4(), dimetrodon_global(0.5, sim::from_ms(10)),
+      cpuburn4(), actuation::dimetrodon(0.5, sim::from_ms(10)),
       [&](sched::Machine& m, workload::Workload& wl,
           core::DimetrodonController* ctl) {
         called = true;
@@ -91,7 +94,7 @@ TEST(ExperimentTest, RunToCompletionReportsTime) {
     return std::make_unique<workload::CpuBurnFleet>(4, 2.0);
   };
   const WindowResult r =
-      runner.run_to_completion(burn, no_actuation(), sim::from_sec(30));
+      runner.run_to_completion(burn, actuation::none(), sim::from_sec(30));
   EXPECT_NEAR(r.completion_seconds, 2.0, 0.05);
   EXPECT_GT(r.meter_energy_j, 0.0);
   EXPECT_NEAR(r.meter_energy_j, r.true_energy_j, 0.12 * r.true_energy_j);
@@ -103,7 +106,7 @@ TEST(ExperimentTest, RunToCompletionDeadlineMiss) {
     return std::make_unique<workload::CpuBurnFleet>(4, 50.0);
   };
   const WindowResult r =
-      runner.run_to_completion(burn, no_actuation(), sim::from_sec(1));
+      runner.run_to_completion(burn, actuation::none(), sim::from_sec(1));
   EXPECT_LT(r.completion_seconds, 0.0);
   EXPECT_NEAR(r.wall_seconds, 1.0, 1e-9);
 }
@@ -114,16 +117,37 @@ TEST(ExperimentTest, RunWindowTracksCompletionInsideWindow) {
     return std::make_unique<workload::CpuBurnFleet>(4, 1.0);
   };
   const WindowResult r =
-      runner.run_window(burn, no_actuation(), sim::from_sec(5));
+      runner.run_window(burn, actuation::none(), sim::from_sec(5));
   EXPECT_NEAR(r.completion_seconds, 1.0, 0.05);
   EXPECT_NEAR(r.wall_seconds, 5.0, 1e-9);
 }
 
+TEST(ExperimentTest, WithConfigAppliesMutation) {
+  auto runner = make_runner();
+  runner.with_config([](sched::MachineConfig& c) { c.num_cores = 2; })
+      .with_config([](sched::MachineConfig& c) { c.seed = 99; });
+  EXPECT_EQ(runner.base_config().num_cores, 2u);
+  EXPECT_EQ(runner.base_config().seed, 99u);
+}
+
+TEST(ExperimentTest, CountersCrossCheckInjectedIdleFraction) {
+  auto runner = make_runner();
+  const RunResult dim =
+      runner.measure(cpuburn4(), actuation::dimetrodon(0.5, sim::from_ms(25)));
+  EXPECT_GT(dim.counters.injections, 0u);
+  // The registry accrues the same per-quantum durations the harness sums into
+  // injected_idle_fraction, sampled at the same window boundaries.
+  const double frac_from_counters =
+      static_cast<double>(dim.counters.injected_idle_ns) / 1e9 /
+      (sim::to_sec(runner.measurement_config().measure_window) * 4.0);
+  EXPECT_NEAR(frac_from_counters, dim.injected_idle_fraction, 1e-9);
+}
+
 TEST(ExperimentTest, LabelsPropagate) {
-  EXPECT_EQ(dimetrodon_global(0.25, sim::from_ms(50)).label,
+  EXPECT_EQ(actuation::dimetrodon(0.25, sim::from_ms(50)).label,
             "dimetrodon[p=0.25,L=50ms]");
-  EXPECT_EQ(vfs_setpoint(2).label, "vfs[level=2]");
-  EXPECT_EQ(no_actuation().label, "race-to-idle");
+  EXPECT_EQ(actuation::vfs(2).label, "vfs[level=2]");
+  EXPECT_EQ(actuation::none().label, "race-to-idle");
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#include "obs/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+namespace dimetrodon::obs {
+namespace {
+
+TEST(CounterTotals, FieldTableCoversArithmetic) {
+  CounterTotals a;
+  a.dispatches = 10;
+  a.injections = 3;
+  a.injected_idle_ns = 1000;
+  CounterTotals b;
+  b.dispatches = 4;
+  b.injections = 1;
+  b.injected_idle_ns = 250;
+  b.requests_completed = 2;
+
+  CounterTotals sum = a;
+  sum += b;
+  EXPECT_EQ(sum.dispatches, 14u);
+  EXPECT_EQ(sum.injections, 4u);
+  EXPECT_EQ(sum.injected_idle_ns, 1250u);
+  EXPECT_EQ(sum.requests_completed, 2u);
+
+  const CounterTotals delta = sum - b;
+  EXPECT_TRUE(delta == a);
+}
+
+TEST(CounterRegistry, TotalsSumPerCoreAndGlobals) {
+  CounterRegistry reg;
+  reg.resize(3);
+  reg.core(0).dispatches = 5;
+  reg.core(1).dispatches = 7;
+  reg.core(2).injected_idle_ns = 42;
+  reg.core(0).c1e_residency_ns = 11;
+  reg.prochot_activations = 2;
+  reg.meter_samples = 9;
+
+  const CounterTotals t = reg.totals();
+  EXPECT_EQ(t.dispatches, 12u);
+  EXPECT_EQ(t.injected_idle_ns, 42u);
+  EXPECT_EQ(t.c1e_residency_ns, 11u);
+  EXPECT_EQ(t.prochot_activations, 2u);
+  EXPECT_EQ(t.meter_samples, 9u);
+}
+
+TEST(CounterRegistry, ResizeClears) {
+  CounterRegistry reg;
+  reg.resize(2);
+  reg.core(1).injections = 8;
+  reg.resize(2);
+  EXPECT_EQ(reg.core(1).injections, 0u);
+}
+
+TEST(CounterTotals, JsonRenderingIsValidAndComplete) {
+  CounterTotals t;
+  t.dispatches = 123;
+  t.sensor_samples = 456;
+  const std::string json = totals_to_json(t, 0);
+  const auto parsed = json::validate(json);
+  EXPECT_TRUE(parsed.ok) << parsed.error;
+  // Every field must appear by name.
+  for (const auto& [name, member] : CounterTotals::fields()) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(json.find("\"dispatches\": 123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dimetrodon::obs

@@ -1,0 +1,63 @@
+#include "obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::obs {
+namespace {
+
+TraceEvent at(sim::SimTime t) {
+  TraceEvent e;
+  e.at = t;
+  return e;
+}
+
+TEST(RingBufferSink, StoresUpToCapacityInOrder) {
+  RingBufferSink sink(4);
+  for (int i = 0; i < 3; ++i) sink.on_event(at(i));
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.total_events(), 3u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(events[i].at, i);
+}
+
+TEST(RingBufferSink, OverwritesOldestWhenFull) {
+  RingBufferSink sink(4);
+  for (int i = 0; i < 10; ++i) sink.on_event(at(i));
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.total_events(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the last four offered survive.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i].at, 6 + i);
+}
+
+TEST(RingBufferSink, ClearResetsEverything) {
+  RingBufferSink sink(2);
+  for (int i = 0; i < 5; ++i) sink.on_event(at(i));
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.total_events(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_TRUE(sink.snapshot().empty());
+}
+
+TEST(RingBufferSink, ZeroCapacityIsClampedToOne) {
+  RingBufferSink sink(0);
+  EXPECT_EQ(sink.capacity(), 1u);
+  sink.on_event(at(7));
+  sink.on_event(at(8));
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at, 8);
+}
+
+TEST(TraceEvent, StaysRingFriendly) {
+  EXPECT_EQ(sizeof(TraceEvent), 32u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<TraceEvent>);
+}
+
+}  // namespace
+}  // namespace dimetrodon::obs

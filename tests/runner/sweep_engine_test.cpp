@@ -83,7 +83,8 @@ void expect_identical(const harness::RunResult& a,
   EXPECT_EQ(a.avg_power_w, b.avg_power_w);
   EXPECT_EQ(a.injected_idle_fraction, b.injected_idle_fraction);
   EXPECT_EQ(a.sim_seconds, b.sim_seconds);
-  EXPECT_EQ(a.has_qos, b.has_qos);
+  EXPECT_EQ(a.qos.has_value(), b.qos.has_value());
+  EXPECT_TRUE(a.counters == b.counters);
 }
 
 TEST(SweepEngine, ParallelMatchesSerialBitForBit) {
@@ -315,8 +316,12 @@ TEST(ResultCacheSerialization, RoundTripsAllRecordFields) {
   rec.result.avg_sensor_temp_c = 51.0625;
   rec.result.throughput = 0.875;
   rec.result.sim_seconds = 123.456;
-  rec.result.has_qos = true;
-  rec.result.qos.good = 10;
+  workload::WebWorkload::QosStats qos;
+  qos.good = 10;
+  rec.result.qos = qos;
+  rec.result.counters.injections = 42;
+  rec.result.counters.injected_idle_ns = 123456789;
+  rec.result.counters.requests_completed = 7;
   rec.window.completion_seconds = 7.5;
   rec.window.meter_energy_j = 1234.5;
   rec.samples = {0.1, 0.2, 0.3};
@@ -329,8 +334,9 @@ TEST(ResultCacheSerialization, RoundTripsAllRecordFields) {
   EXPECT_EQ(parsed->result.avg_sensor_temp_c, rec.result.avg_sensor_temp_c);
   EXPECT_EQ(parsed->result.throughput, rec.result.throughput);
   EXPECT_EQ(parsed->result.sim_seconds, rec.result.sim_seconds);
-  EXPECT_EQ(parsed->result.has_qos, rec.result.has_qos);
-  EXPECT_EQ(parsed->result.qos.good, rec.result.qos.good);
+  ASSERT_TRUE(parsed->result.qos.has_value());
+  EXPECT_EQ(parsed->result.qos->good, rec.result.qos->good);
+  EXPECT_TRUE(parsed->result.counters == rec.result.counters);
   EXPECT_EQ(parsed->window.completion_seconds, rec.window.completion_seconds);
   EXPECT_EQ(parsed->window.meter_energy_j, rec.window.meter_energy_j);
   EXPECT_EQ(parsed->samples, rec.samples);
