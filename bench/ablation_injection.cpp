@@ -169,7 +169,7 @@ int main() {
   for (const bool inject : {false, true}) {  // (6)
     specs.push_back(prochot_spec(cfg, inject));
   }
-  const auto records = engine.run(specs);
+  const auto records = bench::run_all_or_die(engine, specs);
   std::size_t next_record = 0;
 
   // (1) Bernoulli vs stratified: same duty, temperature variance and

@@ -3,6 +3,7 @@
 // Shared plumbing for the per-figure/per-table reproduction binaries.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
@@ -166,6 +167,27 @@ inline runner::RunSpec custom_spec(
   return spec;
 }
 
+/// Run the grid and exit with a readable report if any point failed: a
+/// figure or table must never be drawn from a partial grid, and the
+/// structured RunErrors (also in the bench's *_metrics.json) say exactly
+/// which configs to fix before re-running — every completed point is already
+/// cached, so the re-run only repeats the failures.
+inline std::vector<runner::RunRecord> run_all_or_die(
+    runner::SweepEngine& engine, const std::vector<runner::RunSpec>& specs) {
+  runner::SweepResult sweep = engine.run(specs);
+  if (!sweep.all_ok()) {
+    std::fprintf(stderr, "[bench] aborting: %zu of %zu runs failed\n",
+                 sweep.errors.size(), sweep.size());
+    for (const auto& e : sweep.errors) {
+      std::fprintf(stderr, "[bench]   #%zu %s (seed=%llx): %s\n",
+                   e.spec_index, e.spec_label.c_str(),
+                   static_cast<unsigned long long>(e.seed), e.what.c_str());
+    }
+    std::exit(1);
+  }
+  return std::move(sweep.records);
+}
+
 /// A baseline-plus-grid sweep executed in one engine pass: specs[0] is the
 /// unconstrained baseline and every later spec becomes a SweepPoint with its
 /// trade-off computed against it — the loop fig3/fig4/table1 each hand-rolled.
@@ -176,7 +198,7 @@ struct MeasuredSweep {
 
 inline MeasuredSweep run_measured_sweep(runner::SweepEngine& engine,
                                         std::vector<runner::RunSpec> specs) {
-  const auto records = engine.run(specs);
+  const auto records = run_all_or_die(engine, specs);
   MeasuredSweep out;
   out.baseline = records.at(0).result;
   out.points.reserve(records.size() - 1);

@@ -29,7 +29,7 @@ int main() {
           runner::ActuationSpec::global(p, sim::from_ms(l))));
     }
   }
-  const auto records = engine.run(specs);
+  const auto records = bench::run_all_or_die(engine, specs);
   const auto& baseline = records.at(0).result;
   std::printf("baseline: rise over idle %.1f C (sensor), throughput %.3f\n",
               baseline.avg_sensor_temp_c - baseline.idle_sensor_temp_c,

@@ -91,7 +91,7 @@ int main() {
       specs.push_back(config_spec(cfg, p, sim::from_ms(l), per_thread));
     }
   }
-  const auto records = engine.run(specs);
+  const auto records = bench::run_all_or_die(engine, specs);
 
   const auto& base = records.at(0);
   const double base_rise = base.metric("avg_temp") - base.metric("idle_temp");

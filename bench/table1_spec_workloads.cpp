@@ -58,7 +58,7 @@ int main() {
       }
     }
   }
-  const auto records = engine.run(specs);
+  const auto records = bench::run_all_or_die(engine, specs);
 
   // cpuburn reference rise (kPaperRows[0] is cpuburn).
   const auto& burn_base = records.at(0).result;

@@ -117,7 +117,7 @@ int main() {
       }
     }
   }
-  const auto records = engine.run(specs);
+  const auto records = bench::run_all_or_die(engine, specs);
   std::size_t next_record = 0;
 
   // (a) Throughput model.

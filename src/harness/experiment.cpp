@@ -107,6 +107,10 @@ double ExperimentRunner::mean_exact_temp(const sched::Machine& m) const {
 RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
                                     const ActuationSetup& actuation,
                                     const PostDeployHook& post_deploy) {
+  // Phase bookkeeping for MeasurementError: updated as the run progresses so
+  // a throw anywhere below reports the stage it died in.
+  const char* phase = "setup";
+  try {
   sched::MachineConfig cfg = base_;
   cfg.enable_meter = false;  // sweeps don't need the sampled meter
   sched::Machine machine(cfg);
@@ -124,6 +128,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   // Accelerated settling: run, then jump the slow thermal nodes to the
   // steady state of the observed average power; stop when a jump no longer
   // moves the temperature.
+  phase = "settle";
   for (int iter = 0; iter < mc_.max_settle_iterations; ++iter) {
     machine.mark_power_window();
     machine.run_for(mc_.settle_chunk);
@@ -135,6 +140,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   machine.run_for(mc_.post_settle_run);
 
   // Measurement window.
+  phase = "measure-window";
   const double progress0 = wl->progress(machine);
   const double energy0 = machine.energy().total_joules();
   // Injected idle accrues at the controller under suspension semantics and
@@ -177,11 +183,18 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   if (web != nullptr) result.qos = web->stats_since_mark();
   result.sim_seconds = sim::to_sec(machine.now());
   return result;
+  } catch (const MeasurementError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw MeasurementError(phase, e.what());
+  }
 }
 
 WindowResult ExperimentRunner::run_to_completion(
     const WorkloadFactory& factory, const ActuationSetup& actuation,
     sim::SimTime deadline, const PostDeployHook& post_deploy) {
+  const char* phase = "setup";
+  try {
   sched::MachineConfig cfg = base_;
   cfg.enable_meter = true;
   sched::Machine machine(cfg);
@@ -198,6 +211,7 @@ WindowResult ExperimentRunner::run_to_completion(
     }
     return true;
   };
+  phase = "completion-run";
   const bool finished = machine.run_until_condition(all_done, deadline);
 
   WindowResult r;
@@ -207,12 +221,19 @@ WindowResult ExperimentRunner::run_to_completion(
   r.true_energy_j = machine.energy().total_joules();
   r.mean_power_w = machine.meter()->mean_power_w();
   return r;
+  } catch (const MeasurementError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw MeasurementError(phase, e.what());
+  }
 }
 
 WindowResult ExperimentRunner::run_window(const WorkloadFactory& factory,
                                           const ActuationSetup& actuation,
                                           sim::SimTime window,
                                           const PostDeployHook& post_deploy) {
+  const char* phase = "setup";
+  try {
   sched::MachineConfig cfg = base_;
   cfg.enable_meter = true;
   sched::Machine machine(cfg);
@@ -222,6 +243,7 @@ WindowResult ExperimentRunner::run_window(const WorkloadFactory& factory,
   if (post_deploy) post_deploy(machine, *wl, controller.get());
 
   // Track completion time while running out the window.
+  phase = "window-run";
   double completion = -1.0;
   const auto all_done = [&]() {
     for (const auto tid : wl->threads()) {
@@ -243,6 +265,11 @@ WindowResult ExperimentRunner::run_window(const WorkloadFactory& factory,
   r.true_energy_j = machine.energy().total_joules();
   r.mean_power_w = machine.meter()->mean_power_w();
   return r;
+  } catch (const MeasurementError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw MeasurementError(phase, e.what());
+  }
 }
 
 }  // namespace dimetrodon::harness

@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "core/controller.hpp"
@@ -95,6 +96,20 @@ struct WindowResult {
   double true_energy_j = 0.0;
   double mean_power_w = 0.0;
   double wall_seconds = 0.0;
+};
+
+/// Thrown when a simulation dies mid-run. Prefixes the failing measurement
+/// phase ("setup", "settle", "measure-window", ...) onto the underlying
+/// message, so a sweep-level RunError says *where* the run died, not just
+/// what threw ("settle: thermal step matrix is singular").
+class MeasurementError : public std::runtime_error {
+ public:
+  MeasurementError(std::string phase, const std::string& what)
+      : std::runtime_error(phase + ": " + what), phase_(std::move(phase)) {}
+  const std::string& phase() const { return phase_; }
+
+ private:
+  std::string phase_;
 };
 
 /// Builds fresh, identically seeded machines per run so configurations are

@@ -18,6 +18,9 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"meter_samples", &CounterTotals::meter_samples},
       {"sensor_samples", &CounterTotals::sensor_samples},
       {"requests_completed", &CounterTotals::requests_completed},
+      {"runs_failed", &CounterTotals::runs_failed},
+      {"runs_retried", &CounterTotals::runs_retried},
+      {"cache_write_retries", &CounterTotals::cache_write_retries},
   };
   return kFields;
 }

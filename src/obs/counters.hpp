@@ -37,6 +37,13 @@ struct CounterTotals {
   std::uint64_t sensor_samples = 0;  // trace-only sampler; 0 without a sink
   std::uint64_t requests_completed = 0;
 
+  // Sweep-level fault counters. The machine never increments these; the
+  // sweep engine's fault-isolation layer does, and routing them through the
+  // same fields() listing folds them into every metrics merge for free.
+  std::uint64_t runs_failed = 0;          // runs that exhausted all attempts
+  std::uint64_t runs_retried = 0;         // extra attempts after transients
+  std::uint64_t cache_write_retries = 0;  // result-cache store retries
+
   /// Stable (name, member) listing driving every serialization of the totals
   /// (result cache, metrics JSON, CSV) so the field set cannot drift apart.
   using Field = std::pair<const char*, std::uint64_t CounterTotals::*>;

@@ -1,0 +1,169 @@
+#include "runner/fault_injection.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace dimetrodon::runner::fault {
+
+namespace {
+
+std::optional<Action> parse_action(const std::string& s) {
+  if (s == "logic") return Action::kThrowLogic;
+  if (s == "transient") return Action::kThrowTransient;
+  if (s == "unknown") return Action::kThrowUnknown;
+  if (s == "io") return Action::kIoError;
+  if (s == "crash") return Action::kCrash;
+  return std::nullopt;
+}
+
+bool parse_u64(const std::string& s, int base, std::uint64_t& v) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  v = std::strtoull(s.c_str(), &end, base);
+  return errno == 0 && end == s.c_str() + s.size();
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string::size_type start = 0;
+  while (start <= s.size()) {
+    const auto end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Site {
+    FaultRule rule;
+    std::uint64_t arrivals = 0;  // matching arrivals since arm()
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, Site> sites;
+  std::atomic<bool> armed{false};
+};
+
+FaultInjector::FaultInjector() : impl_(new Impl) {
+  if (const char* env = std::getenv("DIMETRODON_FAULT")) {
+    arm_from_spec(env);
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* inst = new FaultInjector;  // leaked: safe at exit
+  return *inst;
+}
+
+void FaultInjector::arm(const std::string& site, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sites[site] = Impl::Site{rule, 0};
+  impl_->armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->sites.clear();
+  impl_->armed.store(false, std::memory_order_release);
+}
+
+std::optional<Action> FaultInjector::hit(const char* site, std::uint64_t key) {
+  if (!impl_->armed.load(std::memory_order_acquire)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end()) return std::nullopt;
+  Impl::Site& s = it->second;
+  if (s.rule.key && *s.rule.key != key) return std::nullopt;
+  const std::uint64_t arrival = s.arrivals++;
+  if (arrival < s.rule.after) return std::nullopt;
+  if (arrival - s.rule.after >= s.rule.count) return std::nullopt;
+  return s.rule.action;
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? 0 : it->second.arrivals;
+}
+
+std::size_t FaultInjector::arm_from_spec(const std::string& spec) {
+  std::size_t armed = 0;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const auto clauses = split(entry, ',');
+    const auto eq = clauses[0].find('=');
+    std::optional<Action> action;
+    if (eq != std::string::npos) {
+      action = parse_action(clauses[0].substr(eq + 1));
+    }
+    if (!action) {
+      std::fprintf(stderr, "[fault] ignoring malformed rule \"%s\"\n",
+                   entry.c_str());
+      continue;
+    }
+    const std::string site = clauses[0].substr(0, eq);
+    FaultRule rule;
+    rule.action = *action;
+    bool ok = !site.empty();
+    for (std::size_t i = 1; i < clauses.size() && ok; ++i) {
+      const auto ceq = clauses[i].find('=');
+      if (ceq == std::string::npos) {
+        ok = false;
+        break;
+      }
+      const std::string k = clauses[i].substr(0, ceq);
+      const std::string v = clauses[i].substr(ceq + 1);
+      std::uint64_t n = 0;
+      if (k == "after" && parse_u64(v, 10, n)) {
+        rule.after = n;
+      } else if (k == "count" && parse_u64(v, 10, n)) {
+        rule.count = n;
+      } else if (k == "key" && parse_u64(v, 16, n)) {
+        rule.key = n;
+      } else {
+        ok = false;
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "[fault] ignoring malformed rule \"%s\"\n",
+                   entry.c_str());
+      continue;
+    }
+    arm(site, rule);
+    ++armed;
+  }
+  return armed;
+}
+
+void maybe_throw(const char* site, std::uint64_t key) {
+  const auto action = FaultInjector::instance().hit(site, key);
+  if (!action) return;
+  switch (*action) {
+    case Action::kThrowTransient:
+      throw TransientError(std::string("injected transient fault at ") + site);
+    case Action::kThrowUnknown:
+      throw 0xfa17;  // deliberately not a std::exception
+    case Action::kThrowLogic:
+    case Action::kIoError:
+    case Action::kCrash:
+      throw std::runtime_error(std::string("injected fault at ") + site);
+  }
+}
+
+std::optional<Action> io_fault(const char* site, std::uint64_t key) {
+  return FaultInjector::instance().hit(site, key);
+}
+
+}  // namespace dimetrodon::runner::fault

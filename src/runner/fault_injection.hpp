@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace dimetrodon::runner::fault {
+
+/// Error raised for failures worth retrying (filesystem hiccups and their
+/// injected stand-ins). The sweep engine's retry policy retries exactly
+/// these plus std::system_error / std::ios_base::failure; everything else
+/// is treated as deterministic and fails the run on the first attempt.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What a triggered failpoint does at its site.
+enum class Action : std::uint8_t {
+  kThrowLogic,      // throw std::runtime_error (deterministic failure)
+  kThrowTransient,  // throw TransientError (retryable failure)
+  kThrowUnknown,    // throw a non-std::exception (exercises catch(...))
+  kIoError,         // IO sites: report the operation as failed
+  kCrash,           // IO sites: abandon mid-protocol, as if killed by SIGKILL
+};
+
+/// When a failpoint fires. Arrival counters are per site and only advance
+/// while the site has a rule armed, so trigger windows are deterministic.
+struct FaultRule {
+  Action action = Action::kThrowTransient;
+  /// Skip the first `after` matching arrivals, then fire `count` times.
+  std::uint64_t after = 0;
+  std::uint64_t count = UINT64_MAX;
+  /// If set, only arrivals whose key equals `key` match (callers pass the
+  /// RunSpec cache-key hash, so a single grid point can be targeted).
+  std::optional<std::uint64_t> key;
+};
+
+/// Process-wide failpoint registry. Sites are string literals compiled into
+/// the error paths they test ("run.execute", "cache.write", "cache.rename").
+/// Rules come from test code via arm()/disarm_all() or from the environment
+/// variable DIMETRODON_FAULT, parsed once at first use:
+///
+///   DIMETRODON_FAULT="run.execute=transient,after=2,count=1;cache.write=io"
+///
+/// Semicolon-separated rules, each `site=action` with optional
+/// `,after=N` / `,count=N` / `,key=HEX` clauses. Actions: logic, transient,
+/// unknown, io, crash. Malformed rules warn on stderr and are dropped.
+///
+/// With no rules armed, hit() is a single relaxed atomic load — the hooks
+/// are free in production sweeps.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(const std::string& site, FaultRule rule);
+  void disarm_all();
+
+  /// Record one arrival at `site`; returns the action to perform if an
+  /// armed rule matched. Thread-safe; counters advance deterministically
+  /// in arrival order.
+  std::optional<Action> hit(const char* site, std::uint64_t key = 0);
+
+  /// Matching arrivals seen at `site` since it was armed (diagnostics).
+  std::uint64_t hits(const std::string& site) const;
+
+  /// Parse a DIMETRODON_FAULT-style rule string (exposed for tests; the
+  /// environment variable goes through this). Returns rules parsed.
+  std::size_t arm_from_spec(const std::string& spec);
+
+ private:
+  FaultInjector();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state; never destroyed
+};
+
+/// Throw-site hook: if an armed rule matches, raises the configured
+/// exception. kIoError/kCrash rules at a throw site degrade to kThrowLogic.
+void maybe_throw(const char* site, std::uint64_t key = 0);
+
+/// IO-site hook: returns the matched action so the caller can fail the
+/// operation (kIoError) or abandon it mid-protocol (kCrash).
+std::optional<Action> io_fault(const char* site, std::uint64_t key = 0);
+
+}  // namespace dimetrodon::runner::fault

@@ -2,8 +2,62 @@
 
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 namespace dimetrodon::runner {
+
+namespace {
+
+/// Minimal RFC 8259 string escaping for exception messages and labels.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_to_json(const RunError& e, const char* pad) {
+  char buf[256];
+  std::string out;
+  out += std::string(pad) + "{\n";
+  std::snprintf(buf, sizeof buf, "%s  \"spec_index\": %zu,\n", pad,
+                e.spec_index);
+  out += buf;
+  out += std::string(pad) + "  \"spec_label\": \"" +
+         json_escape(e.spec_label) + "\",\n";
+  out += std::string(pad) + "  \"key\": \"" + json_escape(e.key_hex) +
+         "\",\n";
+  std::snprintf(buf, sizeof buf, "%s  \"seed\": %llu,\n", pad,
+                static_cast<unsigned long long>(e.seed));
+  out += buf;
+  out += std::string(pad) + "  \"what\": \"" + json_escape(e.what) + "\",\n";
+  std::snprintf(buf, sizeof buf,
+                "%s  \"transient\": %s,\n%s  \"attempts\": %u,\n"
+                "%s  \"wall_seconds\": %.3f\n",
+                pad, e.transient ? "true" : "false", pad, e.attempts, pad,
+                e.wall_seconds);
+  out += buf;
+  out += std::string(pad) + "}";
+  return out;
+}
+
+}  // namespace
 
 SweepMetrics::SweepMetrics(std::size_t total_runs)
     : total_(total_runs), start_(std::chrono::steady_clock::now()) {}
@@ -26,6 +80,24 @@ void SweepMetrics::on_run_executed(double sim_seconds) {
   sim_seconds_done_ += sim_seconds;
 }
 
+void SweepMetrics::on_run_failed(RunError error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  ++counters_.runs_failed;
+  errors_.push_back(std::move(error));
+}
+
+void SweepMetrics::on_run_retried() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.runs_retried;
+}
+
+void SweepMetrics::on_cache_write_retries(std::uint32_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.cache_write_retries += n;
+}
+
 void SweepMetrics::add_counters(const obs::CounterTotals& t) {
   std::lock_guard<std::mutex> lock(mu_);
   counters_ += t;
@@ -37,7 +109,8 @@ MetricsSnapshot SweepMetrics::snapshot() const {
   s.total_runs = total_;
   s.cache_hits = cache_hits_;
   s.executed = executed_;
-  s.completed = cache_hits_ + executed_;
+  s.failed = errors_.size();
+  s.completed = cache_hits_ + executed_ + s.failed;
   s.in_flight = in_flight_;
   s.cache_hit_rate =
       s.completed == 0
@@ -57,21 +130,26 @@ MetricsSnapshot SweepMetrics::snapshot() const {
                     static_cast<double>(s.completed);
   }
   s.counters = counters_;
+  s.errors = errors_;
   return s;
 }
 
 std::string SweepMetrics::progress_line(const MetricsSnapshot& s) {
-  char buf[192];
+  char buf[224];
+  char failed[48] = "";
+  if (s.failed > 0) {
+    std::snprintf(failed, sizeof failed, " | %zu FAILED", s.failed);
+  }
   std::snprintf(buf, sizeof buf,
-                "sweep %zu/%zu done (%zu in flight) | cache %zu hits | "
+                "sweep %zu/%zu done (%zu in flight) | cache %zu hits%s | "
                 "%.0f sim-s/s | ETA %.0fs",
-                s.completed, s.total_runs, s.in_flight, s.cache_hits,
+                s.completed, s.total_runs, s.in_flight, s.cache_hits, failed,
                 s.sim_seconds_per_second, s.eta_seconds);
   return buf;
 }
 
 std::string SweepMetrics::to_json(const MetricsSnapshot& s) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof buf,
       "{\n"
@@ -79,18 +157,25 @@ std::string SweepMetrics::to_json(const MetricsSnapshot& s) {
       "  \"completed\": %zu,\n"
       "  \"cache_hits\": %zu,\n"
       "  \"runs_executed\": %zu,\n"
+      "  \"runs_failed\": %zu,\n"
       "  \"cache_hit_rate\": %.4f,\n"
       "  \"sim_seconds_done\": %.3f,\n"
       "  \"wall_seconds\": %.3f,\n"
       "  \"sim_seconds_per_second\": %.1f,\n"
       "  \"runs_per_second\": %.2f,\n"
       "  \"counters\": ",
-      s.total_runs, s.completed, s.cache_hits, s.executed, s.cache_hit_rate,
-      s.sim_seconds_done, s.wall_seconds, s.sim_seconds_per_second,
-      s.runs_per_second);
+      s.total_runs, s.completed, s.cache_hits, s.executed, s.failed,
+      s.cache_hit_rate, s.sim_seconds_done, s.wall_seconds,
+      s.sim_seconds_per_second, s.runs_per_second);
   std::string out = buf;
   out += obs::totals_to_json(s.counters, 2);
-  out += "\n}\n";
+  out += ",\n  \"errors\": [";
+  for (std::size_t i = 0; i < s.errors.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += error_to_json(s.errors[i], "    ");
+  }
+  out += s.errors.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
   return out;
 }
 

@@ -4,18 +4,21 @@
 #include <cstddef>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/counters.hpp"
+#include "runner/run_spec.hpp"
 
 namespace dimetrodon::runner {
 
 /// Point-in-time view of a sweep's progress.
 struct MetricsSnapshot {
   std::size_t total_runs = 0;
-  std::size_t completed = 0;   // cache hits + executed
+  std::size_t completed = 0;   // cache hits + executed + failed
   std::size_t in_flight = 0;
   std::size_t cache_hits = 0;
-  std::size_t executed = 0;    // simulations actually run
+  std::size_t executed = 0;    // simulations actually run (successfully)
+  std::size_t failed = 0;      // runs that exhausted every attempt
   double cache_hit_rate = 0.0;           // hits / completed
   double sim_seconds_done = 0.0;         // simulated time of executed runs
   double wall_seconds = 0.0;
@@ -23,8 +26,12 @@ struct MetricsSnapshot {
   double runs_per_second = 0.0;
   double eta_seconds = 0.0;              // 0 when unknown or done
   /// Sum of the per-run counter windows across every completed run
-  /// (cache hits included: counters are part of the cached record).
+  /// (cache hits included: counters are part of the cached record), plus
+  /// the sweep-level fault counters (runs_failed, runs_retried,
+  /// cache_write_retries) maintained by the engine itself.
   obs::CounterTotals counters;
+  /// Structured capture of every failed run, in completion order.
+  std::vector<RunError> errors;
 };
 
 /// Thread-safe progress/throughput accounting for one sweep. Cheap enough to
@@ -37,6 +44,13 @@ class SweepMetrics {
   void on_run_started();
   void on_cache_hit();
   void on_run_executed(double sim_seconds);
+  /// A run gave up after `error.attempts` attempts; settles its in-flight
+  /// slot and records the capture.
+  void on_run_failed(RunError error);
+  /// One extra attempt after a transient failure.
+  void on_run_retried();
+  /// `n` failed attempts inside one ResultCache::store call.
+  void on_cache_write_retries(std::uint32_t n);
   /// Fold one run's counter window into the sweep-wide totals.
   void add_counters(const obs::CounterTotals& t);
 
@@ -57,6 +71,7 @@ class SweepMetrics {
   std::size_t executed_ = 0;
   double sim_seconds_done_ = 0.0;
   obs::CounterTotals counters_;
+  std::vector<RunError> errors_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,22 +1,27 @@
 #include "runner/result_cache.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
+#include <fcntl.h>
 #include <unistd.h>
+
+#include "runner/fault_injection.hpp"
 
 namespace dimetrodon::runner {
 
 namespace {
 
-// v2: optional QoS block + structured counter totals in the record payload.
-// Bumping the magic makes every v1 file a clean miss, so old caches are
+// v3: sweep-level fault counters joined obs::CounterTotals::fields().
+// Bumping the magic makes every older file a clean miss, so old caches are
 // recomputed rather than misparsed.
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v2";
+constexpr char kFileMagic[] = "dimetrodon-sweep-cache v3";
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;
@@ -64,10 +69,7 @@ class LineReader {
   bool get_u64(const char* key, std::uint64_t& v) {
     std::string rest;
     if (!get_prefixed(key, rest)) return false;
-    errno = 0;
-    char* end = nullptr;
-    v = std::strtoull(rest.c_str(), &end, 10);
-    return errno == 0 && end != rest.c_str() && *end == '\0';
+    return parse_u64(rest, v);
   }
 
   bool get_exact(const char* line_text) {
@@ -86,6 +88,21 @@ class LineReader {
     char* end = nullptr;
     v = std::strtod(s.c_str(), &end);
     return errno == 0 && end != s.c_str() && *end == '\0';
+  }
+
+  /// Strictly a bare decimal digit string. strtoull alone would accept
+  /// leading whitespace, a '+'/'-' sign (silently wrapping "-1" to 2^64-1),
+  /// and "0x" prefixes — all of which let a corrupted record parse
+  /// "successfully".
+  static bool parse_u64(const std::string& s, std::uint64_t& v) {
+    if (s.empty() || s.size() > 20) return false;  // 2^64-1 has 20 digits
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && end == s.c_str() + s.size();
   }
 
  private:
@@ -109,8 +126,13 @@ std::string CacheKey::hex() const {
   return buf;
 }
 
-ResultCache::ResultCache(std::string dir, bool enabled)
-    : dir_(std::move(dir)), enabled_(enabled && !dir_.empty()) {
+ResultCache::ResultCache(std::string dir, bool enabled,
+                         std::uint32_t write_retry_limit,
+                         std::uint32_t retry_backoff_ms)
+    : dir_(std::move(dir)),
+      enabled_(enabled && !dir_.empty()),
+      write_retry_limit_(write_retry_limit),
+      retry_backoff_ms_(retry_backoff_ms) {
   if (enabled_) {
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -172,6 +194,9 @@ std::string ResultCache::serialize_record(const RunRecord& record) {
 }
 
 std::optional<RunRecord> ResultCache::parse_record(const std::string& payload) {
+  // getline treats "eot" and "eot\n" identically, so a payload whose final
+  // newline was truncated away would otherwise still parse.
+  if (payload.empty() || payload.back() != '\n') return std::nullopt;
   LineReader in(payload);
   RunRecord rec;
   auto& r = rec.result;
@@ -270,9 +295,52 @@ std::optional<RunRecord> ResultCache::load(const CacheKey& key,
   return parse_record(payload);
 }
 
-void ResultCache::store(const CacheKey& key, const std::string& canonical,
-                        const RunRecord& record) const {
-  if (!enabled_) return;
+namespace {
+
+/// Write `text` to `path` and fsync it. Returns false on any short write or
+/// IO error (including injected ones), leaving whatever partial temp file
+/// exists for the caller to clean up.
+bool write_file_synced(const std::string& path, const std::string& text,
+                       std::uint64_t fault_key) {
+  if (fault::io_fault("cache.write", fault_key) == fault::Action::kIoError) {
+    return false;
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const char* p = text.data();
+  std::size_t left = text.size();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+/// fsync the directory so the rename itself is durable. Best-effort: some
+/// filesystems refuse O_RDONLY directory fsync; the rename is still atomic.
+void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+StoreOutcome ResultCache::store(const CacheKey& key,
+                                const std::string& canonical,
+                                const RunRecord& record) const {
+  StoreOutcome outcome;
+  if (!enabled_) return outcome;
   const std::string payload = serialize_record(record);
   std::string text = std::string(kFileMagic) + "\n";
   text += "spec " + canonical + "\n";
@@ -287,17 +355,34 @@ void ResultCache::store(const CacheKey& key, const std::string& canonical,
   const std::string final_path = path_for(key);
   const std::string tmp_path =
       final_path + ".tmp." + std::to_string(::getpid());
-  std::ofstream out(tmp_path, std::ios::trunc);
-  if (!out) return;  // cache is best-effort; the result is still returned
-  out << text;
-  out.close();
-  if (!out) {
-    std::remove(tmp_path.c_str());
-    return;
+  // Cache writes are best-effort (a lost store costs a recompute, never a
+  // wrong result), but transient filesystem errors are worth a bounded,
+  // deterministic retry: attempt k sleeps k * backoff before rewriting.
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (write_file_synced(tmp_path, text, key.hi)) {
+      // Crash-simulation point: a process killed here leaves only the pid-
+      // suffixed temp file. The final path either has the old content or,
+      // after the rename below, the complete new record — never a torn one.
+      if (fault::io_fault("cache.rename", key.hi) == fault::Action::kCrash) {
+        outcome.retries = attempt;
+        return outcome;
+      }
+      std::error_code ec;
+      std::filesystem::rename(tmp_path, final_path, ec);
+      if (!ec) {
+        sync_dir(dir_);
+        outcome.stored = true;
+        outcome.retries = attempt;
+        return outcome;
+      }
+    }
+    if (attempt >= write_retry_limit_) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(retry_backoff_ms_ * (attempt + 1)));
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) std::remove(tmp_path.c_str());
+  std::remove(tmp_path.c_str());
+  outcome.retries = write_retry_limit_;
+  return outcome;
 }
 
 }  // namespace dimetrodon::runner

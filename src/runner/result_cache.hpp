@@ -19,25 +19,42 @@ struct CacheKey {
   bool operator==(const CacheKey&) const = default;
 };
 
+/// What a store() attempt did: whether the record landed, and how many
+/// failed attempts preceded the outcome (surfaced as the sweep's
+/// cache_write_retries counter).
+struct StoreOutcome {
+  bool stored = false;
+  std::uint32_t retries = 0;
+};
+
 /// On-disk cache of RunRecords keyed by the canonical spec content. One file
 /// per key under `dir`; files are self-validating (version header, embedded
 /// canonical spec compared verbatim, payload checksum, end marker), so a
 /// corrupt, truncated, or colliding entry loads as a miss and is recomputed
-/// rather than trusted. Writes go through a temp file + rename, making
-/// concurrent writers of the same key benign.
+/// rather than trusted.
+///
+/// Writes are crash-safe: the record is written to a pid-suffixed temp file,
+/// fsync'd, then renamed atomically over the final path (and the directory
+/// fsync'd), so a process killed at any instant can leave at worst a stale
+/// temp file — never a truncated record at a key path that parses.
+/// Transient write failures are retried with deterministic linear backoff up
+/// to `write_retry_limit`; the cache stays best-effort throughout (a failed
+/// store loses the cache entry, not the result).
 class ResultCache {
  public:
   /// A disabled cache (empty `dir` or enabled=false) never hits and never
   /// writes.
-  ResultCache(std::string dir, bool enabled);
+  ResultCache(std::string dir, bool enabled,
+              std::uint32_t write_retry_limit = 2,
+              std::uint32_t retry_backoff_ms = 5);
 
   bool enabled() const { return enabled_; }
   const std::string& dir() const { return dir_; }
 
   std::optional<RunRecord> load(const CacheKey& key,
                                 const std::string& canonical) const;
-  void store(const CacheKey& key, const std::string& canonical,
-             const RunRecord& record) const;
+  StoreOutcome store(const CacheKey& key, const std::string& canonical,
+                     const RunRecord& record) const;
 
   std::string path_for(const CacheKey& key) const;
 
@@ -48,6 +65,8 @@ class ResultCache {
  private:
   std::string dir_;
   bool enabled_;
+  std::uint32_t write_retry_limit_;
+  std::uint32_t retry_backoff_ms_;
 };
 
 }  // namespace dimetrodon::runner

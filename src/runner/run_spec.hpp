@@ -48,6 +48,23 @@ struct ActuationSpec {
   std::string label() const { return to_setup().label; }
 };
 
+/// Structured capture of one failed run: what threw, which grid point, and
+/// how hard the engine tried. Failure is data, not death — a sweep with a
+/// degenerate config finishes every other point and reports these in its
+/// metrics JSON instead of aborting.
+struct RunError {
+  std::size_t spec_index = 0;   // position in the sweep's spec vector
+  std::string spec_label;       // workload_key / custom_tag (+ actuation)
+  std::string key_hex;          // cache key of the canonical spec
+  std::uint64_t seed = 0;
+  std::string what;             // exception message; "(non-std exception)"
+                                // when something other than std::exception
+                                // escaped
+  bool transient = false;       // was the final failure a retryable class?
+  std::uint32_t attempts = 1;   // total attempts, including the failing one
+  double wall_seconds = 0.0;    // wall time burned across all attempts
+};
+
 /// Everything the engine caches about one run: the union of what the sweep
 /// benches read out. Measured runs fill `result`; custom runs fill whichever
 /// of `window`, `samples`, and `extra` they produce.
@@ -56,6 +73,12 @@ struct RunRecord {
   harness::WindowResult window;
   std::vector<double> samples;  // e.g. per-thread completion times
   std::vector<std::pair<std::string, double>> extra;  // named custom metrics
+
+  /// Engaged when the run failed: `result`/`window` hold defaults, nothing
+  /// was cached, and the error carries the capture. Failed records never
+  /// enter the result cache, so the serialization format is unaffected.
+  std::optional<RunError> error;
+  bool ok() const { return !error.has_value(); }
 
   /// Lookup in `extra`; dies if absent (a cache-format mismatch bug).
   double metric(const std::string& key) const;

@@ -6,13 +6,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ios>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <stdexcept>
+#include <system_error>
 #include <thread>
 #include <utility>
 
+#include "runner/fault_injection.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace dimetrodon::runner {
@@ -58,6 +61,24 @@ std::optional<bool> env_bool(const char* var) {
   return std::nullopt;
 }
 
+/// Failures worth another attempt: injected transients and the filesystem
+/// error classes. Simulation errors are deterministic — the same seed
+/// replays to the same throw — so everything else fails immediately.
+bool is_transient(const std::exception& e) {
+  return dynamic_cast<const fault::TransientError*>(&e) != nullptr ||
+         dynamic_cast<const std::system_error*>(&e) != nullptr ||
+         dynamic_cast<const std::ios_base::failure*>(&e) != nullptr;
+}
+
+/// Human-readable identity of a grid point for RunError reports.
+std::string spec_label(const RunSpec& spec) {
+  if (spec.kind == RunSpec::Kind::kCustom) return spec.custom_tag;
+  std::string label = spec.workload_key;
+  label += " / ";
+  label += spec.actuation.label();
+  return label;
+}
+
 }  // namespace
 
 SweepEngineConfig SweepEngineConfig::from_env(const std::string& bench_name) {
@@ -78,6 +99,9 @@ SweepEngineConfig SweepEngineConfig::from_env(const std::string& bench_name) {
   if (const auto p = env_bool("DIMETRODON_SWEEP_PROGRESS")) {
     cfg.progress = *p;
   }
+  if (const auto r = env_size_t("DIMETRODON_SWEEP_RETRIES")) {
+    cfg.run_retry_limit = static_cast<std::uint32_t>(*r);
+  }
   if (!bench_name.empty()) {
     cfg.metrics_json_path = "bench_results/" + bench_name + "_metrics.json";
   }
@@ -87,7 +111,8 @@ SweepEngineConfig SweepEngineConfig::from_env(const std::string& bench_name) {
 SweepEngine::SweepEngine(sched::MachineConfig base, SweepEngineConfig config)
     : base_(std::move(base)),
       config_(std::move(config)),
-      cache_(config_.cache_dir, config_.use_cache) {}
+      cache_(config_.cache_dir, config_.use_cache,
+             config_.cache_write_retry_limit, config_.retry_backoff_ms) {}
 
 RunRecord SweepEngine::execute(const RunSpec& spec,
                                const sched::MachineConfig& base) {
@@ -108,8 +133,10 @@ RunRecord SweepEngine::execute(const RunSpec& spec,
   return rec;
 }
 
-std::vector<RunRecord> SweepEngine::run(const std::vector<RunSpec>& specs) {
-  std::vector<RunRecord> results(specs.size());
+SweepResult SweepEngine::run(const std::vector<RunSpec>& specs) {
+  SweepResult sweep;
+  sweep.records.resize(specs.size());
+  std::vector<RunRecord>& results = sweep.records;
   SweepMetrics metrics(specs.size());
 
   std::size_t threads = config_.threads;
@@ -151,8 +178,51 @@ std::vector<RunRecord> SweepEngine::run(const std::vector<RunSpec>& specs) {
         metrics.on_cache_hit();
         return;
       }
-      results[i] = execute(spec, base_);
-      cache_.store(key, canon, results[i]);
+      // Exception boundary: a throw from anywhere below — the simulator, a
+      // custom run function, or an injected failpoint — becomes a RunError
+      // on this record, never a dead sweep. Transient failures get
+      // config_.run_retry_limit extra attempts with deterministic linear
+      // backoff; everything else fails on the first attempt.
+      const auto t0 = std::chrono::steady_clock::now();
+      RunError err;
+      err.spec_index = i;
+      err.spec_label = spec_label(spec);
+      err.key_hex = key.hex();
+      err.seed = spec.seed;
+      bool failed = false;
+      for (std::uint32_t attempt = 1;; ++attempt) {
+        err.attempts = attempt;
+        try {
+          fault::maybe_throw("run.execute", key.hi);
+          results[i] = execute(spec, base_);
+          break;
+        } catch (const std::exception& e) {
+          err.what = e.what();
+          err.transient = is_transient(e);
+        } catch (...) {
+          err.what = "(non-std exception)";
+          err.transient = false;
+        }
+        if (err.transient && attempt <= config_.run_retry_limit) {
+          metrics.on_run_retried();
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              config_.retry_backoff_ms * attempt));
+          continue;
+        }
+        failed = true;
+        break;
+      }
+      if (failed) {
+        err.wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+        results[i] = RunRecord{};  // drop any partial attempt state
+        results[i].error = err;
+        metrics.on_run_failed(std::move(err));
+        return;  // failed runs never reach the cache
+      }
+      const StoreOutcome stored = cache_.store(key, canon, results[i]);
+      metrics.on_cache_write_retries(stored.retries);
       metrics.add_counters(results[i].result.counters);
       metrics.on_run_executed(results[i].sim_seconds_estimate());
     });
@@ -162,19 +232,32 @@ std::vector<RunRecord> SweepEngine::run(const std::vector<RunSpec>& specs) {
   done.store(true, std::memory_order_relaxed);
   if (reporter.joinable()) reporter.join();
 
-  last_metrics_ = metrics.snapshot();
+  for (const RunRecord& rec : results) {
+    if (!rec.ok()) sweep.errors.push_back(*rec.error);
+  }
+  sweep.metrics = metrics.snapshot();
+  last_metrics_ = sweep.metrics;
   if (config_.progress) {
     std::fprintf(stderr,
-                 "[runner] done: %zu runs (%zu simulated, %zu cached) in "
-                 "%.1fs on %zu threads | %.0f sim-s/s\n",
+                 "[runner] done: %zu runs (%zu simulated, %zu cached, "
+                 "%zu failed) in %.1fs on %zu threads | %.0f sim-s/s\n",
                  last_metrics_.completed, last_metrics_.executed,
-                 last_metrics_.cache_hits, last_metrics_.wall_seconds,
-                 threads, last_metrics_.sim_seconds_per_second);
+                 last_metrics_.cache_hits, last_metrics_.failed,
+                 last_metrics_.wall_seconds, threads,
+                 last_metrics_.sim_seconds_per_second);
+    for (const RunError& e : sweep.errors) {
+      std::fprintf(stderr,
+                   "[runner] FAILED run #%zu (%s, seed=%llx) after %u "
+                   "attempt(s): %s\n",
+                   e.spec_index, e.spec_label.c_str(),
+                   static_cast<unsigned long long>(e.seed), e.attempts,
+                   e.what.c_str());
+    }
   }
   if (!config_.metrics_json_path.empty()) {
     metrics.write_json(config_.metrics_json_path);
   }
-  return results;
+  return sweep;
 }
 
 }  // namespace dimetrodon::runner

@@ -24,11 +24,39 @@ struct SweepEngineConfig {
   /// If non-empty, dump the final MetricsSnapshot as JSON here.
   std::string metrics_json_path;
 
+  /// Extra attempts after a *transient* failure (fault::TransientError,
+  /// std::system_error, std::ios_base::failure). Deterministic simulation
+  /// errors fail the run on the first attempt — retrying replays the same
+  /// seed to the same throw. Backoff before attempt k is k * backoff_ms
+  /// (fixed and jitter-free, so failure traces are reproducible).
+  std::uint32_t run_retry_limit = 2;
+  std::uint32_t retry_backoff_ms = 10;
+
+  /// Retry budget for result-cache stores (same backoff rule).
+  std::uint32_t cache_write_retry_limit = 2;
+
   /// Reads DIMETRODON_SWEEP_THREADS, DIMETRODON_SWEEP_CACHE ("0" disables),
-  /// DIMETRODON_SWEEP_CACHE_DIR, and DIMETRODON_SWEEP_PROGRESS ("0"
-  /// disables) on top of the defaults; `bench_name` names the metrics JSON
-  /// (bench_results/<bench_name>_metrics.json).
+  /// DIMETRODON_SWEEP_CACHE_DIR, DIMETRODON_SWEEP_PROGRESS ("0" disables),
+  /// and DIMETRODON_SWEEP_RETRIES on top of the defaults; `bench_name` names
+  /// the metrics JSON (bench_results/<bench_name>_metrics.json).
   static SweepEngineConfig from_env(const std::string& bench_name = "");
+};
+
+/// Everything a sweep produced: per-spec records (in spec order, with failed
+/// points marked rather than missing), the failure captures, and the final
+/// metrics snapshot. Vector-like accessors keep grid consumers reading
+/// `sweep[i].result` directly.
+struct SweepResult {
+  std::vector<RunRecord> records;  // spec order; failed entries have .error
+  std::vector<RunError> errors;    // failures only, in spec order
+  MetricsSnapshot metrics;
+
+  bool all_ok() const { return errors.empty(); }
+  std::size_t size() const { return records.size(); }
+  const RunRecord& at(std::size_t i) const { return records.at(i); }
+  const RunRecord& operator[](std::size_t i) const { return records[i]; }
+  auto begin() const { return records.begin(); }
+  auto end() const { return records.end(); }
 };
 
 /// Batch executor for sweep grids. Each RunSpec is an independent
@@ -37,12 +65,19 @@ struct SweepEngineConfig {
 /// any order on any thread — a parallel sweep is bit-identical to the serial
 /// loop it replaced. Completed points are stored in a content-hash-keyed
 /// on-disk cache, so re-running a figure replays its grid instantly.
+///
+/// Fault isolation: every run executes inside an exception boundary. A
+/// throw (std::exception or otherwise) is captured as a structured RunError
+/// on that point's record — the sweep always completes the remaining grid,
+/// failed points never enter the cache, and transient filesystem errors are
+/// retried with deterministic backoff (run_retry_limit).
 class SweepEngine {
  public:
   SweepEngine(sched::MachineConfig base, SweepEngineConfig config);
 
-  /// Execute all specs (cache-hit or simulate); results in spec order.
-  std::vector<RunRecord> run(const std::vector<RunSpec>& specs);
+  /// Execute all specs (cache-hit, simulate, or fail-and-record); records in
+  /// spec order.
+  SweepResult run(const std::vector<RunSpec>& specs);
 
   /// Snapshot of the last run() (total counters; reset per call).
   MetricsSnapshot last_metrics() const { return last_metrics_; }
@@ -59,7 +94,8 @@ class SweepEngine {
     return CacheKey::of(canonical(spec));
   }
 
-  /// Execute one spec, no cache involvement (the cache-miss path).
+  /// Execute one spec, no cache involvement and no exception boundary (the
+  /// cache-miss path; throws propagate to the boundary in run()).
   static RunRecord execute(const RunSpec& spec,
                            const sched::MachineConfig& base);
 

@@ -27,13 +27,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
-    task();
+    // Inline mode still honours the exception contract: a throwing task is
+    // counted, not propagated.
+    try {
+      task();
+    } catch (...) {
+      task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   std::size_t target = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     ++pending_;
+    // Incremented before the push: a worker woken by the queued_ check may
+    // briefly re-scan before the task lands in its deque, which is harmless;
+    // incrementing outside state_mu_ could lose the wakeup entirely.
+    queued_.fetch_add(1, std::memory_order_relaxed);
     target = next_queue_;
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
@@ -61,6 +71,7 @@ bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
   if (q.tasks.empty()) return false;
   task = std::move(q.tasks.front());
   q.tasks.pop_front();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -72,9 +83,25 @@ bool ThreadPool::try_steal(std::size_t self, std::function<void()>& task) {
     if (q.tasks.empty()) continue;
     task = std::move(q.tasks.back());  // steal the coldest end
     q.tasks.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
   return false;
+}
+
+void ThreadPool::finish_task(bool stolen) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stolen) ++steals_;
+  if (--pending_ == 0) idle_cv_.notify_all();
+}
+
+void ThreadPool::run_task(std::function<void()>& task, bool stolen) {
+  TaskGuard guard{*this, stolen};
+  try {
+    task();
+  } catch (...) {
+    task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
@@ -86,25 +113,16 @@ void ThreadPool::worker_loop(std::size_t self) {
       if (!stolen) {
         std::unique_lock<std::mutex> lock(state_mu_);
         // Re-check under the lock: a task may have been submitted between
-        // the failed scans and here.
-        work_cv_.wait(lock, [this, self] {
-          if (shutdown_) return true;
-          for (std::size_t i = 0; i < queues_.size(); ++i) {
-            std::lock_guard<std::mutex> qlock(queues_[i]->mu);
-            if (!queues_[i]->tasks.empty()) return true;
-          }
-          return false;
+        // the failed scans and here. queued_ only changes to nonzero under
+        // state_mu_, so this predicate cannot miss a wakeup.
+        work_cv_.wait(lock, [this] {
+          return shutdown_ || queued_.load(std::memory_order_relaxed) > 0;
         });
         if (shutdown_) return;
         continue;
       }
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(state_mu_);
-      if (stolen) ++steals_;
-      if (--pending_ == 0) idle_cv_.notify_all();
-    }
+    run_task(task, stolen);
   }
 }
 

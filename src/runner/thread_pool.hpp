@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -13,9 +14,14 @@ namespace dimetrodon::runner {
 
 /// Work-stealing pool for coarse-grained simulation tasks. Each worker owns
 /// a deque: it pops its own work from the front (submission order) and, when
-/// empty, steals from the back of a sibling's deque. Tasks must not throw —
-/// an escaping exception terminates (simulation tasks capture failures in
-/// their results instead).
+/// empty, steals from the back of a sibling's deque.
+///
+/// The pool is exception-contained: a task that throws never terminates the
+/// process and never deranges the idle accounting — the pending counter is
+/// settled by RAII on every exit path, the escaping exception is swallowed,
+/// and task_exception_count() reports how many tasks died that way. Callers
+/// that care *what* threw (the sweep engine does) must catch inside the task
+/// and encode the failure in their own results.
 ///
 /// `num_threads == 0` degenerates to inline execution: submit() runs the
 /// task on the calling thread. This is the reference serial mode parallel
@@ -40,6 +46,11 @@ class ThreadPool {
   /// (load-balance diagnostics).
   std::size_t steal_count() const;
 
+  /// Tasks whose exception escaped into the pool and was swallowed.
+  std::size_t task_exception_count() const {
+    return task_exceptions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct WorkerQueue {
     std::mutex mu;
@@ -49,6 +60,16 @@ class ThreadPool {
   void worker_loop(std::size_t self);
   bool try_pop_own(std::size_t self, std::function<void()>& task);
   bool try_steal(std::size_t self, std::function<void()>& task);
+  void run_task(std::function<void()>& task, bool stolen);
+  void finish_task(bool stolen);
+
+  /// Settles the pending count even when the task (or anything after it)
+  /// throws: every task popped from a queue is finished exactly once.
+  struct TaskGuard {
+    ThreadPool& pool;
+    bool stolen;
+    ~TaskGuard() { pool.finish_task(stolen); }
+  };
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -60,6 +81,14 @@ class ThreadPool {
   std::size_t next_queue_ = 0;
   std::size_t steals_ = 0;
   bool shutdown_ = false;
+
+  /// Tasks enqueued but not yet popped. Incremented under state_mu_ (so the
+  /// work_cv_ predicate can read it without a lost-wakeup race) and
+  /// decremented atomically by the popping worker, turning the wait
+  /// predicate into an O(1) counter check instead of a scan that locked
+  /// every queue mutex while holding state_mu_.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> task_exceptions_{0};
 };
 
 }  // namespace dimetrodon::runner

@@ -1,11 +1,18 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace dimetrodon::sim {
 
 using detail::EventState;
+
+namespace {
+// Below this heap size compaction isn't worth the pass: the lazy drop at the
+// head already bounds small queues.
+constexpr std::size_t kCompactMinEntries = 64;
+}  // namespace
 
 bool EventHandle::cancel() {
   if (!ctl_ || ctl_->state != EventState::kPending) return false;
@@ -21,16 +28,36 @@ bool EventHandle::active() const {
 
 EventHandle EventQueue::schedule(SimTime at, Callback fn) {
   assert(at >= 0);
+  maybe_compact();
   auto ctl = std::make_shared<detail::EventControl>();
   ctl->live = live_;
-  heap_.push(Entry{at, next_seq_++, std::move(fn), ctl});
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), ctl});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++*live_;
   return EventHandle(std::move(ctl));
 }
 
+void EventQueue::maybe_compact() {
+  // Every heap entry is either pending (counted in *live_) or a cancelled
+  // carcass awaiting its turn at the head; once carcasses are the majority
+  // of a large heap, sweep them all at once. Amortized O(1) per schedule:
+  // a compaction of n entries is paid for by the >= n/2 cancellations that
+  // forced it.
+  if (heap_.size() < kCompactMinEntries) return;
+  const std::size_t cancelled = heap_.size() - *live_;
+  if (cancelled * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [](const Entry& e) {
+    return e.ctl->state == EventState::kCancelled;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.shrink_to_fit();
+}
+
 void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && heap_.top().ctl->state == EventState::kCancelled) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         heap_.front().ctl->state == EventState::kCancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -41,15 +68,17 @@ bool EventQueue::empty() {
 
 SimTime EventQueue::next_time() {
   drop_cancelled_head();
-  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+  return heap_.empty() ? kTimeInfinity : heap_.front().at;
 }
 
 SimTime EventQueue::pop_and_run() {
   drop_cancelled_head();
   assert(!heap_.empty());
-  // Copy out before popping: the callback may schedule new events.
-  Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  // Move out before running: the callback may schedule new events and
+  // reallocate the heap storage.
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   e.ctl->state = EventState::kFired;
   --*live_;
   e.fn(e.at);

@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -44,6 +43,12 @@ class EventHandle {
 
 /// Min-heap of timestamped callbacks. Ties break by insertion order so event
 /// delivery is fully deterministic.
+///
+/// Cancellation is lazy, but bounded: when cancelled carcasses outnumber
+/// live events in a sufficiently large heap, the heap is compacted in place,
+/// so timer-churn workloads (a web run cancelling millions of timeouts) hold
+/// O(live) memory instead of growing with cancellation history. Compaction
+/// preserves the (time, seq) total order, so delivery stays deterministic.
 class EventQueue {
  public:
   using Callback = std::function<void(SimTime)>;
@@ -66,6 +71,10 @@ class EventQueue {
   /// Number of live (non-cancelled, unfired) events.
   std::size_t size() const { return *live_; }
 
+  /// Heap entries actually held, live + cancelled-but-not-yet-dropped
+  /// (memory-bound diagnostics; compaction keeps this O(size())).
+  std::size_t heap_entries() const { return heap_.size(); }
+
  private:
   struct Entry {
     SimTime at;
@@ -81,8 +90,11 @@ class EventQueue {
   };
 
   void drop_cancelled_head();
+  void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Managed with std::push_heap/pop_heap rather than std::priority_queue:
+  // compaction needs to walk and filter the underlying storage.
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
   std::shared_ptr<std::size_t> live_;
 };

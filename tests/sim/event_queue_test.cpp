@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace dimetrodon::sim {
@@ -106,6 +107,76 @@ TEST(EventQueueTest, CallbackMaySchedule) {
   });
   while (!q.empty()) q.pop_and_run();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelHeavyChurnHoldsBoundedMemory) {
+  // Timer churn: one long-lived event plus thousands of schedule/cancel
+  // cycles. Lazy cancellation alone would grow the heap with every cycle;
+  // compaction must keep the carcass population proportional to the live
+  // count, not to cancellation history.
+  EventQueue q;
+  bool fired = false;
+  q.schedule(1'000'000, [&](SimTime) { fired = true; });
+  std::size_t peak = 0;
+  for (int i = 0; i < 20000; ++i) {
+    EventHandle h = q.schedule(500'000 + i, [](SimTime) {});
+    h.cancel();
+    peak = std::max(peak, q.heap_entries());
+  }
+  // 1 live event; the compaction threshold (64 entries, majority cancelled)
+  // bounds the transient carcass population far below the 20001 entries an
+  // unbounded lazy queue would hold.
+  EXPECT_LE(peak, 128u);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CompactionPreservesDeliveryOrder) {
+  // Force repeated compactions among live events scheduled in shuffled time
+  // order with interleaved cancellations, then check delivery is still the
+  // exact (time, insertion) order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime t = (i * 7919) % 1009;
+    q.schedule(t, [&order, i](SimTime) { order.push_back(i); });
+    // Two cancelled events per live one keeps carcasses the majority, so
+    // the threshold trips many times during this loop.
+    doomed.push_back(q.schedule(t, [](SimTime) { ADD_FAILURE(); }));
+    doomed.push_back(q.schedule(t + 1, [](SimTime) { ADD_FAILURE(); }));
+    doomed[doomed.size() - 2].cancel();
+    doomed.back().cancel();
+  }
+  std::vector<int> expected(500);
+  for (int i = 0; i < 500; ++i) expected[i] = i;
+  std::stable_sort(expected.begin(), expected.end(), [](int a, int b) {
+    return (a * 7919) % 1009 < (b * 7919) % 1009;
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, SizeAndHandlesSurviveCompaction) {
+  EventQueue q;
+  std::vector<EventHandle> live;
+  for (int i = 0; i < 40; ++i) {
+    live.push_back(q.schedule(10 + i, [](SimTime) {}));
+  }
+  // Enough cancellations to cross the 64-entry threshold with a cancelled
+  // majority; the next schedule() compacts.
+  for (int i = 0; i < 60; ++i) {
+    q.schedule(5, [](SimTime) { ADD_FAILURE(); }).cancel();
+  }
+  q.schedule(1000, [](SimTime) {});
+  // Without compaction the heap would hold all 101 entries; the sweep during
+  // the cancel storm kept it to the live events plus the post-sweep stragglers.
+  EXPECT_LE(q.heap_entries(), 61u);
+  EXPECT_EQ(q.size(), 41u);
+  for (const EventHandle& h : live) EXPECT_TRUE(h.active());
+  EXPECT_EQ(q.next_time(), 10);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrdering) {
