@@ -1,7 +1,19 @@
 // Engine micro-benchmarks (google-benchmark): the hot paths that bound how
 // fast the reproduction sweeps run — event queue churn, implicit-Euler RC
 // stepping, scheduler dispatch, and whole-machine simulated seconds.
+//
+// Besides the google-benchmark suite, main() always runs the acceptance
+// measurement for the closed-form thermal fast-forward — the 300 s cpuburn×4
+// machine-advance workload under the pre-fast-forward reference stepper and
+// under the lazy clock — and writes the machine-readable result to
+// BENCH_engine.json (override the path with DIMETRODON_BENCH_JSON) so CI can
+// track the perf trajectory as an artifact.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/controller.hpp"
 #include "sched/machine.hpp"
@@ -62,6 +74,21 @@ void BM_RcNetworkStep(benchmark::State& state) {
 }
 BENCHMARK(BM_RcNetworkStep);
 
+// The closed-form propagator: one simulated second of 250 µs substeps in
+// O(log k) matvecs — the fast path under every machine advance.
+void BM_RcNetworkFastForward(benchmark::State& state) {
+  thermal::RcNetwork net;
+  thermal::FloorplanParams params;
+  const auto nodes = thermal::build_server_floorplan(net, params);
+  for (std::size_t i = 0; i < 4; ++i) net.set_power(nodes.die[i], 12.0);
+  net.set_power(nodes.package, 18.0);
+  const auto k = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) net.advance(0.00025, k);
+  state.SetLabel(std::to_string(k) + " substeps/advance");
+  benchmark::DoNotOptimize(net.temperature(nodes.die[0]));
+}
+BENCHMARK(BM_RcNetworkFastForward)->Arg(20)->Arg(4000);
+
 void BM_RcNetworkSteadyState(benchmark::State& state) {
   thermal::RcNetwork net;
   thermal::FloorplanParams params;
@@ -82,6 +109,19 @@ void BM_MachineSimulatedSecond(benchmark::State& state) {
   state.SetLabel(cfg.enable_meter ? "meter on" : "meter off");
 }
 BENCHMARK(BM_MachineSimulatedSecond)->Arg(0)->Arg(1);
+
+// Pre-fast-forward baseline: the 250 µs self-rescheduling substep event and
+// one sequential LU solve per substep.
+void BM_MachineSecondReferenceStepper(benchmark::State& state) {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.thermal_reference_stepper = true;
+  sched::Machine machine(cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(machine);
+  for (auto _ : state) machine.run_for(sim::kSecond);
+}
+BENCHMARK(BM_MachineSecondReferenceStepper);
 
 void BM_MachineSecondUnderInjection(benchmark::State& state) {
   sched::MachineConfig cfg;
@@ -120,6 +160,142 @@ void BM_MachineSecondTracing(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineSecondTracing)->Arg(0)->Arg(1);
 
+// ---------------------------------------------------------------------------
+// Acceptance measurement: 300 s cpuburn×4 machine advance, reference stepper
+// vs closed-form fast-forward, written as machine-readable JSON.
+// ---------------------------------------------------------------------------
+
+struct AdvanceResult {
+  double wall_seconds = 0.0;
+  double sim_seconds_per_sec = 0.0;
+  double ns_per_substep = 0.0;
+  std::uint64_t substeps = 0;
+  std::uint64_t fast_forward_steps = 0;
+  std::uint64_t matvecs = 0;
+  std::uint64_t factorizations = 0;
+  std::uint64_t events_executed = 0;
+};
+
+AdvanceResult measure_machine_advance(bool reference, double sim_seconds) {
+  sched::MachineConfig cfg;
+  cfg.enable_meter = false;
+  cfg.thermal_reference_stepper = reference;
+  sched::Machine machine(cfg);
+  workload::CpuBurnFleet fleet(4);
+  fleet.deploy(machine);
+  const auto t0 = std::chrono::steady_clock::now();
+  machine.run_for(sim::from_sec(sim_seconds));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  AdvanceResult r;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_seconds_per_sec =
+      r.wall_seconds > 0.0 ? sim_seconds / r.wall_seconds : 0.0;
+  const obs::CounterTotals t = machine.counters().totals();
+  r.substeps = t.thermal_substeps;
+  r.fast_forward_steps = t.thermal_fast_forward_steps;
+  r.matvecs = t.thermal_matvecs;
+  r.factorizations = t.thermal_factorizations;
+  r.events_executed = machine.simulator().events_executed();
+  r.ns_per_substep =
+      r.substeps > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.substeps)
+                     : 0.0;
+  return r;
+}
+
+double measure_event_queue_ops_per_sec() {
+  sim::EventQueue q;
+  sim::SimTime t = 0;
+  std::uint64_t sink = 0;
+  constexpr int kOps = 1'000'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    q.schedule(t + 100, [&sink](sim::SimTime at) {
+      sink += static_cast<std::uint64_t>(at);
+    });
+    t = q.pop_and_run();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  return wall > 0.0 ? kOps / wall : 0.0;
+}
+
+void put_advance(std::FILE* f, const char* key, const AdvanceResult& r,
+                 const char* trailing) {
+  std::fprintf(
+      f,
+      "    \"%s\": {\n"
+      "      \"wall_seconds\": %.6f,\n"
+      "      \"sim_seconds_per_sec\": %.3f,\n"
+      "      \"ns_per_substep\": %.3f,\n"
+      "      \"substeps\": %llu,\n"
+      "      \"fast_forward_steps\": %llu,\n"
+      "      \"matvecs\": %llu,\n"
+      "      \"factorizations\": %llu,\n"
+      "      \"events_executed\": %llu\n"
+      "    }%s\n",
+      key, r.wall_seconds, r.sim_seconds_per_sec, r.ns_per_substep,
+      static_cast<unsigned long long>(r.substeps),
+      static_cast<unsigned long long>(r.fast_forward_steps),
+      static_cast<unsigned long long>(r.matvecs),
+      static_cast<unsigned long long>(r.factorizations),
+      static_cast<unsigned long long>(r.events_executed), trailing);
+}
+
+int write_engine_json() {
+  const char* env = std::getenv("DIMETRODON_BENCH_JSON");
+  const std::string path = (env != nullptr && *env) ? env : "BENCH_engine.json";
+  constexpr double kSimSeconds = 300.0;  // the paper's Fig. 2 horizon
+
+  std::fprintf(stderr, "measuring %g s cpuburn×4 machine advance "
+               "(reference stepper)...\n", kSimSeconds);
+  const AdvanceResult ref = measure_machine_advance(true, kSimSeconds);
+  std::fprintf(stderr, "measuring %g s cpuburn×4 machine advance "
+               "(fast-forward)...\n", kSimSeconds);
+  const AdvanceResult fast = measure_machine_advance(false, kSimSeconds);
+  const double event_ops = measure_event_queue_ops_per_sec();
+  const double speedup = ref.sim_seconds_per_sec > 0.0
+                             ? fast.sim_seconds_per_sec / ref.sim_seconds_per_sec
+                             : 0.0;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"dimetrodon-bench-engine v1\",\n"
+               "  \"machine_advance\": {\n"
+               "    \"workload\": \"cpuburn x4\",\n"
+               "    \"sim_seconds\": %.1f,\n",
+               kSimSeconds);
+  put_advance(f, "reference", ref, ",");
+  put_advance(f, "fast_forward", fast, ",");
+  std::fprintf(f,
+               "    \"speedup\": %.3f\n"
+               "  },\n"
+               "  \"event_queue\": {\n"
+               "    \"ops_per_sec\": %.0f\n"
+               "  }\n"
+               "}\n",
+               speedup, event_ops);
+  std::fclose(f);
+  std::fprintf(stderr,
+               "machine advance: reference %.2f sim-s/s, fast-forward %.2f "
+               "sim-s/s (%.1fx) -> %s\n",
+               ref.sim_seconds_per_sec, fast.sim_seconds_per_sec, speedup,
+               path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_engine_json();
+}

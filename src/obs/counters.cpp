@@ -18,6 +18,10 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"meter_samples", &CounterTotals::meter_samples},
       {"sensor_samples", &CounterTotals::sensor_samples},
       {"requests_completed", &CounterTotals::requests_completed},
+      {"thermal_substeps", &CounterTotals::thermal_substeps},
+      {"thermal_fast_forward_steps", &CounterTotals::thermal_fast_forward_steps},
+      {"thermal_factorizations", &CounterTotals::thermal_factorizations},
+      {"thermal_matvecs", &CounterTotals::thermal_matvecs},
       {"runs_failed", &CounterTotals::runs_failed},
       {"runs_retried", &CounterTotals::runs_retried},
       {"cache_write_retries", &CounterTotals::cache_write_retries},
@@ -51,6 +55,10 @@ CounterTotals CounterRegistry::totals() const {
   t.meter_samples = meter_samples;
   t.sensor_samples = sensor_samples;
   t.requests_completed = requests_completed;
+  t.thermal_substeps = thermal_substeps;
+  t.thermal_fast_forward_steps = thermal_fast_forward_steps;
+  t.thermal_factorizations = thermal_factorizations;
+  t.thermal_matvecs = thermal_matvecs;
   return t;
 }
 

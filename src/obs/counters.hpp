@@ -37,6 +37,13 @@ struct CounterTotals {
   std::uint64_t sensor_samples = 0;  // trace-only sampler; 0 without a sink
   std::uint64_t requests_completed = 0;
 
+  // Thermal-engine work counters (mirrored from RcNetwork::stats() at every
+  // advance): how the closed-form fast-forward is spending its effort.
+  std::uint64_t thermal_substeps = 0;            // substeps integrated
+  std::uint64_t thermal_fast_forward_steps = 0;  // covered by lifted matvecs
+  std::uint64_t thermal_factorizations = 0;      // step-matrix LU factors
+  std::uint64_t thermal_matvecs = 0;             // dense matvec products
+
   // Sweep-level fault counters. The machine never increments these; the
   // sweep engine's fault-isolation layer does, and routing them through the
   // same fields() listing folds them into every metrics merge for free.
@@ -73,6 +80,13 @@ class CounterRegistry {
   std::uint64_t meter_samples = 0;
   std::uint64_t sensor_samples = 0;
   std::uint64_t requests_completed = 0;
+
+  // Thermal-engine counters; the machine writes the network's monotonic
+  // stats() snapshot here after every thermal advance.
+  std::uint64_t thermal_substeps = 0;
+  std::uint64_t thermal_fast_forward_steps = 0;
+  std::uint64_t thermal_factorizations = 0;
+  std::uint64_t thermal_matvecs = 0;
 
   CounterTotals totals() const;
 

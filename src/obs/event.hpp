@@ -20,6 +20,7 @@ enum class EventKind : std::uint8_t {
   kSensorSample,     // periodic die-temperature reading (trace-only)
   kMeterSample,      // the clamp power meter took a sample
   kRequestComplete,  // a workload request finished (value = latency, s)
+  kThermalStats,     // thermal-engine work counter sample (trace-only)
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -33,8 +34,29 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kSensorSample:    return "sensor_sample";
     case EventKind::kMeterSample:     return "meter_sample";
     case EventKind::kRequestComplete: return "request_complete";
+    case EventKind::kThermalStats:    return "thermal_stats";
   }
   return "unknown";
+}
+
+/// Which thermal-engine counter a kThermalStats event samples (in `phase`).
+/// Emitted by the trace-time sensor sampler only — sink-gated and read-only,
+/// like every other probe.
+enum class ThermalStatKind : std::uint8_t {
+  kSubsteps = 0,          // substeps integrated so far
+  kFastForwardSteps = 1,  // substeps covered by lifted matvecs
+  kFactorizations = 2,    // step-matrix LU factorizations
+  kMatvecs = 3,           // dense matrix-vector products
+};
+
+constexpr std::string_view thermal_stat_name(ThermalStatKind k) {
+  switch (k) {
+    case ThermalStatKind::kSubsteps:         return "thermal substeps";
+    case ThermalStatKind::kFastForwardSteps: return "thermal ff steps";
+    case ThermalStatKind::kFactorizations:   return "thermal factorizations";
+    case ThermalStatKind::kMatvecs:          return "thermal matvecs";
+  }
+  return "thermal ?";
 }
 
 /// Phase of a kCStateChange along the idle path. Exporters render the span
@@ -58,6 +80,7 @@ enum class CStatePhase : std::uint8_t {
 ///   kSensorSample:     core = physical core, value = die temperature (C)
 ///   kMeterSample:      value = measured package power (W)
 ///   kRequestComplete:  tid = workload-defined id, value = latency (s)
+///   kThermalStats:     phase = ThermalStatKind, arg = cumulative count
 struct TraceEvent {
   sim::SimTime at = 0;
   EventKind kind = EventKind::kSchedSwitch;

@@ -224,6 +224,13 @@ void ChromeTraceExporter::add_machine(const TraceMeta& meta,
         emit(instant(pid, 0, "request " + std::to_string(e.tid), e.at, args));
         break;
       }
+      case EventKind::kThermalStats:
+        emit(counter(
+            pid,
+            std::string(thermal_stat_name(
+                static_cast<ThermalStatKind>(e.phase))),
+            e.at, static_cast<double>(e.arg)));
+        break;
       case EventKind::kInjectionBegin:
       case EventKind::kInjectionEnd:
         break;  // rendered below from paired spans

@@ -153,6 +153,20 @@ class Tracer {
     sink_raw_->on_event(e);
   }
 
+  /// Trace-only sample of one cumulative thermal-engine work counter (the
+  /// registry copy is maintained by the machine itself, so this probe adds
+  /// nothing when no sink is attached).
+  void thermal_stat(sim::SimTime at, ThermalStatKind which,
+                    std::uint64_t count) {
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kThermalStats;
+    e.phase = static_cast<std::uint8_t>(which);
+    e.arg = count;
+    sink_raw_->on_event(e);
+  }
+
   void request_complete(sim::SimTime at, std::uint32_t id, double latency_s) {
     ++counters_.requests_completed;
     if (sink_raw_ == nullptr) return;

@@ -19,9 +19,12 @@ namespace dimetrodon::runner {
 namespace {
 
 // v3: sweep-level fault counters joined obs::CounterTotals::fields().
+// v4: thermal-engine counters joined obs::CounterTotals::fields(), and the
+// lazy thermal clock changed simulated trajectories (leakage is now refreshed
+// per interaction span, not per 250 µs substep).
 // Bumping the magic makes every older file a clean miss, so old caches are
 // recomputed rather than misparsed.
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v3";
+constexpr char kFileMagic[] = "dimetrodon-sweep-cache v4";
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;

@@ -75,7 +75,11 @@ Machine::Machine(MachineConfig config)
     schedule_meter_sample();
   }
   tm_active_.assign(config_.num_cores, false);
-  schedule_substep();
+  if (config_.thermal_reference_stepper) {
+    schedule_substep();
+  } else {
+    schedule_thermal_watchdog();
+  }
   schedule_schedcpu();
   if (config_.hw_thermal_throttle) schedule_thermal_monitor();
 }
@@ -164,35 +168,74 @@ double Machine::mean_c0_activity() const {
   return cores_.empty() ? 0.0 : sum / static_cast<double>(cores_.size());
 }
 
-void Machine::integrate_chunk(double dt_seconds) {
+void Machine::apply_powers(double span_seconds) {
   for (std::size_t i = 0; i < config_.num_cores; ++i) {
     const double p = physical_core_power(i);
     network_.set_power(nodes_.die[i], p);
-    energy_.add_core(i, p, dt_seconds);
-    window_node_joules_[nodes_.die[i]] += p * dt_seconds;
+    energy_.add_core(i, p, span_seconds);
+    window_node_joules_[nodes_.die[i]] += p * span_seconds;
   }
   const double uncore = power_model_.uncore_power(mean_c0_activity());
   network_.set_power(nodes_.package, uncore);
-  energy_.add_uncore(uncore, dt_seconds);
-  window_node_joules_[nodes_.package] += uncore * dt_seconds;
+  energy_.add_uncore(uncore, span_seconds);
+  window_node_joules_[nodes_.package] += uncore * span_seconds;
+}
+
+void Machine::integrate_chunk(double dt_seconds) {
+  apply_powers(dt_seconds);
   network_.step(dt_seconds);
+}
+
+void Machine::sync_thermal_counters() {
+  const thermal::RcNetwork::Stats& s = network_.stats();
+  obs::CounterRegistry& c = tracer_.counters();
+  c.thermal_substeps = s.substeps;
+  c.thermal_fast_forward_steps = s.fast_forward_steps;
+  c.thermal_factorizations = s.factorizations;
+  c.thermal_matvecs = s.matvecs;
 }
 
 void Machine::advance_thermal(sim::SimTime to) {
   if (to <= last_thermal_update_) return;
-  sim::SimTime remaining = to - last_thermal_update_;
-  while (remaining >= config_.thermal_substep) {
-    integrate_chunk(sim::to_sec(config_.thermal_substep));
-    remaining -= config_.thermal_substep;
+  if (config_.thermal_reference_stepper) {
+    // Pre-fast-forward semantics: sequential substeps, leakage refreshed at
+    // every chunk boundary.
+    sim::SimTime remaining = to - last_thermal_update_;
+    while (remaining >= config_.thermal_substep) {
+      integrate_chunk(sim::to_sec(config_.thermal_substep));
+      remaining -= config_.thermal_substep;
+    }
+    if (remaining > 0) integrate_chunk(sim::to_sec(remaining));
+    last_thermal_update_ = to;
+    sync_thermal_counters();
+    return;
   }
-  if (remaining > 0) integrate_chunk(sim::to_sec(remaining));
+  // Lazy clock: every mutation of power-relevant state calls advance_thermal
+  // before acting, so the power vector is constant across [last, to). Charge
+  // it once for the whole span, then fast-forward the propagator: k full
+  // substeps in O(log k) matvecs plus one sequential remainder chunk.
+  const sim::SimTime span = to - last_thermal_update_;
+  apply_powers(sim::to_sec(span));
+  const std::uint64_t k =
+      static_cast<std::uint64_t>(span / config_.thermal_substep);
+  const sim::SimTime remainder = span % config_.thermal_substep;
+  network_.advance(sim::to_sec(config_.thermal_substep), k);
+  if (remainder > 0) network_.step(sim::to_sec(remainder));
   last_thermal_update_ = to;
+  sync_thermal_counters();
 }
 
 void Machine::schedule_substep() {
   sim_.after(config_.thermal_substep, [this](sim::SimTime t) {
     advance_thermal(t);
     schedule_substep();
+  });
+}
+
+void Machine::schedule_thermal_watchdog() {
+  sim_.after(config_.thermal_watchdog, [this](sim::SimTime t) {
+    advance_thermal(t);
+    schedule_thermal_watchdog();
   });
 }
 
@@ -215,6 +258,13 @@ void Machine::schedule_trace_sensor() {
       tracer_.sensor_sample(t, static_cast<std::uint32_t>(phys),
                             network_.temperature(nodes_.die[phys]));
     }
+    const thermal::RcNetwork::Stats& s = network_.stats();
+    tracer_.thermal_stat(t, obs::ThermalStatKind::kSubsteps, s.substeps);
+    tracer_.thermal_stat(t, obs::ThermalStatKind::kFastForwardSteps,
+                         s.fast_forward_steps);
+    tracer_.thermal_stat(t, obs::ThermalStatKind::kFactorizations,
+                         s.factorizations);
+    tracer_.thermal_stat(t, obs::ThermalStatKind::kMatvecs, s.matvecs);
     schedule_trace_sensor();
   });
 }

@@ -73,9 +73,23 @@ struct MachineConfig {
   sim::SimTime thermal_monitor_period = sim::from_ms(5);
   std::size_t prochot_duty_step = 2;  // 25% clock duty while throttling
 
-  /// Maximum thermal integration step; integration is also aligned to every
-  /// power-state change, so this only bounds drift of the leakage feedback.
+  /// Thermal integration substep: the implicit-Euler dt of the closed-form
+  /// propagator. Integration happens lazily at machine interaction points
+  /// (scheduler events, actuation, sensor/meter reads) where the span since
+  /// the last update is fast-forwarded in O(log k) matvecs of this dt.
   sim::SimTime thermal_substep = sim::from_us(250);
+
+  /// Upper bound on the span between thermal advances (a coarse self-
+  /// rescheduling event). Power — including temperature-dependent leakage —
+  /// is held constant across each span, so this bounds the leakage-feedback
+  /// refresh interval on an otherwise quiet machine.
+  sim::SimTime thermal_watchdog = sim::from_ms(5);
+
+  /// Testing/benchmark mode: restore the pre-fast-forward stepper — a
+  /// self-rescheduling `thermal_substep` event and one sequential LU solve
+  /// per substep, with leakage refreshed every chunk. The parity suite and
+  /// the before/after engine benchmark run against this.
+  bool thermal_reference_stepper = false;
 
   /// Attach the sampled power meter (disable for large parameter sweeps).
   bool enable_meter = true;
@@ -259,7 +273,10 @@ class Machine {
   void replan_sibling(Core& c);
   void advance_thermal(sim::SimTime to);
   void integrate_chunk(double dt_seconds);
+  void apply_powers(double span_seconds);
+  void sync_thermal_counters();
   void schedule_substep();
+  void schedule_thermal_watchdog();
   void schedule_meter_sample();
   void schedule_trace_sensor();
   void schedule_schedcpu();

@@ -5,6 +5,53 @@
 
 namespace dimetrodon::thermal {
 
+void matvec(const DenseMatrix& m, const std::vector<double>& x,
+            std::vector<double>& y) {
+  const std::size_t n = m.size();
+  assert(x.size() == n);
+  y.assign(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n; ++c) acc += m.at(r, c) * x[c];
+    y[r] = acc;
+  }
+}
+
+void matvec_accumulate(const DenseMatrix& m, const std::vector<double>& x,
+                       std::vector<double>& y) {
+  const std::size_t n = m.size();
+  assert(x.size() == n && y.size() == n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < n; ++c) acc += m.at(r, c) * x[c];
+    y[r] += acc;
+  }
+}
+
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b) {
+  const std::size_t n = a.size();
+  assert(b.size() == n);
+  DenseMatrix c(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double f = a.at(r, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) c.at(r, j) += f * b.at(k, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix matadd(const DenseMatrix& a, const DenseMatrix& b) {
+  const std::size_t n = a.size();
+  assert(b.size() == n);
+  DenseMatrix c(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < n; ++j) c.at(r, j) = a.at(r, j) + b.at(r, j);
+  }
+  return c;
+}
+
 bool LuFactorization::factor(const DenseMatrix& m) {
   const std::size_t n = m.size();
   lu_ = m;

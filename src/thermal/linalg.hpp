@@ -12,6 +12,13 @@ class DenseMatrix {
   DenseMatrix() = default;
   explicit DenseMatrix(std::size_t n) : n_(n), a_(n * n, 0.0) {}
 
+  /// The n×n identity.
+  static DenseMatrix identity(std::size_t n) {
+    DenseMatrix m(n);
+    for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+    return m;
+  }
+
   std::size_t size() const { return n_; }
   double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
   double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
@@ -20,6 +27,21 @@ class DenseMatrix {
   std::size_t n_ = 0;
   std::vector<double> a_;
 };
+
+/// y = M x. `x` must have M.size() elements; `y` is resized. `y` must not
+/// alias `x`.
+void matvec(const DenseMatrix& m, const std::vector<double>& x,
+            std::vector<double>& y);
+
+/// y += M x (same contracts as matvec).
+void matvec_accumulate(const DenseMatrix& m, const std::vector<double>& x,
+                       std::vector<double>& y);
+
+/// C = A B (A, B same size; C must not alias either operand).
+DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);
+
+/// C = A + B.
+DenseMatrix matadd(const DenseMatrix& a, const DenseMatrix& b);
 
 /// LU factorization with partial pivoting. Factor once, solve many times —
 /// the implicit-Euler thermal stepper reuses one factorization for every

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +18,13 @@ using NodeId = std::size_t;
 /// inject heat at nodes; `step()` advances temperatures with unconditionally
 /// stable implicit Euler, so the millisecond-scale die dynamics and the
 /// minute-scale heatsink dynamics integrate correctly with one step size.
+///
+/// Because implicit Euler at a fixed dt is an *affine* map of the free-node
+/// temperature vector — T' = A·T + b with A = M⁻¹·(C/dt), b = M⁻¹·(P + G_b·
+/// T_fixed), M = C/dt + G — k substeps under a constant power vector have the
+/// closed form T_k = A^k·T + (I + A + … + A^(k-1))·b. `advance()` evaluates
+/// that with binary-lifted powers A^(2^j) and matching geometric sums, so a
+/// long fast-forward costs O(log k) small matvecs instead of k linear solves.
 class RcNetwork {
  public:
   /// Add a thermal mass. `capacitance` must be > 0.
@@ -47,8 +56,16 @@ class RcNetwork {
 
   /// Advance all free-node temperatures by `dt_seconds` with the current
   /// power vector held constant (implicit Euler). The LU factorization is
-  /// cached and reused while dt and the topology stay the same.
+  /// kept in a small per-dt cache, so alternating between a primary substep
+  /// and partial-remainder chunks does not rebuild the primary factorization.
   void step(double dt_seconds);
+
+  /// Advance `substeps` substeps of `dt_seconds` each, with the current power
+  /// vector held constant, via the closed-form propagator (O(log substeps)
+  /// matvecs). Physics-equivalent to calling `step(dt_seconds)` that many
+  /// times; a single substep routes through the exact step() arithmetic so
+  /// substeps <= 1 are bit-identical to the sequential reference.
+  void advance(double dt_seconds, std::uint64_t substeps);
 
   /// Jump straight to the steady state for the current power vector.
   /// Requires every free node to have a conduction path to a fixed node.
@@ -56,6 +73,17 @@ class RcNetwork {
 
   /// Sum of injected power over all nodes (diagnostics / conservation tests).
   double total_power() const;
+
+  /// Monotonic work counters for the stepping engine (observability; the
+  /// machine mirrors these into its obs counter registry).
+  struct Stats {
+    std::uint64_t substeps = 0;            // substeps integrated, any path
+    std::uint64_t fast_forward_steps = 0;  // substeps covered by lifted matvecs
+    std::uint64_t factorizations = 0;      // step-matrix LU factorizations
+    std::uint64_t solves = 0;              // LU back-substitutions
+    std::uint64_t matvecs = 0;             // dense matrix-vector products
+  };
+  const Stats& stats() const { return stats_; }
 
  private:
   struct Node {
@@ -69,7 +97,29 @@ class RcNetwork {
     double g;  // W/°C
   };
 
-  void build_step_matrix(double dt_seconds);
+  /// Everything derived from one (dt, topology) pair: the factored implicit-
+  /// Euler matrix M = C/dt + G, and — built lazily on the first multi-step
+  /// advance — the binary-lifted propagator tables.
+  struct StepOperator {
+    double dt = -1.0;
+    LuFactorization lu;                // M = C/dt + G over free nodes
+    std::vector<DenseMatrix> a_pow;    // A^(2^j)
+    std::vector<DenseMatrix> s_geo;    // I + A + … + A^(2^j - 1)
+    std::uint64_t last_used = 0;       // LRU tick
+  };
+
+  /// Rebuild free_index_/free_nodes_ and drop cached operators if the
+  /// topology changed since they were built.
+  void ensure_structure();
+
+  /// Cached-or-built operator for this dt (throws on a singular matrix).
+  StepOperator& operator_for(double dt_seconds);
+
+  /// Grow op's lifted tables to cover a fast-forward of `substeps`.
+  void ensure_levels(StepOperator& op, std::uint64_t substeps);
+
+  /// rhs = P + G_boundary·T_fixed over free nodes (the constant input term).
+  void assemble_input(std::vector<double>& rhs) const;
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
@@ -81,11 +131,17 @@ class RcNetwork {
   std::vector<std::size_t> free_index_;  // node -> dense row, SIZE_MAX if fixed
   std::vector<NodeId> free_nodes_;       // dense row -> node
 
-  LuFactorization step_lu_;
-  double cached_dt_ = -1.0;
-  std::size_t cached_topology_edges_ = 0;
-  std::size_t cached_topology_nodes_ = 0;
+  // Per-dt operator cache. Small and LRU-evicted: the primary substep dt
+  // stays resident across arbitrary partial-remainder chunks.
+  static constexpr std::size_t kMaxCachedOperators = 8;
+  std::vector<std::unique_ptr<StepOperator>> operators_;
+  std::uint64_t operator_clock_ = 0;
+  std::uint64_t topology_revision_ = 0;  // bumped by add_node/connect
+  std::uint64_t built_revision_ = ~std::uint64_t{0};
+
+  Stats stats_;
   std::vector<double> rhs_;
+  std::vector<double> scratch_;
 };
 
 }  // namespace dimetrodon::thermal
