@@ -1,0 +1,71 @@
+// Walkthrough of the cluster layer (src/cluster): a small heterogeneous
+// fleet of full machine simulations behind a thermal-aware load balancer.
+//
+// Three nodes with progressively worse cooling serve one open-loop Poisson
+// request stream. The example runs the same fleet under round-robin and
+// coolest-node routing and prints where the requests went, each node's
+// temperature, and the fleet's end-to-end latency percentiles — the
+// cluster-level counterpart of the per-machine experiments: preventive
+// thermal management by *placement* instead of idle injection.
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+void run_policy(cluster::PolicyKind kind) {
+  cluster::ClusterConfig config;
+  config.machine.enable_meter = false;
+  config.offered_load_rps = 1500.0;
+  config.telemetry_period = sim::from_ms(10);
+  config.nodes.clear();
+  // A good, a mediocre, and a bad rack position; the operator compensates
+  // for the bad one with idle injection (p=0.4), taxing its capacity.
+  const double fans[] = {1.0, 0.75, 0.55};
+  const double inject[] = {0.0, 0.0, 0.4};
+  for (int i = 0; i < 3; ++i) {
+    cluster::NodeSpec node;
+    node.fan_speed_fraction = fans[i];
+    node.injection_probability = inject[i];
+    config.nodes.push_back(node);
+  }
+
+  cluster::Cluster fleet(config, cluster::make_policy(kind));
+  const cluster::ClusterResult r = fleet.run(sim::from_sec(15));
+
+  std::printf("\n--- %s ---\n", r.policy.c_str());
+  std::printf("  %-6s %-6s %-6s %10s %10s %8s\n", "node", "fan", "p_inj",
+              "routed", "peak C", "mean C");
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    std::printf("  %-6zu %-6.2f %-6.2f %10llu %10.1f %8.1f\n", i, fans[i],
+                inject[i],
+                static_cast<unsigned long long>(r.nodes[i].routed),
+                r.nodes[i].peak_sensor_c, r.nodes[i].mean_sensor_c);
+  }
+  std::printf("  fleet: %.0f req/s, p50 %.3f s, p95 %.3f s, p99 %.3f s, "
+              "good %.1f%%, peak %.1f C (exact %.2f C)\n",
+              r.throughput_rps, r.qos.p50_latency_s, r.qos.p95_latency_s,
+              r.qos.p99_latency_s, 100 * r.qos.good_fraction(),
+              r.fleet_peak_sensor_c, r.fleet_peak_exact_c);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("cluster routing: 3 nodes, 1500 req/s open-loop Poisson "
+              "arrivals, 15 s\n");
+  run_policy(cluster::PolicyKind::kRoundRobin);
+  run_policy(cluster::PolicyKind::kCoolestNode);
+  run_policy(cluster::PolicyKind::kInjectionAware);
+  std::printf("\nRound-robin loads all nodes equally, so the badly cooled, "
+              "heavily injected node 2 sets the fleet's peak temperature "
+              "and tail latency. Coolest-node reads the same quantized "
+              "telemetry the paper's controller uses and equalizes "
+              "temperatures by steering work toward the cold end of the "
+              "rack; injection-aware scores each node's queue against the "
+              "capacity Dimetrodon leaves it, shaving the peak without "
+              "coolest-node's tail-latency cost.\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace dimetrodon::cluster {
+
+namespace {
+
+/// Stream ids under the cluster master seed: 0 is the request source, node i
+/// owns stream i + 1. Pure derivation (derive_stream_seed) keeps every
+/// stream independent of construction order.
+constexpr std::uint64_t kSourceStream = 0;
+
+double hottest_die_c(sched::Machine& m) {
+  double hottest = 0.0;
+  for (std::size_t phys = 0; phys < m.num_physical_cores(); ++phys) {
+    const double t =
+        m.thermal_network().temperature(m.thermal_nodes().die[phys]);
+    hottest = std::max(hottest, t);
+  }
+  return hottest;
+}
+
+double hottest_sensor_c(const sched::Machine& m) {
+  double hottest = 0.0;
+  for (std::size_t phys = 0; phys < m.num_physical_cores(); ++phys) {
+    hottest = std::max(hottest, m.sensor(phys).read());
+  }
+  return hottest;
+}
+
+bool any_core_throttling(const sched::Machine& m) {
+  for (std::size_t phys = 0; phys < m.num_physical_cores(); ++phys) {
+    if (m.thermal_throttle_active(phys)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
+    : config_(std::move(config)),
+      balancer_(std::move(balancer)),
+      source_(config_.seed, kSourceStream, config_.offered_load_rps) {
+  if (config_.nodes.empty()) {
+    throw std::invalid_argument("cluster needs at least one node");
+  }
+  if (balancer_ == nullptr) {
+    throw std::invalid_argument("cluster needs a load balancer");
+  }
+  if (config_.telemetry_period <= 0) {
+    throw std::invalid_argument("telemetry period must be positive");
+  }
+  if (config_.trace_sink_factory) {
+    tracer_.attach(config_.trace_sink_factory());
+  }
+
+  nodes_.reserve(config_.nodes.size());
+  for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+    const NodeSpec& spec = config_.nodes[i];
+    Node node;
+
+    sched::MachineConfig mc = config_.machine;
+    mc.floorplan.fan_speed_fraction = spec.fan_speed_fraction;
+    mc.seed = sim::derive_stream_seed(config_.seed, i + 1);
+    node.machine = std::make_unique<sched::Machine>(mc);
+
+    node.web = std::make_unique<workload::WebWorkload>(config_.web);
+    node.web->deploy(*node.machine);
+    node.web->mark();
+    node.web->set_completion_callback(
+        [this, i](std::uint32_t id, double latency_s) {
+          on_complete(i, id, latency_s);
+        });
+
+    if (spec.injection_probability > 0.0) {
+      node.controller =
+          std::make_shared<core::DimetrodonController>(*node.machine);
+      node.controller->sys_set_global(spec.injection_probability,
+                                      spec.injection_quantum);
+    }
+
+    node.view.id = i;
+    node.view.injection_probability = spec.injection_probability;
+    nodes_.push_back(std::move(node));
+  }
+
+  sample_telemetry(0);
+  next_tick_ = config_.telemetry_period;
+  next_arrival_ = source_.next();
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::advance_all(sim::SimTime t) {
+  // Fixed node order: the machines are independent simulations, so the order
+  // cannot change any machine's behavior — but it pins the order of
+  // completion callbacks (and thus histogram insertion), keeping the
+  // fleet-wide stats bit-reproducible too.
+  for (Node& node : nodes_) node.machine->run_until(t);
+  now_ = t;
+}
+
+void Cluster::sample_telemetry(sim::SimTime t) {
+  double fleet_mean = 0.0;
+  for (Node& node : nodes_) {
+    sched::Machine& m = *node.machine;
+    const double mean_c = m.mean_sensor_temp();
+    // The balancer sees whole degrees, like the per-core sensors themselves:
+    // averaging the four quantized cores would leak 0.25 C resolution the
+    // hardware doesn't offer, and the coarser view doubles as herd
+    // protection (1 C ties fall through to the outstanding-count
+    // tie-break).
+    node.view.sensor_temp_c = std::floor(mean_c);
+    node.temp_avg.add(mean_c);
+    node.stats.mean_sensor_c = node.temp_avg.mean();
+    node.stats.peak_sensor_c =
+        std::max(node.stats.peak_sensor_c, hottest_sensor_c(m));
+    fleet_peak_sensor_c_ =
+        std::max(fleet_peak_sensor_c_, node.stats.peak_sensor_c);
+    fleet_peak_exact_c_ = std::max(fleet_peak_exact_c_, hottest_die_c(m));
+    fleet_mean += mean_c;
+
+    const bool throttling = any_core_throttling(m);
+    if (throttling != node.view.draining) {
+      node.view.draining = throttling;
+      if (throttling) ++node.stats.drains;
+      tracer_.node_drain(t, static_cast<std::uint32_t>(node.view.id),
+                         throttling, hottest_die_c(m));
+    }
+  }
+  fleet_temp_avg_.add(fleet_mean / static_cast<double>(nodes_.size()));
+}
+
+void Cluster::route(sim::SimTime t) {
+  std::vector<NodeView> views;
+  views.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    if (!node.view.draining) views.push_back(node.view);
+  }
+  if (views.empty()) {  // whole fleet tripped: route anyway, drop nothing
+    for (const Node& node : nodes_) views.push_back(node.view);
+  }
+
+  const std::size_t id = balancer_->pick(views);
+  Node& node = nodes_.at(id);
+  const std::uint32_t rid = next_request_id_++;
+  ++node.view.outstanding;
+  ++node.stats.routed;
+  tracer_.request_routed(t, static_cast<std::uint32_t>(id), rid);
+  node.web->inject_request(rid);
+}
+
+void Cluster::on_complete(std::size_t node_id, std::uint32_t id,
+                          double latency_s) {
+  Node& node = nodes_.at(node_id);
+  if (node.view.outstanding > 0) --node.view.outstanding;
+  ++node.stats.completed;
+  ++completed_;
+
+  ++qos_.total;
+  if (latency_s <= config_.web.good_threshold_s) ++qos_.good;
+  if (latency_s <= config_.web.tolerable_threshold_s) {
+    ++qos_.tolerable;
+  } else {
+    ++qos_.fail;
+  }
+  qos_.max_latency_s = std::max(qos_.max_latency_s, latency_s);
+  latency_hist_.add(latency_s);
+
+  // The node's machine is mid-run_until here; its local clock is the event
+  // time of the completion.
+  tracer_.request_complete(node.machine->now(), id, latency_s);
+}
+
+ClusterResult Cluster::run(sim::SimTime duration) {
+  const sim::SimTime end = now_ + duration;
+  while (true) {
+    const sim::SimTime t = std::min(next_arrival_, next_tick_);
+    if (t > end) break;
+    advance_all(t);
+    if (t == next_tick_) {
+      sample_telemetry(t);
+      next_tick_ += config_.telemetry_period;
+    }
+    if (t == next_arrival_) {
+      route(t);
+      next_arrival_ = source_.next();
+    }
+  }
+  advance_all(end);
+  sample_telemetry(end);
+
+  ClusterResult r;
+  r.policy = balancer_->name();
+  r.duration_s = sim::to_sec(now_);
+  r.offered = next_request_id_;  // requests actually routed into the fleet
+  r.completed = completed_;
+  r.throughput_rps =
+      r.duration_s > 0.0 ? static_cast<double>(completed_) / r.duration_s : 0.0;
+
+  r.qos = qos_;
+  r.qos.mean_latency_s = latency_hist_.mean();
+  if (latency_hist_.count() > 0) {
+    r.qos.p50_latency_s = latency_hist_.percentile(50.0);
+    r.qos.p95_latency_s = latency_hist_.percentile(95.0);
+    r.qos.p99_latency_s = latency_hist_.percentile(99.0);
+  }
+
+  r.fleet_peak_sensor_c = fleet_peak_sensor_c_;
+  r.fleet_peak_exact_c = fleet_peak_exact_c_;
+  r.fleet_mean_sensor_c = fleet_temp_avg_.mean();
+
+  r.nodes.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    r.drains += node.stats.drains;
+    r.nodes.push_back(node.stats);
+    r.counters += node.machine->counters().totals();
+  }
+  // Cluster-scope counters live only in the cluster's registry; fold in just
+  // those two fields (its requests_completed would double-count the
+  // machines').
+  r.counters.requests_routed = tracer_.counters().requests_routed;
+  r.counters.node_drains = tracer_.counters().node_drains;
+  return r;
+}
+
+}  // namespace dimetrodon::cluster

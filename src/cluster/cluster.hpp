@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "analysis/stats.hpp"
+#include "cluster/load_balancer.hpp"
+#include "cluster/request_source.hpp"
+#include "core/controller.hpp"
+#include "obs/tracer.hpp"
+#include "sched/machine.hpp"
+#include "workload/web.hpp"
+
+namespace dimetrodon::cluster {
+
+/// Per-node deviations from the cluster's base machine config. The fleet is
+/// deliberately heterogeneous: rack position and airflow give each node its
+/// own cooling quality, and operators tune Dimetrodon's injection intensity
+/// per node to match.
+struct NodeSpec {
+  /// Cooling quality (thermal::FloorplanParams::fan_speed_fraction). Lower
+  /// means a worse rack position / weaker airflow, i.e. a hotter node at
+  /// equal load.
+  double fan_speed_fraction = 1.0;
+  /// Dimetrodon global injection probability on this node (0 disables the
+  /// controller entirely).
+  double injection_probability = 0.0;
+  /// Injection quantum when the controller is active.
+  sim::SimTime injection_quantum = sim::from_ms(10);
+};
+
+struct ClusterConfig {
+  /// Base machine config shared by every node; NodeSpec fields override it
+  /// per node. Node i's machine seed is derive_stream_seed(seed, i + 1).
+  sched::MachineConfig machine{};
+
+  /// Web workload config deployed on every node. Defaults to zero closed-loop
+  /// connections: in a cluster, traffic arrives open-loop through the load
+  /// balancer. Set connections > 0 to add per-node background load.
+  workload::WebWorkload::Config web = open_loop_web();
+
+  std::vector<NodeSpec> nodes = {NodeSpec{}, NodeSpec{}, NodeSpec{},
+                                 NodeSpec{}};
+
+  /// Master seed: machines, the request source, and everything stochastic
+  /// derive pure per-stream seeds from it.
+  std::uint64_t seed = 0x5eed;
+
+  /// Offered load across the whole fleet, requests/second (Poisson).
+  double offered_load_rps = 800.0;
+
+  /// Telemetry refresh period: how often the balancer's temperature views
+  /// are resampled and PROCHOT drain state is checked.
+  sim::SimTime telemetry_period = sim::from_ms(50);
+
+  /// Optional cluster-scope trace sink (request_routed / node_drain /
+  /// request_complete events). Machine-scope sinks attach via
+  /// `machine.trace_sink_factory` as usual.
+  obs::SinkFactory trace_sink_factory;
+
+  static workload::WebWorkload::Config open_loop_web() {
+    workload::WebWorkload::Config c;
+    c.connections = 0;
+    return c;
+  }
+};
+
+/// Per-node outcome of a cluster run.
+struct NodeStats {
+  std::uint64_t routed = 0;
+  std::uint64_t completed = 0;
+  /// Highest quantized sensor reading seen at any telemetry sample.
+  double peak_sensor_c = 0.0;
+  /// Time-average (over telemetry samples) of the node's mean sensor temp.
+  double mean_sensor_c = 0.0;
+  /// PROCHOT failover engagements (drain episodes, not per-core trips).
+  std::uint64_t drains = 0;
+};
+
+/// Fleet-level outcome of a cluster run.
+struct ClusterResult {
+  std::string policy;
+  double duration_s = 0.0;
+  std::uint64_t offered = 0;    // requests routed into the fleet
+  std::uint64_t completed = 0;  // requests that finished within the run
+  double throughput_rps = 0.0;
+  /// Fleet-wide end-to-end latency QoS (SPECWeb buckets + streaming
+  /// percentiles), over completed requests.
+  workload::WebWorkload::QosStats qos;
+  /// Hottest quantized sensor reading anywhere in the fleet, any sample.
+  double fleet_peak_sensor_c = 0.0;
+  /// Hottest continuous die temperature anywhere in the fleet, any sample
+  /// (model ground truth behind the quantized telemetry).
+  double fleet_peak_exact_c = 0.0;
+  /// Time-and-node average of mean sensor temperature.
+  double fleet_mean_sensor_c = 0.0;
+  std::uint64_t drains = 0;
+  std::vector<NodeStats> nodes;
+  /// Machine counters summed across nodes, plus the cluster-scope counters
+  /// (requests_routed, node_drains) from the cluster's own tracer.
+  obs::CounterTotals counters;
+};
+
+/// A fleet of N independent sched::Machine instances composed on one
+/// deterministic timeline. Each machine keeps its own simulator, thermal
+/// stack, and RNG streams; the cluster advances them in fixed node order to
+/// each global event time (request arrival or telemetry tick), so a run is a
+/// pure function of its config — bit-reproducible regardless of sweep
+/// parallelism.
+///
+/// Request path: the Poisson RequestSource emits an arrival; the cluster
+/// builds the routable NodeViews (draining nodes excluded unless all drain);
+/// the LoadBalancer picks a node; the request is injected into that node's
+/// WebWorkload (same two-stage kernel/worker path as closed-loop traffic);
+/// on completion the node reports end-to-end latency back and the cluster
+/// streams it into a fleet-wide percentile histogram.
+///
+/// PROCHOT failover: at every telemetry sample, a node with any physical
+/// core's thermal monitor engaged is marked draining — it keeps serving its
+/// queue but receives no new requests until every core releases.
+class Cluster {
+ public:
+  Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Advance the whole fleet by `duration`. May be called repeatedly; stats
+  /// accrue from construction.
+  ClusterResult run(sim::SimTime duration);
+
+  // --- observation (tests, examples) ---------------------------------------
+  std::size_t num_nodes() const { return nodes_.size(); }
+  sched::Machine& machine(std::size_t i) { return *nodes_.at(i).machine; }
+  workload::WebWorkload& web(std::size_t i) { return *nodes_.at(i).web; }
+  bool draining(std::size_t i) const { return nodes_.at(i).view.draining; }
+  /// The balancer-visible view as of the last telemetry sample.
+  const NodeView& view(std::size_t i) const { return nodes_.at(i).view; }
+  obs::Tracer& tracer() { return tracer_; }
+  sim::SimTime now() const { return now_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<sched::Machine> machine;
+    std::unique_ptr<workload::WebWorkload> web;
+    std::shared_ptr<core::DimetrodonController> controller;
+    NodeView view;
+    NodeStats stats;
+    analysis::OnlineStats temp_avg;
+  };
+
+  void advance_all(sim::SimTime t);
+  void sample_telemetry(sim::SimTime t);
+  void route(sim::SimTime t);
+  void on_complete(std::size_t node, std::uint32_t id, double latency_s);
+
+  ClusterConfig config_;
+  std::unique_ptr<LoadBalancer> balancer_;
+  RequestSource source_;
+  std::vector<Node> nodes_;
+  obs::Tracer tracer_;
+
+  sim::SimTime now_ = 0;
+  sim::SimTime next_arrival_ = 0;
+  sim::SimTime next_tick_ = 0;
+  std::uint32_t next_request_id_ = 0;
+
+  // Fleet-wide accumulators.
+  std::uint64_t completed_ = 0;
+  workload::WebWorkload::QosStats qos_;
+  analysis::PercentileHistogram latency_hist_;
+  analysis::OnlineStats fleet_temp_avg_;
+  double fleet_peak_sensor_c_ = 0.0;
+  double fleet_peak_exact_c_ = 0.0;
+};
+
+}  // namespace dimetrodon::cluster

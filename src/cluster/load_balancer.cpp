@@ -1,0 +1,146 @@
+#include "cluster/load_balancer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dimetrodon::cluster {
+
+namespace {
+
+/// Tie-break chain shared by the stateful policies: fewer outstanding, then
+/// cooler, then lower id. Total and deterministic.
+bool less_loaded(const NodeView& a, const NodeView& b) {
+  if (a.outstanding != b.outstanding) return a.outstanding < b.outstanding;
+  if (a.sensor_temp_c != b.sensor_temp_c) {
+    return a.sensor_temp_c < b.sensor_temp_c;
+  }
+  return a.id < b.id;
+}
+
+bool cooler(const NodeView& a, const NodeView& b) {
+  if (a.sensor_temp_c != b.sensor_temp_c) {
+    return a.sensor_temp_c < b.sensor_temp_c;
+  }
+  if (a.outstanding != b.outstanding) return a.outstanding < b.outstanding;
+  return a.id < b.id;
+}
+
+/// Cycle node ids in increasing order, skipping nodes that dropped out of the
+/// routable set (drained) without disturbing the rotation for the rest.
+class RoundRobin final : public LoadBalancer {
+ public:
+  const char* name() const override { return "round-robin"; }
+  std::size_t pick(const std::vector<NodeView>& views) override {
+    const NodeView* best = nullptr;
+    const NodeView* lowest = nullptr;
+    for (const NodeView& v : views) {
+      if (lowest == nullptr || v.id < lowest->id) lowest = &v;
+      if (v.id > last_ && (best == nullptr || v.id < best->id)) best = &v;
+    }
+    const NodeView& chosen = best != nullptr ? *best : *lowest;  // wrap
+    last_ = chosen.id;
+    return chosen.id;
+  }
+
+ private:
+  std::size_t last_ = static_cast<std::size_t>(-1);
+};
+
+class LeastOutstanding final : public LoadBalancer {
+ public:
+  const char* name() const override { return "least-outstanding"; }
+  std::size_t pick(const std::vector<NodeView>& views) override {
+    const NodeView* best = &views.front();
+    for (const NodeView& v : views) {
+      if (less_loaded(v, *best)) best = &v;
+    }
+    return best->id;
+  }
+};
+
+/// Thermal-aware: route to the node whose quantized sensors read coolest.
+/// The 1 C quantization makes ties common, so the outstanding-count
+/// tie-break doubles as herd protection between telemetry refreshes.
+class CoolestNode final : public LoadBalancer {
+ public:
+  const char* name() const override { return "coolest-node"; }
+  std::size_t pick(const std::vector<NodeView>& views) override {
+    const NodeView* best = &views.front();
+    for (const NodeView& v : views) {
+      if (cooler(v, *best)) best = &v;
+    }
+    return best->id;
+  }
+};
+
+/// Injection-aware: deprioritize nodes whose idle-injection probability
+/// exceeds the threshold — Dimetrodon is already taxing their capacity by
+/// roughly a (1 - p) factor, so their outstanding count is scored against
+/// that reduced capacity (capacity-weighted least-outstanding). Under light
+/// load everything scores ~0 and the tie-break sends traffic to the
+/// un-injected tier; under heavy load the injected nodes still absorb their
+/// fair, capacity-proportional share instead of the preferred tier
+/// collapsing.
+class InjectionAware final : public LoadBalancer {
+ public:
+  explicit InjectionAware(double threshold) : threshold_(threshold) {}
+  const char* name() const override { return "injection-aware"; }
+  std::size_t pick(const std::vector<NodeView>& views) override {
+    const NodeView* best = nullptr;
+    double best_score = 0.0;
+    for (const NodeView& v : views) {
+      const double score =
+          static_cast<double>(v.outstanding) / capacity(v);
+      if (best == nullptr || score < best_score ||
+          (score == best_score && prefer(v, *best))) {
+        best = &v;
+        best_score = score;
+      }
+    }
+    return best->id;
+  }
+
+ private:
+  double capacity(const NodeView& v) const {
+    if (v.injection_probability <= threshold_) return 1.0;
+    // Injection leaves the node ~(1 - p) of its cycles; floor the weight so
+    // a p ~ 1 node still scores finitely.
+    return std::max(0.05, 1.0 - v.injection_probability);
+  }
+
+  bool prefer(const NodeView& a, const NodeView& b) const {
+    const bool a_light = a.injection_probability <= threshold_;
+    const bool b_light = b.injection_probability <= threshold_;
+    if (a_light != b_light) return a_light;
+    return cooler(a, b);
+  }
+
+  double threshold_;
+};
+
+}  // namespace
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRoundRobin: return "round-robin";
+    case PolicyKind::kLeastOutstanding: return "least-outstanding";
+    case PolicyKind::kCoolestNode: return "coolest-node";
+    case PolicyKind::kInjectionAware: return "injection-aware";
+  }
+  throw std::invalid_argument("unknown PolicyKind");
+}
+
+std::unique_ptr<LoadBalancer> make_policy(PolicyKind kind,
+                                          double injection_threshold) {
+  switch (kind) {
+    case PolicyKind::kRoundRobin: return std::make_unique<RoundRobin>();
+    case PolicyKind::kLeastOutstanding:
+      return std::make_unique<LeastOutstanding>();
+    case PolicyKind::kCoolestNode: return std::make_unique<CoolestNode>();
+    case PolicyKind::kInjectionAware:
+      return std::make_unique<InjectionAware>(injection_threshold);
+  }
+  throw std::invalid_argument("unknown PolicyKind");
+}
+
+}  // namespace dimetrodon::cluster

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dimetrodon::cluster {
+
+/// What the load balancer is allowed to see about a node: the operational
+/// telemetry a fleet scheduler would actually have. Temperatures are the
+/// node's *quantized* coretemp readings (1 C resolution), refreshed at the
+/// cluster's telemetry period — not the continuous model state — so routing
+/// decisions face the same sensor coarseness the paper's controller does.
+struct NodeView {
+  std::size_t id = 0;
+  /// Mean of the node's quantized per-core sensor readings at the last
+  /// telemetry sample (stale by up to one period).
+  double sensor_temp_c = 0.0;
+  /// Requests routed to the node and not yet completed. Exact and current:
+  /// this is the balancer's own bookkeeping, not sampled telemetry.
+  std::size_t outstanding = 0;
+  /// The node's configured idle-injection probability (its preventive
+  /// thermal-management intensity, known fleet-wide as configuration).
+  double injection_probability = 0.0;
+  /// PROCHOT failover: the node tripped its thermal monitor and is being
+  /// drained. Draining nodes are excluded from routing unless every node is
+  /// draining (shedding load entirely would drop requests on the floor).
+  bool draining = false;
+};
+
+enum class PolicyKind : std::uint8_t {
+  kRoundRobin,
+  kLeastOutstanding,
+  kCoolestNode,
+  kInjectionAware,
+};
+
+const char* policy_name(PolicyKind kind);
+
+/// Routing policy interface. `pick` receives the views of the currently
+/// routable nodes (never empty) and returns the chosen node id. Policies may
+/// keep internal state (e.g. a round-robin cursor) but must be deterministic:
+/// the same view sequence yields the same decisions.
+class LoadBalancer {
+ public:
+  virtual ~LoadBalancer() = default;
+  virtual const char* name() const = 0;
+  virtual std::size_t pick(const std::vector<NodeView>& views) = 0;
+};
+
+/// `injection_threshold` only affects kInjectionAware: nodes whose injection
+/// probability exceeds it are deprioritized (used only when every routable
+/// node exceeds it).
+std::unique_ptr<LoadBalancer> make_policy(PolicyKind kind,
+                                          double injection_threshold = 0.25);
+
+}  // namespace dimetrodon::cluster

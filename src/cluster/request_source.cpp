@@ -1,0 +1,25 @@
+#include "cluster/request_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dimetrodon::cluster {
+
+RequestSource::RequestSource(std::uint64_t master_seed,
+                             std::uint64_t stream_id, double rate_rps)
+    : rng_(sim::Rng::stream(master_seed, stream_id)),
+      rate_rps_(rate_rps),
+      mean_gap_s_(rate_rps > 0.0 ? 1.0 / rate_rps : 0.0) {
+  if (rate_rps <= 0.0) {
+    throw std::invalid_argument("RequestSource rate must be > 0 rps");
+  }
+}
+
+sim::SimTime RequestSource::next() {
+  const sim::SimTime gap = sim::from_sec(rng_.exponential(mean_gap_s_));
+  t_ += std::max<sim::SimTime>(1, gap);
+  ++issued_;
+  return t_;
+}
+
+}  // namespace dimetrodon::cluster

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::cluster {
+
+/// Open-loop Poisson request source: the cluster's client population,
+/// modeled as a memoryless arrival process at a fixed offered load. Unlike
+/// the closed-loop connections inside workload::WebWorkload, arrivals here do
+/// not wait for completions — overload shows up as queue growth and tail
+/// latency instead of self-throttling.
+///
+/// Determinism: the source owns its own sim::Rng stream derived purely from
+/// (master seed, stream id) via sim::derive_stream_seed, so the arrival
+/// sequence is a function of the seed alone — independent of sweep thread
+/// count, execution order, and everything else in the simulation.
+class RequestSource {
+ public:
+  /// `rate_rps` must be > 0.
+  RequestSource(std::uint64_t master_seed, std::uint64_t stream_id,
+                double rate_rps);
+
+  /// Absolute time of the next arrival. Each call consumes one exponential
+  /// inter-arrival draw; the sequence is strictly increasing (gaps are
+  /// floored at 1 ns so two requests never collide on the timeline).
+  sim::SimTime next();
+
+  std::uint64_t issued() const { return issued_; }
+  double rate_rps() const { return rate_rps_; }
+
+ private:
+  sim::Rng rng_;
+  double rate_rps_;
+  double mean_gap_s_;
+  sim::SimTime t_ = 0;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace dimetrodon::cluster

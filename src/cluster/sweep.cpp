@@ -1,0 +1,97 @@
+#include "cluster/sweep.hpp"
+
+#include <cstdio>
+
+namespace dimetrodon::cluster {
+
+namespace {
+
+void put(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%a ", key, v);
+  out += buf;
+}
+
+void put(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%llx ", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void put(std::string& out, const char* key, std::int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%lld ", key, static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
+  std::string out;
+  out.reserve(512);
+  out += "cluster-v1{";
+  put(out, "policy", static_cast<std::uint64_t>(spec.policy));
+  put(out, "inj_thresh", spec.injection_threshold);
+  put(out, "duration", spec.duration);
+  put(out, "load_rps", spec.cluster.offered_load_rps);
+  put(out, "telemetry", spec.cluster.telemetry_period);
+  const auto& w = spec.cluster.web;
+  out += "web{";
+  put(out, "conns", static_cast<std::uint64_t>(w.connections));
+  put(out, "think", w.think_mean_s);
+  put(out, "demand", w.demand_mean_s);
+  put(out, "kdemand", w.kernel_demand_s);
+  put(out, "workers", static_cast<std::uint64_t>(w.workers));
+  put(out, "activity", w.worker_activity);
+  put(out, "good", w.good_threshold_s);
+  put(out, "tol", w.tolerable_threshold_s);
+  out += "} nodes[";
+  for (const NodeSpec& n : spec.cluster.nodes) {
+    put(out, "fan", n.fan_speed_fraction);
+    put(out, "p", n.injection_probability);
+    put(out, "L", n.injection_quantum);
+  }
+  out += "]} ";
+  return out;
+}
+
+runner::RunSpec to_run_spec(const ClusterRunSpec& spec) {
+  runner::RunSpec rs;
+  rs.kind = runner::RunSpec::Kind::kCustom;
+  rs.seed = spec.cluster.seed;
+  rs.machine = spec.cluster.machine;
+  rs.custom_tag = canonical_cluster_tag(spec);
+  rs.custom = [spec](const runner::RunSpec&,
+                     const sched::MachineConfig& cfg) {
+    // `cfg` is spec.cluster.machine with the sweep seed applied; thread it
+    // back so a seed sweep re-seeds the whole fleet.
+    ClusterConfig cc = spec.cluster;
+    cc.machine = cfg;
+    cc.seed = cfg.seed;
+    Cluster cluster(std::move(cc),
+                    make_policy(spec.policy, spec.injection_threshold));
+    const ClusterResult r = cluster.run(spec.duration);
+
+    runner::RunRecord rec;
+    rec.result.label = r.policy;
+    rec.result.throughput = r.throughput_rps;
+    rec.result.avg_sensor_temp_c = r.fleet_mean_sensor_c;
+    rec.result.qos = r.qos;
+    rec.result.counters = r.counters;
+    rec.result.sim_seconds =
+        r.duration_s * static_cast<double>(r.nodes.size());
+    rec.extra = {
+        {"fleet_peak_sensor_c", r.fleet_peak_sensor_c},
+        {"fleet_peak_exact_c", r.fleet_peak_exact_c},
+        {"fleet_mean_sensor_c", r.fleet_mean_sensor_c},
+        {"offered", static_cast<double>(r.offered)},
+        {"completed", static_cast<double>(r.completed)},
+        {"drains", static_cast<double>(r.drains)},
+    };
+    return rec;
+  };
+  return rs;
+}
+
+}  // namespace dimetrodon::cluster

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "runner/run_spec.hpp"
+
+namespace dimetrodon::cluster {
+
+/// Declarative description of one cluster run, bridgeable into the sweep
+/// engine (cache, parallelism, fault isolation) as a kCustom RunSpec.
+struct ClusterRunSpec {
+  ClusterConfig cluster{};
+  PolicyKind policy = PolicyKind::kRoundRobin;
+  /// Threshold for PolicyKind::kInjectionAware (ignored otherwise, but
+  /// always part of the cache identity).
+  double injection_threshold = 0.25;
+  sim::SimTime duration = sim::from_sec(40);
+};
+
+/// Canonical text of everything a ClusterRunSpec adds on top of the base
+/// machine config (policy, load, telemetry, web config, per-node specs).
+/// Doubles render as hex floats; this string becomes the RunSpec custom_tag
+/// and therefore part of the cache key.
+std::string canonical_cluster_tag(const ClusterRunSpec& spec);
+
+/// Package a cluster run as a sweep-engine RunSpec. The engine hashes
+/// `spec.cluster.machine` (via RunSpec::machine) and the canonical tag; at
+/// execution it hands back the machine config with the sweep seed applied,
+/// which becomes both the cluster master seed and the per-node config base.
+/// The record carries throughput, fleet QoS (RunResult::qos), aggregated
+/// counters, and named extras (fleet_peak_sensor_c, fleet_peak_exact_c,
+/// fleet_mean_sensor_c, offered, completed, drains, sim_seconds).
+runner::RunSpec to_run_spec(const ClusterRunSpec& spec);
+
+}  // namespace dimetrodon::cluster

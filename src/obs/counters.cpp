@@ -22,6 +22,8 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"thermal_fast_forward_steps", &CounterTotals::thermal_fast_forward_steps},
       {"thermal_factorizations", &CounterTotals::thermal_factorizations},
       {"thermal_matvecs", &CounterTotals::thermal_matvecs},
+      {"requests_routed", &CounterTotals::requests_routed},
+      {"node_drains", &CounterTotals::node_drains},
       {"runs_failed", &CounterTotals::runs_failed},
       {"runs_retried", &CounterTotals::runs_retried},
       {"cache_write_retries", &CounterTotals::cache_write_retries},
@@ -55,6 +57,8 @@ CounterTotals CounterRegistry::totals() const {
   t.meter_samples = meter_samples;
   t.sensor_samples = sensor_samples;
   t.requests_completed = requests_completed;
+  t.requests_routed = requests_routed;
+  t.node_drains = node_drains;
   t.thermal_substeps = thermal_substeps;
   t.thermal_fast_forward_steps = thermal_fast_forward_steps;
   t.thermal_factorizations = thermal_factorizations;

@@ -37,6 +37,12 @@ struct CounterTotals {
   std::uint64_t sensor_samples = 0;  // trace-only sampler; 0 without a sink
   std::uint64_t requests_completed = 0;
 
+  // Cluster-scope counters (src/cluster). A machine never increments these;
+  // the cluster's load balancer and drain logic do, through a cluster-owned
+  // tracer, and the cluster folds them into its aggregated totals.
+  std::uint64_t requests_routed = 0;  // dispatch decisions made
+  std::uint64_t node_drains = 0;      // PROCHOT failover engagements
+
   // Thermal-engine work counters (mirrored from RcNetwork::stats() at every
   // advance): how the closed-form fast-forward is spending its effort.
   std::uint64_t thermal_substeps = 0;            // substeps integrated
@@ -80,6 +86,8 @@ class CounterRegistry {
   std::uint64_t meter_samples = 0;
   std::uint64_t sensor_samples = 0;
   std::uint64_t requests_completed = 0;
+  std::uint64_t requests_routed = 0;  // cluster scope
+  std::uint64_t node_drains = 0;      // cluster scope
 
   // Thermal-engine counters; the machine writes the network's monotonic
   // stats() snapshot here after every thermal advance.

@@ -21,6 +21,8 @@ enum class EventKind : std::uint8_t {
   kMeterSample,      // the clamp power meter took a sample
   kRequestComplete,  // a workload request finished (value = latency, s)
   kThermalStats,     // thermal-engine work counter sample (trace-only)
+  kRequestRouted,    // cluster: a request was dispatched to a node
+  kNodeDrain,        // cluster: a node left / rejoined the routable set
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -35,6 +37,8 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kMeterSample:     return "meter_sample";
     case EventKind::kRequestComplete: return "request_complete";
     case EventKind::kThermalStats:    return "thermal_stats";
+    case EventKind::kRequestRouted:   return "request_routed";
+    case EventKind::kNodeDrain:       return "node_drain";
   }
   return "unknown";
 }
@@ -81,6 +85,9 @@ enum class CStatePhase : std::uint8_t {
 ///   kMeterSample:      value = measured package power (W)
 ///   kRequestComplete:  tid = workload-defined id, value = latency (s)
 ///   kThermalStats:     phase = ThermalStatKind, arg = cumulative count
+///   kRequestRouted:    core = node index, tid = request id (cluster scope)
+///   kNodeDrain:        core = node index, arg = 1 drain / 0 rejoin,
+///                      value = hottest die temperature (C)
 struct TraceEvent {
   sim::SimTime at = 0;
   EventKind kind = EventKind::kSchedSwitch;

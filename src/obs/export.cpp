@@ -231,6 +231,22 @@ void ChromeTraceExporter::add_machine(const TraceMeta& meta,
                 static_cast<ThermalStatKind>(e.phase))),
             e.at, static_cast<double>(e.arg)));
         break;
+      case EventKind::kRequestRouted: {
+        emit(instant(pid, 0,
+                     "route req " + std::to_string(e.tid) + " -> node " +
+                         std::to_string(c),
+                     e.at));
+        break;
+      }
+      case EventKind::kNodeDrain: {
+        char args[64];
+        std::snprintf(args, sizeof args, "\"temp_c\":%.6g", e.value);
+        emit(instant(pid, 0,
+                     std::string("node ") + std::to_string(c) +
+                         (e.arg != 0 ? " drain" : " rejoin"),
+                     e.at, args));
+        break;
+      }
       case EventKind::kInjectionBegin:
       case EventKind::kInjectionEnd:
         break;  // rendered below from paired spans

@@ -167,6 +167,34 @@ class Tracer {
     sink_raw_->on_event(e);
   }
 
+  /// Cluster scope: the load balancer dispatched request `id` to `node`.
+  /// Emitted by a cluster-owned tracer, never by a machine's.
+  void request_routed(sim::SimTime at, std::uint32_t node, std::uint32_t id) {
+    ++counters_.requests_routed;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kRequestRouted;
+    e.core = static_cast<std::uint16_t>(node);
+    e.tid = id;
+    sink_raw_->on_event(e);
+  }
+
+  /// Cluster scope: `node` left (draining=true) or rejoined (false) the
+  /// routable set; `temp_c` is its hottest die at the transition.
+  void node_drain(sim::SimTime at, std::uint32_t node, bool draining,
+                  double temp_c) {
+    if (draining) ++counters_.node_drains;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kNodeDrain;
+    e.core = static_cast<std::uint16_t>(node);
+    e.arg = draining ? 1 : 0;
+    e.value = temp_c;
+    sink_raw_->on_event(e);
+  }
+
   void request_complete(sim::SimTime at, std::uint32_t id, double latency_s) {
     ++counters_.requests_completed;
     if (sink_raw_ == nullptr) return;

@@ -22,9 +22,12 @@ namespace {
 // v4: thermal-engine counters joined obs::CounterTotals::fields(), and the
 // lazy thermal clock changed simulated trajectories (leakage is now refreshed
 // per interaction span, not per 250 µs substep).
+// v5: QosStats gained streaming percentiles (qos.p50/p95/p99_latency_s) and
+// the cluster-scope counters (requests_routed, node_drains) joined
+// obs::CounterTotals::fields().
 // Bumping the magic makes every older file a clean miss, so old caches are
 // recomputed rather than misparsed.
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v4";
+constexpr char kFileMagic[] = "dimetrodon-sweep-cache v5";
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;
@@ -170,6 +173,9 @@ std::string ResultCache::serialize_record(const RunRecord& record) {
   put_line(out, "qos.total", qos.total);
   put_line(out, "qos.mean_latency_s", qos.mean_latency_s);
   put_line(out, "qos.max_latency_s", qos.max_latency_s);
+  put_line(out, "qos.p50_latency_s", qos.p50_latency_s);
+  put_line(out, "qos.p95_latency_s", qos.p95_latency_s);
+  put_line(out, "qos.p99_latency_s", qos.p99_latency_s);
   for (const auto& [name, member] : obs::CounterTotals::fields()) {
     put_line(out, (std::string("counter.") + name).c_str(),
              r.counters.*member);
@@ -224,7 +230,10 @@ std::optional<RunRecord> ResultCache::parse_record(const std::string& payload) {
       !in.get_u64("qos.fail", qos.fail) ||
       !in.get_u64("qos.total", qos.total) ||
       !in.get_double("qos.mean_latency_s", qos.mean_latency_s) ||
-      !in.get_double("qos.max_latency_s", qos.max_latency_s)) {
+      !in.get_double("qos.max_latency_s", qos.max_latency_s) ||
+      !in.get_double("qos.p50_latency_s", qos.p50_latency_s) ||
+      !in.get_double("qos.p95_latency_s", qos.p95_latency_s) ||
+      !in.get_double("qos.p99_latency_s", qos.p99_latency_s)) {
     return std::nullopt;
   }
   if (has_qos) r.qos = qos;

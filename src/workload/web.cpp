@@ -107,7 +107,12 @@ void WebWorkload::schedule_think(std::uint32_t connection) {
 }
 
 void WebWorkload::issue_request(std::uint32_t connection) {
-  pending_kernel_.push_back(Request{machine_->now(), connection});
+  pending_kernel_.push_back(Request{machine_->now(), connection, false});
+  machine_->wake_thread(kernel_tid_);
+}
+
+void WebWorkload::inject_request(std::uint32_t request_id) {
+  pending_kernel_.push_back(Request{machine_->now(), request_id, true});
   machine_->wake_thread(kernel_tid_);
 }
 
@@ -125,8 +130,22 @@ void WebWorkload::complete_request(const Request& r) {
   ++completed_;
   const double latency = sim::to_sec(machine_->now() - r.issued_at);
   machine_->tracer().request_complete(machine_->now(), r.connection, latency);
-  if (window_open_) window_latencies_.push_back(latency);
-  schedule_think(r.connection);
+  if (window_open_) {
+    ++window_.total;
+    if (latency <= config_.good_threshold_s) ++window_.good;
+    if (latency <= config_.tolerable_threshold_s) {
+      ++window_.tolerable;
+    } else {
+      ++window_.fail;
+    }
+    window_.max_latency_s = std::max(window_.max_latency_s, latency);
+    window_hist_.add(latency);
+  }
+  if (r.external) {
+    if (on_external_complete_) on_external_complete_(r.connection, latency);
+  } else {
+    schedule_think(r.connection);
+  }
 }
 
 double WebWorkload::progress(const sched::Machine& /*machine*/) const {
@@ -134,25 +153,17 @@ double WebWorkload::progress(const sched::Machine& /*machine*/) const {
 }
 
 void WebWorkload::mark() {
-  window_latencies_.clear();
+  window_ = QosStats{};
+  window_hist_.reset();
   window_open_ = true;
 }
 
 WebWorkload::QosStats WebWorkload::stats_since_mark() const {
-  QosStats s;
-  s.total = window_latencies_.size();
-  double sum = 0.0;
-  for (const double l : window_latencies_) {
-    if (l <= config_.good_threshold_s) ++s.good;
-    if (l <= config_.tolerable_threshold_s) {
-      ++s.tolerable;
-    } else {
-      ++s.fail;
-    }
-    sum += l;
-    s.max_latency_s = std::max(s.max_latency_s, l);
-  }
-  if (s.total > 0) s.mean_latency_s = sum / static_cast<double>(s.total);
+  QosStats s = window_;
+  s.mean_latency_s = window_hist_.mean();
+  s.p50_latency_s = window_hist_.percentile(50.0);
+  s.p95_latency_s = window_hist_.percentile(95.0);
+  s.p99_latency_s = window_hist_.percentile(99.0);
   return s;
 }
 

@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "analysis/histogram.hpp"
 #include "workload/workload.hpp"
 
 namespace dimetrodon::workload {
@@ -36,6 +38,11 @@ class WebWorkload final : public Workload {
     std::uint64_t total = 0;
     double mean_latency_s = 0.0;
     double max_latency_s = 0.0;
+    // Streaming percentiles (analysis::PercentileHistogram): tail latency is
+    // what the cluster routing policies trade against temperature.
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
 
     double good_fraction() const {
       return total == 0 ? 1.0
@@ -61,6 +68,21 @@ class WebWorkload final : public Workload {
   void mark();
   QosStats stats_since_mark() const;
 
+  // --- open-loop interface (cluster layer) --------------------------------
+  /// Invoked at completion of an externally injected request with its id and
+  /// end-to-end latency. Runs inside the machine's event loop.
+  using CompletionCallback =
+      std::function<void(std::uint32_t request_id, double latency_s)>;
+  void set_completion_callback(CompletionCallback cb) {
+    on_external_complete_ = std::move(cb);
+  }
+
+  /// Push one request from outside the closed loop (a cluster load balancer)
+  /// at the machine's current time. The request takes the same two-stage
+  /// kernel/worker path as connection-issued ones; on completion the
+  /// callback fires instead of a think-time reschedule. Requires deploy().
+  void inject_request(std::uint32_t request_id);
+
   std::uint64_t completed_requests() const { return completed_; }
   std::size_t outstanding_requests() const {
     return pending_kernel_.size() + ready_.size() + in_service_;
@@ -74,7 +96,8 @@ class WebWorkload final : public Workload {
 
   struct Request {
     sim::SimTime issued_at;
-    std::uint32_t connection;
+    std::uint32_t connection;  // connection id, or request id when external
+    bool external = false;
   };
 
   void issue_request(std::uint32_t connection);
@@ -93,9 +116,15 @@ class WebWorkload final : public Workload {
   std::vector<sched::ThreadId> worker_tids_;
 
   std::unique_ptr<sim::Rng> client_rng_;
+  CompletionCallback on_external_complete_;
 
   std::uint64_t completed_ = 0;
-  std::vector<double> window_latencies_;
+
+  // Windowed QoS accounting: bucket counts and the sum/max accrue exactly at
+  // completion; percentiles stream through the histogram, so the window costs
+  // O(1) memory however many requests it spans.
+  QosStats window_;
+  analysis::PercentileHistogram window_hist_;
   bool window_open_ = false;
 };
 

@@ -1,0 +1,345 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/sweep.hpp"
+#include "obs/trace_sink.hpp"
+#include "runner/sweep_engine.hpp"
+
+namespace dimetrodon::cluster {
+namespace {
+
+NodeView view(std::size_t id, double temp_c, std::size_t outstanding,
+              double p = 0.0) {
+  NodeView v;
+  v.id = id;
+  v.sensor_temp_c = temp_c;
+  v.outstanding = outstanding;
+  v.injection_probability = p;
+  return v;
+}
+
+// --- policy unit tests ------------------------------------------------------
+
+TEST(LoadBalancerTest, RoundRobinCycles) {
+  auto lb = make_policy(PolicyKind::kRoundRobin);
+  const std::vector<NodeView> views = {view(0, 40, 0), view(1, 40, 0),
+                                       view(2, 40, 0)};
+  EXPECT_EQ(lb->pick(views), 0u);
+  EXPECT_EQ(lb->pick(views), 1u);
+  EXPECT_EQ(lb->pick(views), 2u);
+  EXPECT_EQ(lb->pick(views), 0u);  // wraps
+}
+
+TEST(LoadBalancerTest, RoundRobinSkipsDrainedWithoutResetting) {
+  auto lb = make_policy(PolicyKind::kRoundRobin);
+  const std::vector<NodeView> all = {view(0, 40, 0), view(1, 40, 0),
+                                     view(2, 40, 0)};
+  EXPECT_EQ(lb->pick(all), 0u);
+  // Node 1 drained out of the routable set: the rotation continues past it.
+  const std::vector<NodeView> without1 = {view(0, 40, 0), view(2, 40, 0)};
+  EXPECT_EQ(lb->pick(without1), 2u);
+  EXPECT_EQ(lb->pick(all), 0u);
+}
+
+TEST(LoadBalancerTest, LeastOutstandingPicksEmptiestQueue) {
+  auto lb = make_policy(PolicyKind::kLeastOutstanding);
+  EXPECT_EQ(lb->pick({view(0, 40, 5), view(1, 40, 2), view(2, 40, 9)}), 1u);
+  // Ties break toward the cooler node, then the lower id.
+  EXPECT_EQ(lb->pick({view(0, 44, 3), view(1, 41, 3), view(2, 44, 3)}), 1u);
+  EXPECT_EQ(lb->pick({view(0, 40, 3), view(1, 40, 3)}), 0u);
+}
+
+TEST(LoadBalancerTest, CoolestNodeRoutesOnQuantizedTelemetry) {
+  auto lb = make_policy(PolicyKind::kCoolestNode);
+  EXPECT_EQ(lb->pick({view(0, 45, 0), view(1, 41, 7), view(2, 43, 0)}), 1u);
+  // Equal quantized readings fall through to the queue-depth tie-break.
+  EXPECT_EQ(lb->pick({view(0, 42, 6), view(1, 42, 1), view(2, 42, 6)}), 1u);
+}
+
+TEST(LoadBalancerTest, InjectionAwareDeprioritizesAboveThreshold) {
+  auto lb = make_policy(PolicyKind::kInjectionAware, 0.25);
+  // Idle fleet: the un-injected tier wins even when a taxed node is cooler.
+  EXPECT_EQ(lb->pick({view(0, 45, 0, 0.0), view(1, 40, 0, 0.6)}), 0u);
+  // Below-threshold injection is not deprioritized.
+  EXPECT_EQ(lb->pick({view(0, 45, 0, 0.2), view(1, 40, 0, 0.1)}), 1u);
+  // Under load the taxed node still takes its capacity-weighted share:
+  // 8 outstanding at full capacity scores worse than 2 at (1 - 0.6).
+  EXPECT_EQ(lb->pick({view(0, 40, 8, 0.0), view(1, 44, 2, 0.6)}), 1u);
+  // All above threshold: degrade to capacity-weighted, never refuse.
+  EXPECT_EQ(lb->pick({view(0, 40, 4, 0.5), view(1, 40, 1, 0.5)}), 1u);
+}
+
+TEST(LoadBalancerTest, PolicyNamesStable) {
+  EXPECT_STREQ(policy_name(PolicyKind::kRoundRobin), "round-robin");
+  EXPECT_STREQ(policy_name(PolicyKind::kLeastOutstanding),
+               "least-outstanding");
+  EXPECT_STREQ(policy_name(PolicyKind::kCoolestNode), "coolest-node");
+  EXPECT_STREQ(policy_name(PolicyKind::kInjectionAware), "injection-aware");
+  for (const auto kind :
+       {PolicyKind::kRoundRobin, PolicyKind::kLeastOutstanding,
+        PolicyKind::kCoolestNode, PolicyKind::kInjectionAware}) {
+    EXPECT_STREQ(make_policy(kind)->name(), policy_name(kind));
+  }
+}
+
+// --- cluster integration ----------------------------------------------------
+
+ClusterConfig small_fleet(double load_rps = 400.0) {
+  ClusterConfig cfg;
+  cfg.machine.enable_meter = false;
+  cfg.offered_load_rps = load_rps;
+  cfg.nodes = {NodeSpec{1.0, 0.0, sim::from_ms(10)},
+               NodeSpec{0.8, 0.0, sim::from_ms(10)},
+               NodeSpec{0.6, 0.3, sim::from_ms(10)}};
+  return cfg;
+}
+
+void expect_same_result(const ClusterResult& a, const ClusterResult& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.throughput_rps, b.throughput_rps);
+  EXPECT_EQ(a.qos.total, b.qos.total);
+  EXPECT_EQ(a.qos.mean_latency_s, b.qos.mean_latency_s);
+  EXPECT_EQ(a.qos.p50_latency_s, b.qos.p50_latency_s);
+  EXPECT_EQ(a.qos.p95_latency_s, b.qos.p95_latency_s);
+  EXPECT_EQ(a.qos.p99_latency_s, b.qos.p99_latency_s);
+  EXPECT_EQ(a.qos.max_latency_s, b.qos.max_latency_s);
+  EXPECT_EQ(a.fleet_peak_sensor_c, b.fleet_peak_sensor_c);
+  EXPECT_EQ(a.fleet_peak_exact_c, b.fleet_peak_exact_c);
+  EXPECT_EQ(a.fleet_mean_sensor_c, b.fleet_mean_sensor_c);
+  EXPECT_EQ(a.drains, b.drains);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].routed, b.nodes[i].routed);
+    EXPECT_EQ(a.nodes[i].completed, b.nodes[i].completed);
+    EXPECT_EQ(a.nodes[i].peak_sensor_c, b.nodes[i].peak_sensor_c);
+  }
+  EXPECT_TRUE(a.counters == b.counters);
+}
+
+TEST(ClusterTest, RunIsBitReproducible) {
+  const auto run_once = [] {
+    Cluster fleet(small_fleet(), make_policy(PolicyKind::kCoolestNode));
+    return fleet.run(sim::from_sec(4));
+  };
+  expect_same_result(run_once(), run_once());
+}
+
+TEST(ClusterTest, SeedChangesTheRun) {
+  ClusterConfig a = small_fleet();
+  ClusterConfig b = small_fleet();
+  b.seed = a.seed + 1;
+  Cluster fa(a, make_policy(PolicyKind::kRoundRobin));
+  Cluster fb(b, make_policy(PolicyKind::kRoundRobin));
+  const auto ra = fa.run(sim::from_sec(4));
+  const auto rb = fb.run(sim::from_sec(4));
+  EXPECT_NE(ra.qos.mean_latency_s, rb.qos.mean_latency_s);
+}
+
+TEST(ClusterTest, NodesGetIndependentMachineSeeds) {
+  Cluster fleet(small_fleet(), make_policy(PolicyKind::kRoundRobin));
+  ASSERT_EQ(fleet.num_nodes(), 3u);
+  EXPECT_NE(fleet.machine(0).config().seed, fleet.machine(1).config().seed);
+  EXPECT_NE(fleet.machine(1).config().seed, fleet.machine(2).config().seed);
+}
+
+TEST(ClusterTest, RoundRobinSpreadsLoadEvenly) {
+  Cluster fleet(small_fleet(), make_policy(PolicyKind::kRoundRobin));
+  const auto r = fleet.run(sim::from_sec(4));
+  ASSERT_EQ(r.nodes.size(), 3u);
+  EXPECT_GT(r.offered, 1000u);
+  std::uint64_t lo = r.nodes[0].routed, hi = r.nodes[0].routed;
+  for (const auto& n : r.nodes) {
+    lo = std::min(lo, n.routed);
+    hi = std::max(hi, n.routed);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ClusterTest, AllRoutedRequestsEventuallyComplete) {
+  Cluster fleet(small_fleet(200.0), make_policy(PolicyKind::kLeastOutstanding));
+  const auto r = fleet.run(sim::from_sec(4));
+  // Light load: everything routed before the tail should finish; allow the
+  // few requests still in flight at the horizon.
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_GE(r.offered, r.completed);
+  EXPECT_LE(r.offered - r.completed, 32u);
+  EXPECT_EQ(r.qos.total, r.completed);
+  EXPECT_EQ(r.counters.requests_routed, r.offered);
+  // Percentiles populated and ordered.
+  EXPECT_GT(r.qos.p50_latency_s, 0.0);
+  EXPECT_LE(r.qos.p50_latency_s, r.qos.p95_latency_s);
+  EXPECT_LE(r.qos.p95_latency_s, r.qos.p99_latency_s);
+  EXPECT_LE(r.qos.p99_latency_s, r.qos.max_latency_s);
+}
+
+TEST(ClusterTest, InjectionAwareShiftsLoadOffInjectedNode) {
+  ClusterConfig cfg = small_fleet(600.0);
+  Cluster fleet(cfg, make_policy(PolicyKind::kInjectionAware, 0.25));
+  const auto r = fleet.run(sim::from_sec(4));
+  // Node 2 runs p=0.3 injection (> threshold): it must receive strictly
+  // less traffic than each un-injected node.
+  EXPECT_LT(r.nodes[2].routed, r.nodes[0].routed);
+  EXPECT_LT(r.nodes[2].routed, r.nodes[1].routed);
+  EXPECT_GT(r.nodes[2].routed, 0u);  // deprioritized, not starved
+}
+
+TEST(ClusterTest, ProchotFailoverDrainsTrippedNode) {
+  ClusterConfig cfg;
+  cfg.machine.enable_meter = false;
+  // Thermal monitor tuned to trip just above the loaded temperature so the
+  // badly cooled node PROCHOTs quickly under traffic.
+  cfg.machine.prochot_c = 42.0;
+  cfg.machine.prochot_release_c = 41.0;
+  cfg.offered_load_rps = 1200.0;
+  cfg.nodes = {NodeSpec{1.0, 0.0, sim::from_ms(10)},
+               NodeSpec{0.4, 0.0, sim::from_ms(10)}};
+  auto sink = std::make_shared<obs::RingBufferSink>();
+  cfg.trace_sink_factory = [sink] { return sink; };
+
+  Cluster fleet(cfg, make_policy(PolicyKind::kRoundRobin));
+  const auto r = fleet.run(sim::from_sec(8));
+
+  EXPECT_GE(r.drains, 1u);
+  EXPECT_EQ(r.counters.node_drains, r.drains);
+  EXPECT_GT(r.nodes[1].drains, 0u);
+  // Failover: the drained node ends up with less traffic than round-robin's
+  // even split.
+  EXPECT_LT(r.nodes[1].routed, r.nodes[0].routed);
+
+  // The cluster tracer recorded the drain transitions and every routing
+  // decision.
+  std::uint64_t drain_events = 0;
+  std::uint64_t routed_events = 0;
+  for (const auto& e : sink->snapshot()) {
+    if (e.kind == obs::EventKind::kNodeDrain && e.arg == 1) ++drain_events;
+    if (e.kind == obs::EventKind::kRequestRouted) ++routed_events;
+  }
+  EXPECT_EQ(drain_events, r.drains);
+  EXPECT_EQ(sink->dropped(), 0u);  // well under default ring capacity
+  EXPECT_EQ(routed_events, r.offered);
+}
+
+TEST(ClusterTest, WholeFleetDrainingStillRoutes) {
+  ClusterConfig cfg;
+  cfg.machine.enable_meter = false;
+  cfg.machine.prochot_c = 40.0;  // below loaded temps: both nodes trip
+  cfg.machine.prochot_release_c = 39.5;
+  cfg.offered_load_rps = 800.0;
+  cfg.nodes = {NodeSpec{0.5, 0.0, sim::from_ms(10)},
+               NodeSpec{0.5, 0.0, sim::from_ms(10)}};
+  Cluster fleet(cfg, make_policy(PolicyKind::kLeastOutstanding));
+  const auto r = fleet.run(sim::from_sec(6));
+  // Even with every node tripped, requests keep flowing (degraded service
+  // beats dropped requests).
+  EXPECT_EQ(r.counters.requests_routed, r.offered);
+  EXPECT_GT(r.completed, 0u);
+}
+
+// --- sweep-engine bridge ----------------------------------------------------
+
+ClusterRunSpec bridge_spec(PolicyKind policy) {
+  ClusterRunSpec spec;
+  spec.cluster = small_fleet();
+  spec.policy = policy;
+  spec.duration = sim::from_sec(3);
+  return spec;
+}
+
+runner::SweepEngineConfig quiet(std::size_t threads, std::string cache_dir) {
+  runner::SweepEngineConfig cfg;
+  cfg.threads = threads;
+  cfg.use_cache = !cache_dir.empty();
+  cfg.cache_dir = std::move(cache_dir);
+  cfg.progress = false;
+  return cfg;
+}
+
+std::vector<runner::RunSpec> bridge_grid() {
+  return {to_run_spec(bridge_spec(PolicyKind::kRoundRobin)),
+          to_run_spec(bridge_spec(PolicyKind::kCoolestNode)),
+          to_run_spec(bridge_spec(PolicyKind::kInjectionAware))};
+}
+
+void expect_same_record(const runner::RunRecord& a,
+                        const runner::RunRecord& b) {
+  EXPECT_EQ(a.result.label, b.result.label);
+  EXPECT_EQ(a.result.throughput, b.result.throughput);
+  EXPECT_EQ(a.result.sim_seconds, b.result.sim_seconds);
+  ASSERT_TRUE(a.result.qos.has_value());
+  ASSERT_TRUE(b.result.qos.has_value());
+  EXPECT_EQ(a.result.qos->total, b.result.qos->total);
+  EXPECT_EQ(a.result.qos->mean_latency_s, b.result.qos->mean_latency_s);
+  EXPECT_EQ(a.result.qos->p50_latency_s, b.result.qos->p50_latency_s);
+  EXPECT_EQ(a.result.qos->p95_latency_s, b.result.qos->p95_latency_s);
+  EXPECT_EQ(a.result.qos->p99_latency_s, b.result.qos->p99_latency_s);
+  EXPECT_TRUE(a.result.counters == b.result.counters);
+  EXPECT_EQ(a.extra, b.extra);
+}
+
+TEST(ClusterSweepTest, ThreadCountDoesNotChangeResults) {
+  // The cluster determinism invariant end-to-end: a sweep of cluster runs is
+  // bit-identical on 1 and 4 threads.
+  runner::SweepEngine serial(sched::MachineConfig{}, quiet(1, ""));
+  runner::SweepEngine parallel(sched::MachineConfig{}, quiet(4, ""));
+  const auto grid = bridge_grid();
+  const auto rs = serial.run(grid);
+  const auto rp = parallel.run(grid);
+  ASSERT_EQ(rs.records.size(), grid.size());
+  ASSERT_EQ(rp.records.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_record(rs.records[i], rp.records[i]);
+  }
+}
+
+TEST(ClusterSweepTest, ClusterRunsRoundTripThroughCache) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dimetrodon_cluster_cache_test";
+  std::filesystem::remove_all(dir);
+  runner::SweepEngine engine(sched::MachineConfig{}, quiet(2, dir.string()));
+  const auto grid = bridge_grid();
+
+  const auto cold = engine.run(grid);
+  EXPECT_EQ(engine.last_metrics().executed, grid.size());
+  const auto warm = engine.run(grid);
+  EXPECT_EQ(engine.last_metrics().executed, 0u);
+  EXPECT_EQ(engine.last_metrics().cache_hits, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_record(cold.records[i], warm.records[i]);
+    // RunResult.qos is populated for cluster runs, straight from the cache.
+    EXPECT_GT(warm.records[i].result.qos->total, 0u);
+    EXPECT_GT(warm.records[i].metric("fleet_peak_sensor_c"), 0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterSweepTest, CanonicalTagDistinguishesClusterParameters) {
+  const auto base = bridge_spec(PolicyKind::kRoundRobin);
+  auto policy = base;
+  policy.policy = PolicyKind::kCoolestNode;
+  auto load = base;
+  load.cluster.offered_load_rps += 1.0;
+  auto fans = base;
+  fans.cluster.nodes[1].fan_speed_fraction = 0.79;
+  auto inj = base;
+  inj.cluster.nodes[2].injection_probability = 0.31;
+  const std::string tag = canonical_cluster_tag(base);
+  EXPECT_NE(tag, canonical_cluster_tag(policy));
+  EXPECT_NE(tag, canonical_cluster_tag(load));
+  EXPECT_NE(tag, canonical_cluster_tag(fans));
+  EXPECT_NE(tag, canonical_cluster_tag(inj));
+}
+
+}  // namespace
+}  // namespace dimetrodon::cluster

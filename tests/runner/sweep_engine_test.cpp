@@ -84,6 +84,13 @@ void expect_identical(const harness::RunResult& a,
   EXPECT_EQ(a.injected_idle_fraction, b.injected_idle_fraction);
   EXPECT_EQ(a.sim_seconds, b.sim_seconds);
   EXPECT_EQ(a.qos.has_value(), b.qos.has_value());
+  if (a.qos.has_value() && b.qos.has_value()) {
+    EXPECT_EQ(a.qos->total, b.qos->total);
+    EXPECT_EQ(a.qos->mean_latency_s, b.qos->mean_latency_s);
+    EXPECT_EQ(a.qos->p50_latency_s, b.qos->p50_latency_s);
+    EXPECT_EQ(a.qos->p95_latency_s, b.qos->p95_latency_s);
+    EXPECT_EQ(a.qos->p99_latency_s, b.qos->p99_latency_s);
+  }
   EXPECT_TRUE(a.counters == b.counters);
 }
 
@@ -318,6 +325,15 @@ TEST(ResultCacheSerialization, RoundTripsAllRecordFields) {
   rec.result.sim_seconds = 123.456;
   workload::WebWorkload::QosStats qos;
   qos.good = 10;
+  qos.tolerable = 12;
+  qos.fail = 1;
+  qos.total = 13;
+  qos.mean_latency_s = 0.625;
+  qos.max_latency_s = 5.5;
+  // v5 fields: streaming percentiles.
+  qos.p50_latency_s = 0.375;
+  qos.p95_latency_s = 2.25;
+  qos.p99_latency_s = 4.125;
   rec.result.qos = qos;
   rec.result.counters.injections = 42;
   rec.result.counters.injected_idle_ns = 123456789;
@@ -336,6 +352,14 @@ TEST(ResultCacheSerialization, RoundTripsAllRecordFields) {
   EXPECT_EQ(parsed->result.sim_seconds, rec.result.sim_seconds);
   ASSERT_TRUE(parsed->result.qos.has_value());
   EXPECT_EQ(parsed->result.qos->good, rec.result.qos->good);
+  EXPECT_EQ(parsed->result.qos->tolerable, rec.result.qos->tolerable);
+  EXPECT_EQ(parsed->result.qos->fail, rec.result.qos->fail);
+  EXPECT_EQ(parsed->result.qos->total, rec.result.qos->total);
+  EXPECT_EQ(parsed->result.qos->mean_latency_s, rec.result.qos->mean_latency_s);
+  EXPECT_EQ(parsed->result.qos->max_latency_s, rec.result.qos->max_latency_s);
+  EXPECT_EQ(parsed->result.qos->p50_latency_s, rec.result.qos->p50_latency_s);
+  EXPECT_EQ(parsed->result.qos->p95_latency_s, rec.result.qos->p95_latency_s);
+  EXPECT_EQ(parsed->result.qos->p99_latency_s, rec.result.qos->p99_latency_s);
   EXPECT_TRUE(parsed->result.counters == rec.result.counters);
   EXPECT_EQ(parsed->window.completion_seconds, rec.window.completion_seconds);
   EXPECT_EQ(parsed->window.meter_energy_j, rec.window.meter_energy_j);

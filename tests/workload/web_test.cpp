@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "core/controller.hpp"
 
 namespace dimetrodon::workload {
@@ -121,6 +124,103 @@ TEST(WebWorkloadTest, MarkResetsWindow) {
   m.run_for(sim::from_sec(5));
   web.mark();
   EXPECT_EQ(web.stats_since_mark().total, 0u);
+}
+
+TEST(WebWorkloadTest, PercentilesPopulatedAndOrdered) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());
+  web.deploy(m);
+  m.run_for(sim::from_sec(2));
+  web.mark();
+  m.run_for(sim::from_sec(10));
+  const auto s = web.stats_since_mark();
+  ASSERT_GT(s.total, 100u);
+  EXPECT_GT(s.p50_latency_s, 0.0);
+  EXPECT_LE(s.p50_latency_s, s.p95_latency_s);
+  EXPECT_LE(s.p95_latency_s, s.p99_latency_s);
+  EXPECT_LE(s.p99_latency_s, s.max_latency_s);
+  // The streaming histogram holds ~1% relative error, so the median should
+  // bracket the mean loosely on this unimodal latency distribution.
+  EXPECT_LT(s.p50_latency_s, 10.0 * s.mean_latency_s);
+}
+
+TEST(WebWorkloadTest, OpenLoopInjectionCompletesWithCallback) {
+  sched::Machine m(small_config());
+  WebWorkload::Config cfg;
+  cfg.connections = 0;  // open loop only
+  WebWorkload web(cfg);
+  web.deploy(m);
+
+  std::vector<std::pair<std::uint32_t, double>> done;
+  web.set_completion_callback([&](std::uint32_t id, double latency_s) {
+    done.emplace_back(id, latency_s);
+  });
+  web.mark();
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    web.inject_request(i);
+    m.run_for(sim::from_ms(40));
+  }
+  m.run_for(sim::from_sec(2));
+
+  ASSERT_EQ(done.size(), 25u);
+  for (std::uint32_t i = 0; i < done.size(); ++i) {
+    EXPECT_EQ(done[i].first, i);  // FIFO on an idle machine
+    EXPECT_GT(done[i].second, 0.0);
+  }
+  EXPECT_EQ(web.outstanding_requests(), 0u);
+  EXPECT_EQ(web.completed_requests(), 25u);
+  EXPECT_EQ(web.stats_since_mark().total, 25u);
+  // External completions never re-arm a think timer: with the queue drained
+  // the machine generates no further requests.
+  m.run_for(sim::from_sec(5));
+  EXPECT_EQ(web.completed_requests(), 25u);
+}
+
+// SPECWeb QoS buckets are inclusive at their thresholds: good <= 3 s,
+// tolerable <= 5 s, fail > 5 s. Emergent latencies can't be pinned to an
+// exact boundary, so measure one deterministic open-loop request, then
+// replay the identical simulation with the thresholds set exactly AT and
+// just BELOW the observed latency.
+TEST(WebWorkloadTest, QosBucketBoundariesAreInclusive) {
+  const auto observe = [](double good_s, double tolerable_s) {
+    sched::Machine m(small_config());
+    WebWorkload::Config cfg;
+    cfg.connections = 0;
+    if (good_s > 0.0) {
+      cfg.good_threshold_s = good_s;
+      cfg.tolerable_threshold_s = tolerable_s;
+    }
+    WebWorkload web(cfg);
+    web.deploy(m);
+    double latency = -1.0;
+    web.set_completion_callback(
+        [&](std::uint32_t, double latency_s) { latency = latency_s; });
+    web.mark();
+    web.inject_request(0);
+    m.run_for(sim::from_sec(1));
+    auto s = web.stats_since_mark();
+    EXPECT_EQ(s.total, 1u);
+    EXPECT_EQ(s.max_latency_s, latency);
+    return std::pair(latency, s);
+  };
+
+  // First run discovers the deterministic latency L of request 0.
+  const double latency = observe(0.0, 0.0).first;
+  ASSERT_GT(latency, 0.0);
+
+  // Thresholds exactly at L: inclusive, so good and tolerable, not fail.
+  const auto at = observe(latency, latency).second;
+  EXPECT_EQ(at.good, 1u);
+  EXPECT_EQ(at.tolerable, 1u);
+  EXPECT_EQ(at.fail, 0u);
+
+  // Thresholds just below L: the same request fails both buckets.
+  const double below = latency * (1.0 - 1e-12);
+  ASSERT_LT(below, latency);
+  const auto miss = observe(below, below).second;
+  EXPECT_EQ(miss.good, 0u);
+  EXPECT_EQ(miss.tolerable, 0u);
+  EXPECT_EQ(miss.fail, 1u);
 }
 
 TEST(WebWorkloadTest, OutstandingRequestsBounded) {
