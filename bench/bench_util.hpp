@@ -167,6 +167,41 @@ inline runner::RunSpec custom_spec(
   return spec;
 }
 
+/// Lookup in a record's extras with a fallback instead of dying: benches
+/// whose grids mix governed and open-loop cells (fig8) — or older figures
+/// adopting the stability columns (fig6/fig7) — read metrics that only
+/// governed runs produce.
+inline double metric_or(const runner::RunRecord& rec, const std::string& key,
+                        double fallback) {
+  for (const auto& [k, v] : rec.extra) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+// --- control-stability columns ----------------------------------------------
+// Every cluster record (and any custom record that adopts the same extra
+// names) carries the src/control stability metrics; these helpers give all
+// figure CSVs the same column block so plots can be joined across benches.
+
+/// Header names for the per-cell stability metric columns.
+inline std::vector<std::string> stability_columns() {
+  return {"duty_reversals", "osc_amp_duty", "osc_amp_temp_c", "overshoot_c",
+          "settling_s"};
+}
+
+/// Values matching stability_columns(), formatted for CSV. Open-loop cells
+/// (no governed node) render as zeros with settling_s = -1, same as the
+/// in-memory StabilityMetrics defaults.
+inline std::vector<std::string> stability_values(
+    const runner::RunRecord& rec) {
+  return {trace::fmt("%.0f", metric_or(rec, "duty_reversals", 0.0)),
+          trace::fmt("%.10g", metric_or(rec, "osc_amp_duty", 0.0)),
+          trace::fmt("%.10g", metric_or(rec, "osc_amp_temp_c", 0.0)),
+          trace::fmt("%.10g", metric_or(rec, "overshoot_c", 0.0)),
+          trace::fmt("%.10g", metric_or(rec, "settling_s", -1.0))};
+}
+
 /// Run the grid and exit with a readable report if any point failed: a
 /// figure or table must never be drawn from a partial grid, and the
 /// structured RunErrors (also in the bench's *_metrics.json) say exactly

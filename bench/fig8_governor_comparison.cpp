@@ -1,0 +1,353 @@
+// Figure 8 (extension): preventive vs reactive head-to-head. The paper's
+// Dimetrodon runs open loop — a fixed injection probability provisioned for
+// the worst case. This bench pits that baseline against the src/control
+// closed-loop governors (threshold, hysteresis, PID, hybrid) on identical
+// nodes, across two web workloads x two load levels, at single-node and
+// four-node fleet scale, and reports peak temperature, energy, p99 latency
+// and the control-stability metrics per cell.
+//
+// Expected shape, and the two cells the summary asserts:
+//   * head-to-head: at high load, the open-loop duty provisioned to cap the
+//     worst case over-throttles; a feedback governor holding the same thermal
+//     ceiling sheds duty whenever the sensors allow and wins on BOTH peak
+//     temperature and p99 in at least one cell.
+//   * oscillation: the bare threshold controller (release == trip) flaps
+//     around its trip point — the duty_reversals counter shows it — and the
+//     3 C hysteresis band suppresses most of that flapping at the same trip
+//     temperature.
+//
+// Governor setpoints sit in the mid-40s C: with fan_speed_fraction 0.5 and
+// these web loads the die tops out near 50 C (DESIGN.md section 10), so the
+// stock 68-72 C defaults would never engage.
+//
+// Artifacts: bench_results/fig8_governor_comparison.csv plus
+// BENCH_governor.json (override with DIMETRODON_BENCH_JSON) containing every
+// cell and the two acceptance verdicts. Both are deterministic byte-for-byte:
+// a warm-cache re-run (0 simulations) must reproduce them exactly.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/sweep.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+// The open-loop comparator: worst-case provisioning. p = 0.65 is what it
+// takes to hold the heavy cells near 50 C peak with no feedback; the
+// governors get to spend less duty whenever the sensors say they can.
+constexpr double kPreventiveP = 0.65;
+constexpr sim::SimTime kQuantum = sim::from_ms(10);
+
+control::GovernorSpec threshold_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 46.0;
+  g.hysteresis.release_c = 46.0;  // release == trip: bare threshold, flaps
+  g.hysteresis.hot_probability = 0.50;
+  return g;
+}
+
+control::GovernorSpec hysteresis_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 46.0;
+  g.hysteresis.release_c = 43.0;  // 3 C band suppresses the flapping
+  g.hysteresis.hot_probability = 0.50;
+  return g;
+}
+
+control::GovernorSpec pid_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kPid;
+  g.pid.setpoint_c = 46.0;
+  g.pid.kp = 0.05;
+  g.pid.ki = 0.012;
+  return g;
+}
+
+control::GovernorSpec hybrid_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHybrid;
+  g.hybrid.baseline_probability = 0.20;
+  g.hybrid.setpoint_c = 46.0;
+  g.hybrid.kp = 0.04;
+  g.hybrid.ki = 0.01;
+  return g;
+}
+
+struct Policy {
+  const char* name;
+  double open_p;                  // open-loop probability (preventive cell)
+  control::GovernorSpec governor; // kNone for the preventive cell
+};
+
+struct Workload {
+  const char* name;
+  double demand_mean_s;
+};
+
+struct Cell {
+  std::string policy;
+  std::string workload;
+  double per_node_rps = 0.0;
+  int nodes = 0;
+  double peak_c = 0.0;
+  double mean_c = 0.0;
+  double energy_j = 0.0;
+  double p99_s = 0.0;
+  double throughput = 0.0;
+  double duty_reversals = 0.0;
+  double osc_amp_duty = 0.0;
+  double osc_amp_temp_c = 0.0;
+  double overshoot_c = 0.0;
+  double settling_s = 0.0;
+  double trips = 0.0;
+};
+
+cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
+                                   const Policy& policy, double demand,
+                                   double per_node_rps, int nodes) {
+  cluster::ClusterRunSpec spec;
+  spec.cluster.machine = base;
+  spec.cluster.seed = base.seed;
+  spec.cluster.offered_load_rps = per_node_rps * nodes;
+  spec.cluster.web.demand_mean_s = demand;
+  spec.cluster.nodes.clear();
+  for (int i = 0; i < nodes; ++i) {
+    cluster::NodeSpec node;
+    node.fan_speed_fraction = 0.5;  // poorly cooled rack: thermal pressure
+    node.injection_probability = policy.open_p;
+    node.injection_quantum = kQuantum;
+    node.governor = policy.governor;
+    spec.cluster.nodes.push_back(node);
+  }
+  spec.policy = cluster::PolicyKind::kRoundRobin;
+  spec.duration = sim::from_sec(30);
+  return spec;
+}
+
+void put_cell(std::FILE* f, const Cell& c, const char* trailing) {
+  std::fprintf(
+      f,
+      "    {\"policy\": \"%s\", \"workload\": \"%s\", \"per_node_rps\": %.0f, "
+      "\"nodes\": %d, \"peak_sensor_c\": %.10g, \"mean_sensor_c\": %.10g, "
+      "\"energy_j\": %.10g, \"p99_s\": %.10g, \"throughput_rps\": %.10g, "
+      "\"duty_reversals\": %.0f, \"osc_amp_duty\": %.10g, "
+      "\"osc_amp_temp_c\": %.10g, \"overshoot_c\": %.10g, "
+      "\"settling_s\": %.10g, \"governor_trips\": %.0f}%s\n",
+      c.policy.c_str(), c.workload.c_str(), c.per_node_rps, c.nodes, c.peak_c,
+      c.mean_c, c.energy_j, c.p99_s, c.throughput, c.duty_reversals,
+      c.osc_amp_duty, c.osc_amp_temp_c, c.overshoot_c, c.settling_s, c.trips,
+      trailing);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: preventive vs closed-loop governors ===\n");
+
+  sched::MachineConfig base;
+  base.enable_meter = false;
+
+  const Policy kPolicies[] = {
+      {"preventive", kPreventiveP, {}},
+      {"threshold", 0.0, threshold_spec()},
+      {"hysteresis", 0.0, hysteresis_spec()},
+      {"pid", 0.0, pid_spec()},
+      {"hybrid", 0.0, hybrid_spec()},
+  };
+  const Workload kWorkloads[] = {
+      {"web-light", 0.0040},
+      {"web-heavy", 0.0060},
+  };
+  const double kPerNodeLoads[] = {700.0, 900.0};
+  const int kScales[] = {1, 4};
+
+  std::vector<runner::RunSpec> specs;
+  for (const int nodes : kScales) {
+    for (const Workload& wl : kWorkloads) {
+      for (const double rps : kPerNodeLoads) {
+        for (const Policy& p : kPolicies) {
+          specs.push_back(cluster::to_run_spec(
+              make_point(base, p, wl.demand_mean_s, rps, nodes)));
+        }
+      }
+    }
+  }
+
+  runner::SweepEngine engine =
+      bench::make_engine(base, "fig8_governor_comparison");
+  const auto records = bench::run_all_or_die(engine, specs);
+
+  std::vector<std::string> header = {
+      "policy", "workload", "per_node_rps", "nodes", "throughput_rps",
+      "p99_s", "good_pct", "fleet_peak_sensor_c", "fleet_mean_sensor_c",
+      "energy_j", "governor_trips"};
+  for (const std::string& col : bench::stability_columns()) {
+    header.push_back(col);
+  }
+  trace::CsvWriter csv(bench::csv_path("fig8_governor_comparison.csv"),
+                       header);
+  trace::Table table({"policy", "workload", "rps/node", "nodes", "thr(rps)",
+                      "p99(s)", "peak C", "E(J)", "revs", "trips"});
+
+  std::vector<Cell> cells;
+  std::size_t idx = 0;
+  for (const int nodes : kScales) {
+    for (const Workload& wl : kWorkloads) {
+      for (const double rps : kPerNodeLoads) {
+        for (const Policy& p : kPolicies) {
+          const runner::RunRecord& rec = records.at(idx++);
+          const auto& qos = *rec.result.qos;
+          Cell c;
+          c.policy = p.name;
+          c.workload = wl.name;
+          c.per_node_rps = rps;
+          c.nodes = nodes;
+          c.peak_c = rec.metric("fleet_peak_sensor_c");
+          c.mean_c = rec.metric("fleet_mean_sensor_c");
+          c.energy_j = rec.metric("energy_j");
+          c.p99_s = qos.p99_latency_s;
+          c.throughput = rec.result.throughput;
+          c.duty_reversals = bench::metric_or(rec, "duty_reversals", 0.0);
+          c.osc_amp_duty = bench::metric_or(rec, "osc_amp_duty", 0.0);
+          c.osc_amp_temp_c = bench::metric_or(rec, "osc_amp_temp_c", 0.0);
+          c.overshoot_c = bench::metric_or(rec, "overshoot_c", 0.0);
+          c.settling_s = bench::metric_or(rec, "settling_s", -1.0);
+          c.trips =
+              static_cast<double>(rec.result.counters.governor_trips);
+          cells.push_back(c);
+
+          std::vector<std::string> row = {
+              c.policy, c.workload, trace::fmt("%.0f", rps),
+              trace::fmt("%d", nodes), trace::fmt("%.10g", c.throughput),
+              trace::fmt("%.10g", c.p99_s),
+              trace::fmt("%.10g", 100 * qos.good_fraction()),
+              trace::fmt("%.10g", c.peak_c), trace::fmt("%.10g", c.mean_c),
+              trace::fmt("%.10g", c.energy_j), trace::fmt("%.0f", c.trips)};
+          for (const std::string& v : bench::stability_values(rec)) {
+            row.push_back(v);
+          }
+          csv.write_row(row);
+          table.add_row({c.policy, c.workload, trace::fmt("%.0f", rps),
+                         trace::fmt("%d", nodes),
+                         trace::fmt("%7.1f", c.throughput),
+                         trace::fmt("%.4f", c.p99_s),
+                         trace::fmt("%5.1f", c.peak_c),
+                         trace::fmt("%6.0f", c.energy_j),
+                         trace::fmt("%4.0f", c.duty_reversals),
+                         trace::fmt("%4.0f", c.trips)});
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+
+  // --- acceptance check 1: a feedback governor beats open-loop preventive
+  // on peak temperature with equal-or-better p99 in at least one cell.
+  struct Win {
+    const Cell* governed;
+    const Cell* preventive;
+  };
+  std::vector<Win> wins;
+  for (const Cell& g : cells) {
+    if (g.policy == "preventive") continue;
+    for (const Cell& pv : cells) {
+      if (pv.policy != "preventive" || pv.workload != g.workload ||
+          pv.per_node_rps != g.per_node_rps || pv.nodes != g.nodes) {
+        continue;
+      }
+      if (g.peak_c < pv.peak_c && g.p99_s <= pv.p99_s) {
+        wins.push_back({&g, &pv});
+      }
+    }
+  }
+
+  // --- acceptance check 2: the bare threshold controller oscillates and the
+  // hysteresis band suppresses it (fewer duty reversals at the same trip
+  // temperature) in at least one cell with measurable flapping.
+  struct Suppression {
+    const Cell* threshold;
+    const Cell* hysteresis;
+  };
+  std::vector<Suppression> suppressions;
+  for (const Cell& t : cells) {
+    if (t.policy != "threshold" || t.duty_reversals <= 0.0) continue;
+    for (const Cell& h : cells) {
+      if (h.policy != "hysteresis" || h.workload != t.workload ||
+          h.per_node_rps != t.per_node_rps || h.nodes != t.nodes) {
+        continue;
+      }
+      if (h.duty_reversals < t.duty_reversals) {
+        suppressions.push_back({&t, &h});
+      }
+    }
+  }
+
+  std::printf("\nhead-to-head wins (governor beats preventive p=%.2f on peak "
+              "temp at equal-or-better p99): %zu\n",
+              kPreventiveP, wins.size());
+  for (const Win& w : wins) {
+    std::printf("  %s @ %s %.0f rps/node x%d: peak %.0f C vs %.0f C, "
+                "p99 %.4f s vs %.4f s\n",
+                w.governed->policy.c_str(), w.governed->workload.c_str(),
+                w.governed->per_node_rps, w.governed->nodes,
+                w.governed->peak_c, w.preventive->peak_c, w.governed->p99_s,
+                w.preventive->p99_s);
+  }
+  std::printf("oscillation suppression (hysteresis band vs bare threshold, "
+              "duty reversals): %zu cells\n",
+              suppressions.size());
+  for (const Suppression& s : suppressions) {
+    std::printf("  %s %.0f rps/node x%d: threshold %0.f reversals -> "
+                "hysteresis %.0f\n",
+                s.threshold->workload.c_str(), s.threshold->per_node_rps,
+                s.threshold->nodes, s.threshold->duty_reversals,
+                s.hysteresis->duty_reversals);
+  }
+
+  const char* env = std::getenv("DIMETRODON_BENCH_JSON");
+  const std::string json_path =
+      (env != nullptr && *env) ? env : "BENCH_governor.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"dimetrodon-bench-governor v1\",\n"
+               "  \"preventive_p\": %.2f,\n"
+               "  \"cells\": [\n",
+               kPreventiveP);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    put_cell(f, cells[i], i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"acceptance\": {\n"
+               "    \"head_to_head_wins\": %zu,\n"
+               "    \"oscillation_suppression_cells\": %zu\n"
+               "  }\n"
+               "}\n",
+               wins.size(), suppressions.size());
+  std::fclose(f);
+
+  std::printf("\nwrote %s and %s\n",
+              bench::csv_path("fig8_governor_comparison.csv").c_str(),
+              json_path.c_str());
+
+  if (wins.empty() || suppressions.empty()) {
+    std::fprintf(stderr,
+                 "[bench] acceptance FAILED: head_to_head_wins=%zu "
+                 "oscillation_suppression_cells=%zu (both must be > 0)\n",
+                 wins.size(), suppressions.size());
+    return 1;
+  }
+  return 0;
+}

@@ -77,7 +77,23 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
           on_complete(i, id, latency_s);
         });
 
-    if (spec.injection_probability > 0.0) {
+    if (spec.governor.enabled()) {
+      // Governed node: the controller sits behind an arbiter; the governor
+      // claims the feedback channel and any configured open-loop probability
+      // becomes the preventive floor.
+      node.controller =
+          std::make_shared<core::DimetrodonController>(*node.machine);
+      node.arbiter =
+          std::make_unique<control::InjectionArbiter>(*node.controller);
+      if (spec.injection_probability > 0.0) {
+        node.arbiter
+            ->claim(control::InjectionArbiter::Channel::kPreventive,
+                    "preventive")
+            .request(spec.injection_probability, spec.injection_quantum);
+      }
+      node.driver = std::make_unique<control::GovernorDriver>(
+          *node.machine, *node.arbiter, spec.governor);
+    } else if (spec.injection_probability > 0.0) {
       node.controller =
           std::make_shared<core::DimetrodonController>(*node.machine);
       node.controller->sys_set_global(spec.injection_probability,
@@ -218,8 +234,12 @@ ClusterResult Cluster::run(sim::SimTime duration) {
   r.nodes.reserve(nodes_.size());
   for (const Node& node : nodes_) {
     r.drains += node.stats.drains;
-    r.nodes.push_back(node.stats);
+    NodeStats stats = node.stats;
+    if (node.driver) stats.governor_trips = node.driver->stats().trips;
+    r.nodes.push_back(stats);
     r.counters += node.machine->counters().totals();
+    r.total_energy_j += node.machine->energy().total_joules();
+    if (node.driver) r.stability.merge_worst(node.driver->stability_metrics());
   }
   // Cluster-scope counters live only in the cluster's registry; fold in just
   // those two fields (its requests_completed would double-count the

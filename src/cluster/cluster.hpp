@@ -9,6 +9,9 @@
 #include "analysis/stats.hpp"
 #include "cluster/load_balancer.hpp"
 #include "cluster/request_source.hpp"
+#include "control/arbiter.hpp"
+#include "control/driver.hpp"
+#include "control/stability.hpp"
 #include "core/controller.hpp"
 #include "obs/tracer.hpp"
 #include "sched/machine.hpp"
@@ -26,10 +29,16 @@ struct NodeSpec {
   /// equal load.
   double fan_speed_fraction = 1.0;
   /// Dimetrodon global injection probability on this node (0 disables the
-  /// controller entirely).
+  /// controller entirely — unless a governor is configured below).
   double injection_probability = 0.0;
   /// Injection quantum when the controller is active.
   sim::SimTime injection_quantum = sim::from_ms(10);
+  /// Closed-loop governor on this node (src/control). When enabled, the node
+  /// runs a Dimetrodon controller behind an InjectionArbiter: the governor
+  /// claims the feedback channel and `injection_probability` (if > 0)
+  /// becomes the open-loop preventive floor on the preventive channel —
+  /// fleets can mix governed and open-loop nodes freely.
+  control::GovernorSpec governor{};
 };
 
 struct ClusterConfig {
@@ -78,6 +87,8 @@ struct NodeStats {
   double mean_sensor_c = 0.0;
   /// PROCHOT failover engagements (drain episodes, not per-core trips).
   std::uint64_t drains = 0;
+  /// Governor trip engagements on this node (0 on open-loop nodes).
+  std::uint64_t governor_trips = 0;
 };
 
 /// Fleet-level outcome of a cluster run.
@@ -102,6 +113,11 @@ struct ClusterResult {
   /// Machine counters summed across nodes, plus the cluster-scope counters
   /// (requests_routed, node_drains) from the cluster's own tracer.
   obs::CounterTotals counters;
+  /// True energy consumed by the whole fleet over the run, joules.
+  double total_energy_j = 0.0;
+  /// Control-stability metrics merged (worst-node) across governed nodes;
+  /// all-zero (samples == 0) when no node runs a governor.
+  control::StabilityMetrics stability;
 };
 
 /// A fleet of N independent sched::Machine instances composed on one
@@ -148,6 +164,9 @@ class Cluster {
     std::unique_ptr<sched::Machine> machine;
     std::unique_ptr<workload::WebWorkload> web;
     std::shared_ptr<core::DimetrodonController> controller;
+    // Declared after the controller/machine they reference: destroyed first.
+    std::unique_ptr<control::InjectionArbiter> arbiter;
+    std::unique_ptr<control::GovernorDriver> driver;
     NodeView view;
     NodeStats stats;
     analysis::OnlineStats temp_avg;

@@ -30,7 +30,8 @@ void put(std::string& out, const char* key, std::int64_t v) {
 std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
   std::string out;
   out.reserve(512);
-  out += "cluster-v1{";
+  // v2: per-node governor specs joined the tag (closed-loop fleets).
+  out += "cluster-v2{";
   put(out, "policy", static_cast<std::uint64_t>(spec.policy));
   put(out, "inj_thresh", spec.injection_threshold);
   put(out, "duration", spec.duration);
@@ -51,6 +52,9 @@ std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
     put(out, "fan", n.fan_speed_fraction);
     put(out, "p", n.injection_probability);
     put(out, "L", n.injection_quantum);
+    if (n.governor.enabled()) {
+      control::append_canonical_governor(out, n.governor);
+    }
   }
   out += "]} ";
   return out;
@@ -88,6 +92,14 @@ runner::RunSpec to_run_spec(const ClusterRunSpec& spec) {
         {"offered", static_cast<double>(r.offered)},
         {"completed", static_cast<double>(r.completed)},
         {"drains", static_cast<double>(r.drains)},
+        {"energy_j", r.total_energy_j},
+        // Control-stability metrics (worst governed node; zeros/-1 when the
+        // fleet is open-loop).
+        {"osc_amp_temp_c", r.stability.osc_amplitude_temp_c},
+        {"osc_amp_duty", r.stability.osc_amplitude_duty},
+        {"duty_reversals", static_cast<double>(r.stability.duty_reversals)},
+        {"overshoot_c", r.stability.overshoot_c},
+        {"settling_s", r.stability.settling_time_s},
     };
     return rec;
   };

@@ -28,7 +28,9 @@ std::string canonical_cluster_tag(const ClusterRunSpec& spec);
 /// which becomes both the cluster master seed and the per-node config base.
 /// The record carries throughput, fleet QoS (RunResult::qos), aggregated
 /// counters, and named extras (fleet_peak_sensor_c, fleet_peak_exact_c,
-/// fleet_mean_sensor_c, offered, completed, drains, sim_seconds).
+/// fleet_mean_sensor_c, offered, completed, drains, energy_j, and the
+/// control-stability metrics osc_amp_temp_c / osc_amp_duty / duty_reversals /
+/// overshoot_c / settling_s).
 runner::RunSpec to_run_spec(const ClusterRunSpec& spec);
 
 }  // namespace dimetrodon::cluster

@@ -1,0 +1,87 @@
+#include "control/arbiter.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dimetrodon::control {
+
+void InjectionArbiter::Port::request(double probability, sim::SimTime quantum) {
+  auto& s = arbiter_->slot(channel_);
+  s.engaged = true;
+  s.probability = probability;
+  s.quantum = quantum;
+  arbiter_->resolve();
+}
+
+void InjectionArbiter::Port::withdraw() {
+  auto& s = arbiter_->slot(channel_);
+  s.engaged = false;
+  s.probability = 0.0;
+  arbiter_->resolve();
+}
+
+double InjectionArbiter::Port::probability() const {
+  return arbiter_->slot(channel_).probability;
+}
+
+bool InjectionArbiter::Port::engaged() const {
+  return arbiter_->slot(channel_).engaged;
+}
+
+InjectionArbiter::InjectionArbiter(core::DimetrodonController& controller)
+    : controller_(controller) {
+  resolved_quantum_ = controller_.table().global().quantum;
+  for (std::size_t i = 0; i < kNumChannels; ++i) {
+    slots_[i].port.arbiter_ = this;
+    slots_[i].port.channel_ = static_cast<Channel>(i);
+    slots_[i].quantum = resolved_quantum_;
+  }
+}
+
+InjectionArbiter::Port& InjectionArbiter::claim(Channel channel,
+                                                std::string owner) {
+  auto& s = slot(channel);
+  if (s.claimed) {
+    throw std::logic_error("InjectionArbiter: channel already claimed by '" +
+                           s.owner + "' (second claimant: '" + owner + "')");
+  }
+  s.claimed = true;
+  s.owner = std::move(owner);
+  return s.port;
+}
+
+bool InjectionArbiter::claimed(Channel channel) const {
+  return slot(channel).claimed;
+}
+
+const std::string& InjectionArbiter::owner(Channel channel) const {
+  return slot(channel).owner;
+}
+
+void InjectionArbiter::resolve() {
+  // Max probability wins; ties go to the lowest channel index. With no
+  // engaged channel the duty resolves to zero (injection off).
+  double best_p = 0.0;
+  sim::SimTime best_quantum = resolved_quantum_;
+  Channel best = Channel::kPreventive;
+  bool any = false;
+  for (std::size_t i = 0; i < kNumChannels; ++i) {
+    const Slot& s = slots_[i];
+    if (!s.engaged) continue;
+    if (!any || s.probability > best_p) {
+      best_p = s.probability;
+      best_quantum = s.quantum;
+      best = static_cast<Channel>(i);
+      any = true;
+    }
+  }
+  winner_ = best;
+  if (best_p != resolved_p_ || best_quantum != resolved_quantum_) {
+    resolved_p_ = best_p;
+    resolved_quantum_ = best_quantum;
+    controller_.sys_set_global(resolved_p_, resolved_quantum_);
+    ++writes_;
+  }
+}
+
+}  // namespace dimetrodon::control

@@ -1,0 +1,215 @@
+#include "control/governor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dimetrodon::control {
+
+namespace {
+
+void put(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%a ", key, v);
+  out += buf;
+}
+
+void put(std::string& out, const char* key, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%llx ", key,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+std::string fmt(const char* format, double a, double b, double c) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, format, a, b, c);
+  return buf;
+}
+
+}  // namespace
+
+// --- hysteresis -------------------------------------------------------------
+
+HysteresisGovernor::HysteresisGovernor(HysteresisConfig config)
+    : config_(config) {
+  if (config_.release_c > config_.trip_c) {
+    throw std::invalid_argument(
+        "hysteresis release point must not exceed the trip point");
+  }
+}
+
+std::string HysteresisGovernor::name() const {
+  return config_.release_c == config_.trip_c ? "threshold" : "hysteresis";
+}
+
+double HysteresisGovernor::update(const SensorFrame& frame) {
+  // Trip at or above the trip point; release strictly below the release
+  // point. With release_c == trip_c (a bare threshold) the governor releases
+  // the moment the reading drops under the trip point and re-trips one
+  // quantization step later — the flapping the band exists to suppress.
+  if (!tripped_) {
+    if (frame.max_c >= config_.trip_c) tripped_ = true;
+  } else if (frame.max_c < config_.release_c) {
+    tripped_ = false;
+  }
+  return tripped_ ? config_.hot_probability : config_.idle_probability;
+}
+
+// --- pid --------------------------------------------------------------------
+
+PidGovernor::PidGovernor(PidConfig config) : config_(config) {
+  if (config_.min_probability > config_.max_probability) {
+    throw std::invalid_argument("pid probability clamp is inverted");
+  }
+}
+
+std::string PidGovernor::name() const { return "pid"; }
+
+double PidGovernor::update(const SensorFrame& frame) {
+  // Positive error = over the setpoint = inject more.
+  const double error = frame.max_c - config_.setpoint_c;
+  const double dt = frame.dt_s;
+
+  double derivative = 0.0;
+  if (has_last_ && dt > 0.0) {
+    derivative = (frame.max_c - last_measurement_) / dt;
+  }
+  last_measurement_ = frame.max_c;
+  has_last_ = true;
+
+  // Conditional integration (anti-windup): only integrate when the
+  // unclamped output is inside the limits, or the error pushes back toward
+  // them. Mirrors core::PowerCapController's PI loop.
+  const double candidate = integral_ + error * dt;
+  const double unclamped =
+      config_.kp * error + config_.ki * candidate + config_.kd * derivative;
+  if ((unclamped < config_.max_probability || error < 0.0) &&
+      (unclamped > config_.min_probability || error > 0.0)) {
+    integral_ = candidate;
+  }
+
+  const double u =
+      config_.kp * error + config_.ki * integral_ + config_.kd * derivative;
+  return std::clamp(u, config_.min_probability, config_.max_probability);
+}
+
+void PidGovernor::reset() {
+  integral_ = 0.0;
+  last_measurement_ = 0.0;
+  has_last_ = false;
+}
+
+// --- hybrid -----------------------------------------------------------------
+
+HybridGovernor::HybridGovernor(HybridConfig config) : config_(config) {
+  if (config_.max_delta < 0.0) {
+    throw std::invalid_argument("hybrid trim authority must be >= 0");
+  }
+}
+
+std::string HybridGovernor::name() const { return "hybrid"; }
+
+double HybridGovernor::update(const SensorFrame& frame) {
+  const double error = frame.max_c - config_.setpoint_c;
+  const double dt = frame.dt_s;
+
+  const double candidate = integral_ + error * dt;
+  const double unclamped = config_.kp * error + config_.ki * candidate;
+  if ((unclamped < config_.max_delta || error < 0.0) &&
+      (unclamped > -config_.max_delta || error > 0.0)) {
+    integral_ = candidate;
+  }
+  trim_ = std::clamp(config_.kp * error + config_.ki * integral_,
+                     -config_.max_delta, config_.max_delta);
+  return std::clamp(config_.baseline_probability + trim_, 0.0,
+                    config_.max_probability);
+}
+
+void HybridGovernor::reset() {
+  integral_ = 0.0;
+  trim_ = 0.0;
+}
+
+// --- spec -------------------------------------------------------------------
+
+std::unique_ptr<Governor> make_governor(const GovernorSpec& spec) {
+  switch (spec.kind) {
+    case GovernorKind::kNone:
+      return nullptr;
+    case GovernorKind::kHysteresis:
+      return std::make_unique<HysteresisGovernor>(spec.hysteresis);
+    case GovernorKind::kPid:
+      return std::make_unique<PidGovernor>(spec.pid);
+    case GovernorKind::kHybrid:
+      return std::make_unique<HybridGovernor>(spec.hybrid);
+  }
+  throw std::logic_error("unknown GovernorKind");
+}
+
+std::string governor_label(const GovernorSpec& spec) {
+  switch (spec.kind) {
+    case GovernorKind::kNone:
+      return "open-loop";
+    case GovernorKind::kHysteresis: {
+      const auto& h = spec.hysteresis;
+      if (h.release_c == h.trip_c) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "threshold[%.0f,p=%.2f]", h.trip_c,
+                      h.hot_probability);
+        return buf;
+      }
+      return fmt("hysteresis[%.0f/%.0f,p=%.2f]", h.trip_c, h.release_c,
+                 h.hot_probability);
+    }
+    case GovernorKind::kPid:
+      return fmt("pid[set=%.0f,kp=%.2f,ki=%.2f]", spec.pid.setpoint_c,
+                 spec.pid.kp, spec.pid.ki);
+    case GovernorKind::kHybrid:
+      return fmt("hybrid[p=%.2f,set=%.0f,kp=%.2f]",
+                 spec.hybrid.baseline_probability, spec.hybrid.setpoint_c,
+                 spec.hybrid.kp);
+  }
+  return "governor?";
+}
+
+double governor_reference_c(const GovernorSpec& spec) {
+  switch (spec.kind) {
+    case GovernorKind::kNone:
+      return 0.0;
+    case GovernorKind::kHysteresis:
+      return spec.hysteresis.trip_c;
+    case GovernorKind::kPid:
+      return spec.pid.setpoint_c;
+    case GovernorKind::kHybrid:
+      return spec.hybrid.setpoint_c;
+  }
+  return 0.0;
+}
+
+void append_canonical_governor(std::string& out, const GovernorSpec& spec) {
+  out += "gov{";
+  put(out, "kind", static_cast<std::uint64_t>(spec.kind));
+  put(out, "dt", static_cast<std::uint64_t>(spec.sample_period));
+  put(out, "L", static_cast<std::uint64_t>(spec.quantum));
+  put(out, "band", spec.stability_band_c);
+  put(out, "h.trip", spec.hysteresis.trip_c);
+  put(out, "h.rel", spec.hysteresis.release_c);
+  put(out, "h.hot", spec.hysteresis.hot_probability);
+  put(out, "h.idle", spec.hysteresis.idle_probability);
+  put(out, "pid.set", spec.pid.setpoint_c);
+  put(out, "pid.kp", spec.pid.kp);
+  put(out, "pid.ki", spec.pid.ki);
+  put(out, "pid.kd", spec.pid.kd);
+  put(out, "pid.min", spec.pid.min_probability);
+  put(out, "pid.max", spec.pid.max_probability);
+  put(out, "hy.base", spec.hybrid.baseline_probability);
+  put(out, "hy.set", spec.hybrid.setpoint_c);
+  put(out, "hy.kp", spec.hybrid.kp);
+  put(out, "hy.ki", spec.hybrid.ki);
+  put(out, "hy.delta", spec.hybrid.max_delta);
+  put(out, "hy.max", spec.hybrid.max_probability);
+  out += "} ";
+}
+
+}  // namespace dimetrodon::control

@@ -1,0 +1,99 @@
+#include "control/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dimetrodon::control {
+
+void StabilityMetrics::merge_worst(const StabilityMetrics& o) {
+  // An empty side contributes nothing (and must not poison settling time
+  // with its -1 sentinel).
+  if (o.samples == 0) return;
+  if (samples == 0) {
+    *this = o;
+    return;
+  }
+  // Sample-weighted mean before the counts fold in.
+  const double total =
+      static_cast<double>(samples) + static_cast<double>(o.samples);
+  if (total > 0.0) {
+    duty_mean = (duty_mean * static_cast<double>(samples) +
+                 o.duty_mean * static_cast<double>(o.samples)) /
+                total;
+  }
+  samples += o.samples;
+  duty_reversals += o.duty_reversals;
+  osc_amplitude_duty = std::max(osc_amplitude_duty, o.osc_amplitude_duty);
+  osc_amplitude_temp_c =
+      std::max(osc_amplitude_temp_c, o.osc_amplitude_temp_c);
+  overshoot_c = std::max(overshoot_c, o.overshoot_c);
+  // Slowest settler wins; an unsettled (-1) node poisons the fleet value.
+  if (settling_time_s < 0.0 || o.settling_time_s < 0.0) {
+    settling_time_s = std::min(settling_time_s, o.settling_time_s);
+  } else {
+    settling_time_s = std::max(settling_time_s, o.settling_time_s);
+  }
+}
+
+void StabilityTracker::on_sample(sim::SimTime at, double temp_c, double duty) {
+  samples_.push_back(Sample{at, temp_c, duty});
+}
+
+StabilityMetrics StabilityTracker::metrics() const {
+  StabilityMetrics m;
+  m.samples = samples_.size();
+  if (samples_.empty()) return m;
+
+  // Whole-run aggregates: mean duty, overshoot, reversals.
+  double duty_sum = 0.0;
+  double last_delta = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    duty_sum += samples_[i].duty;
+    m.overshoot_c =
+        std::max(m.overshoot_c, samples_[i].temp_c - reference_c_);
+    if (i > 0) {
+      const double delta = samples_[i].duty - samples_[i - 1].duty;
+      if (delta != 0.0) {
+        if (last_delta != 0.0 && std::signbit(delta) != std::signbit(last_delta)) {
+          ++m.duty_reversals;
+        }
+        last_delta = delta;
+      }
+    }
+  }
+  m.overshoot_c = std::max(m.overshoot_c, 0.0);
+  m.duty_mean = duty_sum / static_cast<double>(samples_.size());
+
+  // Tail-half peak-to-peak: the oscillation that persists once transients
+  // have decayed.
+  const std::size_t tail = samples_.size() / 2;
+  double duty_min = samples_[tail].duty, duty_max = samples_[tail].duty;
+  double temp_min = samples_[tail].temp_c, temp_max = samples_[tail].temp_c;
+  for (std::size_t i = tail; i < samples_.size(); ++i) {
+    duty_min = std::min(duty_min, samples_[i].duty);
+    duty_max = std::max(duty_max, samples_[i].duty);
+    temp_min = std::min(temp_min, samples_[i].temp_c);
+    temp_max = std::max(temp_max, samples_[i].temp_c);
+  }
+  m.osc_amplitude_duty = duty_max - duty_min;
+  m.osc_amplitude_temp_c = temp_max - temp_min;
+
+  // Settling: last sample outside the band decides; if the series ends
+  // inside the band, settling time is the span from the first sample to the
+  // sample after that last excursion.
+  std::size_t settle_idx = samples_.size();
+  for (std::size_t i = samples_.size(); i-- > 0;) {
+    if (std::fabs(samples_[i].temp_c - reference_c_) > band_c_) {
+      settle_idx = i + 1;
+      break;
+    }
+    settle_idx = i;
+  }
+  if (settle_idx < samples_.size()) {
+    m.settling_time_s =
+        sim::to_sec(samples_[settle_idx].at - samples_.front().at);
+  }
+  return m;
+}
+
+}  // namespace dimetrodon::control

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::control {
+
+/// Control-stability summary of one governed run, derived from the
+/// (time, hottest quantized temp, duty) series the GovernorDriver records at
+/// every sample. Definitions (DESIGN.md §10):
+///   - duty_reversals: direction changes of the duty series (a flapping
+///     bang-bang controller reverses at nearly every sample).
+///   - osc_amplitude_*: peak-to-peak amplitude over the tail half of the run,
+///     i.e. the residual oscillation after the loop has had time to settle —
+///     a converged controller shows ~0, a limit-cycling one shows the cycle.
+///   - overshoot_c: hottest excursion above the reference (trip point or
+///     setpoint) anywhere in the run.
+///   - settling_time_s: time from the first sample until the temperature
+///     enters the ±band around the reference and never leaves it again;
+///     -1 when it never settles (or no samples landed in the band).
+struct StabilityMetrics {
+  std::uint64_t samples = 0;
+  std::uint64_t duty_reversals = 0;
+  double duty_mean = 0.0;
+  double osc_amplitude_duty = 0.0;   // peak-to-peak duty, tail half
+  double osc_amplitude_temp_c = 0.0; // peak-to-peak hottest temp, tail half
+  double overshoot_c = 0.0;          // max(temp - reference, 0), whole run
+  double settling_time_s = -1.0;
+
+  /// Fold another run's metrics in (fleet aggregation): counts add, mean
+  /// averages by sample weight, amplitudes/overshoot take the worst node,
+  /// settling time takes the slowest settled node (unsettled poisons).
+  void merge_worst(const StabilityMetrics& o);
+};
+
+/// Accumulates the sampled series and derives StabilityMetrics on demand.
+/// Memory is one (SimTime, double, double) triple per sample — a 60 s run at
+/// a 50 ms loop is 1200 samples.
+class StabilityTracker {
+ public:
+  StabilityTracker(double reference_c, double band_c)
+      : reference_c_(reference_c), band_c_(band_c) {}
+
+  void on_sample(sim::SimTime at, double temp_c, double duty);
+
+  StabilityMetrics metrics() const;
+
+  std::size_t sample_count() const { return samples_.size(); }
+  double reference_c() const { return reference_c_; }
+
+ private:
+  struct Sample {
+    sim::SimTime at;
+    double temp_c;
+    double duty;
+  };
+
+  double reference_c_;
+  double band_c_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dimetrodon::control

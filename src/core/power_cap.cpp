@@ -34,7 +34,11 @@ void PowerCapController::tick(sim::SimTime /*now*/) {
   }
   probability_ = std::clamp(config_.kp * error + config_.ki * integral_, 0.0,
                             config_.max_probability);
-  dimetrodon_.sys_set_global(probability_, config_.idle_quantum);
+  if (output_) {
+    output_(probability_, config_.idle_quantum);
+  } else {
+    dimetrodon_.sys_set_global(probability_, config_.idle_quantum);
+  }
   ++updates_;
   schedule_tick();
 }

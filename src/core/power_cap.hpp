@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "core/controller.hpp"
 #include "sched/machine.hpp"
 
@@ -29,6 +31,14 @@ class PowerCapController {
 
   void stop() { running_ = false; }
 
+  /// Redirect the loop's output. By default each tick writes straight to
+  /// DimetrodonController::sys_set_global; when another duty-cycle writer
+  /// coexists (a closed-loop governor), route through a
+  /// control::InjectionArbiter port instead so the two never race on the
+  /// global duty — see src/control/arbiter.hpp.
+  using Output = std::function<void(double probability, sim::SimTime quantum)>;
+  void set_output(Output output) { output_ = std::move(output); }
+
   double current_probability() const { return probability_; }
   /// Average power observed over the last completed control period.
   double last_observed_power_w() const { return last_power_; }
@@ -41,6 +51,7 @@ class PowerCapController {
   sched::Machine& machine_;
   DimetrodonController& dimetrodon_;
   Config config_;
+  Output output_;  // empty = write sys_set_global directly
   bool running_ = true;
   double probability_ = 0.0;
   double integral_ = 0.0;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "analysis/stats.hpp"
+#include "control/arbiter.hpp"
+#include "control/driver.hpp"
 #include "trace/table.hpp"
 
 namespace dimetrodon::harness {
@@ -53,6 +55,40 @@ ActuationSetup tcc(std::size_t duty_step) {
                           m.set_all_clock_duty_steps(duty_step);
                           return nullptr;
                         }};
+}
+
+ActuationSetup governed(control::GovernorSpec spec, double preventive_p,
+                        sim::SimTime preventive_quantum) {
+  // The harness holds only a shared_ptr<DimetrodonController>; the arbiter
+  // and driver ride along via the aliasing constructor so the whole control
+  // loop shares one lifetime.
+  struct Bundle {
+    std::shared_ptr<core::DimetrodonController> controller;
+    std::unique_ptr<control::InjectionArbiter> arbiter;
+    std::unique_ptr<control::GovernorDriver> driver;
+  };
+  std::string label = control::governor_label(spec);
+  if (preventive_p > 0.0) {
+    label += trace::fmt("+base=%.2f", preventive_p);
+  }
+  return ActuationSetup{
+      std::move(label),
+      [spec, preventive_p, preventive_quantum](sched::Machine& m) {
+        auto bundle = std::make_shared<Bundle>();
+        bundle->controller = std::make_shared<core::DimetrodonController>(m);
+        bundle->arbiter =
+            std::make_unique<control::InjectionArbiter>(*bundle->controller);
+        if (preventive_p > 0.0) {
+          bundle->arbiter
+              ->claim(control::InjectionArbiter::Channel::kPreventive,
+                      "preventive")
+              .request(preventive_p, preventive_quantum);
+        }
+        bundle->driver = std::make_unique<control::GovernorDriver>(
+            m, *bundle->arbiter, spec);
+        return std::shared_ptr<core::DimetrodonController>(
+            bundle, bundle->controller.get());
+      }};
 }
 
 }  // namespace actuation

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "control/governor.hpp"
 #include "core/controller.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace_sink.hpp"
@@ -52,6 +53,15 @@ ActuationSetup dimetrodon_stratified(double probability, sim::SimTime quantum);
 ActuationSetup vfs(std::size_t level);
 /// Static p4tcc clock-duty setpoint (step 1..8).
 ActuationSetup tcc(std::size_t duty_step);
+/// Closed-loop governed injection (src/control): a Dimetrodon controller
+/// behind an InjectionArbiter, with the spec'd governor sampling the
+/// machine's quantized sensors. `preventive_p > 0` additionally engages the
+/// arbiter's open-loop preventive channel at that duty, so the governor can
+/// only raise the resolved duty above the preventive floor
+/// (max-probability-wins). The returned controller keeps the arbiter and
+/// driver alive for as long as the harness holds it.
+ActuationSetup governed(control::GovernorSpec spec, double preventive_p = 0.0,
+                        sim::SimTime preventive_quantum = sim::from_ms(100));
 
 }  // namespace actuation
 

@@ -27,6 +27,11 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"runs_failed", &CounterTotals::runs_failed},
       {"runs_retried", &CounterTotals::runs_retried},
       {"cache_write_retries", &CounterTotals::cache_write_retries},
+      {"governor_samples", &CounterTotals::governor_samples},
+      {"governor_trips", &CounterTotals::governor_trips},
+      {"governor_releases", &CounterTotals::governor_releases},
+      {"duty_changes", &CounterTotals::duty_changes},
+      {"duty_reversals", &CounterTotals::duty_reversals},
   };
   return kFields;
 }
@@ -63,6 +68,11 @@ CounterTotals CounterRegistry::totals() const {
   t.thermal_fast_forward_steps = thermal_fast_forward_steps;
   t.thermal_factorizations = thermal_factorizations;
   t.thermal_matvecs = thermal_matvecs;
+  t.governor_samples = governor_samples;
+  t.governor_trips = governor_trips;
+  t.governor_releases = governor_releases;
+  t.duty_changes = duty_changes;
+  t.duty_reversals = duty_reversals;
   return t;
 }
 

@@ -57,6 +57,14 @@ struct CounterTotals {
   std::uint64_t runs_retried = 0;         // extra attempts after transients
   std::uint64_t cache_write_retries = 0;  // result-cache store retries
 
+  // Closed-loop control counters (src/control). Incremented by the
+  // GovernorDriver through the machine's tracer; all zero on open-loop runs.
+  std::uint64_t governor_samples = 0;   // sensor frames consumed
+  std::uint64_t governor_trips = 0;     // threshold engagements
+  std::uint64_t governor_releases = 0;  // threshold releases
+  std::uint64_t duty_changes = 0;       // resolved duty-cycle changes
+  std::uint64_t duty_reversals = 0;     // duty direction flips (flapping)
+
   /// Stable (name, member) listing driving every serialization of the totals
   /// (result cache, metrics JSON, CSV) so the field set cannot drift apart.
   using Field = std::pair<const char*, std::uint64_t CounterTotals::*>;
@@ -88,6 +96,13 @@ class CounterRegistry {
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_routed = 0;  // cluster scope
   std::uint64_t node_drains = 0;      // cluster scope
+
+  // Closed-loop control (src/control GovernorDriver).
+  std::uint64_t governor_samples = 0;
+  std::uint64_t governor_trips = 0;
+  std::uint64_t governor_releases = 0;
+  std::uint64_t duty_changes = 0;
+  std::uint64_t duty_reversals = 0;
 
   // Thermal-engine counters; the machine writes the network's monotonic
   // stats() snapshot here after every thermal advance.

@@ -23,6 +23,9 @@ enum class EventKind : std::uint8_t {
   kThermalStats,     // thermal-engine work counter sample (trace-only)
   kRequestRouted,    // cluster: a request was dispatched to a node
   kNodeDrain,        // cluster: a node left / rejoined the routable set
+  kGovernorSample,   // a closed-loop governor sampled its sensors
+  kGovernorTrip,     // a threshold governor engaged / released
+  kDutyChange,       // the resolved injection duty cycle changed
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -39,6 +42,9 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kThermalStats:    return "thermal_stats";
     case EventKind::kRequestRouted:   return "request_routed";
     case EventKind::kNodeDrain:       return "node_drain";
+    case EventKind::kGovernorSample:  return "governor_sample";
+    case EventKind::kGovernorTrip:    return "governor_trip";
+    case EventKind::kDutyChange:      return "duty_change";
   }
   return "unknown";
 }
@@ -88,6 +94,11 @@ enum class CStatePhase : std::uint8_t {
 ///   kRequestRouted:    core = node index, tid = request id (cluster scope)
 ///   kNodeDrain:        core = node index, arg = 1 drain / 0 rejoin,
 ///                      value = hottest die temperature (C)
+///   kGovernorSample:   core = hottest physical core, arg = requested duty
+///                      in ppm, value = hottest quantized temperature (C)
+///   kGovernorTrip:     core = hottest physical core, arg = 1 trip /
+///                      0 release, value = quantized temperature (C)
+///   kDutyChange:       arg = winning arbiter channel, value = new duty p
 struct TraceEvent {
   sim::SimTime at = 0;
   EventKind kind = EventKind::kSchedSwitch;

@@ -247,6 +247,25 @@ void ChromeTraceExporter::add_machine(const TraceMeta& meta,
                      e.at, args));
         break;
       }
+      case EventKind::kGovernorSample:
+        // Two counter tracks: what the governor saw and what it asked for.
+        emit(counter(pid, "governor temp C", e.at, e.value));
+        emit(counter(pid, "governor duty p", e.at,
+                     static_cast<double>(e.arg) * 1e-6));
+        break;
+      case EventKind::kGovernorTrip: {
+        char args[64];
+        std::snprintf(args, sizeof args, "\"temp_c\":%.6g", e.value);
+        emit(instant(pid, 0,
+                     std::string("governor ") +
+                         (e.arg != 0 ? "trip" : "release") + " phys " +
+                         std::to_string(c),
+                     e.at, args));
+        break;
+      }
+      case EventKind::kDutyChange:
+        emit(counter(pid, "injection duty p", e.at, e.value));
+        break;
       case EventKind::kInjectionBegin:
       case EventKind::kInjectionEnd:
         break;  // rendered below from paired spans

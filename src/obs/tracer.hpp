@@ -195,6 +195,56 @@ class Tracer {
     sink_raw_->on_event(e);
   }
 
+  /// Control scope: a governor consumed one sensor frame. `duty` is the duty
+  /// cycle it requested; `phys`/`temp_c` identify the hottest reading.
+  void governor_sample(sim::SimTime at, std::uint32_t phys, double temp_c,
+                       double duty) {
+    ++counters_.governor_samples;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kGovernorSample;
+    e.core = static_cast<std::uint16_t>(phys);
+    e.arg = static_cast<std::uint64_t>(duty * 1e6);  // ppm
+    e.value = temp_c;
+    sink_raw_->on_event(e);
+  }
+
+  /// Control scope: a threshold-style governor engaged (tripped=true) or
+  /// released its over-temperature latch.
+  void governor_trip(sim::SimTime at, std::uint32_t phys, bool tripped,
+                     double temp_c) {
+    if (tripped) {
+      ++counters_.governor_trips;
+    } else {
+      ++counters_.governor_releases;
+    }
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kGovernorTrip;
+    e.core = static_cast<std::uint16_t>(phys);
+    e.arg = tripped ? 1 : 0;
+    e.value = temp_c;
+    sink_raw_->on_event(e);
+  }
+
+  /// Control scope: the arbitrated injection duty changed. `reversal` marks
+  /// a direction flip relative to the previous change (flapping indicator).
+  void duty_change(sim::SimTime at, std::uint32_t channel, double duty,
+                   bool reversal) {
+    ++counters_.duty_changes;
+    if (reversal) ++counters_.duty_reversals;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kDutyChange;
+    e.phase = reversal ? 1 : 0;
+    e.arg = channel;
+    e.value = duty;
+    sink_raw_->on_event(e);
+  }
+
   void request_complete(sim::SimTime at, std::uint32_t id, double latency_s) {
     ++counters_.requests_completed;
     if (sink_raw_ == nullptr) return;

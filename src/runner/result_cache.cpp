@@ -25,9 +25,11 @@ namespace {
 // v5: QosStats gained streaming percentiles (qos.p50/p95/p99_latency_s) and
 // the cluster-scope counters (requests_routed, node_drains) joined
 // obs::CounterTotals::fields().
+// v6: closed-loop governor counters (governor_samples/trips/releases,
+// duty_changes, duty_reversals) joined obs::CounterTotals::fields().
 // Bumping the magic makes every older file a clean miss, so old caches are
 // recomputed rather than misparsed.
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v5";
+constexpr char kFileMagic[] = "dimetrodon-sweep-cache v6";
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;

@@ -108,6 +108,8 @@ harness::ActuationSetup ActuationSpec::to_setup() const {
       return harness::actuation::vfs(level);
     case Kind::kTcc:
       return harness::actuation::tcc(level);
+    case Kind::kGovernor:
+      return harness::actuation::governed(governor, probability, quantum);
   }
   throw std::logic_error("unknown ActuationSpec::Kind");
 }
@@ -140,6 +142,9 @@ std::string canonical_spec(const RunSpec& spec,
   put(out, "p", spec.actuation.probability);
   put(out, "L", spec.actuation.quantum);
   put(out, "level", spec.actuation.level);
+  if (spec.actuation.kind == ActuationSpec::Kind::kGovernor) {
+    control::append_canonical_governor(out, spec.actuation.governor);
+  }
   out += "} meas{";
   const auto& mc = spec.measurement;
   put(out, "settle_iters", static_cast<std::int64_t>(mc.max_settle_iterations));

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "control/governor.hpp"
 #include "harness/experiment.hpp"
 #include "sched/machine.hpp"
 
@@ -23,12 +24,15 @@ struct ActuationSpec {
     kGlobalStratified,  // deterministic (stratified) injection
     kVfs,               // static DVFS ladder setpoint
     kTcc,               // static p4tcc clock-duty setpoint
+    kGovernor,          // closed-loop governed injection (src/control)
   };
 
   Kind kind = Kind::kNone;
-  double probability = 0.0;   // kGlobal / kGlobalStratified
-  sim::SimTime quantum = 0;   // kGlobal / kGlobalStratified
+  double probability = 0.0;   // kGlobal / kGlobalStratified; for kGovernor,
+                              // the preventive-channel floor duty (0 = none)
+  sim::SimTime quantum = 0;   // kGlobal / kGlobalStratified / kGovernor floor
   std::size_t level = 0;      // kVfs ladder index / kTcc duty step
+  control::GovernorSpec governor{};  // kGovernor only
 
   static ActuationSpec none() { return {}; }
   static ActuationSpec global(double p, sim::SimTime quantum) {
@@ -42,6 +46,19 @@ struct ActuationSpec {
   }
   static ActuationSpec tcc(std::size_t duty_step) {
     return {Kind::kTcc, 0.0, 0, duty_step};
+  }
+  /// Governed injection; `preventive_p > 0` also engages the arbiter's
+  /// open-loop preventive channel as a duty floor (hybrid deployments).
+  static ActuationSpec governed(control::GovernorSpec spec,
+                                double preventive_p = 0.0,
+                                sim::SimTime preventive_quantum =
+                                    sim::from_ms(100)) {
+    ActuationSpec a;
+    a.kind = Kind::kGovernor;
+    a.probability = preventive_p;
+    a.quantum = preventive_quantum;
+    a.governor = spec;
+    return a;
   }
 
   harness::ActuationSetup to_setup() const;

@@ -216,6 +216,13 @@ class Machine {
     return network_.temperature(nodes_.die[physical_of(id)]);
   }
 
+  /// Fast-forward the thermal network to the present instant, making "now" an
+  /// interaction point under the lazy thermal clock. Feedback controllers
+  /// call this before reading sensors so a sample observes current
+  /// temperatures without adding a periodic substep — the fast-forward stays
+  /// O(log k) in the number of elapsed substeps.
+  void sync_thermal_now() { advance_thermal(sim_.now()); }
+
   /// True instantaneous package power right now, watts.
   double current_total_power();
 

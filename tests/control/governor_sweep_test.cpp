@@ -1,0 +1,168 @@
+// Governed runs under the sweep engine: the deterministic-replay guard.
+// A fleet with closed-loop governors must stay bit-identical across sweep
+// thread counts, round-trip through the result cache unchanged, and key its
+// cache entries on every governor parameter.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/sweep.hpp"
+#include "runner/sweep_engine.hpp"
+
+namespace dimetrodon::cluster {
+namespace {
+
+control::GovernorSpec pid_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kPid;
+  g.pid.setpoint_c = 45.0;
+  g.pid.kp = 0.05;
+  g.pid.ki = 0.012;
+  return g;
+}
+
+control::GovernorSpec hysteresis_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 45.0;
+  g.hysteresis.release_c = 43.0;
+  g.hysteresis.hot_probability = 0.5;
+  return g;
+}
+
+control::GovernorSpec hybrid_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHybrid;
+  g.hybrid.baseline_probability = 0.15;
+  g.hybrid.setpoint_c = 45.0;
+  g.hybrid.kp = 0.04;
+  g.hybrid.ki = 0.01;
+  return g;
+}
+
+// A mixed fleet: one governed node, one open-loop preventive node — the
+// composition ClusterConfig promises NodeSpec supports.
+ClusterRunSpec governed_spec(control::GovernorSpec governor) {
+  ClusterRunSpec spec;
+  spec.cluster.machine.enable_meter = false;
+  spec.cluster.offered_load_rps = 900.0;
+  spec.cluster.web.demand_mean_s = 0.0040;
+  NodeSpec governed{0.5, 0.0, sim::from_ms(10)};
+  governed.governor = std::move(governor);
+  NodeSpec open_loop{0.7, 0.3, sim::from_ms(10)};
+  spec.cluster.nodes = {governed, open_loop};
+  spec.duration = sim::from_sec(4);
+  return spec;
+}
+
+std::vector<runner::RunSpec> governed_grid() {
+  return {to_run_spec(governed_spec(pid_spec())),
+          to_run_spec(governed_spec(hysteresis_spec())),
+          to_run_spec(governed_spec(hybrid_spec()))};
+}
+
+runner::SweepEngineConfig quiet(std::size_t threads, std::string cache_dir) {
+  runner::SweepEngineConfig cfg;
+  cfg.threads = threads;
+  cfg.use_cache = !cache_dir.empty();
+  cfg.cache_dir = std::move(cache_dir);
+  cfg.progress = false;
+  return cfg;
+}
+
+void expect_same_record(const runner::RunRecord& a,
+                        const runner::RunRecord& b) {
+  EXPECT_EQ(a.result.label, b.result.label);
+  EXPECT_EQ(a.result.throughput, b.result.throughput);
+  EXPECT_EQ(a.result.sim_seconds, b.result.sim_seconds);
+  ASSERT_TRUE(a.result.qos.has_value());
+  ASSERT_TRUE(b.result.qos.has_value());
+  EXPECT_EQ(a.result.qos->total, b.result.qos->total);
+  EXPECT_EQ(a.result.qos->mean_latency_s, b.result.qos->mean_latency_s);
+  EXPECT_EQ(a.result.qos->p99_latency_s, b.result.qos->p99_latency_s);
+  EXPECT_TRUE(a.result.counters == b.result.counters);
+  // extras carry the stability metrics: bitwise equality here is the
+  // replay guard for the whole control loop.
+  EXPECT_EQ(a.extra, b.extra);
+}
+
+TEST(GovernorSweepTest, GovernedRunsAreBitIdenticalAcrossThreadCounts) {
+  runner::SweepEngine serial(sched::MachineConfig{}, quiet(1, ""));
+  runner::SweepEngine parallel(sched::MachineConfig{}, quiet(4, ""));
+  const auto grid = governed_grid();
+  const auto rs = serial.run(grid);
+  const auto rp = parallel.run(grid);
+  ASSERT_EQ(rs.records.size(), grid.size());
+  ASSERT_EQ(rp.records.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_record(rs.records[i], rp.records[i]);
+  }
+}
+
+TEST(GovernorSweepTest, GovernedRunsRoundTripThroughCache) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "dimetrodon_governor_cache_test";
+  std::filesystem::remove_all(dir);
+  runner::SweepEngine engine(sched::MachineConfig{}, quiet(2, dir.string()));
+  const auto grid = governed_grid();
+
+  const auto cold = engine.run(grid);
+  EXPECT_EQ(engine.last_metrics().executed, grid.size());
+  const auto warm = engine.run(grid);
+  // The replay guard: a warm re-run simulates nothing and reproduces every
+  // record (stability extras included) bit-for-bit.
+  EXPECT_EQ(engine.last_metrics().executed, 0u);
+  EXPECT_EQ(engine.last_metrics().cache_hits, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_record(cold.records[i], warm.records[i]);
+    // Governed runs produce live stability metrics, straight from the cache.
+    EXPECT_GT(warm.records[i].metric("fleet_peak_sensor_c"), 0.0);
+    EXPECT_GE(warm.records[i].metric("duty_reversals"), 0.0);
+    EXPECT_GE(warm.records[i].metric("osc_amp_duty"), 0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GovernorSweepTest, GovernedFleetRecordsTripsAndStability) {
+  // Direct (non-engine) run: the governed node trips its mid-40s threshold
+  // under this load and the per-node stats + fleet stability reflect it.
+  ClusterRunSpec spec = governed_spec(hysteresis_spec());
+  spec.duration = sim::from_sec(8);
+  Cluster fleet(spec.cluster, make_policy(PolicyKind::kRoundRobin));
+  const ClusterResult r = fleet.run(spec.duration);
+  EXPECT_GT(r.stability.samples, 0u);
+  EXPECT_GT(r.counters.governor_samples, 0u);
+  EXPECT_GE(r.counters.governor_trips, 1u);
+  EXPECT_EQ(r.nodes[0].governor_trips, r.counters.governor_trips);
+  EXPECT_EQ(r.nodes[1].governor_trips, 0u);  // open-loop node has no governor
+  EXPECT_GT(r.total_energy_j, 0.0);
+}
+
+TEST(GovernorSweepTest, CanonicalTagDistinguishesGovernorParameters) {
+  const ClusterRunSpec base = governed_spec(pid_spec());
+  const std::string tag = canonical_cluster_tag(base);
+
+  ClusterRunSpec kind = base;
+  kind.cluster.nodes[0].governor = hysteresis_spec();
+  ClusterRunSpec setpoint = base;
+  setpoint.cluster.nodes[0].governor.pid.setpoint_c += 1.0;
+  ClusterRunSpec period = base;
+  period.cluster.nodes[0].governor.sample_period *= 2;
+  ClusterRunSpec open_loop = base;
+  open_loop.cluster.nodes[0].governor = control::GovernorSpec{};
+
+  EXPECT_NE(tag, canonical_cluster_tag(kind));
+  EXPECT_NE(tag, canonical_cluster_tag(setpoint));
+  EXPECT_NE(tag, canonical_cluster_tag(period));
+  EXPECT_NE(tag, canonical_cluster_tag(open_loop));
+  // And the run is the same spec twice -> the tag is too.
+  EXPECT_EQ(tag, canonical_cluster_tag(governed_spec(pid_spec())));
+}
+
+}  // namespace
+}  // namespace dimetrodon::cluster
