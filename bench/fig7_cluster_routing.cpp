@@ -15,39 +15,32 @@
 #include <map>
 
 #include "bench_util.hpp"
-#include "cluster/sweep.hpp"
+#include "cluster/fleet_spec.hpp"
 
 using namespace dimetrodon;
 
 namespace {
 
-// Rack heterogeneity: cooling quality per node, and the relative injection
-// intensity an operator would assign to compensate (hotter rack position ->
-// more preventive throttling).
-constexpr double kFans[] = {1.0, 0.85, 0.70, 0.55};
-constexpr double kInjectionWeight[] = {0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0};
-
+// Rack heterogeneity via FleetSpec gradients: cooling degrades linearly from
+// the bottom slot (fan 1.00) to the top (0.55), and the injection gradient
+// gives each position the preventive intensity an operator would assign to
+// compensate (p = p_base * pos / 3: hotter rack position -> more throttling).
 cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
                                    cluster::PolicyKind policy, double p_base,
                                    double load_rps) {
-  cluster::ClusterRunSpec spec;
-  spec.cluster.machine = base;
-  spec.cluster.seed = base.seed;
-  spec.cluster.offered_load_rps = load_rps;
-  // At 1800 rps the default 50 ms telemetry lets ~90 arrivals herd onto one
-  // "coolest" node between refreshes; 10 ms keeps greedy policies honest.
-  spec.cluster.telemetry_period = sim::from_ms(10);
-  spec.cluster.nodes.clear();
-  for (std::size_t i = 0; i < 4; ++i) {
-    cluster::NodeSpec node;
-    node.fan_speed_fraction = kFans[i];
-    node.injection_probability = p_base * kInjectionWeight[i];
-    spec.cluster.nodes.push_back(node);
-  }
-  spec.policy = policy;
-  spec.injection_threshold = 0.25;
-  spec.duration = sim::from_sec(20);
-  return spec;
+  return cluster::FleetSpec::racks(1)
+      .nodes_per_rack(4)
+      .with_machine(base)
+      .with_cooling(1.0, 0.55)
+      .with_injection_gradient(p_base)
+      .with_load(load_rps)
+      // At 1800 rps the default 50 ms telemetry lets ~90 arrivals herd onto
+      // one "coolest" node between refreshes; 10 ms keeps greedy policies
+      // honest.
+      .with_telemetry(sim::from_ms(10))
+      .with_policy(policy, 0.25)
+      .for_duration(sim::from_sec(20))
+      .build();
 }
 
 }  // namespace

@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
-#include "cluster/sweep.hpp"
+#include "cluster/fleet_spec.hpp"
 
 using namespace dimetrodon;
 
@@ -112,23 +112,19 @@ struct Cell {
 cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
                                    const Policy& policy, double demand,
                                    double per_node_rps, int nodes) {
-  cluster::ClusterRunSpec spec;
-  spec.cluster.machine = base;
-  spec.cluster.seed = base.seed;
-  spec.cluster.offered_load_rps = per_node_rps * nodes;
-  spec.cluster.web.demand_mean_s = demand;
-  spec.cluster.nodes.clear();
-  for (int i = 0; i < nodes; ++i) {
-    cluster::NodeSpec node;
-    node.fan_speed_fraction = 0.5;  // poorly cooled rack: thermal pressure
-    node.injection_probability = policy.open_p;
-    node.injection_quantum = kQuantum;
-    node.governor = policy.governor;
-    spec.cluster.nodes.push_back(node);
-  }
-  spec.policy = cluster::PolicyKind::kRoundRobin;
-  spec.duration = sim::from_sec(30);
-  return spec;
+  workload::WebWorkload::Config web = cluster::ClusterConfig::open_loop_web();
+  web.demand_mean_s = demand;
+  return cluster::FleetSpec::racks(1)
+      .nodes_per_rack(static_cast<std::size_t>(nodes))
+      .with_machine(base)
+      .with_web(web)
+      .with_cooling(0.5, 0.5)  // poorly cooled rack: thermal pressure
+      .with_injection(policy.open_p, kQuantum)
+      .with_governor(policy.governor)
+      .with_load(per_node_rps * nodes)
+      .with_policy(cluster::PolicyKind::kRoundRobin)
+      .for_duration(sim::from_sec(30))
+      .build();
 }
 
 void put_cell(std::FILE* f, const Cell& c, const char* trailing) {

@@ -1,0 +1,339 @@
+// Figure 9 (extension): datacenter-scale fleets under a compressed diurnal
+// day. The cluster layer runs 100- and 1000-node fleets — racks of ten with
+// CRAC recirculation coupling, a sinusoidal diurnal load curve with an
+// evening flash crowd — and crosses routing policy (round-robin,
+// coolest-node, injection-aware) with the control plane (open-loop
+// worst-case injection gradient vs closed-loop hysteresis governors).
+//
+// Expected shape: round-robin with worst-case open-loop provisioning
+// over-throttles through the diurnal trough and still lets the badly cooled
+// rack tops set the fleet peak at the flash crowd; thermal-aware routing
+// plus governors sheds duty whenever sensors allow and steers work away
+// from hot rack positions, beating the baseline on fleet peak temperature
+// at equal-or-better p99 in at least one cell (the exit code enforces it).
+//
+// Artifacts:
+//   * bench_results/fig9_fleet_scale.csv — per-cell metrics, deterministic
+//     byte-for-byte (CI cmp's a cold vs warm-cache run).
+//   * BENCH_fleet.json (override with DIMETRODON_BENCH_JSON) — cells plus
+//     per-scale wall-clock and the process peak RSS; NOT byte-stable by
+//     design (it records wall time).
+//
+// `--scale N` limits the run to one fleet size (CI runs the 100-node cell;
+// the 1000-node day is the local/acceptance configuration).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/fleet_spec.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+constexpr double kPerNodeRps = 600.0;  // ~0.75 utilization of 4 cores @ 5 ms
+constexpr double kWebDemandS = 0.0050;
+
+control::GovernorSpec governor_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 46.0;
+  g.hysteresis.release_c = 43.0;
+  g.hysteresis.hot_probability = 0.5;
+  return g;
+}
+
+struct ControlPlane {
+  const char* name;
+  bool governed;
+};
+
+struct Scale {
+  std::size_t racks;
+  std::size_t per_rack;
+  sim::SimTime day;  // diurnal period == run duration (one compressed day)
+  std::size_t nodes() const { return racks * per_rack; }
+};
+
+cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
+                                   const Scale& scale,
+                                   cluster::PolicyKind routing,
+                                   const ControlPlane& control) {
+  workload::WebWorkload::Config web = cluster::ClusterConfig::open_loop_web();
+  web.demand_mean_s = kWebDemandS;
+
+  // One compressed day: sinusoidal +/-60% around the base rate, with a flash
+  // crowd (x1.8 for an eighth of the day) landing on the cooling evening.
+  const cluster::TrafficShape traffic =
+      cluster::TrafficShape::diurnal(scale.day, 0.6)
+          .with_flash(scale.day * 5 / 8, scale.day / 8, 1.8);
+
+  cluster::FleetSpec spec =
+      cluster::FleetSpec::racks(scale.racks)
+          .nodes_per_rack(scale.per_rack)
+          .with_machine(base)
+          .with_web(web)
+          .with_cooling(0.9, 0.5)  // rack position degrades bottom -> top
+          .with_crac(cluster::RackParams{})
+          .with_load(kPerNodeRps * static_cast<double>(scale.nodes()))
+          .with_traffic(traffic)
+          .with_telemetry(sim::from_ms(20))
+          .with_policy(routing, 0.25)
+          .for_duration(scale.day);
+  if (control.governed) {
+    spec.with_governor(governor_spec());
+  } else {
+    // Open-loop worst case: the operator dials preventive injection up the
+    // rack (p = 0.6 at the hottest position) and leaves it there all day.
+    spec.with_injection_gradient(0.6);
+  }
+  return spec.build();
+}
+
+struct Cell {
+  std::size_t nodes = 0;
+  std::string routing;
+  std::string control;
+  double offered = 0.0;
+  double completed = 0.0;
+  double throughput = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double good_pct = 0.0;
+  double peak_sensor_c = 0.0;
+  double peak_exact_c = 0.0;
+  double mean_sensor_c = 0.0;
+  double peak_inlet_c = 0.0;
+  double energy_j = 0.0;
+  double drains = 0.0;
+  double racks = 0.0;
+};
+
+long peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // kilobytes on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 9: fleet scale under a diurnal day ===\n");
+
+  std::vector<Scale> scales = {
+      {10, 10, sim::from_sec(8)},    // 100 nodes, 8 s day
+      {100, 10, sim::from_sec(4)},   // 1000 nodes, 4 s day
+  };
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      const std::size_t want = std::strtoul(argv[i + 1], nullptr, 10);
+      std::erase_if(scales, [&](const Scale& s) { return s.nodes() != want; });
+    }
+  }
+  if (scales.empty()) {
+    std::fprintf(stderr, "unknown --scale (have 100, 1000)\n");
+    return 1;
+  }
+
+  sched::MachineConfig base;
+  base.enable_meter = false;
+
+  const cluster::PolicyKind kRoutings[] = {
+      cluster::PolicyKind::kRoundRobin,
+      cluster::PolicyKind::kCoolestNode,
+      cluster::PolicyKind::kInjectionAware,
+  };
+  const ControlPlane kControls[] = {
+      {"open-loop", false},
+      {"governed", true},
+  };
+
+  runner::SweepEngine engine = bench::make_engine(base, "fig9_fleet_scale");
+
+  std::vector<std::string> header = {
+      "nodes", "routing", "control", "offered", "completed", "throughput_rps",
+      "p50_s", "p95_s", "p99_s", "good_pct", "fleet_peak_sensor_c",
+      "fleet_peak_exact_c", "fleet_mean_sensor_c", "fleet_peak_inlet_c",
+      "energy_j", "drains", "racks"};
+  for (const std::string& col : bench::stability_columns()) {
+    header.push_back(col);
+  }
+  trace::CsvWriter csv(bench::csv_path("fig9_fleet_scale.csv"), header);
+  trace::Table table({"nodes", "routing", "control", "thr(rps)", "p99(s)",
+                      "good%", "peak C", "inlet C", "E(kJ)", "drains"});
+
+  std::vector<Cell> cells;
+  std::vector<std::pair<std::size_t, double>> wall_by_scale;
+
+  for (const Scale& scale : scales) {
+    std::vector<runner::RunSpec> specs;
+    for (const ControlPlane& control : kControls) {
+      for (const auto routing : kRoutings) {
+        specs.push_back(
+            cluster::to_run_spec(make_point(base, scale, routing, control)));
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto records = bench::run_all_or_die(engine, specs);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    wall_by_scale.emplace_back(scale.nodes(), wall);
+
+    std::size_t idx = 0;
+    for (const ControlPlane& control : kControls) {
+      for ([[maybe_unused]] const auto routing : kRoutings) {
+        const runner::RunRecord& rec = records.at(idx++);
+        const auto& qos = *rec.result.qos;
+        Cell c;
+        c.nodes = scale.nodes();
+        c.routing = rec.result.label;
+        c.control = control.name;
+        c.offered = rec.metric("offered");
+        c.completed = rec.metric("completed");
+        c.throughput = rec.result.throughput;
+        c.p50_s = qos.p50_latency_s;
+        c.p95_s = qos.p95_latency_s;
+        c.p99_s = qos.p99_latency_s;
+        c.good_pct = 100 * qos.good_fraction();
+        c.peak_sensor_c = rec.metric("fleet_peak_sensor_c");
+        c.peak_exact_c = rec.metric("fleet_peak_exact_c");
+        c.mean_sensor_c = rec.metric("fleet_mean_sensor_c");
+        c.peak_inlet_c = rec.metric("fleet_peak_inlet_c");
+        c.energy_j = rec.metric("energy_j");
+        c.drains = rec.metric("drains");
+        c.racks = rec.metric("racks");
+        cells.push_back(c);
+
+        std::vector<std::string> row = {
+            trace::fmt("%zu", c.nodes), c.routing, c.control,
+            trace::fmt("%.0f", c.offered), trace::fmt("%.0f", c.completed),
+            trace::fmt("%.10g", c.throughput), trace::fmt("%.10g", c.p50_s),
+            trace::fmt("%.10g", c.p95_s), trace::fmt("%.10g", c.p99_s),
+            trace::fmt("%.10g", c.good_pct),
+            trace::fmt("%.10g", c.peak_sensor_c),
+            trace::fmt("%.10g", c.peak_exact_c),
+            trace::fmt("%.10g", c.mean_sensor_c),
+            trace::fmt("%.10g", c.peak_inlet_c),
+            trace::fmt("%.10g", c.energy_j), trace::fmt("%.0f", c.drains),
+            trace::fmt("%.0f", c.racks)};
+        for (const std::string& v : bench::stability_values(rec)) {
+          row.push_back(v);
+        }
+        csv.write_row(row);
+        table.add_row({trace::fmt("%zu", c.nodes), c.routing, c.control,
+                       trace::fmt("%9.1f", c.throughput),
+                       trace::fmt("%.4f", c.p99_s),
+                       trace::fmt("%5.1f", c.good_pct),
+                       trace::fmt("%5.1f", c.peak_exact_c),
+                       trace::fmt("%5.1f", c.peak_inlet_c),
+                       trace::fmt("%6.1f", c.energy_j / 1000.0),
+                       trace::fmt("%4.0f", c.drains)});
+      }
+    }
+    std::printf("  %zu-node day swept in %.1f s wall\n", scale.nodes(), wall);
+  }
+  table.print(std::cout);
+
+  // Acceptance: thermal-aware routing + governors beats the round-robin
+  // open-loop baseline on fleet peak temperature at equal-or-better p99.
+  struct Win {
+    const Cell* candidate;
+    const Cell* baseline;
+  };
+  std::vector<Win> wins;
+  for (const Cell& g : cells) {
+    if (g.control != "governed" || g.routing == "round-robin") continue;
+    for (const Cell& b : cells) {
+      if (b.control != "open-loop" || b.routing != "round-robin" ||
+          b.nodes != g.nodes) {
+        continue;
+      }
+      if (g.peak_exact_c < b.peak_exact_c && g.p99_s <= b.p99_s) {
+        wins.push_back({&g, &b});
+      }
+    }
+  }
+
+  std::printf("\nthermal-aware + governed wins vs round-robin open-loop: "
+              "%zu\n", wins.size());
+  for (const Win& w : wins) {
+    std::printf("  %zu nodes, %s/governed: peak %.2f C vs %.2f C, "
+                "p99 %.4f s vs %.4f s\n",
+                w.candidate->nodes, w.candidate->routing.c_str(),
+                w.candidate->peak_exact_c, w.baseline->peak_exact_c,
+                w.candidate->p99_s, w.baseline->p99_s);
+  }
+
+  const long rss_kb = peak_rss_kb();
+  std::printf("peak RSS: %.1f MB\n", static_cast<double>(rss_kb) / 1024.0);
+
+  const char* env = std::getenv("DIMETRODON_BENCH_JSON");
+  const std::string json_path =
+      (env != nullptr && *env) ? env : "BENCH_fleet.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"dimetrodon-bench-fleet v1\",\n"
+               "  \"per_node_rps\": %.0f,\n"
+               "  \"peak_rss_kb\": %ld,\n"
+               "  \"scales\": [\n",
+               kPerNodeRps, rss_kb);
+  for (std::size_t s = 0; s < wall_by_scale.size(); ++s) {
+    const auto& [nodes, wall] = wall_by_scale[s];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"wall_seconds\": %.3f, \"cells\": [\n",
+                 nodes, wall);
+    bool first = true;
+    for (const Cell& c : cells) {
+      if (c.nodes != nodes) continue;
+      if (!first) std::fprintf(f, ",\n");
+      first = false;
+      std::fprintf(
+          f,
+          "      {\"routing\": \"%s\", \"control\": \"%s\", "
+          "\"offered\": %.0f, \"throughput_rps\": %.10g, \"p99_s\": %.10g, "
+          "\"good_pct\": %.10g, \"peak_sensor_c\": %.10g, "
+          "\"peak_exact_c\": %.10g, \"peak_inlet_c\": %.10g, "
+          "\"energy_j\": %.10g, \"drains\": %.0f}",
+          c.routing.c_str(), c.control.c_str(), c.offered, c.throughput,
+          c.p99_s, c.good_pct, c.peak_sensor_c, c.peak_exact_c,
+          c.peak_inlet_c, c.energy_j, c.drains);
+    }
+    std::fprintf(f, "\n    ]}%s\n",
+                 s + 1 < wall_by_scale.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"acceptance\": {\n"
+               "    \"thermal_aware_governed_wins\": %zu\n"
+               "  }\n"
+               "}\n",
+               wins.size());
+  std::fclose(f);
+
+  std::printf("wrote %s and %s\n",
+              bench::csv_path("fig9_fleet_scale.csv").c_str(),
+              json_path.c_str());
+
+  if (wins.empty()) {
+    std::fprintf(stderr,
+                 "[bench] acceptance FAILED: no thermal-aware governed cell "
+                 "beat round-robin open-loop on peak temp at equal-or-better "
+                 "p99\n");
+    return 1;
+  }
+  return 0;
+}

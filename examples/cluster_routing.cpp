@@ -9,31 +9,31 @@
 // thermal management by *placement* instead of idle injection.
 #include <cstdio>
 
-#include "cluster/cluster.hpp"
+#include "cluster/fleet_spec.hpp"
 
 using namespace dimetrodon;
 
 namespace {
 
 void run_policy(cluster::PolicyKind kind) {
-  cluster::ClusterConfig config;
-  config.machine.enable_meter = false;
-  config.offered_load_rps = 1500.0;
-  config.telemetry_period = sim::from_ms(10);
-  config.nodes.clear();
-  // A good, a mediocre, and a bad rack position; the operator compensates
-  // for the bad one with idle injection (p=0.4), taxing its capacity.
-  const double fans[] = {1.0, 0.75, 0.55};
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  // A good, a mediocre, and a bad rack position (fans 1.00/0.775/0.55 via
+  // the cooling gradient); the operator compensates for the bad one with
+  // idle injection (p=0.4), taxing its capacity.
+  const double fans[] = {1.0, 0.775, 0.55};
   const double inject[] = {0.0, 0.0, 0.4};
-  for (int i = 0; i < 3; ++i) {
-    cluster::NodeSpec node;
-    node.fan_speed_fraction = fans[i];
-    node.injection_probability = inject[i];
-    config.nodes.push_back(node);
-  }
+  auto spec = cluster::FleetSpec::racks(1)
+                  .nodes_per_rack(3)
+                  .with_machine(machine)
+                  .with_cooling(1.0, 0.55)
+                  .with_load(1500.0)
+                  .with_telemetry(sim::from_ms(10))
+                  .with_policy(kind)
+                  .override_position(2, {.injection_probability = 0.4});
 
-  cluster::Cluster fleet(config, cluster::make_policy(kind));
-  const cluster::ClusterResult r = fleet.run(sim::from_sec(15));
+  auto fleet = spec.make_cluster();
+  const cluster::ClusterResult r = fleet->run(sim::from_sec(15));
 
   std::printf("\n--- %s ---\n", r.policy.c_str());
   std::printf("  %-6s %-6s %-6s %10s %10s %8s\n", "node", "fan", "p_inj",

@@ -45,9 +45,11 @@ bool any_core_throttling(const sched::Machine& m) {
 Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
     : config_(std::move(config)),
       balancer_(std::move(balancer)),
-      source_(config_.seed, kSourceStream, config_.offered_load_rps) {
+      source_(config_.seed, kSourceStream, config_.offered_load_rps,
+              config_.traffic) {
   if (config_.nodes.empty()) {
-    throw std::invalid_argument("cluster needs at least one node");
+    throw std::invalid_argument(
+        "cluster needs at least one node (build the fleet with FleetSpec)");
   }
   if (balancer_ == nullptr) {
     throw std::invalid_argument("cluster needs a load balancer");
@@ -59,15 +61,58 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
     tracer_.attach(config_.trace_sink_factory());
   }
 
-  nodes_.reserve(config_.nodes.size());
-  for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+  const std::size_t n = config_.nodes.size();
+  const RackParams& rack = config_.rack;
+  const std::size_t per_rack = rack.enabled() ? rack.nodes_per_rack : n;
+  const std::size_t num_racks = rack.enabled() ? (n + per_rack - 1) / per_rack
+                                               : 0;
+
+  sensor_temp_c_.assign(n, 0.0);
+  outstanding_.assign(n, 0);
+  injection_probability_.assign(n, 0.0);
+  draining_.assign(n, 0);
+  rack_of_.assign(n, 0);
+  routable_.reserve(n);
+
+  // Rack air network: one fixed CRAC supply node, one air node per rack tied
+  // to it, optional chain coupling between adjacent racks.
+  thermal::NodeId crac = 0;
+  if (rack.enabled()) {
+    crac = rack_air_.add_fixed_node("crac", rack.crac_supply_c);
+    rack_air_node_.reserve(num_racks);
+    for (std::size_t r = 0; r < num_racks; ++r) {
+      const thermal::NodeId air = rack_air_.add_node(
+          "rack" + std::to_string(r), rack.air_capacitance_j_per_c,
+          rack.crac_supply_c);
+      rack_air_.connect_r(air, crac, rack.to_crac_resistance_c_per_w);
+      if (r > 0 && rack.adjacent_resistance_c_per_w > 0.0) {
+        rack_air_.connect_r(air, rack_air_node_[r - 1],
+                            rack.adjacent_resistance_c_per_w);
+      }
+      rack_air_node_.push_back(air);
+    }
+    rack_power_w_.assign(num_racks, 0.0);
+    fleet_peak_inlet_c_ = rack.crac_supply_c;
+  } else {
+    fleet_peak_inlet_c_ = config_.machine.floorplan.ambient_c;
+  }
+
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const NodeSpec& spec = config_.nodes[i];
     Node node;
 
     sched::MachineConfig mc = config_.machine;
     mc.floorplan.fan_speed_fraction = spec.fan_speed_fraction;
+    if (rack.enabled()) {
+      // Every inlet starts at the CRAC supply; the rack layer takes over
+      // from the first telemetry sweep.
+      mc.floorplan.ambient_c = rack.crac_supply_c;
+      rack_of_[i] = i / per_rack;
+    }
     mc.seed = sim::derive_stream_seed(config_.seed, i + 1);
     node.machine = std::make_unique<sched::Machine>(mc);
+    node.last_energy_j = node.machine->energy().total_joules();
 
     node.web = std::make_unique<workload::WebWorkload>(config_.web);
     node.web->deploy(*node.machine);
@@ -100,8 +145,7 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
                                       spec.injection_quantum);
     }
 
-    node.view.id = i;
-    node.view.injection_probability = spec.injection_probability;
+    injection_probability_[i] = spec.injection_probability;
     nodes_.push_back(std::move(node));
   }
 
@@ -112,60 +156,126 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
 
 Cluster::~Cluster() = default;
 
+double Cluster::rack_inlet_c(std::size_t r) const {
+  return rack_air_.temperature(rack_air_node_.at(r));
+}
+
+FleetView Cluster::fleet_view() const {
+  FleetView v;
+  v.num_nodes = nodes_.size();
+  v.sensor_temp_c = sensor_temp_c_.data();
+  v.outstanding = outstanding_.data();
+  v.injection_probability = injection_probability_.data();
+  v.draining = draining_.data();
+  v.routable = routable_.data();
+  v.routable_count = routable_.size();
+  return v;
+}
+
 void Cluster::advance_all(sim::SimTime t) {
   // Fixed node order: the machines are independent simulations, so the order
   // cannot change any machine's behavior — but it pins the order of
-  // completion callbacks (and thus histogram insertion), keeping the
-  // fleet-wide stats bit-reproducible too.
-  for (Node& node : nodes_) node.machine->run_until(t);
-  now_ = t;
+  // completion callbacks, keeping the fleet-wide stats bit-reproducible too.
+  for (Node& node : nodes_) {
+    node.machine->run_until(t);
+    ++machine_advances_;
+  }
 }
 
 void Cluster::sample_telemetry(sim::SimTime t) {
   double fleet_mean = 0.0;
-  for (Node& node : nodes_) {
+  double hottest_quantized = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = nodes_[i];
     sched::Machine& m = *node.machine;
     const double mean_c = m.mean_sensor_temp();
     // The balancer sees whole degrees, like the per-core sensors themselves:
-    // averaging the four quantized cores would leak 0.25 C resolution the
+    // averaging the quantized cores would leak sub-degree resolution the
     // hardware doesn't offer, and the coarser view doubles as herd
-    // protection (1 C ties fall through to the outstanding-count
-    // tie-break).
-    node.view.sensor_temp_c = std::floor(mean_c);
+    // protection (1 C ties fall through to the outstanding-count tie-break).
+    sensor_temp_c_[i] = std::floor(mean_c);
     node.temp_avg.add(mean_c);
     node.stats.mean_sensor_c = node.temp_avg.mean();
-    node.stats.peak_sensor_c =
-        std::max(node.stats.peak_sensor_c, hottest_sensor_c(m));
+    const double hot_sensor = hottest_sensor_c(m);
+    hottest_quantized = std::max(hottest_quantized, hot_sensor);
+    node.stats.peak_sensor_c = std::max(node.stats.peak_sensor_c, hot_sensor);
     fleet_peak_sensor_c_ =
         std::max(fleet_peak_sensor_c_, node.stats.peak_sensor_c);
     fleet_peak_exact_c_ = std::max(fleet_peak_exact_c_, hottest_die_c(m));
     fleet_mean += mean_c;
 
     const bool throttling = any_core_throttling(m);
-    if (throttling != node.view.draining) {
-      node.view.draining = throttling;
+    if (throttling != (draining_[i] != 0)) {
+      draining_[i] = throttling ? 1 : 0;
       if (throttling) ++node.stats.drains;
-      tracer_.node_drain(t, static_cast<std::uint32_t>(node.view.id),
-                         throttling, hottest_die_c(m));
+      tracer_.node_drain(t, static_cast<std::uint32_t>(i), throttling,
+                         hottest_die_c(m));
     }
   }
   fleet_temp_avg_.add(fleet_mean / static_cast<double>(nodes_.size()));
+  // One batched interaction point for the whole sweep — the fleet emits a
+  // single trace event per period, not one per node.
+  tracer_.fleet_sample(t, static_cast<std::uint32_t>(nodes_.size()),
+                       hottest_quantized);
+  if (config_.rack.enabled()) update_rack_layer(t);
+  rebuild_routable();
+}
+
+void Cluster::update_rack_layer(sim::SimTime t) {
+  const double dt = sim::to_sec(t - last_rack_update_);
+  if (dt <= 0.0) return;
+  last_rack_update_ = t;
+
+  // Measured per-rack dissipation over the elapsed span (energy delta), of
+  // which a recirculation fraction heats the rack's air volume.
+  std::fill(rack_power_w_.begin(), rack_power_w_.end(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double e = nodes_[i].machine->energy().total_joules();
+    rack_power_w_[rack_of_[i]] += (e - nodes_[i].last_energy_j) / dt;
+    nodes_[i].last_energy_j = e;
+  }
+  for (std::size_t r = 0; r < rack_air_node_.size(); ++r) {
+    rack_air_.set_power(rack_air_node_[r],
+                        rack_power_w_[r] * config_.rack.recirculation_fraction);
+  }
+  rack_air_.step(dt);
+
+  // Write each rack's air temperature into its members' inlet: the machines'
+  // ambient nodes are *fixed* (boundary) nodes, so this re-aims the boundary
+  // term of the closed-form propagator without invalidating its cached
+  // operators.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    sched::Machine& m = *nodes_[i].machine;
+    const double inlet = rack_air_.temperature(rack_air_node_[rack_of_[i]]);
+    m.thermal_network().set_temperature(m.thermal_nodes().ambient, inlet);
+  }
+  for (std::size_t r = 0; r < rack_air_node_.size(); ++r) {
+    fleet_peak_inlet_c_ =
+        std::max(fleet_peak_inlet_c_, rack_air_.temperature(rack_air_node_[r]));
+  }
+}
+
+void Cluster::rebuild_routable() {
+  routable_.clear();
+  for (std::size_t i = 0; i < draining_.size(); ++i) {
+    if (draining_[i] == 0) routable_.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (routable_.empty()) {  // whole fleet tripped: route anyway, drop nothing
+    for (std::size_t i = 0; i < draining_.size(); ++i) {
+      routable_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
 }
 
 void Cluster::route(sim::SimTime t) {
-  std::vector<NodeView> views;
-  views.reserve(nodes_.size());
-  for (const Node& node : nodes_) {
-    if (!node.view.draining) views.push_back(node.view);
-  }
-  if (views.empty()) {  // whole fleet tripped: route anyway, drop nothing
-    for (const Node& node : nodes_) views.push_back(node.view);
-  }
-
-  const std::size_t id = balancer_->pick(views);
+  const std::size_t id = balancer_->pick(fleet_view());
   Node& node = nodes_.at(id);
+  // Lazy advancement: only the routed-to node catches up to the arrival
+  // time; the rest of the fleet stays where the last sweep left it.
+  node.machine->run_until(t);
+  ++machine_advances_;
   const std::uint32_t rid = next_request_id_++;
-  ++node.view.outstanding;
+  ++outstanding_[id];
   ++node.stats.routed;
   tracer_.request_routed(t, static_cast<std::uint32_t>(id), rid);
   node.web->inject_request(rid);
@@ -174,7 +284,7 @@ void Cluster::route(sim::SimTime t) {
 void Cluster::on_complete(std::size_t node_id, std::uint32_t id,
                           double latency_s) {
   Node& node = nodes_.at(node_id);
-  if (node.view.outstanding > 0) --node.view.outstanding;
+  if (outstanding_[node_id] > 0) --outstanding_[node_id];
   ++node.stats.completed;
   ++completed_;
 
@@ -195,11 +305,14 @@ void Cluster::on_complete(std::size_t node_id, std::uint32_t id,
 
 ClusterResult Cluster::run(sim::SimTime duration) {
   const sim::SimTime end = now_ + duration;
+  // Two pending timeline events, whatever the fleet size: the next arrival
+  // and the next telemetry sweep.
   while (true) {
     const sim::SimTime t = std::min(next_arrival_, next_tick_);
     if (t > end) break;
-    advance_all(t);
+    now_ = t;
     if (t == next_tick_) {
+      advance_all(t);
       sample_telemetry(t);
       next_tick_ += config_.telemetry_period;
     }
@@ -208,6 +321,7 @@ ClusterResult Cluster::run(sim::SimTime duration) {
       next_arrival_ = source_.next();
     }
   }
+  now_ = end;
   advance_all(end);
   sample_telemetry(end);
 
@@ -230,6 +344,8 @@ ClusterResult Cluster::run(sim::SimTime duration) {
   r.fleet_peak_sensor_c = fleet_peak_sensor_c_;
   r.fleet_peak_exact_c = fleet_peak_exact_c_;
   r.fleet_mean_sensor_c = fleet_temp_avg_.mean();
+  r.fleet_peak_inlet_c = fleet_peak_inlet_c_;
+  r.num_racks = num_racks();
 
   r.nodes.reserve(nodes_.size());
   for (const Node& node : nodes_) {
@@ -242,10 +358,10 @@ ClusterResult Cluster::run(sim::SimTime duration) {
     if (node.driver) r.stability.merge_worst(node.driver->stability_metrics());
   }
   // Cluster-scope counters live only in the cluster's registry; fold in just
-  // those two fields (its requests_completed would double-count the
-  // machines').
+  // these fields (its requests_completed would double-count the machines').
   r.counters.requests_routed = tracer_.counters().requests_routed;
   r.counters.node_drains = tracer_.counters().node_drains;
+  r.counters.fleet_samples = tracer_.counters().fleet_samples;
   return r;
 }
 

@@ -15,6 +15,7 @@
 #include "core/controller.hpp"
 #include "obs/tracer.hpp"
 #include "sched/machine.hpp"
+#include "thermal/rc_network.hpp"
 #include "workload/web.hpp"
 
 namespace dimetrodon::cluster {
@@ -22,7 +23,8 @@ namespace dimetrodon::cluster {
 /// Per-node deviations from the cluster's base machine config. The fleet is
 /// deliberately heterogeneous: rack position and airflow give each node its
 /// own cooling quality, and operators tune Dimetrodon's injection intensity
-/// per node to match.
+/// per node to match. Node lists are normally produced by FleetSpec
+/// (fleet_spec.hpp), not written by hand.
 struct NodeSpec {
   /// Cooling quality (thermal::FloorplanParams::fan_speed_fraction). Lower
   /// means a worse rack position / weaker airflow, i.e. a hotter node at
@@ -41,6 +43,37 @@ struct NodeSpec {
   control::GovernorSpec governor{};
 };
 
+/// Rack/CRAC thermal layer: nodes are grouped `nodes_per_rack` at a time (in
+/// node-id order) and each rack's recirculated exhaust heats a shared air
+/// node, which in turn sets its member machines' inlet (ambient) temperature.
+/// The rack network is a first-order RC chain — one air node per rack, each
+/// tied to the fixed CRAC supply and optionally to its neighbors — stepped
+/// once per telemetry period from the fleet's measured dissipation, so the
+/// layer costs O(racks) per period regardless of fleet size.
+struct RackParams {
+  /// Nodes per rack, in node-id order (the last rack may be short).
+  /// 0 disables the rack layer entirely: inlets stay at the floorplan
+  /// ambient and racks are purely an id grouping.
+  std::size_t nodes_per_rack = 0;
+  /// CRAC supply temperature: the fixed boundary every rack air node
+  /// relaxes toward, and the fleet-wide inlet at t = 0.
+  double crac_supply_c = 25.2;
+  /// Heat capacity of one rack's recirculating air volume, J/°C. Small on
+  /// purpose: experiments compress a "day" into seconds, so the rack time
+  /// constant (capacitance * resistance) must settle within a run.
+  double air_capacitance_j_per_c = 150.0;
+  /// Thermal resistance from a rack's air node to the CRAC supply, °C/W.
+  double to_crac_resistance_c_per_w = 0.03;
+  /// Fraction of each node's dissipated power that recirculates into its
+  /// rack's air volume instead of being carried straight to the CRAC.
+  double recirculation_fraction = 0.3;
+  /// Inter-rack recirculation: thermal resistance between adjacent racks'
+  /// air nodes (hot aisle spillover). 0 leaves racks isolated.
+  double adjacent_resistance_c_per_w = 0.0;
+
+  bool enabled() const { return nodes_per_rack > 0; }
+};
+
 struct ClusterConfig {
   /// Base machine config shared by every node; NodeSpec fields override it
   /// per node. Node i's machine seed is derive_stream_seed(seed, i + 1).
@@ -51,22 +84,33 @@ struct ClusterConfig {
   /// balancer. Set connections > 0 to add per-node background load.
   workload::WebWorkload::Config web = open_loop_web();
 
-  std::vector<NodeSpec> nodes = {NodeSpec{}, NodeSpec{}, NodeSpec{},
-                                 NodeSpec{}};
+  /// One entry per node. Empty is invalid: fleets are built explicitly,
+  /// normally through FleetSpec.
+  std::vector<NodeSpec> nodes;
 
   /// Master seed: machines, the request source, and everything stochastic
   /// derive pure per-stream seeds from it.
   std::uint64_t seed = 0x5eed;
 
-  /// Offered load across the whole fleet, requests/second (Poisson).
+  /// Offered load across the whole fleet, requests/second (Poisson), shaped
+  /// by `traffic`.
   double offered_load_rps = 800.0;
 
-  /// Telemetry refresh period: how often the balancer's temperature views
-  /// are resampled and PROCHOT drain state is checked.
+  /// Time-varying load shape (diurnal curve, flash crowd). Defaults to
+  /// constant.
+  TrafficShape traffic{};
+
+  /// Telemetry refresh period: how often the fleet is swept — balancer
+  /// temperature views resampled, PROCHOT drain state checked, and the rack
+  /// thermal layer stepped — as ONE batched interaction point, not a
+  /// per-node event.
   sim::SimTime telemetry_period = sim::from_ms(50);
 
+  /// Rack/CRAC thermal coupling (disabled by default).
+  RackParams rack{};
+
   /// Optional cluster-scope trace sink (request_routed / node_drain /
-  /// request_complete events). Machine-scope sinks attach via
+  /// fleet_sample / request_complete events). Machine-scope sinks attach via
   /// `machine.trace_sink_factory` as usual.
   obs::SinkFactory trace_sink_factory;
 
@@ -108,10 +152,15 @@ struct ClusterResult {
   double fleet_peak_exact_c = 0.0;
   /// Time-and-node average of mean sensor temperature.
   double fleet_mean_sensor_c = 0.0;
+  /// Hottest rack inlet (rack air temperature) at any telemetry sample;
+  /// the CRAC supply temperature when the rack layer is disabled.
+  double fleet_peak_inlet_c = 0.0;
   std::uint64_t drains = 0;
+  std::size_t num_racks = 0;
   std::vector<NodeStats> nodes;
   /// Machine counters summed across nodes, plus the cluster-scope counters
-  /// (requests_routed, node_drains) from the cluster's own tracer.
+  /// (requests_routed, node_drains, fleet_samples) from the cluster's own
+  /// tracer.
   obs::CounterTotals counters;
   /// True energy consumed by the whole fleet over the run, joules.
   double total_energy_j = 0.0;
@@ -121,20 +170,34 @@ struct ClusterResult {
 };
 
 /// A fleet of N independent sched::Machine instances composed on one
-/// deterministic timeline. Each machine keeps its own simulator, thermal
-/// stack, and RNG streams; the cluster advances them in fixed node order to
-/// each global event time (request arrival or telemetry tick), so a run is a
-/// pure function of its config — bit-reproducible regardless of sweep
-/// parallelism.
+/// deterministic timeline, engineered to scale to 1000+ nodes:
 ///
-/// Request path: the Poisson RequestSource emits an arrival; the cluster
-/// builds the routable NodeViews (draining nodes excluded unless all drain);
-/// the LoadBalancer picks a node; the request is injected into that node's
-/// WebWorkload (same two-stage kernel/worker path as closed-loop traffic);
-/// on completion the node reports end-to-end latency back and the cluster
-/// streams it into a fleet-wide percentile histogram.
+///  * Per-node hot state (quantized temps, outstanding counts, injection
+///    duty, drain flags) lives in structure-of-arrays vectors; the balancer
+///    reads them through a borrowed FleetView, so routing an arrival is an
+///    allocation-free scan.
+///  * The cluster timeline carries exactly two pending events — the next
+///    arrival and the next telemetry sweep — regardless of fleet size;
+///    coordination state beyond that is the O(racks) thermal layer.
+///  * Machines advance lazily: an arrival advances only the routed-to node;
+///    the full fleet synchronizes once per telemetry period (and at run
+///    end), where the sweep is a single batched interaction point (one
+///    fleet_sample trace event). Balancer views are therefore stale by up to
+///    one period — exactly the staleness a real fleet scheduler faces.
+///  * Determinism: every machine is an independent simulation seeded by
+///    derive_stream_seed(seed, node + 1) (stream 0 is the request source),
+///    advanced in fixed order at sweeps; a run is a pure function of its
+///    config — bit-reproducible regardless of sweep thread count.
 ///
-/// PROCHOT failover: at every telemetry sample, a node with any physical
+/// Rack/CRAC: with RackParams enabled, each rack's measured dissipation
+/// (scaled by the recirculation fraction) feeds a per-rack air node; the air
+/// network is stepped once per telemetry period and the resulting rack air
+/// temperatures are written into member machines' fixed ambient nodes — a
+/// hot rack raises its members' (and, with adjacent coupling, its
+/// neighbors') inlet, closing the loop the paper's datacenter motivation
+/// describes.
+///
+/// PROCHOT failover: at every telemetry sweep, a node with any physical
 /// core's thermal monitor engaged is marked draining — it keeps serving its
 /// queue but receives no new requests until every core releases.
 class Cluster {
@@ -151,11 +214,35 @@ class Cluster {
 
   // --- observation (tests, examples) ---------------------------------------
   std::size_t num_nodes() const { return nodes_.size(); }
+  /// Number of racks (0 when the rack layer is disabled).
+  std::size_t num_racks() const { return rack_air_node_.size(); }
   sched::Machine& machine(std::size_t i) { return *nodes_.at(i).machine; }
   workload::WebWorkload& web(std::size_t i) { return *nodes_.at(i).web; }
-  bool draining(std::size_t i) const { return nodes_.at(i).view.draining; }
-  /// The balancer-visible view as of the last telemetry sample.
-  const NodeView& view(std::size_t i) const { return nodes_.at(i).view; }
+  bool draining(std::size_t i) const { return draining_.at(i) != 0; }
+  /// Balancer-visible quantized mean sensor temp as of the last sweep.
+  double sensor_temp_c(std::size_t i) const { return sensor_temp_c_.at(i); }
+  std::uint32_t outstanding(std::size_t i) const {
+    return outstanding_.at(i);
+  }
+  double injection_probability(std::size_t i) const {
+    return injection_probability_.at(i);
+  }
+  /// Rack index of node i (i / nodes_per_rack; 0 when the layer is off).
+  std::size_t rack_of(std::size_t i) const { return rack_of_.at(i); }
+  /// Current inlet (rack air) temperature of rack r. Requires the rack
+  /// layer; r < num_racks().
+  double rack_inlet_c(std::size_t r) const;
+  /// The SoA view the balancer sees right now (pointers borrow the
+  /// cluster's arrays; valid until the next sweep or route).
+  FleetView fleet_view() const;
+  /// Pending cluster-timeline events: always 2 (next arrival + next sweep),
+  /// independent of fleet size — the scaling invariant fleet_scale_test
+  /// pins. Rack state adds O(num_racks()) beyond this; nothing is O(nodes).
+  std::size_t timeline_entries() const { return 2; }
+  /// Total machine run_until interactions issued by the cluster. Lazy
+  /// advancement makes this ~ arrivals + nodes * sweeps, NOT
+  /// arrivals * nodes.
+  std::uint64_t machine_advances() const { return machine_advances_; }
   obs::Tracer& tracer() { return tracer_; }
   sim::SimTime now() const { return now_; }
 
@@ -167,13 +254,16 @@ class Cluster {
     // Declared after the controller/machine they reference: destroyed first.
     std::unique_ptr<control::InjectionArbiter> arbiter;
     std::unique_ptr<control::GovernorDriver> driver;
-    NodeView view;
     NodeStats stats;
     analysis::OnlineStats temp_avg;
+    /// Energy reading at the last rack-layer update (power = delta / dt).
+    double last_energy_j = 0.0;
   };
 
   void advance_all(sim::SimTime t);
   void sample_telemetry(sim::SimTime t);
+  void update_rack_layer(sim::SimTime t);
+  void rebuild_routable();
   void route(sim::SimTime t);
   void on_complete(std::size_t node, std::uint32_t id, double latency_s);
 
@@ -183,10 +273,25 @@ class Cluster {
   std::vector<Node> nodes_;
   obs::Tracer tracer_;
 
+  // SoA hot state, indexed by node id (see FleetView).
+  std::vector<double> sensor_temp_c_;
+  std::vector<std::uint32_t> outstanding_;
+  std::vector<double> injection_probability_;
+  std::vector<std::uint8_t> draining_;
+  std::vector<std::uint32_t> routable_;
+  std::vector<std::uint32_t> rack_of_;
+
+  // Rack/CRAC thermal layer (empty when disabled).
+  thermal::RcNetwork rack_air_;
+  std::vector<thermal::NodeId> rack_air_node_;
+  std::vector<double> rack_power_w_;  // per-sweep scratch
+  sim::SimTime last_rack_update_ = 0;
+
   sim::SimTime now_ = 0;
   sim::SimTime next_arrival_ = 0;
   sim::SimTime next_tick_ = 0;
   std::uint32_t next_request_id_ = 0;
+  std::uint64_t machine_advances_ = 0;
 
   // Fleet-wide accumulators.
   std::uint64_t completed_ = 0;
@@ -195,6 +300,7 @@ class Cluster {
   analysis::OnlineStats fleet_temp_avg_;
   double fleet_peak_sensor_c_ = 0.0;
   double fleet_peak_exact_c_ = 0.0;
+  double fleet_peak_inlet_c_ = 0.0;
 };
 
 }  // namespace dimetrodon::cluster

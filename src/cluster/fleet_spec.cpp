@@ -1,0 +1,196 @@
+#include "cluster/fleet_spec.hpp"
+
+#include <stdexcept>
+
+namespace dimetrodon::cluster {
+
+namespace {
+
+void apply(NodeSpec& n, const NodeOverride& o) {
+  if (o.fan_speed_fraction) n.fan_speed_fraction = *o.fan_speed_fraction;
+  if (o.injection_probability) {
+    n.injection_probability = *o.injection_probability;
+  }
+  if (o.injection_quantum) n.injection_quantum = *o.injection_quantum;
+  if (o.governor) n.governor = *o.governor;
+}
+
+}  // namespace
+
+FleetSpec FleetSpec::racks(std::size_t count) {
+  FleetSpec s;
+  s.racks_ = count;
+  return s;
+}
+
+FleetSpec& FleetSpec::nodes_per_rack(std::size_t m) {
+  per_rack_ = m;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_machine(const sched::MachineConfig& machine) {
+  machine_ = machine;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_web(const workload::WebWorkload::Config& web) {
+  web_ = web;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_cooling(double bottom_fan, double top_fan) {
+  fan_bottom_ = bottom_fan;
+  fan_top_ = top_fan;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_injection(double p, sim::SimTime quantum) {
+  injection_p_ = p;
+  injection_gradient_ = false;
+  injection_quantum_ = quantum;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_injection_gradient(double top_p,
+                                              sim::SimTime quantum) {
+  injection_p_ = top_p;
+  injection_gradient_ = true;
+  injection_quantum_ = quantum;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_governor(const control::GovernorSpec& governor) {
+  governor_ = governor;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_crac(const RackParams& rack) {
+  crac_ = rack;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_load(double rps) {
+  load_rps_ = rps;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_traffic(const TrafficShape& shape) {
+  traffic_ = shape;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_telemetry(sim::SimTime period) {
+  telemetry_ = period;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_trace_sink(obs::SinkFactory factory) {
+  sink_ = std::move(factory);
+  return *this;
+}
+
+FleetSpec& FleetSpec::with_policy(PolicyKind kind,
+                                  double injection_threshold) {
+  policy_ = kind;
+  injection_threshold_ = injection_threshold;
+  return *this;
+}
+
+FleetSpec& FleetSpec::for_duration(sim::SimTime duration) {
+  duration_ = duration;
+  return *this;
+}
+
+FleetSpec& FleetSpec::group(std::size_t first_rack, std::size_t count,
+                            const NodeOverride& o) {
+  group_overrides_.push_back({first_rack, count, o});
+  return *this;
+}
+
+FleetSpec& FleetSpec::override_position(std::size_t pos,
+                                        const NodeOverride& o) {
+  position_overrides_.push_back({pos, o});
+  return *this;
+}
+
+ClusterConfig FleetSpec::config() const {
+  if (racks_ == 0) throw std::invalid_argument("fleet needs >= 1 rack");
+  if (per_rack_ == 0) {
+    throw std::invalid_argument("fleet needs >= 1 node per rack");
+  }
+  if (fan_bottom_ <= 0.0 || fan_bottom_ > 1.0 || fan_top_ <= 0.0 ||
+      fan_top_ > 1.0) {
+    throw std::invalid_argument("fan speed fractions must lie in (0, 1]");
+  }
+  if (injection_p_ < 0.0 || injection_p_ > 1.0) {
+    throw std::invalid_argument("injection probability must lie in [0, 1]");
+  }
+  for (const GroupOverride& g : group_overrides_) {
+    if (g.first_rack + g.count > racks_) {
+      throw std::invalid_argument("group override exceeds the rack range");
+    }
+  }
+  for (const PositionOverride& p : position_overrides_) {
+    if (p.pos >= per_rack_) {
+      throw std::invalid_argument("position override exceeds nodes_per_rack");
+    }
+  }
+
+  ClusterConfig cc;
+  cc.machine = machine_;
+  cc.web = web_;
+  cc.seed = seed_ ? *seed_ : machine_.seed;
+  cc.offered_load_rps = load_rps_;
+  cc.traffic = traffic_;
+  cc.telemetry_period = telemetry_;
+  cc.trace_sink_factory = sink_;
+  if (crac_) {
+    cc.rack = *crac_;
+    cc.rack.nodes_per_rack = per_rack_;
+  }
+
+  cc.nodes.resize(racks_ * per_rack_);
+  const double denom =
+      per_rack_ > 1 ? static_cast<double>(per_rack_ - 1) : 1.0;
+  for (std::size_t r = 0; r < racks_; ++r) {
+    for (std::size_t pos = 0; pos < per_rack_; ++pos) {
+      NodeSpec& n = cc.nodes[r * per_rack_ + pos];
+      const double frac = static_cast<double>(pos) / denom;
+      n.fan_speed_fraction = fan_bottom_ + (fan_top_ - fan_bottom_) * frac;
+      n.injection_probability =
+          injection_gradient_ ? injection_p_ * frac : injection_p_;
+      n.injection_quantum = injection_quantum_;
+      if (governor_) n.governor = *governor_;
+      for (const GroupOverride& g : group_overrides_) {
+        if (r >= g.first_rack && r < g.first_rack + g.count) apply(n, g.o);
+      }
+      for (const PositionOverride& p : position_overrides_) {
+        if (p.pos == pos) apply(n, p.o);
+      }
+    }
+  }
+  return cc;
+}
+
+ClusterRunSpec FleetSpec::build() const {
+  ClusterRunSpec spec;
+  spec.cluster = config();
+  spec.policy = policy_;
+  spec.injection_threshold = injection_threshold_;
+  spec.duration = duration_;
+  return spec;
+}
+
+runner::RunSpec FleetSpec::run_spec() const { return to_run_spec(build()); }
+
+std::unique_ptr<Cluster> FleetSpec::make_cluster() const {
+  return std::make_unique<Cluster>(config(),
+                                   make_policy(policy_, injection_threshold_));
+}
+
+}  // namespace dimetrodon::cluster

@@ -7,54 +7,53 @@ namespace dimetrodon::cluster {
 
 namespace {
 
-/// Tie-break chain shared by the stateful policies: fewer outstanding, then
-/// cooler, then lower id. Total and deterministic.
-bool less_loaded(const NodeView& a, const NodeView& b) {
-  if (a.outstanding != b.outstanding) return a.outstanding < b.outstanding;
-  if (a.sensor_temp_c != b.sensor_temp_c) {
-    return a.sensor_temp_c < b.sensor_temp_c;
+/// Tie-break chains shared by the stateful policies, over SoA node ids:
+/// fewer outstanding, then cooler, then lower id. The routable list is
+/// scanned in ascending id order and a candidate only displaces the
+/// incumbent on strictly-better, so the final id tie-break is implicit.
+bool less_loaded(const FleetView& f, std::uint32_t a, std::uint32_t b) {
+  if (f.outstanding[a] != f.outstanding[b]) {
+    return f.outstanding[a] < f.outstanding[b];
   }
-  return a.id < b.id;
+  return f.sensor_temp_c[a] < f.sensor_temp_c[b];
 }
 
-bool cooler(const NodeView& a, const NodeView& b) {
-  if (a.sensor_temp_c != b.sensor_temp_c) {
-    return a.sensor_temp_c < b.sensor_temp_c;
+bool cooler(const FleetView& f, std::uint32_t a, std::uint32_t b) {
+  if (f.sensor_temp_c[a] != f.sensor_temp_c[b]) {
+    return f.sensor_temp_c[a] < f.sensor_temp_c[b];
   }
-  if (a.outstanding != b.outstanding) return a.outstanding < b.outstanding;
-  return a.id < b.id;
+  return f.outstanding[a] < f.outstanding[b];
 }
 
-/// Cycle node ids in increasing order, skipping nodes that dropped out of the
-/// routable set (drained) without disturbing the rotation for the rest.
+/// Cycle node ids in increasing order, skipping nodes that dropped out of
+/// the routable set (drained) without disturbing the rotation for the rest.
+/// The routable list is sorted, so one binary search finds the successor —
+/// the only O(log n) policy; the others are single linear scans.
 class RoundRobin final : public LoadBalancer {
  public:
   const char* name() const override { return "round-robin"; }
-  std::size_t pick(const std::vector<NodeView>& views) override {
-    const NodeView* best = nullptr;
-    const NodeView* lowest = nullptr;
-    for (const NodeView& v : views) {
-      if (lowest == nullptr || v.id < lowest->id) lowest = &v;
-      if (v.id > last_ && (best == nullptr || v.id < best->id)) best = &v;
-    }
-    const NodeView& chosen = best != nullptr ? *best : *lowest;  // wrap
-    last_ = chosen.id;
-    return chosen.id;
+  std::size_t pick(const FleetView& fleet) override {
+    const std::uint32_t* end = fleet.routable + fleet.routable_count;
+    const std::uint32_t* it = std::upper_bound(fleet.routable, end, last_);
+    const std::uint32_t chosen = it != end ? *it : fleet.routable[0];  // wrap
+    last_ = chosen;
+    return chosen;
   }
 
  private:
-  std::size_t last_ = static_cast<std::size_t>(-1);
+  std::uint32_t last_ = static_cast<std::uint32_t>(-1);
 };
 
 class LeastOutstanding final : public LoadBalancer {
  public:
   const char* name() const override { return "least-outstanding"; }
-  std::size_t pick(const std::vector<NodeView>& views) override {
-    const NodeView* best = &views.front();
-    for (const NodeView& v : views) {
-      if (less_loaded(v, *best)) best = &v;
+  std::size_t pick(const FleetView& fleet) override {
+    std::uint32_t best = fleet.routable[0];
+    for (std::size_t i = 1; i < fleet.routable_count; ++i) {
+      const std::uint32_t id = fleet.routable[i];
+      if (less_loaded(fleet, id, best)) best = id;
     }
-    return best->id;
+    return best;
   }
 };
 
@@ -64,12 +63,13 @@ class LeastOutstanding final : public LoadBalancer {
 class CoolestNode final : public LoadBalancer {
  public:
   const char* name() const override { return "coolest-node"; }
-  std::size_t pick(const std::vector<NodeView>& views) override {
-    const NodeView* best = &views.front();
-    for (const NodeView& v : views) {
-      if (cooler(v, *best)) best = &v;
+  std::size_t pick(const FleetView& fleet) override {
+    std::uint32_t best = fleet.routable[0];
+    for (std::size_t i = 1; i < fleet.routable_count; ++i) {
+      const std::uint32_t id = fleet.routable[i];
+      if (cooler(fleet, id, best)) best = id;
     }
-    return best->id;
+    return best;
   }
 };
 
@@ -85,34 +85,37 @@ class InjectionAware final : public LoadBalancer {
  public:
   explicit InjectionAware(double threshold) : threshold_(threshold) {}
   const char* name() const override { return "injection-aware"; }
-  std::size_t pick(const std::vector<NodeView>& views) override {
-    const NodeView* best = nullptr;
-    double best_score = 0.0;
-    for (const NodeView& v : views) {
-      const double score =
-          static_cast<double>(v.outstanding) / capacity(v);
-      if (best == nullptr || score < best_score ||
-          (score == best_score && prefer(v, *best))) {
-        best = &v;
-        best_score = score;
+  std::size_t pick(const FleetView& fleet) override {
+    std::uint32_t best = fleet.routable[0];
+    double best_score = score(fleet, best);
+    for (std::size_t i = 1; i < fleet.routable_count; ++i) {
+      const std::uint32_t id = fleet.routable[i];
+      const double s = score(fleet, id);
+      if (s < best_score || (s == best_score && prefer(fleet, id, best))) {
+        best = id;
+        best_score = s;
       }
     }
-    return best->id;
+    return best;
   }
 
  private:
-  double capacity(const NodeView& v) const {
-    if (v.injection_probability <= threshold_) return 1.0;
+  double capacity(const FleetView& f, std::uint32_t id) const {
+    if (f.injection_probability[id] <= threshold_) return 1.0;
     // Injection leaves the node ~(1 - p) of its cycles; floor the weight so
     // a p ~ 1 node still scores finitely.
-    return std::max(0.05, 1.0 - v.injection_probability);
+    return std::max(0.05, 1.0 - f.injection_probability[id]);
   }
 
-  bool prefer(const NodeView& a, const NodeView& b) const {
-    const bool a_light = a.injection_probability <= threshold_;
-    const bool b_light = b.injection_probability <= threshold_;
+  double score(const FleetView& f, std::uint32_t id) const {
+    return static_cast<double>(f.outstanding[id]) / capacity(f, id);
+  }
+
+  bool prefer(const FleetView& f, std::uint32_t a, std::uint32_t b) const {
+    const bool a_light = f.injection_probability[a] <= threshold_;
+    const bool b_light = f.injection_probability[b] <= threshold_;
     if (a_light != b_light) return a_light;
-    return cooler(a, b);
+    return cooler(f, a, b);
   }
 
   double threshold_;

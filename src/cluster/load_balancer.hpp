@@ -3,30 +3,38 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 namespace dimetrodon::cluster {
 
-/// What the load balancer is allowed to see about a node: the operational
-/// telemetry a fleet scheduler would actually have. Temperatures are the
-/// node's *quantized* coretemp readings (1 C resolution), refreshed at the
-/// cluster's telemetry period — not the continuous model state — so routing
-/// decisions face the same sensor coarseness the paper's controller does.
-struct NodeView {
-  std::size_t id = 0;
-  /// Mean of the node's quantized per-core sensor readings at the last
-  /// telemetry sample (stale by up to one period).
-  double sensor_temp_c = 0.0;
+/// What the load balancer is allowed to see about the fleet: the operational
+/// telemetry a datacenter scheduler would actually have, in structure-of-
+/// arrays form so a 1000-node pick is a few cache-line streams instead of a
+/// per-arrival vector of per-node structs. All pointers borrow the cluster's
+/// persistent arrays — a view is built in O(1) and never allocates.
+///
+/// Temperatures are the node's *quantized* coretemp readings (1 C
+/// resolution), refreshed at the cluster's telemetry period — not the
+/// continuous model state — so routing decisions face the same sensor
+/// coarseness the paper's controller does.
+struct FleetView {
+  std::size_t num_nodes = 0;
+  /// Mean quantized sensor reading per node at the last telemetry sample
+  /// (stale by up to one period). Indexed by node id.
+  const double* sensor_temp_c = nullptr;
   /// Requests routed to the node and not yet completed. Exact and current:
   /// this is the balancer's own bookkeeping, not sampled telemetry.
-  std::size_t outstanding = 0;
+  const std::uint32_t* outstanding = nullptr;
   /// The node's configured idle-injection probability (its preventive
   /// thermal-management intensity, known fleet-wide as configuration).
-  double injection_probability = 0.0;
-  /// PROCHOT failover: the node tripped its thermal monitor and is being
-  /// drained. Draining nodes are excluded from routing unless every node is
-  /// draining (shedding load entirely would drop requests on the floor).
-  bool draining = false;
+  const double* injection_probability = nullptr;
+  /// PROCHOT failover flag (0/1): the node tripped its thermal monitor and
+  /// is being drained.
+  const std::uint8_t* draining = nullptr;
+  /// Ids of the currently routable nodes, strictly ascending, never empty.
+  /// Draining nodes are excluded unless every node is draining (shedding
+  /// load entirely would drop requests on the floor).
+  const std::uint32_t* routable = nullptr;
+  std::size_t routable_count = 0;
 };
 
 enum class PolicyKind : std::uint8_t {
@@ -38,15 +46,15 @@ enum class PolicyKind : std::uint8_t {
 
 const char* policy_name(PolicyKind kind);
 
-/// Routing policy interface. `pick` receives the views of the currently
-/// routable nodes (never empty) and returns the chosen node id. Policies may
-/// keep internal state (e.g. a round-robin cursor) but must be deterministic:
-/// the same view sequence yields the same decisions.
+/// Routing policy interface. `pick` scans the routable id list (never empty)
+/// and returns the chosen node id. Policies may keep internal state (e.g. a
+/// round-robin cursor) but must be deterministic: the same view sequence
+/// yields the same decisions.
 class LoadBalancer {
  public:
   virtual ~LoadBalancer() = default;
   virtual const char* name() const = 0;
-  virtual std::size_t pick(const std::vector<NodeView>& views) = 0;
+  virtual std::size_t pick(const FleetView& fleet) = 0;
 };
 
 /// `injection_threshold` only affects kInjectionAware: nodes whose injection

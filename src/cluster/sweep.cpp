@@ -1,63 +1,61 @@
 #include "cluster/sweep.hpp"
 
-#include <cstdio>
+#include "sim/canon.hpp"
 
 namespace dimetrodon::cluster {
 
-namespace {
-
-void put(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%a ", key, v);
-  out += buf;
-}
-
-void put(std::string& out, const char* key, std::uint64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%llx ", key,
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
-void put(std::string& out, const char* key, std::int64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%lld ", key, static_cast<long long>(v));
-  out += buf;
-}
-
-}  // namespace
-
 std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
-  std::string out;
-  out.reserve(512);
-  // v2: per-node governor specs joined the tag (closed-loop fleets).
-  out += "cluster-v2{";
-  put(out, "policy", static_cast<std::uint64_t>(spec.policy));
-  put(out, "inj_thresh", spec.injection_threshold);
-  put(out, "duration", spec.duration);
-  put(out, "load_rps", spec.cluster.offered_load_rps);
-  put(out, "telemetry", spec.cluster.telemetry_period);
-  const auto& w = spec.cluster.web;
-  out += "web{";
-  put(out, "conns", static_cast<std::uint64_t>(w.connections));
-  put(out, "think", w.think_mean_s);
-  put(out, "demand", w.demand_mean_s);
-  put(out, "kdemand", w.kernel_demand_s);
-  put(out, "workers", static_cast<std::uint64_t>(w.workers));
-  put(out, "activity", w.worker_activity);
-  put(out, "good", w.good_threshold_s);
-  put(out, "tol", w.tolerable_threshold_s);
-  out += "} nodes[";
+  // v3: rack/CRAC coupling, traffic shape and the batched-telemetry fleet
+  // joined the tag (the layer version rides on sim::kCanonVersion via the
+  // enclosing run-spec preamble; this label tracks the cluster field set).
+  sim::CanonWriter w(1024);
+  w.open("cluster-v3");
+  w.field("policy", static_cast<std::uint64_t>(spec.policy));
+  w.field("inj_thresh", spec.injection_threshold);
+  w.field("duration", spec.duration);
+  w.field("load_rps", spec.cluster.offered_load_rps);
+  w.field("telemetry", spec.cluster.telemetry_period);
+  const TrafficShape& t = spec.cluster.traffic;
+  w.open("traffic");
+  w.field("depth", t.diurnal_depth);
+  w.field("period", t.diurnal_period);
+  w.field("phase", t.diurnal_phase);
+  w.field("flash", t.flash_multiplier);
+  w.field("fstart", t.flash_start);
+  w.field("fdur", t.flash_duration);
+  w.close();
+  const RackParams& rk = spec.cluster.rack;
+  w.open("rack");
+  w.field("npr", static_cast<std::uint64_t>(rk.nodes_per_rack));
+  w.field("supply", rk.crac_supply_c);
+  w.field("air_c", rk.air_capacitance_j_per_c);
+  w.field("crac_r", rk.to_crac_resistance_c_per_w);
+  w.field("recirc", rk.recirculation_fraction);
+  w.field("adj_r", rk.adjacent_resistance_c_per_w);
+  w.close();
+  const auto& web = spec.cluster.web;
+  w.open("web");
+  w.field("conns", static_cast<std::uint64_t>(web.connections));
+  w.field("think", web.think_mean_s);
+  w.field("demand", web.demand_mean_s);
+  w.field("kdemand", web.kernel_demand_s);
+  w.field("workers", static_cast<std::uint64_t>(web.workers));
+  w.field("activity", web.worker_activity);
+  w.field("good", web.good_threshold_s);
+  w.field("tol", web.tolerable_threshold_s);
+  w.close();
+  w.open_list("nodes");
   for (const NodeSpec& n : spec.cluster.nodes) {
-    put(out, "fan", n.fan_speed_fraction);
-    put(out, "p", n.injection_probability);
-    put(out, "L", n.injection_quantum);
+    w.field("fan", n.fan_speed_fraction);
+    w.field("p", n.injection_probability);
+    w.field("L", n.injection_quantum);
     if (n.governor.enabled()) {
-      control::append_canonical_governor(out, n.governor);
+      control::append_canonical_governor(w, n.governor);
     }
   }
-  out += "]} ";
-  return out;
+  w.close_list();
+  w.close();
+  return w.take();
 }
 
 runner::RunSpec to_run_spec(const ClusterRunSpec& spec) {
@@ -89,10 +87,13 @@ runner::RunSpec to_run_spec(const ClusterRunSpec& spec) {
         {"fleet_peak_sensor_c", r.fleet_peak_sensor_c},
         {"fleet_peak_exact_c", r.fleet_peak_exact_c},
         {"fleet_mean_sensor_c", r.fleet_mean_sensor_c},
+        {"fleet_peak_inlet_c", r.fleet_peak_inlet_c},
         {"offered", static_cast<double>(r.offered)},
         {"completed", static_cast<double>(r.completed)},
         {"drains", static_cast<double>(r.drains)},
         {"energy_j", r.total_energy_j},
+        {"nodes", static_cast<double>(r.nodes.size())},
+        {"racks", static_cast<double>(r.num_racks)},
         // Control-stability metrics (worst governed node; zeros/-1 when the
         // fleet is open-loop).
         {"osc_amp_temp_c", r.stability.osc_amplitude_temp_c},

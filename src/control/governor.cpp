@@ -8,19 +8,6 @@ namespace dimetrodon::control {
 
 namespace {
 
-void put(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%a ", key, v);
-  out += buf;
-}
-
-void put(std::string& out, const char* key, std::uint64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%llx ", key,
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
 std::string fmt(const char* format, double a, double b, double c) {
   char buf[96];
   std::snprintf(buf, sizeof buf, format, a, b, c);
@@ -187,29 +174,29 @@ double governor_reference_c(const GovernorSpec& spec) {
   return 0.0;
 }
 
-void append_canonical_governor(std::string& out, const GovernorSpec& spec) {
-  out += "gov{";
-  put(out, "kind", static_cast<std::uint64_t>(spec.kind));
-  put(out, "dt", static_cast<std::uint64_t>(spec.sample_period));
-  put(out, "L", static_cast<std::uint64_t>(spec.quantum));
-  put(out, "band", spec.stability_band_c);
-  put(out, "h.trip", spec.hysteresis.trip_c);
-  put(out, "h.rel", spec.hysteresis.release_c);
-  put(out, "h.hot", spec.hysteresis.hot_probability);
-  put(out, "h.idle", spec.hysteresis.idle_probability);
-  put(out, "pid.set", spec.pid.setpoint_c);
-  put(out, "pid.kp", spec.pid.kp);
-  put(out, "pid.ki", spec.pid.ki);
-  put(out, "pid.kd", spec.pid.kd);
-  put(out, "pid.min", spec.pid.min_probability);
-  put(out, "pid.max", spec.pid.max_probability);
-  put(out, "hy.base", spec.hybrid.baseline_probability);
-  put(out, "hy.set", spec.hybrid.setpoint_c);
-  put(out, "hy.kp", spec.hybrid.kp);
-  put(out, "hy.ki", spec.hybrid.ki);
-  put(out, "hy.delta", spec.hybrid.max_delta);
-  put(out, "hy.max", spec.hybrid.max_probability);
-  out += "} ";
+void append_canonical_governor(sim::CanonWriter& w, const GovernorSpec& spec) {
+  w.open("gov");
+  w.field("kind", static_cast<std::uint64_t>(spec.kind));
+  w.field("dt", static_cast<std::uint64_t>(spec.sample_period));
+  w.field("L", static_cast<std::uint64_t>(spec.quantum));
+  w.field("band", spec.stability_band_c);
+  w.field("h.trip", spec.hysteresis.trip_c);
+  w.field("h.rel", spec.hysteresis.release_c);
+  w.field("h.hot", spec.hysteresis.hot_probability);
+  w.field("h.idle", spec.hysteresis.idle_probability);
+  w.field("pid.set", spec.pid.setpoint_c);
+  w.field("pid.kp", spec.pid.kp);
+  w.field("pid.ki", spec.pid.ki);
+  w.field("pid.kd", spec.pid.kd);
+  w.field("pid.min", spec.pid.min_probability);
+  w.field("pid.max", spec.pid.max_probability);
+  w.field("hy.base", spec.hybrid.baseline_probability);
+  w.field("hy.set", spec.hybrid.setpoint_c);
+  w.field("hy.kp", spec.hybrid.kp);
+  w.field("hy.ki", spec.hybrid.ki);
+  w.field("hy.delta", spec.hybrid.max_delta);
+  w.field("hy.max", spec.hybrid.max_probability);
+  w.close();
 }
 
 }  // namespace dimetrodon::control

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/canon.hpp"
 #include "sim/time.hpp"
 
 namespace dimetrodon::control {
@@ -184,10 +185,11 @@ std::string governor_label(const GovernorSpec& spec);
 /// for hysteresis, setpoint for pid/hybrid, 0 for kNone).
 double governor_reference_c(const GovernorSpec& spec);
 
-/// Append the spec's canonical text (hex-float doubles, stable field order)
-/// to `out` — the fragment cluster tags and runner cache keys embed. Every
-/// behavioral field must appear here: two specs with equal canonical text
-/// must drive identical control loops.
-void append_canonical_governor(std::string& out, const GovernorSpec& spec);
+/// Append the spec's canonical "gov{...}" fragment (hex-float doubles,
+/// stable field order) — the fragment cluster tags and runner cache keys
+/// embed, rendered through the one shared sim::CanonWriter. Every behavioral
+/// field must appear here: two specs with equal canonical text must drive
+/// identical control loops.
+void append_canonical_governor(sim::CanonWriter& w, const GovernorSpec& spec);
 
 }  // namespace dimetrodon::control

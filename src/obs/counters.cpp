@@ -24,6 +24,7 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"thermal_matvecs", &CounterTotals::thermal_matvecs},
       {"requests_routed", &CounterTotals::requests_routed},
       {"node_drains", &CounterTotals::node_drains},
+      {"fleet_samples", &CounterTotals::fleet_samples},
       {"runs_failed", &CounterTotals::runs_failed},
       {"runs_retried", &CounterTotals::runs_retried},
       {"cache_write_retries", &CounterTotals::cache_write_retries},
@@ -64,6 +65,7 @@ CounterTotals CounterRegistry::totals() const {
   t.requests_completed = requests_completed;
   t.requests_routed = requests_routed;
   t.node_drains = node_drains;
+  t.fleet_samples = fleet_samples;
   t.thermal_substeps = thermal_substeps;
   t.thermal_fast_forward_steps = thermal_fast_forward_steps;
   t.thermal_factorizations = thermal_factorizations;

@@ -42,6 +42,7 @@ struct CounterTotals {
   // tracer, and the cluster folds them into its aggregated totals.
   std::uint64_t requests_routed = 0;  // dispatch decisions made
   std::uint64_t node_drains = 0;      // PROCHOT failover engagements
+  std::uint64_t fleet_samples = 0;    // batched fleet-wide telemetry sweeps
 
   // Thermal-engine work counters (mirrored from RcNetwork::stats() at every
   // advance): how the closed-form fast-forward is spending its effort.
@@ -96,6 +97,7 @@ class CounterRegistry {
   std::uint64_t requests_completed = 0;
   std::uint64_t requests_routed = 0;  // cluster scope
   std::uint64_t node_drains = 0;      // cluster scope
+  std::uint64_t fleet_samples = 0;    // cluster scope
 
   // Closed-loop control (src/control GovernorDriver).
   std::uint64_t governor_samples = 0;

@@ -26,6 +26,7 @@ enum class EventKind : std::uint8_t {
   kGovernorSample,   // a closed-loop governor sampled its sensors
   kGovernorTrip,     // a threshold governor engaged / released
   kDutyChange,       // the resolved injection duty cycle changed
+  kFleetSample,      // cluster: one batched fleet-wide telemetry sweep
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -45,6 +46,7 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kGovernorSample:  return "governor_sample";
     case EventKind::kGovernorTrip:    return "governor_trip";
     case EventKind::kDutyChange:      return "duty_change";
+    case EventKind::kFleetSample:     return "fleet_sample";
   }
   return "unknown";
 }

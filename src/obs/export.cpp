@@ -266,6 +266,11 @@ void ChromeTraceExporter::add_machine(const TraceMeta& meta,
       case EventKind::kDutyChange:
         emit(counter(pid, "injection duty p", e.at, e.value));
         break;
+      case EventKind::kFleetSample:
+        // One batched telemetry sweep: arg = fleet size, value = hottest
+        // quantized sensor anywhere in the fleet at this sample.
+        emit(counter(pid, "fleet hottest sensor C", e.at, e.value));
+        break;
       case EventKind::kInjectionBegin:
       case EventKind::kInjectionEnd:
         break;  // rendered below from paired spans

@@ -245,6 +245,21 @@ class Tracer {
     sink_raw_->on_event(e);
   }
 
+  /// Cluster scope: one batched telemetry sweep covered the whole fleet.
+  /// `nodes` is the fleet size, `hottest_c` the hottest quantized sensor
+  /// reading anywhere at this sample. One event per sweep, not per node —
+  /// the probe cost stays O(racks)-independent of fleet size.
+  void fleet_sample(sim::SimTime at, std::uint32_t nodes, double hottest_c) {
+    ++counters_.fleet_samples;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kFleetSample;
+    e.arg = nodes;
+    e.value = hottest_c;
+    sink_raw_->on_event(e);
+  }
+
   void request_complete(sim::SimTime at, std::uint32_t id, double latency_s) {
     ++counters_.requests_completed;
     if (sink_raw_ == nullptr) return;

@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include "runner/fault_injection.hpp"
+#include "sim/canon.hpp"
 
 namespace dimetrodon::runner {
 
@@ -27,9 +28,15 @@ namespace {
 // obs::CounterTotals::fields().
 // v6: closed-loop governor counters (governor_samples/trips/releases,
 // duty_changes, duty_reversals) joined obs::CounterTotals::fields().
+// v7 (sim::kCanonVersion): canonical serialization consolidated into
+// sim::CanonWriter, cluster tags gained rack/CRAC + traffic-shape fields,
+// and the fleet_samples counter joined obs::CounterTotals::fields(). The
+// magic now tracks the canon version directly: one bump invalidates both the
+// payload format and every canonical spec string at once.
 // Bumping the magic makes every older file a clean miss, so old caches are
 // recomputed rather than misparsed.
-constexpr char kFileMagic[] = "dimetrodon-sweep-cache v6";
+const std::string kFileMagic =
+    "dimetrodon-sweep-cache v" + std::to_string(sim::kCanonVersion);
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t basis) {
   std::uint64_t h = basis;
@@ -356,7 +363,7 @@ StoreOutcome ResultCache::store(const CacheKey& key,
   StoreOutcome outcome;
   if (!enabled_) return outcome;
   const std::string payload = serialize_record(record);
-  std::string text = std::string(kFileMagic) + "\n";
+  std::string text = kFileMagic + "\n";
   text += "spec " + canonical + "\n";
   text += payload;
   char check[32];

@@ -7,91 +7,66 @@ namespace dimetrodon::runner {
 
 namespace {
 
-void put(std::string& out, const char* key, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%a ", key, v);
-  out += buf;
-}
-
-void put(std::string& out, const char* key, std::uint64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%llx ", key,
-                static_cast<unsigned long long>(v));
-  out += buf;
-}
-
-void put(std::string& out, const char* key, std::int64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%s=%lld ", key,
-                static_cast<long long>(v));
-  out += buf;
-}
-
-void put(std::string& out, const char* key, bool v) {
-  out += key;
-  out += v ? "=1 " : "=0 ";
-}
-
-void append_machine(std::string& out, const sched::MachineConfig& m) {
-  out += "machine{";
-  put(out, "cores", m.num_cores);
-  put(out, "smt", m.smt_enabled);
-  put(out, "smt_tf", m.smt_throughput_factor);
-  put(out, "smt_cosched", m.smt_co_schedule_injection);
+void append_machine(sim::CanonWriter& w, const sched::MachineConfig& m) {
+  w.open("machine");
+  w.field("cores", m.num_cores);
+  w.field("smt", m.smt_enabled);
+  w.field("smt_tf", m.smt_throughput_factor);
+  w.field("smt_cosched", m.smt_co_schedule_injection);
   const auto& f = m.floorplan;
-  put(out, "fp.cores", f.num_cores);
-  put(out, "fp.ambient", f.ambient_c);
-  put(out, "fp.die_c", f.die_capacitance);
-  put(out, "fp.die_pkg_r", f.die_to_pkg_resistance);
-  put(out, "fp.die_lat_r", f.die_lateral_resistance);
-  put(out, "fp.pkg_c", f.pkg_capacitance);
-  put(out, "fp.pkg_hs_r", f.pkg_to_hs_resistance);
-  put(out, "fp.hs_c", f.hs_capacitance);
-  put(out, "fp.hs_amb_r", f.hs_to_ambient_resistance);
-  put(out, "fp.fan", f.fan_speed_fraction);
+  w.field("fp.cores", f.num_cores);
+  w.field("fp.ambient", f.ambient_c);
+  w.field("fp.die_c", f.die_capacitance);
+  w.field("fp.die_pkg_r", f.die_to_pkg_resistance);
+  w.field("fp.die_lat_r", f.die_lateral_resistance);
+  w.field("fp.pkg_c", f.pkg_capacitance);
+  w.field("fp.pkg_hs_r", f.pkg_to_hs_resistance);
+  w.field("fp.hs_c", f.hs_capacitance);
+  w.field("fp.hs_amb_r", f.hs_to_ambient_resistance);
+  w.field("fp.fan", f.fan_speed_fraction);
   const auto& p = m.power;
-  put(out, "pw.dyn", p.core_dynamic_nominal_w);
-  put(out, "pw.f0", p.nominal_freq_ghz);
-  put(out, "pw.v0", p.nominal_voltage_v);
-  put(out, "pw.leak", p.core_leakage_nominal_w);
-  put(out, "pw.t0", p.leakage_ref_temp_c);
-  put(out, "pw.k", p.leakage_temp_coeff);
-  put(out, "pw.tsat", p.leakage_saturation_c);
-  put(out, "pw.unc0", p.uncore_base_w);
-  put(out, "pw.unc1", p.uncore_active_w);
-  out += "dvfs[";
+  w.field("pw.dyn", p.core_dynamic_nominal_w);
+  w.field("pw.f0", p.nominal_freq_ghz);
+  w.field("pw.v0", p.nominal_voltage_v);
+  w.field("pw.leak", p.core_leakage_nominal_w);
+  w.field("pw.t0", p.leakage_ref_temp_c);
+  w.field("pw.k", p.leakage_temp_coeff);
+  w.field("pw.tsat", p.leakage_saturation_c);
+  w.field("pw.unc0", p.uncore_base_w);
+  w.field("pw.unc1", p.uncore_active_w);
+  w.open_list("dvfs");
   for (std::size_t i = 0; i < m.dvfs.num_levels(); ++i) {
-    put(out, "f", m.dvfs.level(i).freq_ghz);
-    put(out, "v", m.dvfs.level(i).voltage_v);
+    w.field("f", m.dvfs.level(i).freq_ghz);
+    w.field("v", m.dvfs.level(i).voltage_v);
   }
-  out += "] ";
-  put(out, "meter.dt", m.meter.sample_interval);
-  put(out, "meter.gain", m.meter.gain_error_stddev);
-  put(out, "meter.noise", m.meter.sample_noise_w);
-  put(out, "meter.rec", m.meter.record_samples);
-  put(out, "sched", static_cast<std::uint64_t>(m.scheduler_kind));
-  put(out, "bsd.slice", m.scheduler.timeslice);
-  put(out, "bsd.estcpu", m.scheduler.estcpu_per_cpu_second);
-  put(out, "bsd.decay", m.scheduler.sleep_decay_per_second);
-  put(out, "ule.slice", m.ule.base_timeslice);
-  put(out, "ule.islice", m.ule.interactive_timeslice);
-  put(out, "ule.ithresh", m.ule.interactivity_threshold);
-  put(out, "ule.decay", m.ule.history_decay);
-  put(out, "ule.steal", m.ule.work_stealing);
-  put(out, "cstate", static_cast<std::uint64_t>(m.idle_cstate));
-  put(out, "csw", m.context_switch_cost);
-  put(out, "cmod_ovh", m.clock_modulation_overhead);
-  put(out, "tm", m.hw_thermal_throttle);
-  put(out, "prochot", m.prochot_c);
-  put(out, "prochot_rel", m.prochot_release_c);
-  put(out, "tm_period", m.thermal_monitor_period);
-  put(out, "tm_duty", m.prochot_duty_step);
-  put(out, "substep", m.thermal_substep);
-  put(out, "meter_on", m.enable_meter);
-  put(out, "idle_eq", m.start_at_idle_equilibrium);
-  put(out, "kpreempt", m.kernel_preempts_injection);
-  put(out, "suspend", m.injection_suspends_thread);
-  out += "} ";
+  w.close_list();
+  w.field("meter.dt", m.meter.sample_interval);
+  w.field("meter.gain", m.meter.gain_error_stddev);
+  w.field("meter.noise", m.meter.sample_noise_w);
+  w.field("meter.rec", m.meter.record_samples);
+  w.field("sched", static_cast<std::uint64_t>(m.scheduler_kind));
+  w.field("bsd.slice", m.scheduler.timeslice);
+  w.field("bsd.estcpu", m.scheduler.estcpu_per_cpu_second);
+  w.field("bsd.decay", m.scheduler.sleep_decay_per_second);
+  w.field("ule.slice", m.ule.base_timeslice);
+  w.field("ule.islice", m.ule.interactive_timeslice);
+  w.field("ule.ithresh", m.ule.interactivity_threshold);
+  w.field("ule.decay", m.ule.history_decay);
+  w.field("ule.steal", m.ule.work_stealing);
+  w.field("cstate", static_cast<std::uint64_t>(m.idle_cstate));
+  w.field("csw", m.context_switch_cost);
+  w.field("cmod_ovh", m.clock_modulation_overhead);
+  w.field("tm", m.hw_thermal_throttle);
+  w.field("prochot", m.prochot_c);
+  w.field("prochot_rel", m.prochot_release_c);
+  w.field("tm_period", m.thermal_monitor_period);
+  w.field("tm_duty", m.prochot_duty_step);
+  w.field("substep", m.thermal_substep);
+  w.field("meter_on", m.enable_meter);
+  w.field("idle_eq", m.start_at_idle_equilibrium);
+  w.field("kpreempt", m.kernel_preempts_injection);
+  w.field("suspend", m.injection_suspends_thread);
+  w.close();
 }
 
 }  // namespace
@@ -131,34 +106,34 @@ double RunRecord::sim_seconds_estimate() const {
 
 std::string canonical_spec(const RunSpec& spec,
                            const sched::MachineConfig& base) {
-  std::string out;
-  out.reserve(2048);
-  out += "dimetrodon-run-spec v1 ";
-  put(out, "kind", static_cast<std::uint64_t>(spec.kind));
-  put(out, "seed", spec.seed);
-  out += "workload=" + spec.workload_key + " ";
-  out += "act{";
-  put(out, "kind", static_cast<std::uint64_t>(spec.actuation.kind));
-  put(out, "p", spec.actuation.probability);
-  put(out, "L", spec.actuation.quantum);
-  put(out, "level", spec.actuation.level);
+  sim::CanonWriter w(2048);
+  w.preamble("dimetrodon-run-spec");
+  w.field("kind", static_cast<std::uint64_t>(spec.kind));
+  w.field("seed", spec.seed);
+  w.field("workload", spec.workload_key);
+  w.open("act");
+  w.field("kind", static_cast<std::uint64_t>(spec.actuation.kind));
+  w.field("p", spec.actuation.probability);
+  w.field("L", spec.actuation.quantum);
+  w.field("level", spec.actuation.level);
   if (spec.actuation.kind == ActuationSpec::Kind::kGovernor) {
-    control::append_canonical_governor(out, spec.actuation.governor);
+    control::append_canonical_governor(w, spec.actuation.governor);
   }
-  out += "} meas{";
+  w.close();
+  w.open("meas");
   const auto& mc = spec.measurement;
-  put(out, "settle_iters", static_cast<std::int64_t>(mc.max_settle_iterations));
-  put(out, "settle_chunk", mc.settle_chunk);
-  put(out, "settle_tol", mc.settle_tolerance_c);
-  put(out, "post_settle", mc.post_settle_run);
-  put(out, "window", mc.measure_window);
-  put(out, "poll", mc.sensor_poll);
-  out += "} ";
-  append_machine(out, spec.machine ? *spec.machine : base);
+  w.field("settle_iters", static_cast<std::int64_t>(mc.max_settle_iterations));
+  w.field("settle_chunk", mc.settle_chunk);
+  w.field("settle_tol", mc.settle_tolerance_c);
+  w.field("post_settle", mc.post_settle_run);
+  w.field("window", mc.measure_window);
+  w.field("poll", mc.sensor_poll);
+  w.close();
+  append_machine(w, spec.machine ? *spec.machine : base);
   if (spec.kind == RunSpec::Kind::kCustom) {
-    out += "custom=" + spec.custom_tag + " ";
+    w.field("custom", spec.custom_tag);
   }
-  return out;
+  return w.take();
 }
 
 }  // namespace dimetrodon::runner

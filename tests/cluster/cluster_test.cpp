@@ -10,72 +10,131 @@
 #include <utility>
 #include <vector>
 
-#include "cluster/sweep.hpp"
+#include "cluster/fleet_spec.hpp"
 #include "obs/trace_sink.hpp"
 #include "runner/sweep_engine.hpp"
 
 namespace dimetrodon::cluster {
 namespace {
 
-NodeView view(std::size_t id, double temp_c, std::size_t outstanding,
-              double p = 0.0) {
-  NodeView v;
-  v.id = id;
-  v.sensor_temp_c = temp_c;
-  v.outstanding = outstanding;
-  v.injection_probability = p;
-  return v;
-}
+/// Owning test double for the SoA FleetView: chain node() calls, then hand
+/// view() to a policy. Nodes marked unroutable stay in the arrays (the view
+/// indexes by node id) but drop out of the routable list, exactly like a
+/// draining node in the real cluster.
+class TestFleet {
+ public:
+  TestFleet& node(double temp_c, std::uint32_t outstanding, double p = 0.0,
+                  bool routable = true) {
+    const auto id = static_cast<std::uint32_t>(temp_.size());
+    if (routable) routable_.push_back(id);
+    temp_.push_back(temp_c);
+    out_.push_back(outstanding);
+    p_.push_back(p);
+    drain_.push_back(routable ? 0 : 1);
+    return *this;
+  }
+
+  FleetView view() const {
+    FleetView v;
+    v.num_nodes = temp_.size();
+    v.sensor_temp_c = temp_.data();
+    v.outstanding = out_.data();
+    v.injection_probability = p_.data();
+    v.draining = drain_.data();
+    v.routable = routable_.data();
+    v.routable_count = routable_.size();
+    return v;
+  }
+
+ private:
+  std::vector<double> temp_;
+  std::vector<std::uint32_t> out_;
+  std::vector<double> p_;
+  std::vector<std::uint8_t> drain_;
+  std::vector<std::uint32_t> routable_;
+};
 
 // --- policy unit tests ------------------------------------------------------
 
 TEST(LoadBalancerTest, RoundRobinCycles) {
   auto lb = make_policy(PolicyKind::kRoundRobin);
-  const std::vector<NodeView> views = {view(0, 40, 0), view(1, 40, 0),
-                                       view(2, 40, 0)};
-  EXPECT_EQ(lb->pick(views), 0u);
-  EXPECT_EQ(lb->pick(views), 1u);
-  EXPECT_EQ(lb->pick(views), 2u);
-  EXPECT_EQ(lb->pick(views), 0u);  // wraps
+  TestFleet f;
+  f.node(40, 0).node(40, 0).node(40, 0);
+  EXPECT_EQ(lb->pick(f.view()), 0u);
+  EXPECT_EQ(lb->pick(f.view()), 1u);
+  EXPECT_EQ(lb->pick(f.view()), 2u);
+  EXPECT_EQ(lb->pick(f.view()), 0u);  // wraps
 }
 
 TEST(LoadBalancerTest, RoundRobinSkipsDrainedWithoutResetting) {
   auto lb = make_policy(PolicyKind::kRoundRobin);
-  const std::vector<NodeView> all = {view(0, 40, 0), view(1, 40, 0),
-                                     view(2, 40, 0)};
-  EXPECT_EQ(lb->pick(all), 0u);
+  TestFleet all;
+  all.node(40, 0).node(40, 0).node(40, 0);
+  EXPECT_EQ(lb->pick(all.view()), 0u);
   // Node 1 drained out of the routable set: the rotation continues past it.
-  const std::vector<NodeView> without1 = {view(0, 40, 0), view(2, 40, 0)};
-  EXPECT_EQ(lb->pick(without1), 2u);
-  EXPECT_EQ(lb->pick(all), 0u);
+  TestFleet without1;
+  without1.node(40, 0).node(40, 0, 0.0, false).node(40, 0);
+  EXPECT_EQ(lb->pick(without1.view()), 2u);
+  EXPECT_EQ(lb->pick(all.view()), 0u);
 }
 
 TEST(LoadBalancerTest, LeastOutstandingPicksEmptiestQueue) {
   auto lb = make_policy(PolicyKind::kLeastOutstanding);
-  EXPECT_EQ(lb->pick({view(0, 40, 5), view(1, 40, 2), view(2, 40, 9)}), 1u);
+  TestFleet a;
+  a.node(40, 5).node(40, 2).node(40, 9);
+  EXPECT_EQ(lb->pick(a.view()), 1u);
   // Ties break toward the cooler node, then the lower id.
-  EXPECT_EQ(lb->pick({view(0, 44, 3), view(1, 41, 3), view(2, 44, 3)}), 1u);
-  EXPECT_EQ(lb->pick({view(0, 40, 3), view(1, 40, 3)}), 0u);
+  TestFleet b;
+  b.node(44, 3).node(41, 3).node(44, 3);
+  EXPECT_EQ(lb->pick(b.view()), 1u);
+  TestFleet c;
+  c.node(40, 3).node(40, 3);
+  EXPECT_EQ(lb->pick(c.view()), 0u);
 }
 
 TEST(LoadBalancerTest, CoolestNodeRoutesOnQuantizedTelemetry) {
   auto lb = make_policy(PolicyKind::kCoolestNode);
-  EXPECT_EQ(lb->pick({view(0, 45, 0), view(1, 41, 7), view(2, 43, 0)}), 1u);
+  TestFleet a;
+  a.node(45, 0).node(41, 7).node(43, 0);
+  EXPECT_EQ(lb->pick(a.view()), 1u);
   // Equal quantized readings fall through to the queue-depth tie-break.
-  EXPECT_EQ(lb->pick({view(0, 42, 6), view(1, 42, 1), view(2, 42, 6)}), 1u);
+  TestFleet b;
+  b.node(42, 6).node(42, 1).node(42, 6);
+  EXPECT_EQ(lb->pick(b.view()), 1u);
 }
 
 TEST(LoadBalancerTest, InjectionAwareDeprioritizesAboveThreshold) {
   auto lb = make_policy(PolicyKind::kInjectionAware, 0.25);
   // Idle fleet: the un-injected tier wins even when a taxed node is cooler.
-  EXPECT_EQ(lb->pick({view(0, 45, 0, 0.0), view(1, 40, 0, 0.6)}), 0u);
+  TestFleet a;
+  a.node(45, 0, 0.0).node(40, 0, 0.6);
+  EXPECT_EQ(lb->pick(a.view()), 0u);
   // Below-threshold injection is not deprioritized.
-  EXPECT_EQ(lb->pick({view(0, 45, 0, 0.2), view(1, 40, 0, 0.1)}), 1u);
+  TestFleet b;
+  b.node(45, 0, 0.2).node(40, 0, 0.1);
+  EXPECT_EQ(lb->pick(b.view()), 1u);
   // Under load the taxed node still takes its capacity-weighted share:
   // 8 outstanding at full capacity scores worse than 2 at (1 - 0.6).
-  EXPECT_EQ(lb->pick({view(0, 40, 8, 0.0), view(1, 44, 2, 0.6)}), 1u);
+  TestFleet c;
+  c.node(40, 8, 0.0).node(44, 2, 0.6);
+  EXPECT_EQ(lb->pick(c.view()), 1u);
   // All above threshold: degrade to capacity-weighted, never refuse.
-  EXPECT_EQ(lb->pick({view(0, 40, 4, 0.5), view(1, 40, 1, 0.5)}), 1u);
+  TestFleet d;
+  d.node(40, 4, 0.5).node(40, 1, 0.5);
+  EXPECT_EQ(lb->pick(d.view()), 1u);
+}
+
+TEST(LoadBalancerTest, PoliciesScanOnlyTheRoutableList) {
+  // A scorching, empty, but draining node must never be picked even though
+  // its SoA entries look ideal — policies only walk the routable ids.
+  for (const auto kind :
+       {PolicyKind::kLeastOutstanding, PolicyKind::kCoolestNode,
+        PolicyKind::kInjectionAware}) {
+    auto lb = make_policy(kind);
+    TestFleet f;
+    f.node(30, 0, 0.0, false).node(50, 9).node(52, 9);
+    EXPECT_EQ(lb->pick(f.view()), 1u) << policy_name(kind);
+  }
 }
 
 TEST(LoadBalancerTest, PolicyNamesStable) {
@@ -93,14 +152,16 @@ TEST(LoadBalancerTest, PolicyNamesStable) {
 
 // --- cluster integration ----------------------------------------------------
 
-ClusterConfig small_fleet(double load_rps = 400.0) {
-  ClusterConfig cfg;
-  cfg.machine.enable_meter = false;
-  cfg.offered_load_rps = load_rps;
-  cfg.nodes = {NodeSpec{1.0, 0.0, sim::from_ms(10)},
-               NodeSpec{0.8, 0.0, sim::from_ms(10)},
-               NodeSpec{0.6, 0.3, sim::from_ms(10)}};
-  return cfg;
+FleetSpec small_fleet(double load_rps = 400.0) {
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  // Fans 1.0 / 0.8 / 0.6 via the cooling gradient; node 2 runs p=0.3.
+  return FleetSpec::racks(1)
+      .nodes_per_rack(3)
+      .with_machine(machine)
+      .with_cooling(1.0, 0.6)
+      .with_load(load_rps)
+      .override_position(2, {.injection_probability = 0.3});
 }
 
 void expect_same_result(const ClusterResult& a, const ClusterResult& b) {
@@ -116,6 +177,7 @@ void expect_same_result(const ClusterResult& a, const ClusterResult& b) {
   EXPECT_EQ(a.fleet_peak_sensor_c, b.fleet_peak_sensor_c);
   EXPECT_EQ(a.fleet_peak_exact_c, b.fleet_peak_exact_c);
   EXPECT_EQ(a.fleet_mean_sensor_c, b.fleet_mean_sensor_c);
+  EXPECT_EQ(a.fleet_peak_inlet_c, b.fleet_peak_inlet_c);
   EXPECT_EQ(a.drains, b.drains);
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
   for (std::size_t i = 0; i < a.nodes.size(); ++i) {
@@ -128,33 +190,32 @@ void expect_same_result(const ClusterResult& a, const ClusterResult& b) {
 
 TEST(ClusterTest, RunIsBitReproducible) {
   const auto run_once = [] {
-    Cluster fleet(small_fleet(), make_policy(PolicyKind::kCoolestNode));
-    return fleet.run(sim::from_sec(4));
+    auto fleet = small_fleet().with_policy(PolicyKind::kCoolestNode)
+                     .make_cluster();
+    return fleet->run(sim::from_sec(4));
   };
   expect_same_result(run_once(), run_once());
 }
 
 TEST(ClusterTest, SeedChangesTheRun) {
-  ClusterConfig a = small_fleet();
-  ClusterConfig b = small_fleet();
-  b.seed = a.seed + 1;
-  Cluster fa(a, make_policy(PolicyKind::kRoundRobin));
-  Cluster fb(b, make_policy(PolicyKind::kRoundRobin));
-  const auto ra = fa.run(sim::from_sec(4));
-  const auto rb = fb.run(sim::from_sec(4));
+  const std::uint64_t base_seed = small_fleet().config().seed;
+  auto fa = small_fleet().make_cluster();
+  auto fb = small_fleet().with_seed(base_seed + 1).make_cluster();
+  const auto ra = fa->run(sim::from_sec(4));
+  const auto rb = fb->run(sim::from_sec(4));
   EXPECT_NE(ra.qos.mean_latency_s, rb.qos.mean_latency_s);
 }
 
 TEST(ClusterTest, NodesGetIndependentMachineSeeds) {
-  Cluster fleet(small_fleet(), make_policy(PolicyKind::kRoundRobin));
-  ASSERT_EQ(fleet.num_nodes(), 3u);
-  EXPECT_NE(fleet.machine(0).config().seed, fleet.machine(1).config().seed);
-  EXPECT_NE(fleet.machine(1).config().seed, fleet.machine(2).config().seed);
+  auto fleet = small_fleet().make_cluster();
+  ASSERT_EQ(fleet->num_nodes(), 3u);
+  EXPECT_NE(fleet->machine(0).config().seed, fleet->machine(1).config().seed);
+  EXPECT_NE(fleet->machine(1).config().seed, fleet->machine(2).config().seed);
 }
 
 TEST(ClusterTest, RoundRobinSpreadsLoadEvenly) {
-  Cluster fleet(small_fleet(), make_policy(PolicyKind::kRoundRobin));
-  const auto r = fleet.run(sim::from_sec(4));
+  auto fleet = small_fleet().make_cluster();
+  const auto r = fleet->run(sim::from_sec(4));
   ASSERT_EQ(r.nodes.size(), 3u);
   EXPECT_GT(r.offered, 1000u);
   std::uint64_t lo = r.nodes[0].routed, hi = r.nodes[0].routed;
@@ -166,8 +227,10 @@ TEST(ClusterTest, RoundRobinSpreadsLoadEvenly) {
 }
 
 TEST(ClusterTest, AllRoutedRequestsEventuallyComplete) {
-  Cluster fleet(small_fleet(200.0), make_policy(PolicyKind::kLeastOutstanding));
-  const auto r = fleet.run(sim::from_sec(4));
+  auto fleet = small_fleet(200.0)
+                   .with_policy(PolicyKind::kLeastOutstanding)
+                   .make_cluster();
+  const auto r = fleet->run(sim::from_sec(4));
   // Light load: everything routed before the tail should finish; allow the
   // few requests still in flight at the horizon.
   EXPECT_GT(r.completed, 0u);
@@ -182,10 +245,43 @@ TEST(ClusterTest, AllRoutedRequestsEventuallyComplete) {
   EXPECT_LE(r.qos.p99_latency_s, r.qos.max_latency_s);
 }
 
+TEST(ClusterTest, BatchedTelemetryEmitsOneFleetSamplePerSweep) {
+  auto sink = std::make_shared<obs::RingBufferSink>();
+  auto fleet = small_fleet()
+                   .with_telemetry(sim::from_ms(50))
+                   .with_trace_sink([sink] { return sink; })
+                   .make_cluster();
+  const auto r = fleet->run(sim::from_sec(2));
+  // One batched fleet_sample per sweep: construction + 40 ticks + final.
+  EXPECT_EQ(r.counters.fleet_samples, 42u);
+  std::uint64_t events = 0;
+  for (const auto& e : sink->snapshot()) {
+    if (e.kind == obs::EventKind::kFleetSample) {
+      ++events;
+      EXPECT_EQ(e.arg, 3u);       // fleet size rides in arg
+      EXPECT_GT(e.value, 20.0);   // hottest quantized sensor
+    }
+  }
+  EXPECT_EQ(events, r.counters.fleet_samples);
+}
+
+TEST(ClusterTest, LazyAdvancementTouchesOnlyTheRoutedNode) {
+  // machine_advances counts run_until interactions: lazy advancement makes
+  // it arrivals + nodes * sweeps, NOT arrivals * nodes (the old design).
+  auto fleet = small_fleet(400.0).make_cluster();
+  const auto r = fleet->run(sim::from_sec(4));
+  const std::uint64_t sweeps = r.counters.fleet_samples - 1;  // minus t=0
+  EXPECT_EQ(fleet->machine_advances(), r.offered + 3 * sweeps);
+  EXPECT_LT(fleet->machine_advances(), 3 * r.offered);
+  // The coordination timeline itself is O(1) in fleet size.
+  EXPECT_EQ(fleet->timeline_entries(), 2u);
+}
+
 TEST(ClusterTest, InjectionAwareShiftsLoadOffInjectedNode) {
-  ClusterConfig cfg = small_fleet(600.0);
-  Cluster fleet(cfg, make_policy(PolicyKind::kInjectionAware, 0.25));
-  const auto r = fleet.run(sim::from_sec(4));
+  auto fleet = small_fleet(600.0)
+                   .with_policy(PolicyKind::kInjectionAware, 0.25)
+                   .make_cluster();
+  const auto r = fleet->run(sim::from_sec(4));
   // Node 2 runs p=0.3 injection (> threshold): it must receive strictly
   // less traffic than each un-injected node.
   EXPECT_LT(r.nodes[2].routed, r.nodes[0].routed);
@@ -194,20 +290,21 @@ TEST(ClusterTest, InjectionAwareShiftsLoadOffInjectedNode) {
 }
 
 TEST(ClusterTest, ProchotFailoverDrainsTrippedNode) {
-  ClusterConfig cfg;
-  cfg.machine.enable_meter = false;
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
   // Thermal monitor tuned to trip just above the loaded temperature so the
   // badly cooled node PROCHOTs quickly under traffic.
-  cfg.machine.prochot_c = 42.0;
-  cfg.machine.prochot_release_c = 41.0;
-  cfg.offered_load_rps = 1200.0;
-  cfg.nodes = {NodeSpec{1.0, 0.0, sim::from_ms(10)},
-               NodeSpec{0.4, 0.0, sim::from_ms(10)}};
+  machine.prochot_c = 42.0;
+  machine.prochot_release_c = 41.0;
   auto sink = std::make_shared<obs::RingBufferSink>();
-  cfg.trace_sink_factory = [sink] { return sink; };
-
-  Cluster fleet(cfg, make_policy(PolicyKind::kRoundRobin));
-  const auto r = fleet.run(sim::from_sec(8));
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .with_machine(machine)
+                   .with_cooling(1.0, 0.4)
+                   .with_load(1200.0)
+                   .with_trace_sink([sink] { return sink; })
+                   .make_cluster();
+  const auto r = fleet->run(sim::from_sec(8));
 
   EXPECT_GE(r.drains, 1u);
   EXPECT_EQ(r.counters.node_drains, r.drains);
@@ -230,29 +327,35 @@ TEST(ClusterTest, ProchotFailoverDrainsTrippedNode) {
 }
 
 TEST(ClusterTest, WholeFleetDrainingStillRoutes) {
-  ClusterConfig cfg;
-  cfg.machine.enable_meter = false;
-  cfg.machine.prochot_c = 40.0;  // below loaded temps: both nodes trip
-  cfg.machine.prochot_release_c = 39.5;
-  cfg.offered_load_rps = 800.0;
-  cfg.nodes = {NodeSpec{0.5, 0.0, sim::from_ms(10)},
-               NodeSpec{0.5, 0.0, sim::from_ms(10)}};
-  Cluster fleet(cfg, make_policy(PolicyKind::kLeastOutstanding));
-  const auto r = fleet.run(sim::from_sec(6));
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  machine.prochot_c = 40.0;  // below loaded temps: both nodes trip
+  machine.prochot_release_c = 39.5;
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .with_machine(machine)
+                   .with_cooling(0.5, 0.5)
+                   .with_load(800.0)
+                   .with_policy(PolicyKind::kLeastOutstanding)
+                   .make_cluster();
+  const auto r = fleet->run(sim::from_sec(6));
   // Even with every node tripped, requests keep flowing (degraded service
   // beats dropped requests).
   EXPECT_EQ(r.counters.requests_routed, r.offered);
   EXPECT_GT(r.completed, 0u);
 }
 
+TEST(ClusterTest, EmptyFleetIsRejected) {
+  ClusterConfig cfg;  // nodes default-empty: fleets must be built explicitly
+  EXPECT_THROW(Cluster(cfg, make_policy(PolicyKind::kRoundRobin)),
+               std::invalid_argument);
+}
+
 // --- sweep-engine bridge ----------------------------------------------------
 
 ClusterRunSpec bridge_spec(PolicyKind policy) {
-  ClusterRunSpec spec;
-  spec.cluster = small_fleet();
-  spec.policy = policy;
-  spec.duration = sim::from_sec(3);
-  return spec;
+  return small_fleet().with_policy(policy).for_duration(sim::from_sec(3))
+      .build();
 }
 
 runner::SweepEngineConfig quiet(std::size_t threads, std::string cache_dir) {
@@ -334,11 +437,18 @@ TEST(ClusterSweepTest, CanonicalTagDistinguishesClusterParameters) {
   fans.cluster.nodes[1].fan_speed_fraction = 0.79;
   auto inj = base;
   inj.cluster.nodes[2].injection_probability = 0.31;
+  auto traffic = base;
+  traffic.cluster.traffic =
+      TrafficShape::diurnal(sim::from_sec(4), 0.5);
+  auto rack = base;
+  rack.cluster.rack.nodes_per_rack = 3;
   const std::string tag = canonical_cluster_tag(base);
   EXPECT_NE(tag, canonical_cluster_tag(policy));
   EXPECT_NE(tag, canonical_cluster_tag(load));
   EXPECT_NE(tag, canonical_cluster_tag(fans));
   EXPECT_NE(tag, canonical_cluster_tag(inj));
+  EXPECT_NE(tag, canonical_cluster_tag(traffic));
+  EXPECT_NE(tag, canonical_cluster_tag(rack));
 }
 
 }  // namespace

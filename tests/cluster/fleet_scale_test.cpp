@@ -1,0 +1,164 @@
+// Datacenter scale: the invariants that let the cluster layer hold 1000
+// nodes — O(1) timeline, lazy machine advancement, O(racks) coordination —
+// and the determinism contract that a fleet run is a pure function of its
+// spec, bit-identical whatever the sweep engine's thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/fleet_spec.hpp"
+#include "runner/sweep_engine.hpp"
+
+namespace dimetrodon::cluster {
+namespace {
+
+sched::MachineConfig lean_machine() {
+  sched::MachineConfig m;
+  m.enable_meter = false;
+  return m;
+}
+
+// A 1000-node fleet kept deliberately short-lived: these tests pin structure
+// and determinism, not steady-state thermals.
+FleetSpec thousand_node_spec(PolicyKind policy) {
+  return FleetSpec::racks(100)
+      .nodes_per_rack(10)
+      .with_machine(lean_machine())
+      .with_cooling(1.0, 0.6)
+      .with_injection_gradient(0.4)
+      .with_crac(RackParams{})
+      .with_load(2000.0)
+      .with_traffic(TrafficShape::diurnal(sim::from_sec(2), 0.5))
+      .with_telemetry(sim::from_ms(50))
+      .with_policy(policy)
+      .for_duration(sim::from_ms(250));
+}
+
+runner::SweepEngineConfig quiet(std::size_t threads) {
+  runner::SweepEngineConfig cfg;
+  cfg.threads = threads;
+  cfg.use_cache = false;
+  cfg.progress = false;
+  return cfg;
+}
+
+void expect_same_record(const runner::RunRecord& a,
+                        const runner::RunRecord& b) {
+  EXPECT_EQ(a.result.label, b.result.label);
+  EXPECT_EQ(a.result.throughput, b.result.throughput);
+  ASSERT_TRUE(a.result.qos.has_value());
+  ASSERT_TRUE(b.result.qos.has_value());
+  EXPECT_EQ(a.result.qos->total, b.result.qos->total);
+  EXPECT_EQ(a.result.qos->p99_latency_s, b.result.qos->p99_latency_s);
+  EXPECT_TRUE(a.result.counters == b.result.counters);
+  // extras carry every fleet metric; bitwise equality is the replay guard.
+  EXPECT_EQ(a.extra, b.extra);
+}
+
+TEST(FleetScaleTest, ThousandNodesBitIdenticalAcrossSweepThreadCounts) {
+  const std::vector<runner::RunSpec> grid = {
+      thousand_node_spec(PolicyKind::kRoundRobin).run_spec(),
+      thousand_node_spec(PolicyKind::kCoolestNode).run_spec(),
+  };
+  runner::SweepEngine serial(lean_machine(), quiet(1));
+  runner::SweepEngine threaded(lean_machine(), quiet(4));
+  const auto rs = serial.run(grid);
+  const auto rt = threaded.run(grid);
+  ASSERT_EQ(rs.records.size(), grid.size());
+  ASSERT_EQ(rt.records.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_TRUE(rs.records[i].ok());
+    ASSERT_TRUE(rt.records[i].ok());
+    expect_same_record(rs.records[i], rt.records[i]);
+    EXPECT_EQ(rs.records[i].metric("nodes"), 1000.0);
+    EXPECT_EQ(rs.records[i].metric("racks"), 100.0);
+    EXPECT_GT(rs.records[i].metric("offered"), 0.0);
+  }
+}
+
+TEST(FleetScaleTest, TimelineStaysConstantAndAdvancementIsLazy) {
+  auto fleet = thousand_node_spec(PolicyKind::kRoundRobin).make_cluster();
+  // The cluster's event horizon is two entries — next arrival, next sweep —
+  // no matter how many machines sit behind it.
+  EXPECT_EQ(fleet->timeline_entries(), 2u);
+  EXPECT_EQ(fleet->num_nodes(), 1000u);
+  EXPECT_EQ(fleet->num_racks(), 100u);
+
+  const ClusterResult r = fleet->run(sim::from_ms(250));
+  EXPECT_EQ(fleet->timeline_entries(), 2u);
+
+  // Lazy advancement: each arrival advances exactly one machine; the full
+  // fleet synchronizes only at telemetry sweeps (the ctor's sweep at t=0
+  // happens before any machine needs advancing).
+  const std::uint64_t sweeps = r.counters.fleet_samples;
+  ASSERT_GE(sweeps, 2u);
+  EXPECT_EQ(fleet->machine_advances(),
+            r.offered + fleet->num_nodes() * (sweeps - 1));
+  // A dense (advance-everyone-per-arrival) design would cost offered * N.
+  EXPECT_LT(fleet->machine_advances(), r.offered * fleet->num_nodes() / 10);
+}
+
+TEST(FleetScaleTest, RackCoordinationStateIsORacksNotONodes) {
+  auto fleet = thousand_node_spec(PolicyKind::kCoolestNode).make_cluster();
+  // The only per-period coordination beyond the SoA snapshots is the rack
+  // air network: one thermal node per rack (plus the fixed CRAC supply).
+  EXPECT_EQ(fleet->num_racks(), 100u);
+  EXPECT_LT(fleet->num_racks(), fleet->num_nodes());
+  fleet->run(sim::from_ms(100));
+  for (std::size_t r = 0; r < fleet->num_racks(); ++r) {
+    EXPECT_GT(fleet->rack_inlet_c(r), 0.0);
+  }
+}
+
+TEST(FleetScaleTest, HundredNodeDiurnalFleetExercisesTheWholeStack) {
+  // The fig9 small cell in miniature: CRAC coupling, diurnal + flash
+  // traffic, a governed rack group, thermal-aware routing. Two identical
+  // runs must agree bit-for-bit.
+  control::GovernorSpec governor;
+  governor.kind = control::GovernorKind::kHysteresis;
+  governor.hysteresis.trip_c = 45.0;
+  governor.hysteresis.release_c = 43.0;
+  governor.hysteresis.hot_probability = 0.4;
+
+  const auto build = [&] {
+    return FleetSpec::racks(10)
+        .nodes_per_rack(10)
+        .with_machine(lean_machine())
+        .with_cooling(1.0, 0.55)
+        .with_crac(RackParams{})
+        .with_load(1500.0)
+        .with_traffic(TrafficShape::diurnal(sim::from_sec(2), 0.6)
+                          .with_flash(sim::from_ms(500), sim::from_ms(250),
+                                      2.0))
+        .with_telemetry(sim::from_ms(50))
+        .with_policy(PolicyKind::kCoolestNode)
+        .group(8, 2, {.governor = governor})
+        .make_cluster();
+  };
+
+  auto a = build();
+  auto b = build();
+  const ClusterResult ra = a->run(sim::from_sec(2));
+  const ClusterResult rb = b->run(sim::from_sec(2));
+
+  EXPECT_GT(ra.offered, 0u);
+  EXPECT_GT(ra.completed, 0u);
+  EXPECT_EQ(ra.num_racks, 10u);
+  EXPECT_GT(ra.fleet_peak_inlet_c, RackParams{}.crac_supply_c);
+  EXPECT_GT(ra.counters.governor_samples, 0u);
+
+  EXPECT_EQ(ra.offered, rb.offered);
+  EXPECT_EQ(ra.completed, rb.completed);
+  EXPECT_EQ(ra.fleet_peak_sensor_c, rb.fleet_peak_sensor_c);
+  EXPECT_EQ(ra.fleet_peak_exact_c, rb.fleet_peak_exact_c);
+  EXPECT_EQ(ra.fleet_peak_inlet_c, rb.fleet_peak_inlet_c);
+  EXPECT_EQ(ra.total_energy_j, rb.total_energy_j);
+  EXPECT_EQ(ra.qos.p99_latency_s, rb.qos.p99_latency_s);
+  EXPECT_TRUE(ra.counters == rb.counters);
+}
+
+}  // namespace
+}  // namespace dimetrodon::cluster

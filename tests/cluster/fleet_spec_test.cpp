@@ -1,0 +1,178 @@
+#include "cluster/fleet_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace dimetrodon::cluster {
+namespace {
+
+// --- expansion goldens ------------------------------------------------------
+
+TEST(FleetSpecTest, CoolingGradientInterpolatesBottomToTop) {
+  const ClusterConfig cc = FleetSpec::racks(2)
+                               .nodes_per_rack(4)
+                               .with_cooling(1.0, 0.55)
+                               .config();
+  ASSERT_EQ(cc.nodes.size(), 8u);
+  const double expected[] = {1.0, 0.85, 0.70, 0.55};
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t pos = 0; pos < 4; ++pos) {
+      EXPECT_DOUBLE_EQ(cc.nodes[r * 4 + pos].fan_speed_fraction,
+                       expected[pos])
+          << "rack " << r << " pos " << pos;
+    }
+  }
+}
+
+TEST(FleetSpecTest, InjectionGradientIsPositionProportional) {
+  const ClusterConfig cc = FleetSpec::racks(1)
+                               .nodes_per_rack(4)
+                               .with_injection_gradient(0.6)
+                               .config();
+  EXPECT_DOUBLE_EQ(cc.nodes[0].injection_probability, 0.0);
+  EXPECT_DOUBLE_EQ(cc.nodes[1].injection_probability, 0.2);
+  EXPECT_DOUBLE_EQ(cc.nodes[2].injection_probability, 0.4);
+  EXPECT_DOUBLE_EQ(cc.nodes[3].injection_probability, 0.6);
+}
+
+TEST(FleetSpecTest, UniformInjectionAndQuantumApplyEverywhere) {
+  const ClusterConfig cc = FleetSpec::racks(2)
+                               .nodes_per_rack(2)
+                               .with_injection(0.35, sim::from_ms(5))
+                               .config();
+  for (const NodeSpec& n : cc.nodes) {
+    EXPECT_DOUBLE_EQ(n.injection_probability, 0.35);
+    EXPECT_EQ(n.injection_quantum, sim::from_ms(5));
+  }
+}
+
+TEST(FleetSpecTest, SingleNodeRackTakesBottomValues) {
+  const ClusterConfig cc = FleetSpec::racks(1)
+                               .nodes_per_rack(1)
+                               .with_cooling(0.8, 0.4)
+                               .with_injection_gradient(0.6)
+                               .config();
+  ASSERT_EQ(cc.nodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(cc.nodes[0].fan_speed_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(cc.nodes[0].injection_probability, 0.0);
+}
+
+TEST(FleetSpecTest, GroupOverridePatchesRackRange) {
+  control::GovernorSpec gov;
+  gov.kind = control::GovernorKind::kPid;
+  const ClusterConfig cc =
+      FleetSpec::racks(4)
+          .nodes_per_rack(2)
+          .group(1, 2, {.injection_probability = 0.5, .governor = gov})
+          .config();
+  for (std::size_t i = 0; i < cc.nodes.size(); ++i) {
+    const std::size_t rack = i / 2;
+    const bool in_group = rack == 1 || rack == 2;
+    EXPECT_DOUBLE_EQ(cc.nodes[i].injection_probability, in_group ? 0.5 : 0.0);
+    EXPECT_EQ(cc.nodes[i].governor.enabled(), in_group);
+  }
+}
+
+TEST(FleetSpecTest, PositionOverrideWinsOverGroupOverride) {
+  const ClusterConfig cc =
+      FleetSpec::racks(2)
+          .nodes_per_rack(3)
+          .group(0, 2, {.injection_probability = 0.2})
+          .override_position(2, {.injection_probability = 0.9})
+          .config();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(cc.nodes[r * 3 + 0].injection_probability, 0.2);
+    EXPECT_DOUBLE_EQ(cc.nodes[r * 3 + 1].injection_probability, 0.2);
+    EXPECT_DOUBLE_EQ(cc.nodes[r * 3 + 2].injection_probability, 0.9);
+  }
+}
+
+TEST(FleetSpecTest, LaterOverrideOfSameScopeWins) {
+  const ClusterConfig cc =
+      FleetSpec::racks(1)
+          .nodes_per_rack(2)
+          .override_position(1, {.fan_speed_fraction = 0.3})
+          .override_position(1, {.fan_speed_fraction = 0.7})
+          .config();
+  EXPECT_DOUBLE_EQ(cc.nodes[1].fan_speed_fraction, 0.7);
+}
+
+TEST(FleetSpecTest, CracAdoptsTheSpecShape) {
+  RackParams rack;
+  rack.nodes_per_rack = 99;  // ignored: the spec's shape wins
+  rack.crac_supply_c = 22.0;
+  const ClusterConfig cc =
+      FleetSpec::racks(3).nodes_per_rack(5).with_crac(rack).config();
+  EXPECT_EQ(cc.rack.nodes_per_rack, 5u);
+  EXPECT_DOUBLE_EQ(cc.rack.crac_supply_c, 22.0);
+  EXPECT_TRUE(cc.rack.enabled());
+  EXPECT_FALSE(FleetSpec::racks(1).nodes_per_rack(2).config().rack.enabled());
+}
+
+TEST(FleetSpecTest, SeedDefaultsToMachineSeedUnlessOverridden) {
+  sched::MachineConfig machine;
+  machine.seed = 0xabcd;
+  EXPECT_EQ(FleetSpec::racks(1).nodes_per_rack(1).with_machine(machine)
+                .config().seed,
+            0xabcdu);
+  EXPECT_EQ(FleetSpec::racks(1).nodes_per_rack(1).with_machine(machine)
+                .with_seed(7).config().seed,
+            7u);
+}
+
+TEST(FleetSpecTest, BuildCarriesPolicyAndDuration) {
+  const ClusterRunSpec spec = FleetSpec::racks(1)
+                                  .nodes_per_rack(2)
+                                  .with_policy(PolicyKind::kCoolestNode, 0.4)
+                                  .for_duration(sim::from_sec(7))
+                                  .build();
+  EXPECT_EQ(spec.policy, PolicyKind::kCoolestNode);
+  EXPECT_DOUBLE_EQ(spec.injection_threshold, 0.4);
+  EXPECT_EQ(spec.duration, sim::from_sec(7));
+  EXPECT_EQ(spec.cluster.nodes.size(), 2u);
+}
+
+TEST(FleetSpecTest, ValidatesShapeAndGradients) {
+  EXPECT_THROW(FleetSpec::racks(0).nodes_per_rack(1).config(),
+               std::invalid_argument);
+  EXPECT_THROW(FleetSpec::racks(1).nodes_per_rack(0).config(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FleetSpec::racks(1).nodes_per_rack(2).with_cooling(0.0, 1.0).config(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      FleetSpec::racks(1).nodes_per_rack(2).with_injection(1.5).config(),
+      std::invalid_argument);
+  EXPECT_THROW(FleetSpec::racks(2)
+                   .nodes_per_rack(1)
+                   .group(1, 2, {.injection_probability = 0.1})
+                   .config(),
+               std::invalid_argument);
+  EXPECT_THROW(FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .override_position(2, {.injection_probability = 0.1})
+                   .config(),
+               std::invalid_argument);
+}
+
+TEST(FleetSpecTest, MakeClusterWiresPolicyAndFleet) {
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  auto fleet = FleetSpec::racks(2)
+                   .nodes_per_rack(2)
+                   .with_machine(machine)
+                   .with_crac(RackParams{})
+                   .with_policy(PolicyKind::kCoolestNode)
+                   .make_cluster();
+  EXPECT_EQ(fleet->num_nodes(), 4u);
+  EXPECT_EQ(fleet->num_racks(), 2u);
+  EXPECT_EQ(fleet->rack_of(0), 0u);
+  EXPECT_EQ(fleet->rack_of(3), 1u);
+  const auto r = fleet->run(sim::from_ms(200));
+  EXPECT_EQ(r.policy, "coolest-node");
+  EXPECT_EQ(r.num_racks, 2u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::cluster

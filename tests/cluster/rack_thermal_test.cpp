@@ -1,0 +1,168 @@
+// Rack/CRAC thermal coupling: each rack's recirculated exhaust heats a
+// shared air node that sets its member machines' inlet temperature. These
+// tests pin the physics the datacenter experiments lean on — loaded racks
+// run hot inlets, heat spills to adjacent racks only when coupled, and the
+// whole layer is invisible when disabled.
+#include <gtest/gtest.h>
+
+#include "cluster/fleet_spec.hpp"
+
+namespace dimetrodon::cluster {
+namespace {
+
+sched::MachineConfig quiet_machine() {
+  sched::MachineConfig m;
+  m.enable_meter = false;
+  return m;
+}
+
+// Exaggerated rack constants so a few simulated seconds produce a clear
+// signal: tau = 50 J/C * 0.1 C/W = 5 s, and ~100 W of recirculated exhaust
+// buys a ~10 C inlet rise at equilibrium.
+RackParams test_rack() {
+  RackParams r;
+  r.air_capacitance_j_per_c = 50.0;
+  r.to_crac_resistance_c_per_w = 0.1;
+  r.recirculation_fraction = 0.5;
+  return r;
+}
+
+TEST(RackThermalTest, DisabledRackLayerLeavesInletsAlone) {
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .with_machine(quiet_machine())
+                   .with_load(400.0)
+                   .make_cluster();
+  const ClusterResult r = fleet->run(sim::from_sec(2));
+  EXPECT_EQ(fleet->num_racks(), 0u);
+  EXPECT_EQ(r.num_racks, 0u);
+  // Without the layer the "inlet" is just the floorplan ambient, constant.
+  EXPECT_DOUBLE_EQ(r.fleet_peak_inlet_c, quiet_machine().floorplan.ambient_c);
+}
+
+TEST(RackThermalTest, LoadedRackRaisesItsMembersInlet) {
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .with_machine(quiet_machine())
+                   .with_crac(test_rack())
+                   .with_load(800.0)
+                   .make_cluster();
+  const ClusterResult r = fleet->run(sim::from_sec(6));
+
+  ASSERT_EQ(fleet->num_racks(), 1u);
+  const double supply = test_rack().crac_supply_c;
+  EXPECT_GT(fleet->rack_inlet_c(0), supply + 0.5);
+  EXPECT_GT(r.fleet_peak_inlet_c, supply + 0.5);
+  EXPECT_GE(r.fleet_peak_inlet_c, fleet->rack_inlet_c(0));
+
+  // The coupling is closed: the machines' fixed ambient nodes track the rack
+  // air, so the fleet actually *feels* the hot aisle.
+  for (std::size_t i = 0; i < fleet->num_nodes(); ++i) {
+    sched::Machine& m = fleet->machine(i);
+    EXPECT_DOUBLE_EQ(
+        m.thermal_network().temperature(m.thermal_nodes().ambient),
+        fleet->rack_inlet_c(0));
+  }
+}
+
+TEST(RackThermalTest, BusierRackRunsTheHotterInlet) {
+  // Same fleet, but rack 1's nodes run heavy idle injection: they dissipate
+  // less, so their air node must settle cooler than rack 0's.
+  auto fleet = FleetSpec::racks(2)
+                   .nodes_per_rack(2)
+                   .with_machine(quiet_machine())
+                   .with_crac(test_rack())
+                   .with_load(1200.0)
+                   .group(1, 1, {.injection_probability = 0.8})
+                   .make_cluster();
+  fleet->run(sim::from_sec(6));
+  EXPECT_GT(fleet->rack_inlet_c(0), fleet->rack_inlet_c(1));
+  EXPECT_EQ(fleet->rack_of(0), 0u);
+  EXPECT_EQ(fleet->rack_of(2), 1u);
+}
+
+TEST(RackThermalTest, AdjacentCouplingSpillsHeatToTheNeighbor) {
+  // Rack 0 works, rack 1 idles (drained of dynamic power by injection).
+  // Isolated racks keep the heat at home; chained racks share it, so the
+  // idle rack's inlet rises and the busy rack's falls.
+  const auto build = [](double adjacent_r) {
+    RackParams rack = test_rack();
+    rack.adjacent_resistance_c_per_w = adjacent_r;
+    return FleetSpec::racks(2)
+        .nodes_per_rack(2)
+        .with_machine(quiet_machine())
+        .with_crac(rack)
+        .with_load(1200.0)
+        .group(1, 1, {.injection_probability = 0.8})
+        .make_cluster();
+  };
+
+  auto isolated = build(0.0);
+  auto coupled = build(0.05);
+  isolated->run(sim::from_sec(6));
+  coupled->run(sim::from_sec(6));
+
+  EXPECT_GT(coupled->rack_inlet_c(1), isolated->rack_inlet_c(1));
+  EXPECT_LT(coupled->rack_inlet_c(0), isolated->rack_inlet_c(0));
+}
+
+TEST(RackThermalTest, RecirculationFractionScalesTheRise) {
+  const auto rise_with = [](double recirc) {
+    RackParams rack = test_rack();
+    rack.recirculation_fraction = recirc;
+    auto fleet = FleetSpec::racks(1)
+                     .nodes_per_rack(2)
+                     .with_machine(quiet_machine())
+                     .with_crac(rack)
+                     .with_load(800.0)
+                     .make_cluster();
+    fleet->run(sim::from_sec(6));
+    return fleet->rack_inlet_c(0) - rack.crac_supply_c;
+  };
+  const double low = rise_with(0.1);
+  const double high = rise_with(0.5);
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(RackThermalTest, HotInletFeedsBackIntoDieTemperatures) {
+  // The point of the layer: with recirculation the same fleet under the same
+  // load ends hotter at the die than with a perfectly ducted (recirc = 0)
+  // datacenter.
+  const auto peak_with = [](double recirc) {
+    RackParams rack = test_rack();
+    rack.recirculation_fraction = recirc;
+    auto fleet = FleetSpec::racks(1)
+                     .nodes_per_rack(2)
+                     .with_machine(quiet_machine())
+                     .with_crac(rack)
+                     .with_load(800.0)
+                     .make_cluster();
+    return fleet->run(sim::from_sec(6)).fleet_peak_exact_c;
+  };
+  EXPECT_GT(peak_with(0.5), peak_with(0.0));
+}
+
+TEST(RackThermalTest, ShortLastRackIsGroupedCorrectly) {
+  // 5 nodes at 2 per rack: the last rack holds a single node.
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(5)
+                   .with_machine(quiet_machine())
+                   .make_cluster();
+  EXPECT_EQ(fleet->num_racks(), 0u);  // no CRAC: pure id grouping off
+
+  ClusterConfig cc = FleetSpec::racks(1)
+                         .nodes_per_rack(5)
+                         .with_machine(quiet_machine())
+                         .config();
+  cc.rack = test_rack();
+  cc.rack.nodes_per_rack = 2;
+  Cluster odd(std::move(cc), make_policy(PolicyKind::kRoundRobin));
+  EXPECT_EQ(odd.num_racks(), 3u);
+  EXPECT_EQ(odd.rack_of(3), 1u);
+  EXPECT_EQ(odd.rack_of(4), 2u);
+  odd.run(sim::from_ms(200));  // and it runs: the short rack is well-formed
+}
+
+}  // namespace
+}  // namespace dimetrodon::cluster

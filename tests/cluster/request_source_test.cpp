@@ -72,5 +72,97 @@ TEST(RequestSourceTest, RejectsNonPositiveRate) {
   EXPECT_THROW(RequestSource(1, 0, -5.0), std::invalid_argument);
 }
 
+// --- traffic shapes ---------------------------------------------------------
+
+TEST(TrafficShapeTest, SteadyShapeKeepsClassicSequenceBitIdentical) {
+  // The compatibility contract: a default (constant) shape must reproduce
+  // the pre-shape homogeneous draw sequence exactly — no thinning draws.
+  RequestSource classic(0x5eed, 0, 500.0);
+  RequestSource shaped(0x5eed, 0, 500.0, TrafficShape::steady());
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(classic.next(), shaped.next());
+}
+
+TEST(TrafficShapeTest, ModulationTracksDiurnalCurve) {
+  const auto shape = TrafficShape::diurnal(sim::from_sec(8), 0.5);
+  EXPECT_DOUBLE_EQ(shape.modulation(0), 1.0);
+  EXPECT_NEAR(shape.modulation(sim::from_sec(2)), 1.5, 1e-9);  // midday peak
+  EXPECT_NEAR(shape.modulation(sim::from_sec(6)), 0.5, 1e-9);  // night trough
+  EXPECT_NEAR(shape.peak_factor(), 1.5, 1e-12);
+  EXPECT_FALSE(shape.constant());
+}
+
+TEST(TrafficShapeTest, FlashCrowdMultipliesInsideWindowOnly) {
+  TrafficShape shape;
+  shape.with_flash(sim::from_sec(2), sim::from_sec(1), 3.0);
+  EXPECT_DOUBLE_EQ(shape.modulation(sim::from_sec(1)), 1.0);
+  EXPECT_DOUBLE_EQ(shape.modulation(sim::from_sec(2)), 3.0);
+  EXPECT_DOUBLE_EQ(shape.modulation(sim::from_ms(2999)), 3.0);
+  EXPECT_DOUBLE_EQ(shape.modulation(sim::from_sec(3)), 1.0);
+  EXPECT_NEAR(shape.peak_factor(), 3.0, 1e-12);
+}
+
+TEST(TrafficShapeTest, DiurnalArrivalsFollowTheCurve) {
+  // Count arrivals in the peak half-period vs the trough half-period: with
+  // depth 0.6 the peak half must see substantially more traffic.
+  const auto shape = TrafficShape::diurnal(sim::from_sec(8), 0.6);
+  RequestSource src(42, 0, 1000.0, shape);
+  std::uint64_t first_half = 0, second_half = 0;
+  while (true) {
+    const sim::SimTime t = src.next();
+    if (t >= sim::from_sec(8)) break;
+    (t < sim::from_sec(4) ? first_half : second_half)++;
+  }
+  EXPECT_GT(first_half, second_half * 2);
+  // And the day's total still integrates to ~base * period (the sine
+  // averages out over a full period).
+  EXPECT_NEAR(static_cast<double>(first_half + second_half), 8000.0, 400.0);
+}
+
+TEST(TrafficShapeTest, FlashCrowdSpikesOfferedLoad) {
+  TrafficShape shape;
+  shape.with_flash(sim::from_sec(2), sim::from_sec(1), 4.0);
+  RequestSource src(7, 0, 500.0, shape);
+  std::uint64_t before = 0, during = 0;
+  while (true) {
+    const sim::SimTime t = src.next();
+    if (t >= sim::from_sec(3)) break;
+    (t < sim::from_sec(2) ? before : during)++;
+  }
+  // 2 s at 500 rps vs 1 s at 2000 rps.
+  EXPECT_NEAR(static_cast<double>(before), 1000.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(during), 2000.0, 220.0);
+}
+
+TEST(TrafficShapeTest, ShapedArrivalsStayDeterministicAndMonotone) {
+  const auto shape =
+      TrafficShape::diurnal(sim::from_sec(4), 0.5)
+          .with_flash(sim::from_sec(1), sim::from_ms(500), 2.5);
+  RequestSource a(11, 3, 800.0, shape);
+  RequestSource b(11, 3, 800.0, shape);
+  sim::SimTime prev = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const sim::SimTime t = a.next();
+    EXPECT_EQ(t, b.next());
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TrafficShapeTest, RejectsInvalidShapes) {
+  TrafficShape deep;
+  deep.diurnal_depth = 1.0;
+  deep.diurnal_period = sim::from_sec(1);
+  EXPECT_THROW(RequestSource(1, 0, 100.0, deep), std::invalid_argument);
+  TrafficShape no_period;
+  no_period.diurnal_depth = 0.5;
+  EXPECT_THROW(RequestSource(1, 0, 100.0, no_period), std::invalid_argument);
+  TrafficShape weak_flash;
+  weak_flash.with_flash(0, sim::from_sec(1), 0.5);
+  EXPECT_THROW(RequestSource(1, 0, 100.0, weak_flash), std::invalid_argument);
+  TrafficShape no_duration;
+  no_duration.with_flash(0, 0, 2.0);
+  EXPECT_THROW(RequestSource(1, 0, 100.0, no_duration), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dimetrodon::cluster

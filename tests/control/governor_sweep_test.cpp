@@ -9,7 +9,7 @@
 #include <utility>
 #include <vector>
 
-#include "cluster/sweep.hpp"
+#include "cluster/fleet_spec.hpp"
 #include "runner/sweep_engine.hpp"
 
 namespace dimetrodon::cluster {
@@ -44,18 +44,22 @@ control::GovernorSpec hybrid_spec() {
 }
 
 // A mixed fleet: one governed node, one open-loop preventive node — the
-// composition ClusterConfig promises NodeSpec supports.
+// composition FleetSpec's per-position overrides support.
 ClusterRunSpec governed_spec(control::GovernorSpec governor) {
-  ClusterRunSpec spec;
-  spec.cluster.machine.enable_meter = false;
-  spec.cluster.offered_load_rps = 900.0;
-  spec.cluster.web.demand_mean_s = 0.0040;
-  NodeSpec governed{0.5, 0.0, sim::from_ms(10)};
-  governed.governor = std::move(governor);
-  NodeSpec open_loop{0.7, 0.3, sim::from_ms(10)};
-  spec.cluster.nodes = {governed, open_loop};
-  spec.duration = sim::from_sec(4);
-  return spec;
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  workload::WebWorkload::Config web = ClusterConfig::open_loop_web();
+  web.demand_mean_s = 0.0040;
+  return FleetSpec::racks(1)
+      .nodes_per_rack(2)
+      .with_machine(machine)
+      .with_web(web)
+      .with_cooling(0.5, 0.7)
+      .with_load(900.0)
+      .override_position(0, {.governor = std::move(governor)})
+      .override_position(1, {.injection_probability = 0.3})
+      .for_duration(sim::from_sec(4))
+      .build();
 }
 
 std::vector<runner::RunSpec> governed_grid() {

@@ -9,6 +9,7 @@
 
 #include "control/arbiter.hpp"
 #include "sched/machine.hpp"
+#include "sim/canon.hpp"
 
 namespace dimetrodon::control {
 namespace {
@@ -250,15 +251,16 @@ TEST(GovernorSpecTest, ReferenceTemperatureTracksTheActiveController) {
 TEST(GovernorSpecTest, CanonicalTextDistinguishesEveryBehavioralField) {
   GovernorSpec base;
   base.kind = GovernorKind::kPid;
-  std::string a;
-  append_canonical_governor(a, base);
+  sim::CanonWriter wa;
+  append_canonical_governor(wa, base);
+  const std::string a = wa.take();
 
   auto differs = [&](auto mutate) {
     GovernorSpec other = base;
     mutate(other);
-    std::string b;
-    append_canonical_governor(b, other);
-    return a != b;
+    sim::CanonWriter wb;
+    append_canonical_governor(wb, other);
+    return a != wb.take();
   };
   EXPECT_TRUE(differs([](GovernorSpec& s) { s.kind = GovernorKind::kHybrid; }));
   EXPECT_TRUE(differs([](GovernorSpec& s) { s.sample_period *= 2; }));

@@ -1,0 +1,65 @@
+#include "sim/canon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+namespace dimetrodon::sim {
+namespace {
+
+TEST(CanonWriterTest, PreambleCarriesTheSharedVersion) {
+  CanonWriter w;
+  w.preamble("doc");
+  // The one version number every canonical document and the sweep cache
+  // magic share — sensitivity here is what turns stale caches into misses.
+  EXPECT_EQ(w.text(), "doc v" + std::to_string(kCanonVersion) + " ");
+}
+
+TEST(CanonWriterTest, DoublesRenderAsBitExactHexFloats) {
+  CanonWriter w;
+  w.field("x", 1.5);
+  w.field("zero", 0.0);
+  EXPECT_EQ(w.text(), "x=0x1.8p+0 zero=0x0p+0 ");
+}
+
+TEST(CanonWriterTest, AdjacentDoublesStayDistinguishable) {
+  // %a is lossless: values one ulp apart must render differently (decimal
+  // formats with default precision would collapse them into one cache key).
+  const double a = 0.1;
+  const double b = std::nextafter(a, 1.0);
+  CanonWriter wa, wb;
+  wa.field("v", a);
+  wb.field("v", b);
+  EXPECT_NE(wa.text(), wb.text());
+}
+
+TEST(CanonWriterTest, IntegerBoolAndStringFields) {
+  CanonWriter w;
+  w.field("u", static_cast<std::uint64_t>(255));
+  w.field("i", static_cast<std::int64_t>(-42));
+  w.field("b", true);
+  w.field("s", std::string("tag"));
+  EXPECT_EQ(w.text(), "u=ff i=-42 b=1 s=tag ");
+}
+
+TEST(CanonWriterTest, SectionsAndListsNest) {
+  CanonWriter w;
+  w.open("sec");
+  w.field("a", static_cast<std::uint64_t>(1));
+  w.close();
+  w.open_list("items");
+  w.field("x", 2.0);
+  w.close_list();
+  EXPECT_EQ(w.text(), "sec{a=1 } items[x=0x1p+1 ] ");
+}
+
+TEST(CanonWriterTest, TakeMovesTheDocumentOut) {
+  CanonWriter w;
+  w.raw("abc");
+  EXPECT_EQ(w.take(), "abc");
+  EXPECT_TRUE(w.text().empty());
+}
+
+}  // namespace
+}  // namespace dimetrodon::sim
