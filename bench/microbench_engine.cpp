@@ -13,9 +13,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/controller.hpp"
+#include "harness/experiment.hpp"
 #include "sched/machine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
@@ -88,6 +91,44 @@ void BM_RcNetworkFastForward(benchmark::State& state) {
   benchmark::DoNotOptimize(net.temperature(nodes.die[0]));
 }
 BENCHMARK(BM_RcNetworkFastForward)->Arg(20)->Arg(4000);
+
+// Block-diagonal topology in the style of the cluster layer: many free
+// "islands" (rack-air chains) coupled only through one fixed CRAC node, so
+// the free-free propagator is block diagonal and the CSR path skips the
+// cross-island zero blocks entirely.
+std::vector<thermal::NodeId> build_island_network(thermal::RcNetwork& net,
+                                                  std::size_t islands,
+                                                  std::size_t per_island) {
+  const thermal::NodeId crac = net.add_fixed_node("crac", 18.0);
+  std::vector<thermal::NodeId> heads;
+  heads.reserve(islands);
+  for (std::size_t i = 0; i < islands; ++i) {
+    thermal::NodeId prev =
+        net.add_node("island" + std::to_string(i) + ".0", 50.0, 25.0);
+    net.connect_r(prev, crac, 0.4);
+    heads.push_back(prev);
+    for (std::size_t j = 1; j < per_island; ++j) {
+      const thermal::NodeId n = net.add_node(
+          "island" + std::to_string(i) + "." + std::to_string(j), 30.0, 25.0);
+      net.connect_r(prev, n, 0.15);
+      prev = n;
+    }
+  }
+  return heads;
+}
+
+// The sparse-vs-dense propagator on the block-diagonal topology; Arg(0)
+// forces the dense reference, Arg(1) the CSR fast path.
+void BM_RcNetworkBlockDiagAdvance(benchmark::State& state) {
+  thermal::RcNetwork net;
+  const auto heads = build_island_network(net, 64, 4);
+  for (const auto n : heads) net.set_power(n, 35.0);
+  net.set_sparse_enabled(state.range(0) != 0);
+  for (auto _ : state) net.advance(0.00025, 4000);
+  state.SetLabel(state.range(0) != 0 ? "csr" : "dense");
+  benchmark::DoNotOptimize(net.temperature(heads[0]));
+}
+BENCHMARK(BM_RcNetworkBlockDiagAdvance)->Arg(0)->Arg(1);
 
 void BM_RcNetworkSteadyState(benchmark::State& state) {
   thermal::RcNetwork net;
@@ -221,6 +262,132 @@ double measure_event_queue_ops_per_sec() {
   return wall > 0.0 ? kOps / wall : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Acceptance cell: sparse propagator on the block-diagonal island topology.
+// Dense and CSR paths must produce bit-identical temperatures; the speedup is
+// recorded for the perf trajectory.
+// ---------------------------------------------------------------------------
+
+struct SparseResult {
+  std::size_t nodes = 0;
+  double dense_wall = 0.0;
+  double sparse_wall = 0.0;
+  double speedup = 0.0;
+  std::uint64_t sparse_matvecs = 0;
+  bool bit_identical = false;
+};
+
+SparseResult measure_sparse_advance() {
+  constexpr std::size_t kIslands = 64;
+  constexpr std::size_t kPerIsland = 4;
+  constexpr int kReps = 40;
+  const auto run = [&](bool sparse, thermal::RcNetwork& net) {
+    const auto heads = build_island_network(net, kIslands, kPerIsland);
+    for (const auto n : heads) net.set_power(n, 35.0);
+    net.set_sparse_enabled(sparse);
+    net.advance(0.00025, 4000);  // warm the operator cache
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) net.advance(0.00025, 4000);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  thermal::RcNetwork dense;
+  thermal::RcNetwork csr;
+  SparseResult r;
+  r.dense_wall = run(false, dense);
+  r.sparse_wall = run(true, csr);
+  r.speedup = r.sparse_wall > 0.0 ? r.dense_wall / r.sparse_wall : 0.0;
+  r.nodes = dense.node_count();
+  r.sparse_matvecs = csr.stats().sparse_matvecs;
+  r.bit_identical = true;
+  for (std::size_t n = 0; n < dense.node_count(); ++n) {
+    if (dense.temperature(n) != csr.temperature(n)) r.bit_identical = false;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance cell: warm-start sweep. Eight injection setpoints sharing one
+// 240 s unactuated cpuburn×4 warmup, measured cold (each point re-simulates
+// the warmup) and warm (one snapshot build, eight forks). The forked results
+// must be bit-identical to the replayed ones, and sharing the prefix must cut
+// end-to-end wall time at least in half.
+// ---------------------------------------------------------------------------
+
+struct WarmStartResult {
+  int points = 0;
+  double warmup_sim_seconds = 0.0;
+  double cold_wall = 0.0;
+  double warm_wall = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+WarmStartResult measure_warm_start() {
+  constexpr double kWarmupSeconds = 240.0;
+  const std::vector<double> probs = {0.05, 0.15, 0.25, 0.35,
+                                     0.45, 0.55, 0.65, 0.75};
+  harness::MeasurementConfig mc;
+  mc.max_settle_iterations = 1;
+  mc.settle_chunk = sim::from_sec(2);
+  mc.post_settle_run = sim::from_sec(1);
+  mc.measure_window = sim::from_sec(5);
+  mc.sensor_poll = sim::from_ms(500);
+  sched::MachineConfig cfg;
+  harness::ExperimentRunner runner(cfg, mc);
+  const auto factory = []() -> std::unique_ptr<workload::Workload> {
+    return std::make_unique<workload::CpuBurnFleet>(4);
+  };
+  const sim::SimTime warmup = sim::from_sec(kWarmupSeconds);
+
+  WarmStartResult r;
+  r.points = static_cast<int>(probs.size());
+  r.warmup_sim_seconds = kWarmupSeconds;
+
+  std::vector<harness::RunResult> cold;
+  auto t0 = std::chrono::steady_clock::now();
+  for (const double p : probs) {
+    cold.push_back(runner.measure_after_warmup(
+        factory, harness::actuation::dimetrodon(p, sim::from_ms(100)),
+        warmup));
+  }
+  r.cold_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<harness::RunResult> warm;
+  t0 = std::chrono::steady_clock::now();
+  const sched::MachineSnapshot snap =
+      runner.build_warmup_snapshot(factory, warmup);
+  for (const double p : probs) {
+    warm.push_back(runner.measure_warm(
+        factory, harness::actuation::dimetrodon(p, sim::from_ms(100)), snap));
+  }
+  r.warm_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  r.speedup = r.warm_wall > 0.0 ? r.cold_wall / r.warm_wall : 0.0;
+  r.bit_identical = true;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (cold[i].avg_sensor_temp_c != warm[i].avg_sensor_temp_c ||
+        cold[i].avg_exact_temp_c != warm[i].avg_exact_temp_c ||
+        cold[i].throughput != warm[i].throughput ||
+        cold[i].avg_power_w != warm[i].avg_power_w ||
+        cold[i].injected_idle_fraction != warm[i].injected_idle_fraction ||
+        cold[i].sim_seconds != warm[i].sim_seconds) {
+      r.bit_identical = false;
+      std::fprintf(stderr,
+                   "warm-start MISMATCH at p=%.2f: "
+                   "sensor %.17g vs %.17g, throughput %.17g vs %.17g\n",
+                   probs[i], cold[i].avg_sensor_temp_c,
+                   warm[i].avg_sensor_temp_c, cold[i].throughput,
+                   warm[i].throughput);
+    }
+  }
+  return r;
+}
+
 void put_advance(std::FILE* f, const char* key, const AdvanceResult& r,
                  const char* trailing) {
   std::fprintf(
@@ -258,6 +425,11 @@ int write_engine_json() {
   const double speedup = ref.sim_seconds_per_sec > 0.0
                              ? fast.sim_seconds_per_sec / ref.sim_seconds_per_sec
                              : 0.0;
+  std::fprintf(stderr, "measuring block-diagonal sparse advance...\n");
+  const SparseResult sparse = measure_sparse_advance();
+  std::fprintf(stderr, "measuring warm-start sweep (8 points, 240 s shared "
+               "warmup)...\n");
+  const WarmStartResult warm = measure_warm_start();
 
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -266,7 +438,7 @@ int write_engine_json() {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"dimetrodon-bench-engine v1\",\n"
+               "  \"schema\": \"dimetrodon-bench-engine v2\",\n"
                "  \"machine_advance\": {\n"
                "    \"workload\": \"cpuburn x4\",\n"
                "    \"sim_seconds\": %.1f,\n",
@@ -278,16 +450,76 @@ int write_engine_json() {
                "  },\n"
                "  \"event_queue\": {\n"
                "    \"ops_per_sec\": %.0f\n"
+               "  },\n",
+               speedup, event_ops);
+  std::fprintf(f,
+               "  \"sparse\": {\n"
+               "    \"nodes\": %zu,\n"
+               "    \"dense_wall_seconds\": %.6f,\n"
+               "    \"sparse_wall_seconds\": %.6f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"sparse_matvecs\": %llu,\n"
+               "    \"bit_identical\": %s\n"
+               "  },\n",
+               sparse.nodes, sparse.dense_wall, sparse.sparse_wall,
+               sparse.speedup,
+               static_cast<unsigned long long>(sparse.sparse_matvecs),
+               sparse.bit_identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"warm_start\": {\n"
+               "    \"points\": %d,\n"
+               "    \"warmup_sim_seconds\": %.1f,\n"
+               "    \"cold_wall_seconds\": %.6f,\n"
+               "    \"warm_wall_seconds\": %.6f,\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"bit_identical\": %s\n"
                "  }\n"
                "}\n",
-               speedup, event_ops);
+               warm.points, warm.warmup_sim_seconds, warm.cold_wall,
+               warm.warm_wall, warm.speedup,
+               warm.bit_identical ? "true" : "false");
   std::fclose(f);
   std::fprintf(stderr,
                "machine advance: reference %.2f sim-s/s, fast-forward %.2f "
                "sim-s/s (%.1fx) -> %s\n",
                ref.sim_seconds_per_sec, fast.sim_seconds_per_sec, speedup,
                path.c_str());
-  return 0;
+  std::fprintf(stderr,
+               "sparse advance: dense %.3fs, csr %.3fs (%.2fx, %llu sparse "
+               "matvecs, identical=%d)\n",
+               sparse.dense_wall, sparse.sparse_wall, sparse.speedup,
+               static_cast<unsigned long long>(sparse.sparse_matvecs),
+               sparse.bit_identical ? 1 : 0);
+  std::fprintf(stderr,
+               "warm start: cold %.3fs, warm %.3fs (%.2fx, identical=%d)\n",
+               warm.cold_wall, warm.warm_wall, warm.speedup,
+               warm.bit_identical ? 1 : 0);
+
+  // Acceptance bars — a regression here fails the bench binary (and CI).
+  int rc = 0;
+  if (!sparse.bit_identical) {
+    std::fprintf(stderr, "BAR FAILED: sparse path is not bit-identical\n");
+    rc = 1;
+  }
+  if (sparse.sparse_matvecs == 0) {
+    std::fprintf(stderr,
+                 "BAR FAILED: CSR path never engaged on the block-diagonal "
+                 "topology\n");
+    rc = 1;
+  }
+  if (!warm.bit_identical) {
+    std::fprintf(stderr,
+                 "BAR FAILED: warm-start fork is not bit-identical to the "
+                 "replayed warmup\n");
+    rc = 1;
+  }
+  if (warm.speedup < 2.0) {
+    std::fprintf(stderr,
+                 "BAR FAILED: warm-start speedup %.2fx below the 2x bar\n",
+                 warm.speedup);
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace

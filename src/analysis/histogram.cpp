@@ -48,6 +48,10 @@ double PercentileHistogram::bucket_midpoint(std::size_t idx) const {
 }
 
 void PercentileHistogram::add(double value) {
+  if (!std::isfinite(value)) {
+    ++rejected_;
+    return;
+  }
   if (count_ == 0) {
     min_seen_ = value;
     max_seen_ = value;
@@ -64,6 +68,7 @@ void PercentileHistogram::merge(const PercentileHistogram& other) {
   if (!same_layout(other)) {
     throw std::invalid_argument("PercentileHistogram layouts differ");
   }
+  rejected_ += other.rejected_;
   if (other.count_ == 0) return;
   if (count_ == 0) {
     min_seen_ = other.min_seen_;
@@ -82,6 +87,7 @@ void PercentileHistogram::merge(const PercentileHistogram& other) {
 void PercentileHistogram::reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
+  rejected_ = 0;
   sum_ = 0.0;
   min_seen_ = 0.0;
   max_seen_ = 0.0;

@@ -22,7 +22,14 @@ class PercentileHistogram {
   explicit PercentileHistogram(double min_value = 1e-6,
                                double max_value = 1e5);
 
+  /// Record one sample. Non-finite values (NaN, ±inf) are dropped and
+  /// counted in rejected() instead: a NaN would otherwise poison sum_ and
+  /// the extrema and — via the size_t underflow clamp in bucket_index —
+  /// silently land in the top bucket, skewing every downstream p99.
   void add(double value);
+
+  /// Non-finite samples dropped by add() (folded across merge()).
+  std::uint64_t rejected() const { return rejected_; }
 
   /// Fold `other` into this histogram. Layouts (min/max) must match.
   void merge(const PercentileHistogram& other);
@@ -56,6 +63,7 @@ class PercentileHistogram {
   int min_exp_;  // frexp exponent of min_value_
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
+  std::uint64_t rejected_ = 0;
   double sum_ = 0.0;
   double min_seen_ = 0.0;
   double max_seen_ = 0.0;

@@ -161,6 +161,19 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   wl->deploy(machine);
   if (post_deploy) post_deploy(machine, *wl, controller.get());
 
+  return finish_measurement(machine, *wl, controller, std::move(result),
+                            phase);
+  } catch (const MeasurementError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw MeasurementError(phase, e.what());
+  }
+}
+
+RunResult ExperimentRunner::finish_measurement(
+    sched::Machine& machine, workload::Workload& wl,
+    const std::shared_ptr<core::DimetrodonController>& controller,
+    RunResult result, const char*& phase) {
   // Accelerated settling: run, then jump the slow thermal nodes to the
   // steady state of the observed average power; stop when a jump no longer
   // moves the temperature.
@@ -177,7 +190,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
 
   // Measurement window.
   phase = "measure-window";
-  const double progress0 = wl->progress(machine);
+  const double progress0 = wl.progress(machine);
   const double energy0 = machine.energy().total_joules();
   // Injected idle accrues at the controller under suspension semantics and
   // at the cores under the literal idle-the-core mechanism; sum both.
@@ -191,7 +204,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   };
   const double injected0 = injected_seconds();
   const obs::CounterTotals counters0 = machine.counters().totals();
-  auto* web = dynamic_cast<workload::WebWorkload*>(wl.get());
+  auto* web = dynamic_cast<workload::WebWorkload*>(&wl);
   if (web != nullptr) web->mark();
 
   analysis::OnlineStats sensor_stats;
@@ -209,7 +222,7 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   const double window_s = sim::to_sec(mc_.measure_window);
   result.avg_sensor_temp_c = sensor_stats.mean();
   result.avg_exact_temp_c = exact_stats.mean();
-  result.throughput = (wl->progress(machine) - progress0) / window_s;
+  result.throughput = (wl.progress(machine) - progress0) / window_s;
   result.avg_power_w =
       (machine.energy().total_joules() - energy0) / window_s;
   result.injected_idle_fraction =
@@ -219,6 +232,73 @@ RunResult ExperimentRunner::measure(const WorkloadFactory& factory,
   if (web != nullptr) result.qos = web->stats_since_mark();
   result.sim_seconds = sim::to_sec(machine.now());
   return result;
+}
+
+sched::MachineSnapshot ExperimentRunner::build_warmup_snapshot(
+    const WorkloadFactory& factory, sim::SimTime warmup) {
+  const char* phase = "warmup-build";
+  try {
+    sched::MachineConfig cfg = base_;
+    cfg.enable_meter = false;
+    sched::Machine machine(cfg);
+    auto wl = factory();
+    wl->deploy(machine);
+    machine.run_for(warmup);
+    return machine.snapshot();
+  } catch (const MeasurementError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw MeasurementError(phase, e.what());
+  }
+}
+
+RunResult ExperimentRunner::measure_warm(const WorkloadFactory& factory,
+                                         const ActuationSetup& actuation,
+                                         const sched::MachineSnapshot& snap,
+                                         const PostDeployHook& post_deploy) {
+  return measure_warm_impl(factory, actuation, &snap, 0, post_deploy);
+}
+
+RunResult ExperimentRunner::measure_after_warmup(
+    const WorkloadFactory& factory, const ActuationSetup& actuation,
+    sim::SimTime warmup, const PostDeployHook& post_deploy) {
+  return measure_warm_impl(factory, actuation, nullptr, warmup, post_deploy);
+}
+
+RunResult ExperimentRunner::measure_warm_impl(
+    const WorkloadFactory& factory, const ActuationSetup& actuation,
+    const sched::MachineSnapshot* snap, sim::SimTime warmup,
+    const PostDeployHook& post_deploy) {
+  const char* phase = "setup";
+  try {
+    sched::MachineConfig cfg = base_;
+    cfg.enable_meter = false;
+    sched::Machine machine(cfg);
+
+    RunResult result;
+    result.label = actuation.label;
+    result.idle_sensor_temp_c = machine.mean_sensor_temp();
+    result.idle_exact_temp_c = mean_exact_temp(machine);
+
+    auto wl = factory();
+    wl->deploy(machine);
+
+    // The warmup prefix runs unactuated; the actuation attaches only after
+    // it, so every point sharing the prefix sees the identical pre-actuation
+    // state whether it was restored or replayed.
+    phase = "warmup";
+    if (snap != nullptr) {
+      machine.restore(*snap);
+    } else {
+      machine.run_for(warmup);
+    }
+
+    phase = "actuate";
+    auto controller = actuation.configure(machine);
+    if (post_deploy) post_deploy(machine, *wl, controller.get());
+
+    return finish_measurement(machine, *wl, controller, std::move(result),
+                              phase);
   } catch (const MeasurementError&) {
     throw;
   } catch (const std::exception& e) {

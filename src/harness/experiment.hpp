@@ -152,6 +152,32 @@ class ExperimentRunner {
                     const ActuationSetup& actuation,
                     const PostDeployHook& post_deploy = {});
 
+  // --- warm-start (shared warmup prefix via machine snapshots) -------------
+  /// Build a machine, deploy the workload, run it *unactuated* for `warmup`,
+  /// and capture the complete machine state. Sweep points that share the
+  /// same (machine config, workload, seed, warmup) prefix fork from one
+  /// cached snapshot instead of each re-simulating the prefix. Throws if the
+  /// machine or workload is not snapshot-capable (see Machine::snapshot).
+  sched::MachineSnapshot build_warmup_snapshot(const WorkloadFactory& factory,
+                                               sim::SimTime warmup);
+
+  /// Fork a measured run from a warmup snapshot: fresh machine, identical
+  /// workload deployed, state restored, THEN the actuation applied, then the
+  /// standard settle + measure-window methodology. Bit-identical to
+  /// measure_after_warmup with the same arguments (fork ≡ replay).
+  RunResult measure_warm(const WorkloadFactory& factory,
+                         const ActuationSetup& actuation,
+                         const sched::MachineSnapshot& snap,
+                         const PostDeployHook& post_deploy = {});
+
+  /// Reference path for the fork ≡ replay invariant: identical to
+  /// measure_warm except the warmup prefix is re-simulated inline instead of
+  /// restored from a snapshot.
+  RunResult measure_after_warmup(const WorkloadFactory& factory,
+                                 const ActuationSetup& actuation,
+                                 sim::SimTime warmup,
+                                 const PostDeployHook& post_deploy = {});
+
   /// Run a finite workload to completion (bounded by `deadline`); meter on.
   WindowResult run_to_completion(const WorkloadFactory& factory,
                                  const ActuationSetup& actuation,
@@ -169,6 +195,18 @@ class ExperimentRunner {
 
  private:
   double mean_exact_temp(const sched::Machine& m) const;
+  /// Settle + measurement-window tail shared by measure / measure_warm /
+  /// measure_after_warmup; takes over with the machine actuated and the
+  /// workload deployed. `phase` is the caller's MeasurementError context.
+  RunResult finish_measurement(
+      sched::Machine& machine, workload::Workload& wl,
+      const std::shared_ptr<core::DimetrodonController>& controller,
+      RunResult result, const char*& phase);
+  RunResult measure_warm_impl(const WorkloadFactory& factory,
+                              const ActuationSetup& actuation,
+                              const sched::MachineSnapshot* snap,
+                              sim::SimTime warmup,
+                              const PostDeployHook& post_deploy);
 
   sched::MachineConfig base_;
   MeasurementConfig mc_;

@@ -35,6 +35,21 @@ class EnergyAccountant {
     total_joules_ = 0.0;
   }
 
+  /// Snapshot support: full accumulator state, restorable verbatim.
+  struct State {
+    std::vector<double> core_joules;
+    double uncore_joules = 0.0;
+    double total_joules = 0.0;
+  };
+  State save_state() const {
+    return State{core_joules_, uncore_joules_, total_joules_};
+  }
+  void restore_state(const State& s) {
+    core_joules_ = s.core_joules;
+    uncore_joules_ = s.uncore_joules;
+    total_joules_ = s.total_joules;
+  }
+
  private:
   std::vector<double> core_joules_;
   double uncore_joules_ = 0.0;

@@ -129,10 +129,22 @@ std::string canonical_spec(const RunSpec& spec,
   w.field("window", mc.measure_window);
   w.field("poll", mc.sensor_poll);
   w.close();
+  w.field("warmup", spec.warmup);
   append_machine(w, spec.machine ? *spec.machine : base);
   if (spec.kind == RunSpec::Kind::kCustom) {
     w.field("custom", spec.custom_tag);
   }
+  return w.take();
+}
+
+std::string canonical_warm_prefix(const RunSpec& spec,
+                                  const sched::MachineConfig& base) {
+  sim::CanonWriter w(1024);
+  w.preamble("dimetrodon-warm-prefix");
+  w.field("seed", spec.seed);
+  w.field("workload", spec.workload_key);
+  w.field("warmup", spec.warmup);
+  append_machine(w, spec.machine ? *spec.machine : base);
   return w.take();
 }
 

@@ -127,6 +127,14 @@ struct RunSpec {
   ActuationSpec actuation;
   harness::MeasurementConfig measurement{};
 
+  /// kMeasure only: simulated time to run the deployed workload *unactuated*
+  /// before the actuation attaches and the settle/measure methodology begins.
+  /// Points sharing the same (machine config, workload_key, seed, warmup)
+  /// prefix fork from one cached machine snapshot instead of re-simulating
+  /// it (see SweepEngine). 0 = classic cold run. Part of the cache key, so
+  /// warm and cold records never collide.
+  sim::SimTime warmup = 0;
+
   /// Master seed of this run's machine. Every RNG stream in the simulation
   /// derives from it, which is what makes runs independent of execution
   /// order and thread placement.
@@ -150,5 +158,12 @@ struct RunSpec {
 /// the cache file to rule out hash collisions.
 std::string canonical_spec(const RunSpec& spec,
                            const sched::MachineConfig& base);
+
+/// Canonical identity of a spec's warmup prefix: machine config + workload
+/// key + seed + warmup, and nothing else. Two specs share a warmup snapshot
+/// exactly when this string matches — actuation and measurement config are
+/// deliberately absent because the prefix runs before either applies.
+std::string canonical_warm_prefix(const RunSpec& spec,
+                                  const sched::MachineConfig& base);
 
 }  // namespace dimetrodon::runner

@@ -114,8 +114,52 @@ SweepEngine::SweepEngine(sched::MachineConfig base, SweepEngineConfig config)
       cache_(config_.cache_dir, config_.use_cache,
              config_.cache_write_retry_limit, config_.retry_backoff_ms) {}
 
+SnapshotCache::Snapshot SnapshotCache::get_or_build(
+    const std::string& prefix,
+    const std::function<sched::MachineSnapshot()>& build, bool* built) {
+  if (built != nullptr) *built = false;
+  std::promise<Snapshot> promise;
+  std::shared_future<Snapshot> fut;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(prefix);
+    if (it != map_.end()) {
+      fut = it->second;
+    } else {
+      fut = promise.get_future().share();
+      map_.emplace(prefix, fut);
+      builder = true;
+    }
+  }
+  if (!builder) return fut.get();  // blocks until the builder publishes
+  try {
+    auto snap = std::make_shared<const sched::MachineSnapshot>(build());
+    promise.set_value(snap);
+    if (built != nullptr) *built = true;
+    return snap;
+  } catch (...) {
+    // Concurrent waiters see the exception through the future; drop the
+    // entry so a later run retries instead of inheriting a poisoned one.
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(prefix);
+    }
+    throw;
+  }
+}
+
+std::size_t SnapshotCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 RunRecord SweepEngine::execute(const RunSpec& spec,
-                               const sched::MachineConfig& base) {
+                               const sched::MachineConfig& base,
+                               SnapshotCache* snapshots,
+                               bool* snapshot_built) {
+  if (snapshot_built != nullptr) *snapshot_built = false;
   sched::MachineConfig cfg = spec.machine ? *spec.machine : base;
   cfg.seed = spec.seed;
   if (spec.kind == RunSpec::Kind::kCustom) {
@@ -129,6 +173,26 @@ RunRecord SweepEngine::execute(const RunSpec& spec,
   }
   harness::ExperimentRunner runner(cfg, spec.measurement);
   RunRecord rec;
+  if (spec.warmup > 0) {
+    // Warm start: get-or-build the shared warmup-prefix snapshot, then
+    // ALWAYS fork the measured run from it (the builder run forks too, so
+    // whether the snapshot came from this call or a cached one is
+    // unobservable in the results).
+    SnapshotCache::Snapshot snap;
+    const auto build = [&] {
+      return runner.build_warmup_snapshot(spec.workload, spec.warmup);
+    };
+    if (snapshots != nullptr) {
+      snap = snapshots->get_or_build(canonical_warm_prefix(spec, base), build,
+                                     snapshot_built);
+    } else {
+      snap = std::make_shared<const sched::MachineSnapshot>(build());
+      if (snapshot_built != nullptr) *snapshot_built = true;
+    }
+    rec.result =
+        runner.measure_warm(spec.workload, spec.actuation.to_setup(), *snap);
+    return rec;
+  }
   rec.result = runner.measure(spec.workload, spec.actuation.to_setup());
   return rec;
 }
@@ -190,11 +254,12 @@ SweepResult SweepEngine::run(const std::vector<RunSpec>& specs) {
       err.key_hex = key.hex();
       err.seed = spec.seed;
       bool failed = false;
+      bool snapshot_built = false;
       for (std::uint32_t attempt = 1;; ++attempt) {
         err.attempts = attempt;
         try {
           fault::maybe_throw("run.execute", key.hi);
-          results[i] = execute(spec, base_);
+          results[i] = execute(spec, base_, &snapshots_, &snapshot_built);
           break;
         } catch (const std::exception& e) {
           err.what = e.what();
@@ -224,6 +289,14 @@ SweepResult SweepEngine::run(const std::vector<RunSpec>& specs) {
       const StoreOutcome stored = cache_.store(key, canon, results[i]);
       metrics.on_cache_write_retries(stored.retries);
       metrics.add_counters(results[i].result.counters);
+      if (spec.warmup > 0) {
+        // Engine-level warm-start accounting: the machine itself never
+        // touches these, so they live in the sweep totals, not the record.
+        obs::CounterTotals warm{};
+        warm.snapshot_builds = snapshot_built ? 1 : 0;
+        warm.snapshot_forks = 1;
+        metrics.add_counters(warm);
+      }
       metrics.on_run_executed(results[i].sim_seconds_estimate());
     });
   }

@@ -1,7 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "runner/metrics.hpp"
@@ -10,6 +14,29 @@
 #include "sched/machine.hpp"
 
 namespace dimetrodon::runner {
+
+/// In-memory, per-engine cache of warmup-prefix machine snapshots, keyed by
+/// canonical_warm_prefix. The first thread asking for a prefix builds it;
+/// concurrent askers for the SAME prefix block on its future (distinct
+/// prefixes build in parallel), and everyone shares one immutable snapshot.
+/// A failed build is not cached: the promise is removed so a later run can
+/// retry rather than inherit a poisoned future.
+class SnapshotCache {
+ public:
+  using Snapshot = std::shared_ptr<const sched::MachineSnapshot>;
+
+  /// Returns the cached snapshot for `prefix`, building it via `build` on
+  /// first use. Sets `*built` to whether THIS call ran the builder.
+  Snapshot get_or_build(const std::string& prefix,
+                        const std::function<sched::MachineSnapshot()>& build,
+                        bool* built);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_future<Snapshot>> map_;
+};
 
 struct SweepEngineConfig {
   /// Worker threads. 0 = one per hardware thread; 1 = serial reference mode.
@@ -95,14 +122,24 @@ class SweepEngine {
   }
 
   /// Execute one spec, no cache involvement and no exception boundary (the
-  /// cache-miss path; throws propagate to the boundary in run()).
+  /// cache-miss path; throws propagate to the boundary in run()). A spec
+  /// with warmup > 0 builds (or reuses, when `snapshots` is non-null) the
+  /// warmup-prefix snapshot and ALWAYS forks the measured run from it — the
+  /// builder run and the forked run take the same code path whether or not
+  /// the snapshot was cached, so caching cannot change results.
   static RunRecord execute(const RunSpec& spec,
-                           const sched::MachineConfig& base);
+                           const sched::MachineConfig& base,
+                           SnapshotCache* snapshots = nullptr,
+                           bool* snapshot_built = nullptr);
+
+  /// Warmup-prefix snapshots shared across this engine's runs (diagnostics).
+  const SnapshotCache& snapshots() const { return snapshots_; }
 
  private:
   sched::MachineConfig base_;
   SweepEngineConfig config_;
   ResultCache cache_;
+  SnapshotCache snapshots_;
   MetricsSnapshot last_metrics_;
 };
 

@@ -193,6 +193,8 @@ void Machine::sync_thermal_counters() {
   c.thermal_fast_forward_steps = s.fast_forward_steps;
   c.thermal_factorizations = s.factorizations;
   c.thermal_matvecs = s.matvecs;
+  c.thermal_sparse_matvecs = s.sparse_matvecs;
+  c.thermal_evictions = s.evictions;
 }
 
 void Machine::advance_thermal(sim::SimTime to) {
@@ -232,11 +234,15 @@ void Machine::schedule_substep() {
   });
 }
 
-void Machine::schedule_thermal_watchdog() {
-  sim_.after(config_.thermal_watchdog, [this](sim::SimTime t) {
+sim::EventHandle Machine::arm_thermal_watchdog(sim::SimTime at) {
+  return sim_.at(at, [this](sim::SimTime t) {
     advance_thermal(t);
     schedule_thermal_watchdog();
   });
+}
+
+void Machine::schedule_thermal_watchdog() {
+  watchdog_timer_ = arm_thermal_watchdog(sim_.now() + config_.thermal_watchdog);
 }
 
 void Machine::schedule_meter_sample() {
@@ -269,11 +275,15 @@ void Machine::schedule_trace_sensor() {
   });
 }
 
-void Machine::schedule_schedcpu() {
-  sim_.after(sim::kSecond, [this](sim::SimTime t) {
+sim::EventHandle Machine::arm_schedcpu(sim::SimTime at) {
+  return sim_.at(at, [this](sim::SimTime t) {
     scheduler_->periodic(scheduler_->runnable_count(), t);
     schedule_schedcpu();
   });
+}
+
+void Machine::schedule_schedcpu() {
+  schedcpu_timer_ = arm_schedcpu(sim_.now() + sim::kSecond);
 }
 
 double Machine::current_total_power() {
@@ -437,7 +447,17 @@ void Machine::suspend_for_injection(Thread& t, CoreId where,
   t.set_injection_suspended(true);
   const ThreadId victim = t.id();
   tracer_.injection_begin(sim_.now(), where, victim, quantum);
-  sim_.after(quantum, [this, victim, where, quantum](sim::SimTime now) {
+  arm_injection_resume(victim, where, quantum, sim_.now() + quantum);
+}
+
+void Machine::arm_injection_resume(ThreadId victim, CoreId where,
+                                   sim::SimTime quantum, sim::SimTime at) {
+  ThreadTimer tt;
+  tt.kind = ThreadTimer::Kind::kInjectionResume;
+  tt.thread = victim;
+  tt.where = where;
+  tt.quantum = quantum;
+  tt.handle = sim_.at(at, [this, victim, where, quantum](sim::SimTime now) {
     Thread& v = *threads_.at(victim);
     if (!v.injection_suspended()) return;
     v.set_injection_suspended(false);
@@ -449,6 +469,32 @@ void Machine::suspend_for_injection(Thread& t, CoreId where,
     }
     make_runnable(v);
   });
+  track_thread_timer(std::move(tt));
+}
+
+void Machine::arm_sleep_wake(ThreadId id, sim::SimTime at) {
+  ThreadTimer tt;
+  tt.kind = ThreadTimer::Kind::kWake;
+  tt.thread = id;
+  tt.handle = sim_.at(at, [this, id](sim::SimTime) { wake_thread(id); });
+  track_thread_timer(std::move(tt));
+}
+
+void Machine::track_thread_timer(ThreadTimer&& t) {
+  // Lazy compaction: fired/cancelled handles go inert rather than being
+  // erased eagerly, so drop them in bulk once they dominate the registry.
+  if (thread_timers_.size() >= 64) {
+    std::size_t live = 0;
+    for (const ThreadTimer& tt : thread_timers_) {
+      if (tt.handle.active()) ++live;
+    }
+    if (live * 2 <= thread_timers_.size()) {
+      std::erase_if(thread_timers_, [](const ThreadTimer& tt) {
+        return !tt.handle.active();
+      });
+    }
+  }
+  thread_timers_.push_back(std::move(t));
 }
 
 void Machine::stop_current(Core& core, sim::SimTime now) {
@@ -639,9 +685,8 @@ void Machine::on_segment_end(Core& core) {
       sibling_checkpoint(core);
       core.current = nullptr;
       replan_sibling(core);
-      const ThreadId id = t.id();
-      sim_.after(std::max<sim::SimTime>(outcome.sleep_for, 0),
-                 [this, id](sim::SimTime) { wake_thread(id); });
+      arm_sleep_wake(t.id(),
+                     sim_.now() + std::max<sim::SimTime>(outcome.sleep_for, 0));
       dispatch(core);
       return;
     }
@@ -836,9 +881,13 @@ void Machine::apply_effective_duty(Core& c) {
       static_cast<double>(step) / power::ClockModulation::kNumSteps;
 }
 
+sim::EventHandle Machine::arm_thermal_monitor(sim::SimTime at) {
+  return sim_.at(at, [this](sim::SimTime) { thermal_monitor_tick(); });
+}
+
 void Machine::schedule_thermal_monitor() {
-  sim_.after(config_.thermal_monitor_period,
-             [this](sim::SimTime) { thermal_monitor_tick(); });
+  monitor_timer_ =
+      arm_thermal_monitor(sim_.now() + config_.thermal_monitor_period);
 }
 
 void Machine::thermal_monitor_tick() {
@@ -897,6 +946,336 @@ bool Machine::run_until_condition(const std::function<bool()>& pred,
 
 void Machine::call_at(sim::SimTime when, std::function<void(sim::SimTime)> fn) {
   sim_.at(std::max(when, sim_.now()), std::move(fn));
+}
+
+// --------------------------------------------------------------------------
+// Snapshot / warm-start
+// --------------------------------------------------------------------------
+
+namespace {
+MachineSnapshot::EventStamp stamp_of(const sim::EventHandle& h) {
+  MachineSnapshot::EventStamp e;
+  e.armed = h.active();
+  if (e.armed) {
+    e.at = h.time();
+    e.seq = h.seq();
+  }
+  return e;
+}
+}  // namespace
+
+void Machine::check_snapshot_preconditions() const {
+  if (meter_.has_value()) {
+    throw std::runtime_error(
+        "machine snapshot: power meter attached (its sampling event and "
+        "noise stream are not captured)");
+  }
+  if (tracer_.active()) {
+    throw std::runtime_error(
+        "machine snapshot: trace sink attached (the sensor-sampling event "
+        "is not captured)");
+  }
+  if (config_.thermal_reference_stepper) {
+    throw std::runtime_error(
+        "machine snapshot: reference thermal stepper active (its recurring "
+        "substep event is not captured)");
+  }
+  if (hook_ != nullptr) {
+    throw std::runtime_error(
+        "machine snapshot: injection hook attached (hook-internal state "
+        "cannot be captured; snapshot before attach_hook, restore, then "
+        "attach)");
+  }
+}
+
+MachineSnapshot Machine::snapshot() {
+  check_snapshot_preconditions();
+
+  MachineSnapshot s;
+
+  // Scheduler queue in dequeue order (throws for schedulers without
+  // snapshot support, e.g. ULE's per-thread interactivity histories).
+  std::vector<Thread*> queued;
+  scheduler_->snapshot_queue(queued);
+  s.run_queue.reserve(queued.size());
+  for (Thread* t : queued) s.run_queue.push_back(t->id());
+
+  s.threads.reserve(threads_.size());
+  for (const auto& tp : threads_) {
+    Thread& t = *tp;
+    MachineSnapshot::ThreadSnap ts;
+    ts.state = t.state();
+    ts.affinity = t.affinity();
+    ts.injection_pin = t.injection_pin();
+    ts.injection_suspended = t.injection_suspended();
+    ts.burst_remaining = t.burst_remaining();
+    ts.activity = t.activity();
+    ts.cpu_seconds = t.cpu_seconds_consumed();
+    ts.work_completed = t.work_completed();
+    ts.bursts_completed = t.bursts_completed();
+    ts.times_scheduled = t.times_scheduled();
+    ts.injections_suffered = t.injections_suffered();
+    ts.created_at = t.created_at();
+    ts.finished_at = t.finished_at();
+    ts.estcpu = t.estcpu();
+    ts.sleep_started_at = t.sleep_started_at();
+    ts.last_core = t.last_core();
+    ts.rng = t.rng();
+    if (!t.behavior().save_state(ts.behavior_state)) {
+      throw std::runtime_error("machine snapshot: thread '" + t.name() +
+                               "' has a behavior without snapshot support");
+    }
+    s.threads.push_back(std::move(ts));
+  }
+
+  std::size_t armed = 0;
+  s.cores.reserve(cores_.size());
+  for (const Core& c : cores_) {
+    MachineSnapshot::CoreSnap cs;
+    cs.current = c.current != nullptr ? c.current->id() : kInvalidThread;
+    cs.last_thread = c.last_thread;
+    cs.activity = c.activity;
+    cs.injected_idle = c.injected_idle;
+    cs.injection_victim =
+        c.injection_victim != nullptr ? c.injection_victim->id()
+                                      : kInvalidThread;
+    cs.op = c.op;
+    cs.dvfs_level = c.dvfs_level;
+    cs.duty_step_user = c.duty_step_user;
+    cs.segment_start = c.segment_start;
+    cs.quantum_deadline = c.quantum_deadline;
+    cs.quantum_ran_seconds = c.quantum_ran_seconds;
+    cs.idle_settled_at = c.idle_settled_at;
+    cs.busy_seconds = c.busy_seconds;
+    cs.idle_seconds = c.idle_seconds;
+    cs.injected_idle_seconds = c.injected_idle_seconds;
+    cs.dispatches = c.dispatches;
+    cs.injections = c.injections;
+    cs.context_switches = c.context_switches;
+    cs.timer = stamp_of(c.timer);
+    cs.transition_timer = stamp_of(c.transition_timer);
+    armed += cs.timer.armed ? 1 : 0;
+    armed += cs.transition_timer.armed ? 1 : 0;
+    s.cores.push_back(cs);
+  }
+
+  for (const ThreadTimer& tt : thread_timers_) {
+    if (!tt.handle.active()) continue;
+    MachineSnapshot::ThreadTimerSnap tts;
+    tts.kind = static_cast<std::uint8_t>(tt.kind);
+    tts.thread = tt.thread;
+    tts.where = tt.where;
+    tts.quantum = tt.quantum;
+    tts.at = tt.handle.time();
+    tts.seq = tt.handle.seq();
+    s.thread_timers.push_back(tts);
+    ++armed;
+  }
+
+  s.watchdog = stamp_of(watchdog_timer_);
+  s.schedcpu = stamp_of(schedcpu_timer_);
+  s.monitor = stamp_of(monitor_timer_);
+  armed += s.watchdog.armed ? 1 : 0;
+  armed += s.schedcpu.armed ? 1 : 0;
+  armed += s.monitor.armed ? 1 : 0;
+
+  // Reconcile the tracked-event inventory against the queue's live count.
+  // Anything we cannot account for (a workload call_at timer, a harness
+  // callback) would be silently dropped by restore, so refuse.
+  if (armed != sim_.queue().size()) {
+    throw std::runtime_error(
+        "machine snapshot: " + std::to_string(sim_.queue().size()) +
+        " pending events but only " + std::to_string(armed) +
+        " tracked by the machine (external call_at timers pending?)");
+  }
+
+  s.now = sim_.now();
+  s.events_executed = sim_.events_executed();
+  s.master_rng = master_rng_;
+  s.thermal = network_.save_state();
+  s.last_thermal_update = last_thermal_update_;
+  s.energy = energy_.save_state();
+  s.counters = tracer_.counters();
+  s.tm_active = tm_active_;
+  s.tm_events = tm_events_;
+  s.window_node_joules = window_node_joules_;
+  s.window_start = window_start_;
+  s.live_threads = live_threads_;
+  return s;
+}
+
+void Machine::restore(const MachineSnapshot& s) {
+  check_snapshot_preconditions();
+  if (threads_.size() != s.threads.size()) {
+    throw std::invalid_argument(
+        "machine restore: thread count mismatch (deploy the identical "
+        "workload before restoring)");
+  }
+  if (cores_.size() != s.cores.size()) {
+    throw std::invalid_argument("machine restore: core count mismatch");
+  }
+  if (window_node_joules_.size() != s.window_node_joules.size() ||
+      tm_active_.size() != s.tm_active.size()) {
+    throw std::invalid_argument(
+        "machine restore: thermal topology mismatch (different "
+        "MachineConfig?)");
+  }
+
+  // Drop everything this machine scheduled so far (construction + workload
+  // deployment events); the captured event set replaces it wholesale.
+  sim_.reset_for_restore(s.now, s.events_executed);
+  thread_timers_.clear();
+
+  master_rng_ = s.master_rng;
+  network_.restore_state(s.thermal);
+  last_thermal_update_ = s.last_thermal_update;
+  energy_.restore_state(s.energy);
+  tracer_.counters() = s.counters;
+  tm_active_ = s.tm_active;
+  tm_events_ = s.tm_events;
+  window_node_joules_ = s.window_node_joules;
+  window_start_ = s.window_start;
+  live_threads_ = s.live_threads;
+
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    Thread& t = *threads_[i];
+    const MachineSnapshot::ThreadSnap& ts = s.threads[i];
+    t.set_state(ts.state);
+    t.set_affinity(ts.affinity);
+    t.set_injection_pin(ts.injection_pin);
+    t.set_injection_suspended(ts.injection_suspended);
+    t.set_burst_remaining(ts.burst_remaining);
+    t.set_activity(ts.activity);
+    t.set_cpu_seconds(ts.cpu_seconds);
+    t.set_work_completed(ts.work_completed);
+    t.set_bursts_completed(ts.bursts_completed);
+    t.set_times_scheduled(ts.times_scheduled);
+    t.set_injections_suffered(ts.injections_suffered);
+    t.set_created_at(ts.created_at);
+    t.set_finished_at(ts.finished_at);
+    t.set_estcpu(ts.estcpu);
+    t.set_sleep_started_at(ts.sleep_started_at);
+    t.set_last_core(ts.last_core);
+    t.rng() = ts.rng;
+    t.behavior().load_state(ts.behavior_state);
+  }
+
+  // Rebuild the run queue: a fresh scheduler, then enqueue in the captured
+  // dequeue order. Buckets depend only on estcpu/nice (already restored),
+  // so bucket-major FIFO re-insertion reproduces the queue exactly.
+  if (config_.scheduler_kind == SchedulerKind::kUle) {
+    scheduler_ = std::make_unique<UleScheduler>(cores_.size(), config_.ule);
+  } else {
+    scheduler_ = std::make_unique<BsdScheduler>(config_.scheduler);
+  }
+  for (ThreadId id : s.run_queue) scheduler_->enqueue(*threads_.at(id));
+
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    Core& c = cores_[i];
+    const MachineSnapshot::CoreSnap& cs = s.cores[i];
+    c.current =
+        cs.current != kInvalidThread ? threads_.at(cs.current).get() : nullptr;
+    c.last_thread = cs.last_thread;
+    c.activity = cs.activity;
+    c.injected_idle = cs.injected_idle;
+    c.injection_victim = cs.injection_victim != kInvalidThread
+                             ? threads_.at(cs.injection_victim).get()
+                             : nullptr;
+    c.op = cs.op;
+    c.dvfs_level = cs.dvfs_level;
+    c.duty_step_user = cs.duty_step_user;
+    c.segment_start = cs.segment_start;
+    c.quantum_deadline = cs.quantum_deadline;
+    c.quantum_ran_seconds = cs.quantum_ran_seconds;
+    c.idle_settled_at = cs.idle_settled_at;
+    c.busy_seconds = cs.busy_seconds;
+    c.idle_seconds = cs.idle_seconds;
+    c.injected_idle_seconds = cs.injected_idle_seconds;
+    c.dispatches = cs.dispatches;
+    c.injections = cs.injections;
+    c.context_switches = cs.context_switches;
+    c.timer = sim::EventHandle();
+    c.transition_timer = sim::EventHandle();
+  }
+
+  // Re-arm the captured pending events in ascending captured-seq order so
+  // same-timestamp events (the recurring watchdog/schedcpu/monitor trio ties
+  // regularly) fire in exactly the captured interleaving.
+  struct Arm {
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::vector<Arm> arms;
+  if (s.watchdog.armed) {
+    arms.push_back({s.watchdog.seq, [this, at = s.watchdog.at] {
+                      watchdog_timer_ = arm_thermal_watchdog(at);
+                    }});
+  }
+  if (s.schedcpu.armed) {
+    arms.push_back({s.schedcpu.seq, [this, at = s.schedcpu.at] {
+                      schedcpu_timer_ = arm_schedcpu(at);
+                    }});
+  }
+  if (s.monitor.armed) {
+    arms.push_back({s.monitor.seq, [this, at = s.monitor.at] {
+                      monitor_timer_ = arm_thermal_monitor(at);
+                    }});
+  }
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    Core& c = cores_[i];
+    const MachineSnapshot::CoreSnap& cs = s.cores[i];
+    if (cs.timer.armed) {
+      // An executing core's timer ends the segment; an injected-idle core's
+      // timer ends the idle quantum (mirrors plan_segment / enter_idle).
+      if (cs.injected_idle) {
+        arms.push_back({cs.timer.seq, [this, &c, at = cs.timer.at] {
+                          c.timer = sim_.at(at, [this, &c](sim::SimTime) {
+                            end_injected_idle(c);
+                          });
+                        }});
+      } else {
+        arms.push_back({cs.timer.seq, [this, &c, at = cs.timer.at] {
+                          c.timer = sim_.at(at, [this, &c](sim::SimTime) {
+                            on_segment_end(c);
+                          });
+                        }});
+      }
+    }
+    if (cs.transition_timer.armed) {
+      if (cs.activity == CoreActivity::kIdleEntering) {
+        arms.push_back(
+            {cs.transition_timer.seq, [this, &c, at = cs.transition_timer.at] {
+               c.transition_timer = sim_.at(
+                   at, [this, &c](sim::SimTime) { finish_idle_entry(c); });
+             }});
+      } else if (cs.activity == CoreActivity::kIdleExiting) {
+        arms.push_back(
+            {cs.transition_timer.seq, [this, &c, at = cs.transition_timer.at] {
+               c.transition_timer = sim_.at(
+                   at, [this, &c](sim::SimTime) { finish_idle_exit(c); });
+             }});
+      } else {
+        throw std::invalid_argument(
+            "machine restore: transition timer armed but core is neither "
+            "entering nor exiting idle");
+      }
+    }
+  }
+  for (const MachineSnapshot::ThreadTimerSnap& tts : s.thread_timers) {
+    if (static_cast<ThreadTimer::Kind>(tts.kind) == ThreadTimer::Kind::kWake) {
+      arms.push_back({tts.seq, [this, id = tts.thread, at = tts.at] {
+                        arm_sleep_wake(id, at);
+                      }});
+    } else {
+      arms.push_back({tts.seq, [this, tts] {
+                        arm_injection_resume(tts.thread, tts.where,
+                                             tts.quantum, tts.at);
+                      }});
+    }
+  }
+  std::sort(arms.begin(), arms.end(),
+            [](const Arm& a, const Arm& b) { return a.seq < b.seq; });
+  for (const Arm& a : arms) a.fn();
 }
 
 }  // namespace dimetrodon::sched

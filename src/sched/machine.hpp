@@ -12,6 +12,7 @@
 #include "power/power_model.hpp"
 #include "sched/core.hpp"
 #include "sched/scheduler.hpp"
+#include "sched/snapshot.hpp"
 #include "sched/ule_scheduler.hpp"
 #include "sched/thread.hpp"
 #include "sim/rng.hpp"
@@ -250,6 +251,25 @@ class Machine {
   /// minutes of thermal time constants in seconds of simulated time.
   void jump_to_average_power_steady_state();
 
+  // --- snapshot / warm-start ------------------------------------------------
+  /// Capture the machine's complete dynamic state (see MachineSnapshot for
+  /// the fork ≡ replay contract). Throws std::runtime_error when the machine
+  /// is not snapshot-capable: a power meter or trace sink attached, the
+  /// reference thermal stepper active, an injection hook installed, a
+  /// scheduler or thread behavior without snapshot support, or pending
+  /// events the machine does not track (e.g. workload call_at timers) — the
+  /// reconciliation against the event queue turns any such gap into a loud
+  /// failure instead of a silently diverging fork.
+  MachineSnapshot snapshot();
+
+  /// Restore a snapshot into this machine. Requires: freshly constructed
+  /// with the identical MachineConfig, the identical workload deployed (so
+  /// thread ids, names, behaviors and RNG forks line up), and the same
+  /// snapshot preconditions (no meter/sink/hook/reference stepper). After
+  /// this returns the machine evolves bit-identically to the one the
+  /// snapshot was taken from.
+  void restore(const MachineSnapshot& s);
+
  private:
   friend class MachineTestPeer;
 
@@ -288,6 +308,15 @@ class Machine {
   void schedule_trace_sensor();
   void schedule_schedcpu();
   void schedule_thermal_monitor();
+  // Absolute-time arming primitives shared by the periodic schedulers above
+  // and snapshot restore (which re-arms captured events at captured times).
+  void check_snapshot_preconditions() const;
+  sim::EventHandle arm_thermal_watchdog(sim::SimTime at);
+  sim::EventHandle arm_schedcpu(sim::SimTime at);
+  sim::EventHandle arm_thermal_monitor(sim::SimTime at);
+  void arm_sleep_wake(ThreadId id, sim::SimTime at);
+  void arm_injection_resume(ThreadId victim, CoreId where, sim::SimTime quantum,
+                            sim::SimTime at);
   void thermal_monitor_tick();
   void apply_effective_duty(Core& c);
   double core_power_now(const Core& c) const;
@@ -314,6 +343,26 @@ class Machine {
   std::size_t live_threads_ = 0;
 
   sim::SimTime last_thermal_update_ = 0;
+
+  // Handles to the machine's recurring self-rescheduling events, plus a
+  // registry of in-flight per-thread timers (timed-sleep wakeups and
+  // injection-suspension expiries, with the payloads their callbacks close
+  // over). Together with the per-core timers these account for every event
+  // the machine itself puts in the queue — the inventory snapshot() captures
+  // and reconciles against the queue's live count.
+  sim::EventHandle watchdog_timer_;
+  sim::EventHandle schedcpu_timer_;
+  sim::EventHandle monitor_timer_;
+  struct ThreadTimer {
+    enum class Kind : std::uint8_t { kWake = 0, kInjectionResume = 1 };
+    Kind kind = Kind::kWake;
+    ThreadId thread = kInvalidThread;
+    CoreId where = kNoCore;    // injection-resume only
+    sim::SimTime quantum = 0;  // injection-resume only
+    sim::EventHandle handle;
+  };
+  std::vector<ThreadTimer> thread_timers_;
+  void track_thread_timer(ThreadTimer&& t);
 
   // Power-window accumulators for steady-state jumps (joules per node).
   std::vector<double> window_node_joules_;

@@ -46,6 +46,16 @@ class RunQueue {
   /// including pinned ones).
   void drain_all(std::vector<Thread*>& out);
 
+  /// Append every queued thread to `out` in dequeue order (bucket-major,
+  /// FIFO within bucket) without disturbing the queue. Re-enqueueing them in
+  /// this order into an empty queue — after their estcpu/nice have been
+  /// restored — reproduces the bucket contents exactly (snapshot support).
+  void queued_in_order(std::vector<Thread*>& out) const {
+    for (const auto& bucket : buckets_) {
+      for (Thread* t : bucket) out.push_back(t);
+    }
+  }
+
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 

@@ -1,9 +1,15 @@
 #include "sched/scheduler.hpp"
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace dimetrodon::sched {
+
+void Scheduler::snapshot_queue(std::vector<Thread*>& /*out*/) const {
+  throw std::runtime_error(
+      "this scheduler does not support machine snapshots");
+}
 
 void BsdScheduler::enqueue(Thread& t) { queue_.enqueue(&t); }
 

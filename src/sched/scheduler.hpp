@@ -75,6 +75,13 @@ class Scheduler {
   }
 
   virtual std::size_t runnable_count() const = 0;
+
+  /// Snapshot support: append every queued thread to `out` in dequeue order,
+  /// such that enqueue()ing them into a freshly constructed scheduler (after
+  /// thread bookkeeping fields are restored) reproduces this scheduler's
+  /// queue state exactly. The default throws — schedulers with state beyond
+  /// the queue (e.g. ULE's per-thread histories) opt in explicitly.
+  virtual void snapshot_queue(std::vector<Thread*>& out) const;
 };
 
 struct BsdSchedulerConfig {
@@ -105,6 +112,9 @@ class BsdScheduler final : public Scheduler {
   void apply_sleep_decay(Thread& t, double slept_seconds) override;
   sim::SimTime timeslice() const override { return config_.timeslice; }
   std::size_t runnable_count() const override { return queue_.size(); }
+  void snapshot_queue(std::vector<Thread*>& out) const override {
+    queue_.queued_in_order(out);
+  }
 
  private:
   void charge(Thread& t, double ran_seconds);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -63,6 +64,17 @@ class ThreadBehavior {
 
   /// Called when the current burst's work is fully executed.
   virtual BurstOutcome on_burst_complete(sim::SimTime now, sim::Rng& rng) = 0;
+
+  /// Snapshot support: append this behavior's mutable state (if any) to
+  /// `out` and return true. The default returns false — "cannot be
+  /// checkpointed" — which makes Machine::snapshot refuse loudly instead of
+  /// forking a behavior whose hidden state would silently diverge.
+  virtual bool save_state(std::vector<double>& out) const {
+    (void)out;
+    return false;
+  }
+  /// Restore state appended by save_state (same length, same order).
+  virtual void load_state(const std::vector<double>& in) { (void)in; }
 };
 
 /// Kernel thread control block. Owned by the Machine; scheduler and policies
@@ -120,14 +132,19 @@ class Thread {
 
   double cpu_seconds_consumed() const { return cpu_seconds_; }
   void add_cpu_seconds(double s) { cpu_seconds_ += s; }
+  void set_cpu_seconds(double s) { cpu_seconds_ = s; }
   double work_completed() const { return work_completed_; }
   void add_work_completed(double w) { work_completed_ += w; }
+  void set_work_completed(double w) { work_completed_ = w; }
   std::uint64_t bursts_completed() const { return bursts_completed_; }
   void increment_bursts_completed() { ++bursts_completed_; }
+  void set_bursts_completed(std::uint64_t n) { bursts_completed_ = n; }
   std::uint64_t times_scheduled() const { return times_scheduled_; }
   void increment_times_scheduled() { ++times_scheduled_; }
+  void set_times_scheduled(std::uint64_t n) { times_scheduled_ = n; }
   std::uint64_t injections_suffered() const { return injections_suffered_; }
   void increment_injections_suffered() { ++injections_suffered_; }
+  void set_injections_suffered(std::uint64_t n) { injections_suffered_ = n; }
 
   sim::SimTime created_at() const { return created_at_; }
   void set_created_at(sim::SimTime t) { created_at_ = t; }

@@ -18,7 +18,11 @@ namespace dimetrodon::sim {
 /// v7: canonical serialization consolidated into CanonWriter; cluster tags
 /// gained rack/CRAC, traffic-shape and telemetry-batching fields; the
 /// fleet_samples counter joined obs::CounterTotals::fields().
-inline constexpr int kCanonVersion = 7;
+///
+/// v8: run specs gained the warm-start `warmup` field; thermal_sparse_matvecs,
+/// thermal_evictions, snapshot_builds and snapshot_forks joined
+/// obs::CounterTotals::fields().
+inline constexpr int kCanonVersion = 8;
 
 /// The one way canonical text is produced. Fields render as "key=value "
 /// with doubles in hex-float (%a) so the text is bit-exact, integers in hex,

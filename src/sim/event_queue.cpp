@@ -6,56 +6,90 @@
 
 namespace dimetrodon::sim {
 
-using detail::EventState;
-
 namespace {
 // Below this heap size compaction isn't worth the pass: the lazy drop at the
 // head already bounds small queues.
 constexpr std::size_t kCompactMinEntries = 64;
 }  // namespace
 
+namespace detail {
+
+std::uint32_t ControlArena::alloc(SimTime at, std::uint64_t seq) {
+  std::uint32_t idx;
+  if (free_head != kNoSlot) {
+    idx = free_head;
+    free_head = slots[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots.size());
+    slots.emplace_back();
+  }
+  ControlSlot& s = slots[idx];
+  s.at = at;
+  s.seq = seq;
+  s.next_free = kNoSlot;
+  s.occupied = true;
+  ++live;
+  return idx;
+}
+
+void ControlArena::release(std::uint32_t idx) {
+  ControlSlot& s = slots[idx];
+  assert(s.occupied);
+  s.occupied = false;
+  ++s.gen;  // every outstanding (slot, gen) capture goes inert
+  s.next_free = free_head;
+  free_head = idx;
+  --live;
+}
+
+}  // namespace detail
+
 bool EventHandle::cancel() {
-  if (!ctl_ || ctl_->state != EventState::kPending) return false;
-  ctl_->state = EventState::kCancelled;
-  if (ctl_->live) --*ctl_->live;
-  ctl_.reset();
+  if (!arena_ || !arena_->matches(slot_, gen_)) return false;
+  arena_->release(slot_);
+  arena_.reset();
   return true;
 }
 
 bool EventHandle::active() const {
-  return ctl_ && ctl_->state == EventState::kPending;
+  return arena_ && arena_->matches(slot_, gen_);
+}
+
+SimTime EventHandle::time() const {
+  return active() ? arena_->slots[slot_].at : kTimeInfinity;
+}
+
+std::uint64_t EventHandle::seq() const {
+  return active() ? arena_->slots[slot_].seq : 0;
 }
 
 EventHandle EventQueue::schedule(SimTime at, Callback fn) {
   assert(at >= 0);
   maybe_compact();
-  auto ctl = std::make_shared<detail::EventControl>();
-  ctl->live = live_;
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), ctl});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t slot = arena_->alloc(at, seq);
+  const std::uint64_t gen = arena_->slots[slot].gen;
+  heap_.push_back(Entry{at, seq, std::move(fn), slot, gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++*live_;
-  return EventHandle(std::move(ctl));
+  return EventHandle(arena_, slot, gen);
 }
 
 void EventQueue::maybe_compact() {
-  // Every heap entry is either pending (counted in *live_) or a cancelled
+  // Every heap entry is either pending (counted in arena live) or a stale
   // carcass awaiting its turn at the head; once carcasses are the majority
   // of a large heap, sweep them all at once. Amortized O(1) per schedule:
   // a compaction of n entries is paid for by the >= n/2 cancellations that
   // forced it.
   if (heap_.size() < kCompactMinEntries) return;
-  const std::size_t cancelled = heap_.size() - *live_;
+  const std::size_t cancelled = heap_.size() - arena_->live;
   if (cancelled * 2 <= heap_.size()) return;
-  std::erase_if(heap_, [](const Entry& e) {
-    return e.ctl->state == EventState::kCancelled;
-  });
+  std::erase_if(heap_, [this](const Entry& e) { return !entry_live(e); });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   heap_.shrink_to_fit();
 }
 
 void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() &&
-         heap_.front().ctl->state == EventState::kCancelled) {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     heap_.pop_back();
   }
@@ -79,10 +113,17 @@ SimTime EventQueue::pop_and_run() {
   // reallocate the heap storage.
   Entry e = std::move(heap_.back());
   heap_.pop_back();
-  e.ctl->state = EventState::kFired;
-  --*live_;
+  arena_->release(e.slot);  // fired: outstanding handles go inert
   e.fn(e.at);
   return e.at;
+}
+
+void EventQueue::clear() {
+  for (const Entry& e : heap_) {
+    if (entry_live(e)) arena_->release(e.slot);
+  }
+  heap_.clear();
+  assert(arena_->live == 0);
 }
 
 }  // namespace dimetrodon::sim

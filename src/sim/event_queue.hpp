@@ -10,13 +10,39 @@
 namespace dimetrodon::sim {
 
 namespace detail {
-enum class EventState : std::uint8_t { kPending, kCancelled, kFired };
-struct EventControl {
-  EventState state = EventState::kPending;
-  // Shared with the owning queue so cancellation can keep the live count
-  // exact even though the heap entry is discarded lazily.
-  std::shared_ptr<std::size_t> live;
+
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// One control slot in the arena. A slot is (re)used by many events over its
+/// lifetime; `gen` disambiguates: a handle or heap entry captures (slot, gen)
+/// at schedule time and is inert once the generation moves on (the event
+/// fired or was cancelled). `at`/`seq` are mirrored here so a live handle can
+/// report its scheduled time and tie-break rank without touching the heap.
+struct ControlSlot {
+  std::uint64_t gen = 0;
+  SimTime at = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t next_free = kNoSlot;
+  bool occupied = false;
 };
+
+/// Slab of control slots with an intrusive free list. Replaces the previous
+/// one-shared_ptr-allocation-per-event control blocks: steady-state timer
+/// churn (schedule/cancel/fire) recycles slots with zero allocation, and the
+/// live count sits in one place. Held by shared_ptr so handles may safely
+/// outlive the queue.
+struct ControlArena {
+  std::vector<ControlSlot> slots;
+  std::uint32_t free_head = kNoSlot;
+  std::size_t live = 0;
+
+  std::uint32_t alloc(SimTime at, std::uint64_t seq);
+  void release(std::uint32_t idx);  // bump gen, push on free list
+  bool matches(std::uint32_t idx, std::uint64_t gen) const {
+    return idx != kNoSlot && slots[idx].occupied && slots[idx].gen == gen;
+  }
+};
+
 }  // namespace detail
 
 /// Handle to a scheduled event; allows O(1) cancellation. Cancelled events
@@ -33,12 +59,23 @@ class EventHandle {
   /// cancelled.
   bool active() const;
 
+  /// Scheduled time of a live event; kTimeInfinity if not active().
+  SimTime time() const;
+
+  /// Tie-break rank of a live event: among events at equal time, lower seq
+  /// fires first. 0 if not active(). The machine snapshot layer sorts by this
+  /// when re-arming so restored ties fire in the captured order.
+  std::uint64_t seq() const;
+
  private:
   friend class EventQueue;
-  explicit EventHandle(std::shared_ptr<detail::EventControl> ctl)
-      : ctl_(std::move(ctl)) {}
+  EventHandle(std::shared_ptr<detail::ControlArena> arena, std::uint32_t slot,
+              std::uint64_t gen)
+      : arena_(std::move(arena)), slot_(slot), gen_(gen) {}
 
-  std::shared_ptr<detail::EventControl> ctl_;
+  std::shared_ptr<detail::ControlArena> arena_;
+  std::uint32_t slot_ = detail::kNoSlot;
+  std::uint64_t gen_ = 0;
 };
 
 /// Min-heap of timestamped callbacks. Ties break by insertion order so event
@@ -53,7 +90,7 @@ class EventQueue {
  public:
   using Callback = std::function<void(SimTime)>;
 
-  EventQueue() : live_(std::make_shared<std::size_t>(0)) {}
+  EventQueue() : arena_(std::make_shared<detail::ControlArena>()) {}
 
   /// Schedule `fn` at absolute time `at`. Requires at >= 0.
   EventHandle schedule(SimTime at, Callback fn);
@@ -69,18 +106,25 @@ class EventQueue {
   SimTime pop_and_run();
 
   /// Number of live (non-cancelled, unfired) events.
-  std::size_t size() const { return *live_; }
+  std::size_t size() const { return arena_->live; }
 
   /// Heap entries actually held, live + cancelled-but-not-yet-dropped
   /// (memory-bound diagnostics; compaction keeps this O(size())).
   std::size_t heap_entries() const { return heap_.size(); }
+
+  /// Drop every pending event (their handles go inert, as if cancelled).
+  /// Used by snapshot restore, which re-arms the captured event set from
+  /// scratch; seq numbering keeps counting up, so relative tie order of
+  /// anything scheduled afterwards is unaffected.
+  void clear();
 
  private:
   struct Entry {
     SimTime at;
     std::uint64_t seq;
     Callback fn;
-    std::shared_ptr<detail::EventControl> ctl;
+    std::uint32_t slot;
+    std::uint64_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -89,6 +133,7 @@ class EventQueue {
     }
   };
 
+  bool entry_live(const Entry& e) const { return arena_->matches(e.slot, e.gen); }
   void drop_cancelled_head();
   void maybe_compact();
 
@@ -96,7 +141,7 @@ class EventQueue {
   // compaction needs to walk and filter the underlying storage.
   std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
-  std::shared_ptr<std::size_t> live_;
+  std::shared_ptr<detail::ControlArena> arena_;
 };
 
 }  // namespace dimetrodon::sim

@@ -31,6 +31,15 @@ class Simulator {
   /// Total events executed (diagnostics).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Snapshot-restore support: drop every pending event (handles go inert)
+  /// and pin the clock and executed-event count to captured values. The
+  /// caller (sched::Machine::restore) re-arms the captured event set next.
+  void reset_for_restore(SimTime now, std::uint64_t events_executed) {
+    queue_.clear();
+    now_ = now;
+    events_executed_ = events_executed;
+  }
+
   EventQueue& queue() { return queue_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "thermal/rc_network.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <limits>
@@ -29,7 +30,12 @@ NodeId RcNetwork::add_fixed_node(std::string name, double temp_c) {
 }
 
 void RcNetwork::connect(NodeId a, NodeId b, double conductance_w_per_c) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("RcNetwork::connect: bad NodeId");
+  }
+  if (a == b) {
+    throw std::invalid_argument("RcNetwork::connect: self-loop");
+  }
   if (conductance_w_per_c <= 0.0) {
     throw std::invalid_argument("thermal conductance must be positive");
   }
@@ -38,8 +44,20 @@ void RcNetwork::connect(NodeId a, NodeId b, double conductance_w_per_c) {
 }
 
 void RcNetwork::set_temperature(NodeId n, double t) {
-  assert(n < nodes_.size());
+  if (n >= nodes_.size()) {
+    throw std::out_of_range("RcNetwork::set_temperature: bad NodeId");
+  }
   temps_[n] = t;
+}
+
+void RcNetwork::restore_state(const State& s) {
+  if (s.temps.size() != temps_.size() || s.powers.size() != powers_.size()) {
+    throw std::invalid_argument(
+        "RcNetwork::restore_state: node count mismatch");
+  }
+  temps_ = s.temps;
+  powers_ = s.powers;
+  stats_ = s.stats;
 }
 
 void RcNetwork::set_all_temperatures(double t) {
@@ -111,6 +129,7 @@ RcNetwork::StepOperator& RcNetwork::operator_for(double dt_seconds) {
     for (std::size_t i = 1; i < operators_.size(); ++i) {
       if (operators_[i]->last_used < operators_[evict]->last_used) evict = i;
     }
+    ++stats_.evictions;
     operators_[evict] = std::move(op);
     return *operators_[evict];
   }
@@ -142,6 +161,32 @@ void RcNetwork::ensure_levels(StepOperator& op, std::uint64_t substeps) {
     // A^(2^(j+1)) = A^(2^j)·A^(2^j);  S_(2^(j+1)) = S_(2^j) + A^(2^j)·S_(2^j).
     op.s_geo.push_back(matadd(sj, matmul(aj, sj)));
     op.a_pow.push_back(matmul(aj, aj));
+  }
+  // CSR twins per level. matmul/matadd/LU preserve the block-diagonal
+  // structural zeros exactly (disconnected free components never mix), so
+  // the sparse rep is faithful; matvec order matches dense, so switching is
+  // bit-invisible. Levels already decided keep their decision.
+  while (op.level_sparse.size() < op.a_pow.size()) {
+    const std::size_t j = op.level_sparse.size();
+    bool use_sparse = false;
+    if (sparse_enabled_ && free_nodes_.size() >= kSparseMinNodes) {
+      SparseMatrix a_csr = SparseMatrix::from_dense(op.a_pow[j]);
+      SparseMatrix s_csr = SparseMatrix::from_dense(op.s_geo[j]);
+      // One fill test over both tables: either both go sparse or neither,
+      // keeping the per-level decision single-sourced.
+      const double fill =
+          std::max(a_csr.fill_ratio(), s_csr.fill_ratio());
+      if (fill <= kSparseMaxFill) {
+        use_sparse = true;
+        op.a_pow_csr.push_back(std::move(a_csr));
+        op.s_geo_csr.push_back(std::move(s_csr));
+      }
+    }
+    if (!use_sparse) {
+      op.a_pow_csr.emplace_back();
+      op.s_geo_csr.emplace_back();
+    }
+    op.level_sparse.push_back(use_sparse);
   }
 }
 
@@ -209,8 +254,14 @@ void RcNetwork::advance(double dt_seconds, std::uint64_t substeps) {
   // T ← A^(2^j)·T + S_(2^j)·b. Order is fixed, so results are deterministic.
   for (std::size_t j = 0; substeps >> j; ++j) {
     if (((substeps >> j) & 1u) == 0) continue;
-    matvec(op.a_pow[j], t, scratch_);
-    matvec_accumulate(op.s_geo[j], b, scratch_);
+    if (sparse_enabled_ && j < op.level_sparse.size() && op.level_sparse[j]) {
+      matvec(op.a_pow_csr[j], t, scratch_);
+      matvec_accumulate(op.s_geo_csr[j], b, scratch_);
+      stats_.sparse_matvecs += 2;
+    } else {
+      matvec(op.a_pow[j], t, scratch_);
+      matvec_accumulate(op.s_geo[j], b, scratch_);
+    }
     t.swap(scratch_);
     stats_.matvecs += 2;
   }

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,8 +35,11 @@ class RcNetwork {
   /// Add a fixed-temperature boundary node (e.g. ambient air).
   NodeId add_fixed_node(std::string name, double temp_c);
 
-  /// Connect two nodes with thermal conductance g (W/°C). `resistance`
-  /// convenience: connect_r uses g = 1/r.
+  /// Connect two nodes with thermal conductance g (W/°C). Throws
+  /// std::out_of_range on a bad NodeId and std::invalid_argument on a
+  /// self-loop or non-positive conductance — thrown (not assert) so Release
+  /// builds catch bad FleetSpec overrides too. `resistance` convenience:
+  /// connect_r uses g = 1/r.
   void connect(NodeId a, NodeId b, double conductance_w_per_c);
   void connect_r(NodeId a, NodeId b, double resistance_c_per_w) {
     connect(a, b, 1.0 / resistance_c_per_w);
@@ -46,13 +50,21 @@ class RcNetwork {
   bool is_fixed(NodeId n) const { return nodes_[n].fixed; }
 
   double temperature(NodeId n) const { return temps_[n]; }
+  /// Throws std::out_of_range on a bad NodeId (checked in Release too).
   void set_temperature(NodeId n, double t);
 
   /// Set every free node to `t` (fixed nodes keep their boundary value).
   void set_all_temperatures(double t);
 
   double power(NodeId n) const { return powers_[n]; }
-  void set_power(NodeId n, double watts) { powers_[n] = watts; }
+  /// Throws std::out_of_range on a bad NodeId. The check is one predictable
+  /// compare on an already-loaded size — noise next to the store it guards.
+  void set_power(NodeId n, double watts) {
+    if (n >= powers_.size()) {
+      throw std::out_of_range("RcNetwork::set_power: bad NodeId");
+    }
+    powers_[n] = watts;
+  }
 
   /// Advance all free-node temperatures by `dt_seconds` with the current
   /// power vector held constant (implicit Euler). The LU factorization is
@@ -81,9 +93,33 @@ class RcNetwork {
     std::uint64_t fast_forward_steps = 0;  // substeps covered by lifted matvecs
     std::uint64_t factorizations = 0;      // step-matrix LU factorizations
     std::uint64_t solves = 0;              // LU back-substitutions
-    std::uint64_t matvecs = 0;             // dense matrix-vector products
+    std::uint64_t matvecs = 0;             // matrix-vector products, any kind
+    std::uint64_t sparse_matvecs = 0;      // of those, via the CSR path
+    std::uint64_t evictions = 0;           // StepOperator LRU evictions
   };
   const Stats& stats() const { return stats_; }
+
+  /// Enable/disable the CSR fast path (default on). With sparsity disabled
+  /// every matvec goes through the dense reference; results are bitwise
+  /// identical either way (the CSR drops exact zeros only), so this knob
+  /// exists for benchmarking and parity tests, not correctness.
+  void set_sparse_enabled(bool enabled) { sparse_enabled_ = enabled; }
+  bool sparse_enabled() const { return sparse_enabled_; }
+
+  /// Portable dynamic state: everything `advance`/`step` read or write that
+  /// is not topology. Captured/restored by the machine snapshot layer; the
+  /// per-dt operator cache is deliberately *not* part of it — operators are
+  /// a pure function of (topology, dt) and rebuild lazily with bit-identical
+  /// arithmetic after a restore.
+  struct State {
+    std::vector<double> temps;
+    std::vector<double> powers;
+    Stats stats;
+  };
+  State save_state() const { return State{temps_, powers_, stats_}; }
+  /// Restore a state captured from a network with identical topology.
+  /// Throws std::invalid_argument on a node-count mismatch.
+  void restore_state(const State& s);
 
  private:
   struct Node {
@@ -105,6 +141,12 @@ class RcNetwork {
     LuFactorization lu;                // M = C/dt + G over free nodes
     std::vector<DenseMatrix> a_pow;    // A^(2^j)
     std::vector<DenseMatrix> s_geo;    // I + A + … + A^(2^j - 1)
+    // CSR twins of the lifted tables, built per level when the fill ratio
+    // makes dense a loss (block-diagonal networks: rack air islands joined
+    // only through the fixed CRAC node). Empty entries mean "use dense".
+    std::vector<SparseMatrix> a_pow_csr;
+    std::vector<SparseMatrix> s_geo_csr;
+    std::vector<bool> level_sparse;    // per level: CSR twins populated?
     std::uint64_t last_used = 0;       // LRU tick
   };
 
@@ -138,6 +180,15 @@ class RcNetwork {
   std::uint64_t operator_clock_ = 0;
   std::uint64_t topology_revision_ = 0;  // bumped by add_node/connect
   std::uint64_t built_revision_ = ~std::uint64_t{0};
+
+  // CSR fast-path policy: build sparse twins of a lifted level when the
+  // network is big enough for the bookkeeping to pay (>= kSparseMinNodes
+  // free nodes) and the level's fill ratio is at or below kSparseMaxFill.
+  // On a fully connected (single-component) network the propagator is dense
+  // and the CSR path never engages.
+  static constexpr std::size_t kSparseMinNodes = 8;
+  static constexpr double kSparseMaxFill = 0.5;
+  bool sparse_enabled_ = true;
 
   Stats stats_;
   std::vector<double> rhs_;

@@ -22,6 +22,14 @@ class CpuBurnBehavior final : public sched::ThreadBehavior {
   sched::BurstOutcome on_burst_complete(sim::SimTime now,
                                         sim::Rng& rng) override;
 
+  bool save_state(std::vector<double>& out) const override {
+    out.push_back(remaining_);
+    return true;
+  }
+  void load_state(const std::vector<double>& in) override {
+    remaining_ = in.at(0);
+  }
+
  private:
   double remaining_;
   double activity_;

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -133,6 +135,75 @@ TEST(PercentileHistogramTest, ResetClearsEverything) {
   EXPECT_EQ(h.percentile(99.0), 0.0);
   h.add(2.0);  // usable after reset
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+}
+
+TEST(PercentileHistogramTest, NonFiniteSamplesDroppedAndCounted) {
+  PercentileHistogram h;
+  h.add(1.0);
+  h.add(2.0);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  // The three non-finite samples are dropped, not folded into any moment: a
+  // single NaN would otherwise poison sum/mean for the whole run.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  EXPECT_TRUE(std::isfinite(h.percentile(99.0)));
+}
+
+TEST(PercentileHistogramTest, MergeFoldsRejectedCounts) {
+  PercentileHistogram a;
+  PercentileHistogram b;
+  a.add(1.0);
+  a.add(std::numeric_limits<double>::quiet_NaN());
+  b.add(2.0);
+  b.add(std::numeric_limits<double>::infinity());
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.rejected(), 3u);
+}
+
+TEST(PercentileHistogramTest, MergeWithSelfDoublesEverything) {
+  PercentileHistogram h;
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.exponential(0.05));
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  const std::uint64_t count = h.count();
+  const double sum = h.sum();
+  const double p50 = h.percentile(50.0);
+  const double p99 = h.percentile(99.0);
+  h.merge(h);
+  EXPECT_EQ(h.count(), 2 * count);
+  EXPECT_DOUBLE_EQ(h.sum(), 2 * sum);
+  EXPECT_EQ(h.rejected(), 2u);
+  // Doubling every bucket leaves the distribution — hence every quantile —
+  // unchanged.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), p50);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), p99);
+}
+
+TEST(PercentileHistogramTest, MergeWithEmptyIsIdentity) {
+  PercentileHistogram h;
+  for (int i = 1; i <= 100; ++i) h.add(0.01 * i);
+  const std::uint64_t count = h.count();
+  const double sum = h.sum();
+  const double p95 = h.percentile(95.0);
+  PercentileHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.count(), count);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.percentile(95.0), p95);
+  EXPECT_EQ(h.rejected(), 0u);
+  // And merging INTO an empty histogram reproduces the source.
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), count);
+  EXPECT_DOUBLE_EQ(empty.sum(), sum);
+  EXPECT_DOUBLE_EQ(empty.percentile(95.0), p95);
 }
 
 TEST(PercentileHistogramTest, RejectsInvalidRange) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace dimetrodon::cluster {
@@ -162,6 +164,77 @@ TEST(TrafficShapeTest, RejectsInvalidShapes) {
   TrafficShape no_duration;
   no_duration.with_flash(0, 0, 2.0);
   EXPECT_THROW(RequestSource(1, 0, 100.0, no_duration), std::invalid_argument);
+}
+
+TEST(TrafficShapeTest, DepthJustBelowOneStaysValidAndMonotone) {
+  // The deepest legal diurnal swing: depth = 1 - 1 ulp. The trough rate is
+  // epsilon-positive, so the thinning sampler's acceptance probability is
+  // bounded away from zero and arrivals must stay finite, strictly
+  // monotone, and deterministic — no livelock, no duplicate timestamps.
+  const double depth = std::nextafter(1.0, 0.0);
+  const auto shape = TrafficShape::diurnal(sim::from_sec(2), depth);
+  EXPECT_NEAR(shape.peak_factor(), 2.0, 1e-12);
+  RequestSource a(21, 0, 2000.0, shape);
+  RequestSource b(21, 0, 2000.0, shape);
+  sim::SimTime prev = 0;
+  std::uint64_t peak_half = 0, trough_half = 0;
+  while (true) {
+    const sim::SimTime t = a.next();
+    EXPECT_EQ(t, b.next());
+    ASSERT_GT(t, prev);
+    prev = t;
+    if (t >= sim::from_sec(2)) break;
+    (t < sim::from_sec(1) ? peak_half : trough_half)++;
+  }
+  // The halves integrate to base*(1 ± 2/pi): at depth ~1 the peak half
+  // carries ~4.5x the trough half's traffic, and the period total still
+  // matches base * period (the sine averages out).
+  EXPECT_GT(peak_half, 4 * trough_half);
+  EXPECT_NEAR(static_cast<double>(peak_half + trough_half), 4000.0, 300.0);
+}
+
+TEST(TrafficShapeTest, FlashWindowEndIsExclusive) {
+  // The pulse covers [start, start + duration): the very last tick inside is
+  // multiplied, the boundary tick itself is not. An inclusive end would
+  // double-count one tick's worth of rate at every flash in a sweep.
+  TrafficShape shape;
+  shape.with_flash(sim::from_sec(2), sim::from_sec(1), 5.0);
+  const sim::SimTime end = sim::from_sec(3);
+  EXPECT_DOUBLE_EQ(shape.modulation(sim::from_sec(2)), 5.0);  // start inclusive
+  EXPECT_DOUBLE_EQ(shape.modulation(end - 1), 5.0);  // last interior tick
+  EXPECT_DOUBLE_EQ(shape.modulation(end), 1.0);      // boundary excluded
+  EXPECT_DOUBLE_EQ(shape.modulation(end + 1), 1.0);
+  // And the offered load right after the window is back at base rate.
+  RequestSource src(13, 0, 1000.0, shape);
+  std::uint64_t after = 0;
+  while (true) {
+    const sim::SimTime t = src.next();
+    if (t >= sim::from_sec(4)) break;
+    if (t >= end) after++;
+  }
+  EXPECT_NEAR(static_cast<double>(after), 1000.0, 160.0);
+}
+
+TEST(TrafficShapeTest, LargeDiurnalPhaseWrapsAroundThePeriod) {
+  // A phase offset of whole periods is a no-op: modulation is periodic, so a
+  // sweep that accumulates phase across many simulated days cannot drift.
+  const auto period = sim::from_sec(8);
+  const auto base = TrafficShape::diurnal(period, 0.5, sim::from_sec(3));
+  auto wrapped = base;
+  wrapped.diurnal_phase = sim::from_sec(3) + 1000 * period;
+  for (const sim::SimTime t :
+       {sim::SimTime{0}, sim::from_sec(1), sim::from_ms(4500),
+        sim::from_sec(7)}) {
+    EXPECT_NEAR(wrapped.modulation(t), base.modulation(t), 1e-9) << t;
+  }
+  // The wrapped shape still drives a valid, monotone arrival stream.
+  RequestSource src(5, 0, 500.0, wrapped);
+  sim::SimTime prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const sim::SimTime t = src.next();
+    ASSERT_GT(t, prev);
+    prev = t;
+  }
 }
 
 }  // namespace

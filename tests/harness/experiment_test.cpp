@@ -143,6 +143,58 @@ TEST(ExperimentTest, CountersCrossCheckInjectedIdleFraction) {
   EXPECT_NEAR(frac_from_counters, dim.injected_idle_fraction, 1e-9);
 }
 
+// Fast measurement schedule for the warm-start tests: one run is a few tens
+// of milliseconds of wall time.
+ExperimentRunner warm_runner() {
+  sched::MachineConfig cfg;
+  MeasurementConfig mc;
+  mc.max_settle_iterations = 2;
+  mc.settle_chunk = sim::from_sec(3);
+  mc.post_settle_run = sim::from_sec(1);
+  mc.measure_window = sim::from_sec(5);
+  return ExperimentRunner(cfg, mc);
+}
+
+void expect_results_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.avg_sensor_temp_c, b.avg_sensor_temp_c);
+  EXPECT_EQ(a.avg_exact_temp_c, b.avg_exact_temp_c);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.avg_power_w, b.avg_power_w);
+  EXPECT_EQ(a.injected_idle_fraction, b.injected_idle_fraction);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(ExperimentTest, WarmForkMatchesInlineWarmupBitIdentical) {
+  // The warm-start contract: forking from a cached warmup snapshot produces
+  // the SAME bits as re-simulating the warmup inline — across different
+  // actuations sharing the one prefix.
+  auto runner = warm_runner();
+  const auto warmup = sim::from_sec(90);
+  const sched::MachineSnapshot snap =
+      runner.build_warmup_snapshot(cpuburn4(), warmup);
+  for (const double p : {0.2, 0.6}) {
+    const auto act = actuation::dimetrodon(p, sim::from_ms(100));
+    const RunResult warm = runner.measure_warm(cpuburn4(), act, snap);
+    const RunResult replay = runner.measure_after_warmup(cpuburn4(), act,
+                                                         warmup);
+    expect_results_bit_identical(warm, replay);
+  }
+}
+
+TEST(ExperimentTest, WarmupChangesTheMeasuredOperatingPoint) {
+  // Sanity that warmup is not a no-op: a warmed machine starts its settle
+  // loop hot, so the measured run differs from the cold methodology (which
+  // starts at idle equilibrium but settles first — throughput should agree
+  // closely, temperatures may differ slightly, but the runs are distinct
+  // simulations).
+  auto runner = warm_runner();
+  const RunResult cold = runner.measure(cpuburn4(), actuation::none());
+  const RunResult warm = runner.measure_after_warmup(
+      cpuburn4(), actuation::none(), sim::from_sec(60));
+  EXPECT_GT(warm.avg_exact_temp_c, cold.idle_exact_temp_c);
+  EXPECT_NEAR(warm.throughput, cold.throughput, 0.1 * cold.throughput);
+}
+
 TEST(ExperimentTest, LabelsPropagate) {
   EXPECT_EQ(actuation::dimetrodon(0.25, sim::from_ms(50)).label,
             "dimetrodon[p=0.25,L=50ms]");

@@ -199,6 +199,70 @@ TEST(SweepEngine, KeyChangesWithEverySpecField) {
   EXPECT_FALSE(other.key_for(base) == key);
 }
 
+TEST(SweepEngine, WarmupIsPartOfTheCacheKey) {
+  SweepEngine engine(sched::MachineConfig{}, quiet_config(1, ""));
+  const RunSpec base = cpuburn_spec(0.5, sim::from_ms(25), 0x5eed);
+  RunSpec warm = base;
+  warm.warmup = sim::from_sec(120);
+  EXPECT_NE(engine.canonical(base), engine.canonical(warm));
+  RunSpec warmer = warm;
+  warmer.warmup = sim::from_sec(240);
+  EXPECT_NE(engine.canonical(warm), engine.canonical(warmer));
+  // The prefix identity ignores actuation/measurement: two warm specs that
+  // differ only in injection probability share one snapshot...
+  RunSpec other_p = warm;
+  other_p.actuation = ActuationSpec::global(0.25, sim::from_ms(25));
+  EXPECT_EQ(canonical_warm_prefix(warm, engine.base_config()),
+            canonical_warm_prefix(other_p, engine.base_config()));
+  // ...but a different seed, workload, or warmup does not.
+  RunSpec other_seed = warm;
+  other_seed.seed = 0xbeef;
+  EXPECT_NE(canonical_warm_prefix(warm, engine.base_config()),
+            canonical_warm_prefix(other_seed, engine.base_config()));
+  EXPECT_NE(canonical_warm_prefix(warm, engine.base_config()),
+            canonical_warm_prefix(warmer, engine.base_config()));
+}
+
+std::vector<RunSpec> warm_grid(sim::SimTime warmup) {
+  std::vector<RunSpec> specs;
+  for (const double p : {0.0, 0.25, 0.5, 0.75}) {
+    RunSpec s = cpuburn_spec(p, sim::from_ms(25), 0x77);
+    s.warmup = warmup;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+TEST(SweepEngine, WarmSpecsShareOnePrefixSnapshot) {
+  const auto specs = warm_grid(sim::from_sec(90));
+  SweepEngine engine(sched::MachineConfig{}, quiet_config(2, ""));
+  const auto result = engine.run(specs);
+  ASSERT_TRUE(result.all_ok());
+  // One warmup simulation fed all four measured points.
+  EXPECT_EQ(engine.snapshots().size(), 1u);
+  EXPECT_EQ(result.metrics.counters.snapshot_builds, 1u);
+  EXPECT_EQ(result.metrics.counters.snapshot_forks, specs.size());
+}
+
+TEST(SweepEngine, WarmSweepMatchesDirectHarnessBitForBit) {
+  // Engine-level fork ≡ replay: a warm sweep point equals the harness
+  // running the same warmup inline, with no engine or snapshot cache in the
+  // loop — caching is unobservable in results.
+  const auto specs = warm_grid(sim::from_sec(90));
+  SweepEngine parallel(sched::MachineConfig{}, quiet_config(4, ""));
+  const auto swept = parallel.run(specs);
+  ASSERT_TRUE(swept.all_ok());
+  sched::MachineConfig cfg;
+  cfg.seed = 0x77;
+  harness::ExperimentRunner runner(cfg, fast_measurement());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SCOPED_TRACE(i);
+    const auto direct = runner.measure_after_warmup(
+        specs[i].workload, specs[i].actuation.to_setup(), specs[i].warmup);
+    expect_identical(swept[i].result, direct);
+  }
+}
+
 TEST(SweepEngine, CustomTagIsTheCustomRunIdentity) {
   SweepEngine engine(sched::MachineConfig{}, quiet_config(1, ""));
   RunSpec a;

@@ -179,6 +179,65 @@ TEST(EventQueueTest, SizeAndHandlesSurviveCompaction) {
   EXPECT_EQ(q.next_time(), 10);
 }
 
+TEST(EventQueueTest, TimeAndSeqAccessorsTrackLiveEvents) {
+  EventQueue q;
+  EventHandle a = q.schedule(10, [](SimTime) {});
+  EventHandle b = q.schedule(10, [](SimTime) {});
+  EXPECT_EQ(a.time(), 10);
+  EXPECT_EQ(b.time(), 10);
+  // Same timestamp: the earlier schedule() wins the tie, and seq() exposes
+  // that rank so the snapshot layer can re-arm in the captured order.
+  EXPECT_LT(a.seq(), b.seq());
+  a.cancel();
+  EXPECT_EQ(a.time(), kTimeInfinity);
+  EXPECT_EQ(a.seq(), 0u);
+  q.pop_and_run();
+  EXPECT_EQ(b.time(), kTimeInfinity);
+}
+
+TEST(EventQueueTest, ClearMakesAllHandlesInert) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 16; ++i) {
+    handles.push_back(q.schedule(i, [&fired](SimTime) { ++fired; }));
+  }
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  for (auto& h : handles) {
+    EXPECT_FALSE(h.active());
+    EXPECT_FALSE(h.cancel());  // inert, exactly like an already-fired event
+  }
+  // The queue is fully usable afterwards, and seq keeps counting up.
+  EventHandle next = q.schedule(5, [&fired](SimTime) { ++fired; });
+  EXPECT_TRUE(next.active());
+  q.pop_and_run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, RecycledSlotDoesNotResurrectOldHandle) {
+  // The control arena recycles slots; a stale handle whose slot was reused
+  // must stay inert (generation mismatch) rather than aliasing the new
+  // event. Cancel-heavy churn guarantees slot reuse within a few rounds.
+  EventQueue q;
+  EventHandle stale = q.schedule(1, [](SimTime) { FAIL() << "cancelled"; });
+  stale.cancel();
+  int fired = 0;
+  std::vector<EventHandle> fresh;
+  for (int i = 0; i < 8; ++i) {
+    fresh.push_back(q.schedule(2 + i, [&fired](SimTime) { ++fired; }));
+  }
+  // The stale handle must not observe or affect the recycled slot's event.
+  EXPECT_FALSE(stale.active());
+  EXPECT_FALSE(stale.cancel());
+  EXPECT_EQ(q.size(), 8u);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 8);
+  // And fired handles on recycled slots are inert too.
+  for (auto& h : fresh) EXPECT_FALSE(h.active());
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
   EventQueue q;
   SimTime last = -1;
