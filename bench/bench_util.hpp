@@ -153,11 +153,33 @@ inline runner::RunSpec measure_spec_on(
 
 /// Custom-run spec: `tag` is the run's cache identity (it must encode every
 /// parameter the function closes over), `fn` receives the machine config with
-/// the spec's seed already applied.
+/// the spec's seed already applied. Benches that want the engine's execution
+/// context (shared pool / lanes hint — fleet benches) pass a 3-arg function
+/// via the overload below; this 2-arg form ignores the context.
 inline runner::RunSpec custom_spec(
     const sched::MachineConfig& cfg, std::string tag,
     std::function<runner::RunRecord(const runner::RunSpec&,
                                     const sched::MachineConfig&)>
+        fn) {
+  runner::RunSpec spec;
+  spec.kind = runner::RunSpec::Kind::kCustom;
+  spec.custom_tag = std::move(tag);
+  spec.custom = [fn = std::move(fn)](const runner::RunSpec& s,
+                                     const sched::MachineConfig& mc,
+                                     const runner::RunContext&) {
+    return fn(s, mc);
+  };
+  spec.seed = cfg.seed;
+  return spec;
+}
+
+/// Context-aware overload: `fn` additionally receives the RunContext so a
+/// custom run can fan nested work onto the engine's pool.
+inline runner::RunSpec custom_spec_ctx(
+    const sched::MachineConfig& cfg, std::string tag,
+    std::function<runner::RunRecord(const runner::RunSpec&,
+                                    const sched::MachineConfig&,
+                                    const runner::RunContext&)>
         fn) {
   runner::RunSpec spec;
   spec.kind = runner::RunSpec::Kind::kCustom;

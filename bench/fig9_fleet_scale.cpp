@@ -20,18 +20,28 @@
 //     design (it records wall time).
 //
 // `--scale N` limits the run to one fleet size (CI runs the 100-node cell;
-// the 1000-node day is the local/acceptance configuration).
+// the 1000-node day is the local/acceptance configuration). After the sweep,
+// a parallel-advancement probe re-runs one representative cell (coolest-node
+// governed) at fleet_threads=1 vs min(8, hardware) and enforces both halves
+// of the section-11 contract: bit-identical results always, and a wall-clock
+// speedup bar (4x at 1000 nodes on >=8 cores, 2x at 100 nodes on >=4 cores;
+// recorded as skipped on smaller hosts where the bar is unmeasurable).
+// `--no-probe` skips it — CI's byte-identity re-runs under different
+// DIMETRODON_FLEET_THREADS use that to keep the cross-run cmp cheap.
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "cluster/cluster.hpp"
 #include "cluster/fleet_spec.hpp"
 
 using namespace dimetrodon;
@@ -62,10 +72,10 @@ struct Scale {
   std::size_t nodes() const { return racks * per_rack; }
 };
 
-cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
-                                   const Scale& scale,
-                                   cluster::PolicyKind routing,
-                                   const ControlPlane& control) {
+cluster::FleetSpec make_fleet(const sched::MachineConfig& base,
+                              const Scale& scale,
+                              cluster::PolicyKind routing,
+                              const ControlPlane& control) {
   workload::WebWorkload::Config web = cluster::ClusterConfig::open_loop_web();
   web.demand_mean_s = kWebDemandS;
 
@@ -94,7 +104,14 @@ cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
     // rack (p = 0.6 at the hottest position) and leaves it there all day.
     spec.with_injection_gradient(0.6);
   }
-  return spec.build();
+  return spec;
+}
+
+cluster::ClusterRunSpec make_point(const sched::MachineConfig& base,
+                                   const Scale& scale,
+                                   cluster::PolicyKind routing,
+                                   const ControlPlane& control) {
+  return make_fleet(base, scale, routing, control).build();
 }
 
 struct Cell {
@@ -123,6 +140,98 @@ long peak_rss_kb() {
   return ru.ru_maxrss;  // kilobytes on Linux
 }
 
+// ---------------------------------------------------------------------------
+// Parallel-advancement probe: one representative cell per scale, serial vs
+// pooled, bitwise compared + wall-clock gated.
+// ---------------------------------------------------------------------------
+
+bool identical_results(const cluster::ClusterResult& a,
+                       const cluster::ClusterResult& b) {
+  if (a.offered != b.offered || a.completed != b.completed ||
+      a.throughput_rps != b.throughput_rps || a.qos.total != b.qos.total ||
+      a.qos.good != b.qos.good || a.qos.fail != b.qos.fail ||
+      a.qos.mean_latency_s != b.qos.mean_latency_s ||
+      a.qos.p99_latency_s != b.qos.p99_latency_s ||
+      a.qos.max_latency_s != b.qos.max_latency_s ||
+      a.fleet_peak_sensor_c != b.fleet_peak_sensor_c ||
+      a.fleet_peak_exact_c != b.fleet_peak_exact_c ||
+      a.fleet_mean_sensor_c != b.fleet_mean_sensor_c ||
+      a.fleet_peak_inlet_c != b.fleet_peak_inlet_c || a.drains != b.drains ||
+      a.total_energy_j != b.total_energy_j || !(a.counters == b.counters) ||
+      a.nodes.size() != b.nodes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (a.nodes[i].routed != b.nodes[i].routed ||
+        a.nodes[i].completed != b.nodes[i].completed ||
+        a.nodes[i].peak_sensor_c != b.nodes[i].peak_sensor_c ||
+        a.nodes[i].mean_sensor_c != b.nodes[i].mean_sensor_c ||
+        a.nodes[i].drains != b.nodes[i].drains ||
+        a.nodes[i].governor_trips != b.nodes[i].governor_trips) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ProbeResult {
+  std::size_t nodes = 0;
+  std::size_t fleet_threads = 0;
+  double serial_wall = 0.0;
+  double parallel_wall = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+  std::string gate;  // "pass" | "fail" | "skipped (N-core host)"
+  bool failed = false;
+};
+
+ProbeResult probe_scale(const sched::MachineConfig& base, const Scale& scale) {
+  ProbeResult p;
+  p.nodes = scale.nodes();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  p.fleet_threads = std::min<std::size_t>(8, hw);
+
+  const ControlPlane governed{"governed", true};
+  const auto run_with = [&](std::size_t threads, double& wall) {
+    auto fleet =
+        make_fleet(base, scale, cluster::PolicyKind::kCoolestNode, governed)
+            .with_fleet_threads(threads)
+            .make_cluster();
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster::ClusterResult r = fleet->run(scale.day);
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count();
+    return r;
+  };
+
+  std::printf("  probing %zu-node cell: fleet_threads 1 vs %zu...\n", p.nodes,
+              p.fleet_threads);
+  const cluster::ClusterResult serial = run_with(1, p.serial_wall);
+  const cluster::ClusterResult pooled = run_with(p.fleet_threads,
+                                                 p.parallel_wall);
+  p.speedup = p.parallel_wall > 0.0 ? p.serial_wall / p.parallel_wall : 0.0;
+  p.bit_identical = identical_results(serial, pooled);
+  if (!p.bit_identical) p.failed = true;
+
+  // The speedup bar only means something when the host has the cores the bar
+  // assumes; on smaller machines record the numbers but skip the verdict.
+  const double bar = p.nodes >= 1000 ? 4.0 : 2.0;
+  const unsigned need_cores = p.nodes >= 1000 ? 8 : 4;
+  if (hw < need_cores) {
+    p.gate = "skipped (" + std::to_string(hw) + "-core host)";
+  } else if (p.speedup >= bar) {
+    p.gate = "pass";
+  } else {
+    p.gate = "fail";
+    p.failed = true;
+  }
+  std::printf("    serial %.2f s, %zu threads %.2f s -> %.2fx "
+              "(bar %.1fx: %s, identical=%d)\n",
+              p.serial_wall, p.fleet_threads, p.parallel_wall, p.speedup, bar,
+              p.gate.c_str(), p.bit_identical ? 1 : 0);
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -132,10 +241,13 @@ int main(int argc, char** argv) {
       {10, 10, sim::from_sec(8)},    // 100 nodes, 8 s day
       {100, 10, sim::from_sec(4)},   // 1000 nodes, 4 s day
   };
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--scale") == 0) {
+  bool probe = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
       const std::size_t want = std::strtoul(argv[i + 1], nullptr, 10);
       std::erase_if(scales, [&](const Scale& s) { return s.nodes() != want; });
+    } else if (std::strcmp(argv[i], "--no-probe") == 0) {
+      probe = false;
     }
   }
   if (scales.empty()) {
@@ -273,6 +385,14 @@ int main(int argc, char** argv) {
                 w.candidate->p99_s, w.baseline->p99_s);
   }
 
+  std::vector<ProbeResult> probes;
+  if (probe) {
+    std::printf("\nparallel-advancement probe (coolest-node governed cell):\n");
+    for (const Scale& scale : scales) {
+      probes.push_back(probe_scale(base, scale));
+    }
+  }
+
   const long rss_kb = peak_rss_kb();
   std::printf("peak RSS: %.1f MB\n", static_cast<double>(rss_kb) / 1024.0);
 
@@ -286,7 +406,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": \"dimetrodon-bench-fleet v1\",\n"
+               "  \"schema\": \"dimetrodon-bench-fleet v2\",\n"
                "  \"per_node_rps\": %.0f,\n"
                "  \"peak_rss_kb\": %ld,\n"
                "  \"scales\": [\n",
@@ -315,6 +435,19 @@ int main(int argc, char** argv) {
     std::fprintf(f, "\n    ]}%s\n",
                  s + 1 < wall_by_scale.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"parallel\": [\n");
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    const ProbeResult& p = probes[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"fleet_threads\": %zu, "
+                 "\"serial_wall_seconds\": %.3f, "
+                 "\"parallel_wall_seconds\": %.3f, "
+                 "\"parallel_speedup\": %.3f, \"bit_identical\": %s, "
+                 "\"gate\": \"%s\"}%s\n",
+                 p.nodes, p.fleet_threads, p.serial_wall, p.parallel_wall,
+                 p.speedup, p.bit_identical ? "true" : "false",
+                 p.gate.c_str(), i + 1 < probes.size() ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n"
                "  \"acceptance\": {\n"
@@ -328,12 +461,28 @@ int main(int argc, char** argv) {
               bench::csv_path("fig9_fleet_scale.csv").c_str(),
               json_path.c_str());
 
+  int rc = 0;
   if (wins.empty()) {
     std::fprintf(stderr,
                  "[bench] acceptance FAILED: no thermal-aware governed cell "
                  "beat round-robin open-loop on peak temp at equal-or-better "
                  "p99\n");
-    return 1;
+    rc = 1;
   }
-  return 0;
+  for (const ProbeResult& p : probes) {
+    if (!p.bit_identical) {
+      std::fprintf(stderr,
+                   "[bench] acceptance FAILED: %zu-node parallel advancement "
+                   "is not bit-identical to serial\n",
+                   p.nodes);
+      rc = 1;
+    } else if (p.failed) {
+      std::fprintf(stderr,
+                   "[bench] acceptance FAILED: %zu-node parallel speedup "
+                   "%.2fx below the bar at %zu threads\n",
+                   p.nodes, p.speedup, p.fleet_threads);
+      rc = 1;
+    }
+  }
+  return rc;
 }

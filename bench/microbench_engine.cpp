@@ -23,6 +23,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "thermal/floorplan.hpp"
+#include "thermal/linalg.hpp"
 #include "thermal/rc_network.hpp"
 #include "workload/cpuburn.hpp"
 
@@ -65,6 +66,92 @@ void BM_RngUniform(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_RngUniform);
+
+// The matvec kernels behind every lifted fast-forward application. Arg is
+// the matrix size; the unrolled kernel must beat (or at worst match) the
+// naive reference while staying bitwise-identical — the parity half lives in
+// tests/thermal/linalg_test.cpp, the speed half is tracked here.
+thermal::DenseMatrix filled_matrix(std::size_t n) {
+  thermal::DenseMatrix m(n);
+  unsigned seed = 1234u + static_cast<unsigned>(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      seed = seed * 1664525u + 1013904223u;
+      m.at(r, c) = static_cast<double>(seed % 100000) / 9973.0 - 5.0;
+    }
+  }
+  return m;
+}
+
+std::vector<double> filled_vector(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.37 * static_cast<double>(i) - 3.0;
+  }
+  return x;
+}
+
+void BM_DenseMatvec(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const thermal::DenseMatrix m = filled_matrix(n);
+  const std::vector<double> x = filled_vector(n);
+  std::vector<double> y;
+  for (auto _ : state) thermal::matvec(m, x, y);
+  benchmark::DoNotOptimize(y.data());
+  state.SetLabel("unrolled");
+}
+BENCHMARK(BM_DenseMatvec)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DenseMatvecReference(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const thermal::DenseMatrix m = filled_matrix(n);
+  const std::vector<double> x = filled_vector(n);
+  std::vector<double> y;
+  for (auto _ : state) thermal::matvec_reference(m, x, y);
+  benchmark::DoNotOptimize(y.data());
+  state.SetLabel("reference");
+}
+BENCHMARK(BM_DenseMatvecReference)->Arg(8)->Arg(32)->Arg(128);
+
+// CSR kernels on a block-diagonal fill pattern (the cluster rack topology):
+// ~25% fill so the sparse walk does real index chasing.
+thermal::SparseMatrix block_sparse(std::size_t blocks, std::size_t per_block) {
+  const std::size_t n = blocks * per_block;
+  thermal::DenseMatrix m(n);
+  unsigned seed = 77u;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    for (std::size_t i = 0; i < per_block; ++i) {
+      for (std::size_t j = 0; j < per_block; ++j) {
+        seed = seed * 1664525u + 1013904223u;
+        m.at(b * per_block + i, b * per_block + j) =
+            static_cast<double>(seed % 100000) / 9973.0 - 5.0;
+      }
+    }
+  }
+  return thermal::SparseMatrix::from_dense(m);
+}
+
+void BM_CsrMatvec(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const thermal::SparseMatrix s = block_sparse(blocks, 4);
+  const std::vector<double> x = filled_vector(blocks * 4);
+  std::vector<double> y;
+  for (auto _ : state) thermal::matvec(s, x, y);
+  benchmark::DoNotOptimize(y.data());
+  state.SetLabel("unrolled");
+}
+BENCHMARK(BM_CsrMatvec)->Arg(8)->Arg(64);
+
+void BM_CsrMatvecReference(benchmark::State& state) {
+  const std::size_t blocks = static_cast<std::size_t>(state.range(0));
+  const thermal::SparseMatrix s = block_sparse(blocks, 4);
+  const std::vector<double> x = filled_vector(blocks * 4);
+  std::vector<double> y;
+  for (auto _ : state) thermal::matvec_reference(s, x, y);
+  benchmark::DoNotOptimize(y.data());
+  state.SetLabel("reference");
+}
+BENCHMARK(BM_CsrMatvecReference)->Arg(8)->Arg(64);
 
 void BM_RcNetworkStep(benchmark::State& state) {
   thermal::RcNetwork net;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <functional>
 #include <stdexcept>
+#include <thread>
 
+#include "runner/env.hpp"
 #include "sim/rng.hpp"
 
 namespace dimetrodon::cluster {
@@ -15,7 +19,11 @@ namespace {
 /// stream independent of construction order.
 constexpr std::uint64_t kSourceStream = 0;
 
-double hottest_die_c(sched::Machine& m) {
+/// Auto mode spins up a pool only for fleets big enough to amortize it; a
+/// handful of machines advances faster on one thread than across a barrier.
+constexpr std::size_t kAutoParallelMinNodes = 32;
+
+double hottest_die_c(const sched::Machine& m) {
   double hottest = 0.0;
   for (std::size_t phys = 0; phys < m.num_physical_cores(); ++phys) {
     const double t =
@@ -73,6 +81,7 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
   draining_.assign(n, 0);
   rack_of_.assign(n, 0);
   routable_.reserve(n);
+  sweep_scratch_.assign(n, SweepScratch{});
 
   // Rack air network: one fixed CRAC supply node, one air node per rack tied
   // to it, optional chain coupling between adjacent racks.
@@ -149,7 +158,13 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
     nodes_.push_back(std::move(node));
   }
 
-  sample_telemetry(0);
+  resolve_parallelism();
+
+  // The construction-time sweep reads the fresh machines without advancing
+  // them (they are already at t = 0), so it contributes fleet_sample #0 but
+  // no machine_advances.
+  for (std::size_t i = 0; i < n; ++i) compute_node_telemetry(i);
+  merge_sweep(0);
   next_tick_ = config_.telemetry_period;
   next_arrival_ = source_.next();
 }
@@ -172,44 +187,167 @@ FleetView Cluster::fleet_view() const {
   return v;
 }
 
-void Cluster::advance_all(sim::SimTime t) {
-  // Fixed node order: the machines are independent simulations, so the order
-  // cannot change any machine's behavior — but it pins the order of
-  // completion callbacks, keeping the fleet-wide stats bit-reproducible too.
-  for (Node& node : nodes_) {
-    node.machine->run_until(t);
-    ++machine_advances_;
+void Cluster::resolve_parallelism() {
+  const std::size_t n = config_.nodes.size();
+  std::size_t requested = config_.fleet_threads;
+  if (requested == 0) {
+    if (const auto t = runner::env_size_t("DIMETRODON_FLEET_THREADS")) {
+      requested = *t;
+    }
+  }
+  if (config_.machine.trace_sink_factory) {
+    // The factory may hand every node the same sink object; per-node trace
+    // events emitted mid-advance would race it. Correctness beats the knob.
+    lanes_ = 1;
+    return;
+  }
+  if (requested == 1 || n < 2) {
+    lanes_ = 1;
+    return;
+  }
+  if (requested > 1) {
+    if (config_.shared_pool != nullptr &&
+        config_.shared_pool->num_threads() > 0) {
+      pool_ = config_.shared_pool;
+    } else {
+      own_pool_ = std::make_unique<runner::ThreadPool>(requested);
+      pool_ = own_pool_.get();
+    }
+    lanes_ = requested;
+    return;
+  }
+  // Auto. Under an engine, follow its arbitration hint: a saturated grid
+  // keeps fleets serial inside, an idle one hands them the pool. Standalone,
+  // spin up a pool only when the fleet is large enough to amortize it.
+  if (config_.shared_pool != nullptr &&
+      config_.shared_pool->num_threads() > 0) {
+    if (config_.shared_lanes == 1) {
+      lanes_ = 1;
+      return;
+    }
+    pool_ = config_.shared_pool;
+    lanes_ = config_.shared_lanes != 0 ? config_.shared_lanes
+                                       : config_.shared_pool->num_threads();
+    return;
+  }
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (hw >= 2 && n >= kAutoParallelMinNodes) {
+    own_pool_ = std::make_unique<runner::ThreadPool>(hw);
+    pool_ = own_pool_.get();
+    lanes_ = hw;
+  } else {
+    lanes_ = 1;
   }
 }
 
-void Cluster::sample_telemetry(sim::SimTime t) {
+void Cluster::run_chunk(std::size_t begin, std::size_t end, sim::SimTime t) {
+  std::uint64_t advances = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    Node& node = nodes_[i];
+    // Replay the backlog: each deferred arrival advances the machine to its
+    // arrival time and injects, exactly the interaction sequence the eager
+    // path performed at route time — the machine cannot tell the difference.
+    for (const PendingArrival& a : node.backlog) {
+      node.machine->run_until(a.at);
+      ++advances;
+      node.web->inject_request(a.rid);
+    }
+    node.backlog.clear();
+    node.machine->run_until(t);
+    ++advances;
+    compute_node_telemetry(i);
+  }
+  machine_advances_.fetch_add(advances, std::memory_order_relaxed);
+}
+
+void Cluster::advance_fleet(sim::SimTime t) {
+  const std::size_t n = nodes_.size();
+  if (pool_ == nullptr) {
+    run_chunk(0, n, t);
+    return;
+  }
+  // Contiguous chunks, a few per lane so stealing can level uneven nodes
+  // (a draining node replays a long queue; an idle one is a no-op).
+  const std::size_t chunks = std::min(n, lanes_ * 4);
+  std::vector<std::exception_ptr> errors(chunks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = n * c / chunks;
+    const std::size_t end = n * (c + 1) / chunks;
+    tasks.push_back([this, begin, end, t, c, &errors] {
+      // The pool swallows escaping exceptions by contract; capture here so
+      // a throwing machine still fails the run, not just a counter.
+      try {
+        run_chunk(begin, end, t);
+      } catch (...) {
+        errors[c] = std::current_exception();
+      }
+    });
+  }
+  pool_->run_and_wait(std::move(tasks));
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void Cluster::compute_node_telemetry(std::size_t i) {
+  const sched::Machine& m = *nodes_[i].machine;
+  SweepScratch& s = sweep_scratch_[i];
+  s.mean_c = m.mean_sensor_temp();
+  s.hot_sensor = hottest_sensor_c(m);
+  s.hot_die = hottest_die_c(m);
+  s.throttling = any_core_throttling(m);
+}
+
+void Cluster::merge_sweep(sim::SimTime t) {
+  // Fixed node order throughout: node i's buffered completions land before
+  // node i+1's, then the telemetry fold walks the same order — exactly the
+  // sequence the serial path produces, so every downstream accumulator
+  // (QoS, streaming histogram, OnlineStats, trace) sees identical inputs in
+  // identical order at any lane count.
+  for (Node& node : nodes_) {
+    for (const CompletionRecord& c : node.completions) {
+      ++completed_;
+      ++qos_.total;
+      if (c.latency_s <= config_.web.good_threshold_s) ++qos_.good;
+      if (c.latency_s <= config_.web.tolerable_threshold_s) {
+        ++qos_.tolerable;
+      } else {
+        ++qos_.fail;
+      }
+      qos_.max_latency_s = std::max(qos_.max_latency_s, c.latency_s);
+      latency_hist_.add(c.latency_s);
+      tracer_.request_complete(c.at, c.id, c.latency_s);
+    }
+    node.completions.clear();
+  }
+
   double fleet_mean = 0.0;
   double hottest_quantized = 0.0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
-    sched::Machine& m = *node.machine;
-    const double mean_c = m.mean_sensor_temp();
+    const SweepScratch& s = sweep_scratch_[i];
     // The balancer sees whole degrees, like the per-core sensors themselves:
     // averaging the quantized cores would leak sub-degree resolution the
     // hardware doesn't offer, and the coarser view doubles as herd
     // protection (1 C ties fall through to the outstanding-count tie-break).
-    sensor_temp_c_[i] = std::floor(mean_c);
-    node.temp_avg.add(mean_c);
+    sensor_temp_c_[i] = std::floor(s.mean_c);
+    node.temp_avg.add(s.mean_c);
     node.stats.mean_sensor_c = node.temp_avg.mean();
-    const double hot_sensor = hottest_sensor_c(m);
-    hottest_quantized = std::max(hottest_quantized, hot_sensor);
-    node.stats.peak_sensor_c = std::max(node.stats.peak_sensor_c, hot_sensor);
+    hottest_quantized = std::max(hottest_quantized, s.hot_sensor);
+    node.stats.peak_sensor_c = std::max(node.stats.peak_sensor_c, s.hot_sensor);
     fleet_peak_sensor_c_ =
         std::max(fleet_peak_sensor_c_, node.stats.peak_sensor_c);
-    fleet_peak_exact_c_ = std::max(fleet_peak_exact_c_, hottest_die_c(m));
-    fleet_mean += mean_c;
+    fleet_peak_exact_c_ = std::max(fleet_peak_exact_c_, s.hot_die);
+    fleet_mean += s.mean_c;
 
-    const bool throttling = any_core_throttling(m);
-    if (throttling != (draining_[i] != 0)) {
-      draining_[i] = throttling ? 1 : 0;
-      if (throttling) ++node.stats.drains;
-      tracer_.node_drain(t, static_cast<std::uint32_t>(i), throttling,
-                         hottest_die_c(m));
+    if (s.throttling != (draining_[i] != 0)) {
+      draining_[i] = s.throttling ? 1 : 0;
+      if (s.throttling) ++node.stats.drains;
+      tracer_.node_drain(t, static_cast<std::uint32_t>(i), s.throttling,
+                         s.hot_die);
     }
   }
   fleet_temp_avg_.add(fleet_mean / static_cast<double>(nodes_.size()));
@@ -270,37 +408,29 @@ void Cluster::rebuild_routable() {
 void Cluster::route(sim::SimTime t) {
   const std::size_t id = balancer_->pick(fleet_view());
   Node& node = nodes_.at(id);
-  // Lazy advancement: only the routed-to node catches up to the arrival
-  // time; the rest of the fleet stays where the last sweep left it.
-  node.machine->run_until(t);
-  ++machine_advances_;
+  // Deferred advancement: the arrival is recorded, not simulated — the node
+  // replays its backlog at the next fleet flush, where the advance can run
+  // in parallel with every other node's. The balancer sees the routed count
+  // immediately (outstanding_ increments here); it sees completions only at
+  // sweeps, when the flush drains them.
   const std::uint32_t rid = next_request_id_++;
+  node.backlog.push_back({t, rid});
   ++outstanding_[id];
   ++node.stats.routed;
   tracer_.request_routed(t, static_cast<std::uint32_t>(id), rid);
-  node.web->inject_request(rid);
 }
 
 void Cluster::on_complete(std::size_t node_id, std::uint32_t id,
                           double latency_s) {
+  // Fires mid-run_until, possibly on a pool lane — so it may touch ONLY
+  // per-node state (its own buffer, its own SoA slots). The fleet-wide
+  // effects are applied from the buffer, post-barrier, in merge_sweep.
   Node& node = nodes_.at(node_id);
   if (outstanding_[node_id] > 0) --outstanding_[node_id];
   ++node.stats.completed;
-  ++completed_;
-
-  ++qos_.total;
-  if (latency_s <= config_.web.good_threshold_s) ++qos_.good;
-  if (latency_s <= config_.web.tolerable_threshold_s) {
-    ++qos_.tolerable;
-  } else {
-    ++qos_.fail;
-  }
-  qos_.max_latency_s = std::max(qos_.max_latency_s, latency_s);
-  latency_hist_.add(latency_s);
-
   // The node's machine is mid-run_until here; its local clock is the event
   // time of the completion.
-  tracer_.request_complete(node.machine->now(), id, latency_s);
+  node.completions.push_back({node.machine->now(), id, latency_s});
 }
 
 ClusterResult Cluster::run(sim::SimTime duration) {
@@ -312,8 +442,8 @@ ClusterResult Cluster::run(sim::SimTime duration) {
     if (t > end) break;
     now_ = t;
     if (t == next_tick_) {
-      advance_all(t);
-      sample_telemetry(t);
+      advance_fleet(t);
+      merge_sweep(t);
       next_tick_ += config_.telemetry_period;
     }
     if (t == next_arrival_) {
@@ -322,8 +452,10 @@ ClusterResult Cluster::run(sim::SimTime duration) {
     }
   }
   now_ = end;
-  advance_all(end);
-  sample_telemetry(end);
+  // Final flush: drains every backlogged arrival, so stats and machine
+  // clocks are exact at `end` and repeated run() calls compose.
+  advance_fleet(end);
+  merge_sweep(end);
 
   ClusterResult r;
   r.policy = balancer_->name();

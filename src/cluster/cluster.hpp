@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -14,6 +15,7 @@
 #include "control/stability.hpp"
 #include "core/controller.hpp"
 #include "obs/tracer.hpp"
+#include "runner/thread_pool.hpp"
 #include "sched/machine.hpp"
 #include "thermal/rc_network.hpp"
 #include "workload/web.hpp"
@@ -114,6 +116,28 @@ struct ClusterConfig {
   /// `machine.trace_sink_factory` as usual.
   obs::SinkFactory trace_sink_factory;
 
+  /// Fleet-advancement parallelism: how many lanes the per-machine advance
+  /// at each telemetry sweep may fan across. 0 = auto, 1 = serial inside
+  /// the cluster, N = N lanes. Resolution precedence: this field (nonzero),
+  /// then the DIMETRODON_FLEET_THREADS environment variable, then auto
+  /// (borrow the engine pool when one is shared below; otherwise spin up a
+  /// pool for fleets large enough to pay for it). Strictly NON-semantic:
+  /// results are bit-identical at every setting, so it is excluded from the
+  /// canonical cache identity. A `machine.trace_sink_factory` forces the
+  /// serial path regardless — the factory may hand every node one shared
+  /// sink, which parallel advancement would race.
+  std::size_t fleet_threads = 0;
+
+  /// Work-stealing pool borrowed from the sweep engine (via RunContext);
+  /// null when the cluster runs standalone. Never owned. Nested submission
+  /// is safe: the fleet joins with ThreadPool::run_and_wait, which executes
+  /// queued work instead of blocking on a saturated pool.
+  runner::ThreadPool* shared_pool = nullptr;
+  /// Engine's lanes hint for `shared_pool` (RunContext::lanes_hint): 0 =
+  /// share/auto, 1 = stay serial (the grid saturates the pool), N = this
+  /// run owns N lanes.
+  std::size_t shared_lanes = 0;
+
   static workload::WebWorkload::Config open_loop_web() {
     workload::WebWorkload::Config c;
     c.connections = 0;
@@ -179,15 +203,22 @@ struct ClusterResult {
 ///  * The cluster timeline carries exactly two pending events — the next
 ///    arrival and the next telemetry sweep — regardless of fleet size;
 ///    coordination state beyond that is the O(racks) thermal layer.
-///  * Machines advance lazily: an arrival advances only the routed-to node;
-///    the full fleet synchronizes once per telemetry period (and at run
-///    end), where the sweep is a single batched interaction point (one
-///    fleet_sample trace event). Balancer views are therefore stale by up to
-///    one period — exactly the staleness a real fleet scheduler faces.
+///  * Machines advance lazily AND in parallel: an arrival only records a
+///    (time, request-id) entry in the routed-to node's backlog; the fleet
+///    synchronizes once per telemetry period (and at run end), where each
+///    node replays its backlog and catches up to the sweep time — fanned
+///    across a work-stealing pool, since the machines are independent
+///    simulations. Every cross-node effect (telemetry SoA refresh, drain
+///    transitions, trace events, rack/CRAC step, stats) is applied in fixed
+///    node order AFTER the barrier, from per-node buffers filled during the
+///    parallel phase. Balancer views are therefore stale by up to one
+///    period — exactly the staleness a real fleet scheduler faces.
 ///  * Determinism: every machine is an independent simulation seeded by
-///    derive_stream_seed(seed, node + 1) (stream 0 is the request source),
-///    advanced in fixed order at sweeps; a run is a pure function of its
-///    config — bit-reproducible regardless of sweep thread count.
+///    derive_stream_seed(seed, node + 1) (stream 0 is the request source);
+///    the parallel phase touches only per-node state and the post-barrier
+///    reduction runs in fixed node order, so a run is a pure function of
+///    its config — bit-identical at every fleet_threads setting and every
+///    sweep thread count (DESIGN.md section 11 states the contract).
 ///
 /// Rack/CRAC: with RackParams enabled, each rack's measured dissipation
 /// (scaled by the recirculation fraction) feeds a per-rack air node; the air
@@ -242,11 +273,33 @@ class Cluster {
   /// Total machine run_until interactions issued by the cluster. Lazy
   /// advancement makes this ~ arrivals + nodes * sweeps, NOT
   /// arrivals * nodes.
-  std::uint64_t machine_advances() const { return machine_advances_; }
+  std::uint64_t machine_advances() const {
+    return machine_advances_.load(std::memory_order_relaxed);
+  }
+  /// Resolved fleet-advancement lanes (1 = serial path). Diagnostics/tests;
+  /// never observable in results.
+  std::size_t fleet_lanes() const { return lanes_; }
   obs::Tracer& tracer() { return tracer_; }
   sim::SimTime now() const { return now_; }
 
  private:
+  /// An arrival routed to a node but not yet injected into its machine:
+  /// replayed (run_until(at) + inject) at the next fleet flush, on whatever
+  /// lane owns the node.
+  struct PendingArrival {
+    sim::SimTime at = 0;
+    std::uint32_t rid = 0;
+  };
+
+  /// A completion that fired during a node's (possibly parallel) advance.
+  /// Buffered per node; the fleet-wide effects (QoS, histogram, trace) are
+  /// applied post-barrier in fixed node order.
+  struct CompletionRecord {
+    sim::SimTime at = 0;  // the owning machine's clock at the completion
+    std::uint32_t id = 0;
+    double latency_s = 0.0;
+  };
+
   struct Node {
     std::unique_ptr<sched::Machine> machine;
     std::unique_ptr<workload::WebWorkload> web;
@@ -258,10 +311,33 @@ class Cluster {
     analysis::OnlineStats temp_avg;
     /// Energy reading at the last rack-layer update (power = delta / dt).
     double last_energy_j = 0.0;
+    std::vector<PendingArrival> backlog;
+    std::vector<CompletionRecord> completions;
   };
 
-  void advance_all(sim::SimTime t);
-  void sample_telemetry(sim::SimTime t);
+  /// Per-node telemetry readings taken during the parallel phase (each lane
+  /// writes only its own nodes' slots); folded into fleet state post-barrier.
+  struct SweepScratch {
+    double mean_c = 0.0;
+    double hot_sensor = 0.0;
+    double hot_die = 0.0;
+    bool throttling = false;
+  };
+
+  void resolve_parallelism();
+  /// Parallel phase of a fleet flush: replay backlogs and advance every
+  /// machine to `t`, filling sweep_scratch_ and the per-node completion
+  /// buffers. Fans node chunks across the pool (or runs them inline when
+  /// serial); touches NO cross-node state.
+  void advance_fleet(sim::SimTime t);
+  /// One lane's share of advance_fleet: nodes [begin, end).
+  void run_chunk(std::size_t begin, std::size_t end, sim::SimTime t);
+  /// Read node i's telemetry into sweep_scratch_[i] (no machine advance).
+  void compute_node_telemetry(std::size_t i);
+  /// Serial reduction of a fleet flush, in fixed node order: buffered
+  /// completions, telemetry aggregation, drain transitions, the batched
+  /// fleet_sample event, the rack/CRAC step, and the routable rebuild.
+  void merge_sweep(sim::SimTime t);
   void update_rack_layer(sim::SimTime t);
   void rebuild_routable();
   void route(sim::SimTime t);
@@ -272,6 +348,13 @@ class Cluster {
   RequestSource source_;
   std::vector<Node> nodes_;
   obs::Tracer tracer_;
+
+  // Fleet-advancement parallelism (resolve_parallelism). pool_ is null on
+  // the serial path; own_pool_ engages only when no engine pool is shared.
+  std::unique_ptr<runner::ThreadPool> own_pool_;
+  runner::ThreadPool* pool_ = nullptr;
+  std::size_t lanes_ = 1;
+  std::vector<SweepScratch> sweep_scratch_;
 
   // SoA hot state, indexed by node id (see FleetView).
   std::vector<double> sensor_temp_c_;
@@ -291,7 +374,9 @@ class Cluster {
   sim::SimTime next_arrival_ = 0;
   sim::SimTime next_tick_ = 0;
   std::uint32_t next_request_id_ = 0;
-  std::uint64_t machine_advances_ = 0;
+  /// Atomic only for the cross-lane sum during advance_fleet; the total per
+  /// flush is deterministic (backlog entries + one advance per node).
+  std::atomic<std::uint64_t> machine_advances_{0};
 
   // Fleet-wide accumulators.
   std::uint64_t completed_ = 0;

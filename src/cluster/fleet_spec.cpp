@@ -89,6 +89,11 @@ FleetSpec& FleetSpec::with_seed(std::uint64_t seed) {
   return *this;
 }
 
+FleetSpec& FleetSpec::with_fleet_threads(std::size_t threads) {
+  fleet_threads_ = threads;
+  return *this;
+}
+
 FleetSpec& FleetSpec::with_trace_sink(obs::SinkFactory factory) {
   sink_ = std::move(factory);
   return *this;
@@ -148,6 +153,7 @@ ClusterConfig FleetSpec::config() const {
   cc.offered_load_rps = load_rps_;
   cc.traffic = traffic_;
   cc.telemetry_period = telemetry_;
+  cc.fleet_threads = fleet_threads_;
   cc.trace_sink_factory = sink_;
   if (crac_) {
     cc.rack = *crac_;

@@ -80,6 +80,10 @@ class FleetSpec {
   FleetSpec& with_traffic(const TrafficShape& shape);
   FleetSpec& with_telemetry(sim::SimTime period);
   FleetSpec& with_seed(std::uint64_t seed);
+  /// Fleet-advancement lanes (ClusterConfig::fleet_threads): 0 = auto,
+  /// 1 = serial, N = N lanes. Non-semantic — results are bit-identical at
+  /// every setting.
+  FleetSpec& with_fleet_threads(std::size_t threads);
   FleetSpec& with_trace_sink(obs::SinkFactory factory);
   FleetSpec& with_policy(PolicyKind kind, double injection_threshold = 0.25);
   FleetSpec& for_duration(sim::SimTime duration);
@@ -119,6 +123,7 @@ class FleetSpec {
   TrafficShape traffic_{};
   sim::SimTime telemetry_ = sim::from_ms(50);
   std::optional<std::uint64_t> seed_;
+  std::size_t fleet_threads_ = 0;
   obs::SinkFactory sink_;
   PolicyKind policy_ = PolicyKind::kRoundRobin;
   double injection_threshold_ = 0.25;

@@ -21,8 +21,12 @@ struct FleetView {
   /// Mean quantized sensor reading per node at the last telemetry sample
   /// (stale by up to one period). Indexed by node id.
   const double* sensor_temp_c = nullptr;
-  /// Requests routed to the node and not yet completed. Exact and current:
-  /// this is the balancer's own bookkeeping, not sampled telemetry.
+  /// Requests routed to the node and not yet completed. Increments are
+  /// exact and current (the balancer's own bookkeeping at route time);
+  /// decrements land at fleet flushes, when deferred advancement drains the
+  /// completions — so, like the temperatures, the count runs stale by up to
+  /// one telemetry period. A real fleet scheduler faces the same lag: it
+  /// learns of completions from telemetry, not synchronously.
   const std::uint32_t* outstanding = nullptr;
   /// The node's configured idle-injection probability (its preventive
   /// thermal-management intensity, known fleet-wide as configuration).

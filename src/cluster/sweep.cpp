@@ -5,11 +5,16 @@
 namespace dimetrodon::cluster {
 
 std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
-  // v3: rack/CRAC coupling, traffic shape and the batched-telemetry fleet
-  // joined the tag (the layer version rides on sim::kCanonVersion via the
-  // enclosing run-spec preamble; this label tracks the cluster field set).
+  // v4: arrivals are backlogged at route time and injected at the next
+  // fleet flush, so completion visibility to the balancer moved from
+  // mid-period to sweep boundaries — same machines, different routing
+  // feedback, different numbers. fleet_threads/shared_pool are execution
+  // knobs, NOT identity: results are bit-identical at every setting, so
+  // they stay out of the tag. (The layer version rides on
+  // sim::kCanonVersion via the enclosing run-spec preamble; this label
+  // tracks cluster semantics.)
   sim::CanonWriter w(1024);
-  w.open("cluster-v3");
+  w.open("cluster-v4");
   w.field("policy", static_cast<std::uint64_t>(spec.policy));
   w.field("inj_thresh", spec.injection_threshold);
   w.field("duration", spec.duration);
@@ -64,13 +69,17 @@ runner::RunSpec to_run_spec(const ClusterRunSpec& spec) {
   rs.seed = spec.cluster.seed;
   rs.machine = spec.cluster.machine;
   rs.custom_tag = canonical_cluster_tag(spec);
-  rs.custom = [spec](const runner::RunSpec&,
-                     const sched::MachineConfig& cfg) {
+  rs.custom = [spec](const runner::RunSpec&, const sched::MachineConfig& cfg,
+                     const runner::RunContext& ctx) {
     // `cfg` is spec.cluster.machine with the sweep seed applied; thread it
-    // back so a seed sweep re-seeds the whole fleet.
+    // back so a seed sweep re-seeds the whole fleet. The engine's pool and
+    // lanes hint ride along so the fleet can advance in parallel on grid
+    // lanes the sweep isn't using (never affects results).
     ClusterConfig cc = spec.cluster;
     cc.machine = cfg;
     cc.seed = cfg.seed;
+    cc.shared_pool = ctx.pool;
+    cc.shared_lanes = ctx.lanes_hint;
     Cluster cluster(std::move(cc),
                     make_policy(spec.policy, spec.injection_threshold));
     const ClusterResult r = cluster.run(spec.duration);

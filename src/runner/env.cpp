@@ -1,0 +1,48 @@
+#include "runner/env.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace dimetrodon::runner {
+
+void warn_env_once(const char* var, const char* value, const char* expected) {
+  // A bench may build several configs (or clusters); nag about a given
+  // variable only once per process.
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  std::lock_guard<std::mutex> lock(mu);
+  if (!warned.insert(var).second) return;
+  std::fprintf(stderr,
+               "[runner] ignoring %s=\"%s\" (expected %s); using default\n",
+               var, value, expected);
+}
+
+std::optional<std::size_t> env_size_t(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (errno != 0 || end == raw || *end != '\0' || raw[0] == '-' ||
+      v > 4096ULL) {
+    warn_env_once(var, raw, "an integer in 0..4096");
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::optional<bool> env_bool(const char* var) {
+  const char* raw = std::getenv(var);
+  if (raw == nullptr) return std::nullopt;
+  const std::string v(raw);
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  warn_env_once(var, raw, "0 or 1");
+  return std::nullopt;
+}
+
+}  // namespace dimetrodon::runner

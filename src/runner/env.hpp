@@ -1,0 +1,20 @@
+#pragma once
+
+#include <optional>
+
+namespace dimetrodon::runner {
+
+/// Strict non-negative integer parse of an environment variable; returns
+/// nullopt (after a one-time stderr warning) on anything else, so a typo'd
+/// variable degrades to the caller's default instead of silently becoming 0
+/// threads. Shared by the sweep engine (DIMETRODON_SWEEP_*) and the cluster
+/// layer (DIMETRODON_FLEET_THREADS).
+std::optional<std::size_t> env_size_t(const char* var);
+
+/// Boolean env parse: accepts 0/1 (and a few spellings); warns otherwise.
+std::optional<bool> env_bool(const char* var);
+
+/// One-time-per-variable stderr nag about an unparseable value.
+void warn_env_once(const char* var, const char* value, const char* expected);
+
+}  // namespace dimetrodon::runner

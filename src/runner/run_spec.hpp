@@ -13,6 +13,27 @@
 
 namespace dimetrodon::runner {
 
+class ThreadPool;
+
+/// Execution environment handed to kCustom runs. Strictly NON-semantic: a
+/// run must produce bit-identical results for every possible context —
+/// nothing here may feed the cache key or the simulation, only how fast the
+/// result arrives. The pool enables intra-run parallelism (cluster fleets
+/// fan per-machine advancement onto it), arbitrated against the engine's
+/// own run-level parallelism via the lanes hint.
+struct RunContext {
+  /// The engine's work-stealing pool; null when the engine is serial or
+  /// when execute() is called standalone. Borrowed, never owned; nested
+  /// submission uses ThreadPool::run_and_wait, which cannot deadlock on a
+  /// saturated pool.
+  ThreadPool* pool = nullptr;
+  /// How many pool lanes one run may reasonably claim for nested work:
+  /// 0 = auto (share the pool; work stealing balances a partly idle grid),
+  /// 1 = stay serial inside the run (the grid itself saturates the pool),
+  /// N = the run owns the whole pool (a 1-run sweep).
+  std::size_t lanes_hint = 0;
+};
+
 /// Declarative, hashable counterpart of harness::ActuationSetup. The sweep
 /// engine needs actuations as *data* (they feed the cache key), so the
 /// closure is built on demand via `to_setup()` from the same constructors the
@@ -146,8 +167,12 @@ struct RunSpec {
 
   /// kCustom only: the computation, plus a tag naming it in the cache key.
   /// The tag must change whenever the function's meaning changes — the
-  /// engine cannot see through the closure.
-  std::function<RunRecord(const RunSpec&, const sched::MachineConfig&)> custom;
+  /// engine cannot see through the closure. The RunContext is the engine's
+  /// execution environment (shared pool, parallelism hint); it is not part
+  /// of the identity and must not change results.
+  std::function<RunRecord(const RunSpec&, const sched::MachineConfig&,
+                          const RunContext&)>
+      custom;
   std::string custom_tag;
 };
 

@@ -15,51 +15,13 @@
 #include <thread>
 #include <utility>
 
+#include "runner/env.hpp"
 #include "runner/fault_injection.hpp"
 #include "runner/thread_pool.hpp"
 
 namespace dimetrodon::runner {
 
 namespace {
-
-void warn_env_once(const char* var, const char* value, const char* expected) {
-  // A sweep may build several configs; nag about a given variable only once.
-  static std::mutex mu;
-  static std::set<std::string> warned;
-  std::lock_guard<std::mutex> lock(mu);
-  if (!warned.insert(var).second) return;
-  std::fprintf(stderr,
-               "[runner] ignoring %s=\"%s\" (expected %s); using default\n",
-               var, value, expected);
-}
-
-/// Strict non-negative integer parse; returns nullopt (after a one-time
-/// stderr warning) on anything else, so a typo'd env var degrades to the
-/// default instead of silently becoming 0 threads.
-std::optional<std::size_t> env_size_t(const char* var) {
-  const char* raw = std::getenv(var);
-  if (raw == nullptr) return std::nullopt;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (errno != 0 || end == raw || *end != '\0' || raw[0] == '-' ||
-      v > 4096ULL) {
-    warn_env_once(var, raw, "an integer in 0..4096");
-    return std::nullopt;
-  }
-  return static_cast<std::size_t>(v);
-}
-
-/// Boolean env parse: accepts 0/1 (and a few spellings); warns otherwise.
-std::optional<bool> env_bool(const char* var) {
-  const char* raw = std::getenv(var);
-  if (raw == nullptr) return std::nullopt;
-  const std::string v(raw);
-  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
-  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
-  warn_env_once(var, raw, "0 or 1");
-  return std::nullopt;
-}
 
 /// Failures worth another attempt: injected transients and the filesystem
 /// error classes. Simulation errors are deterministic — the same seed
@@ -158,7 +120,7 @@ std::size_t SnapshotCache::size() const {
 RunRecord SweepEngine::execute(const RunSpec& spec,
                                const sched::MachineConfig& base,
                                SnapshotCache* snapshots,
-                               bool* snapshot_built) {
+                               bool* snapshot_built, const RunContext& ctx) {
   if (snapshot_built != nullptr) *snapshot_built = false;
   sched::MachineConfig cfg = spec.machine ? *spec.machine : base;
   cfg.seed = spec.seed;
@@ -166,7 +128,7 @@ RunRecord SweepEngine::execute(const RunSpec& spec,
     if (!spec.custom) {
       throw std::logic_error("kCustom RunSpec without a custom function");
     }
-    return spec.custom(spec, cfg);
+    return spec.custom(spec, cfg, ctx);
   }
   if (!spec.workload) {
     throw std::logic_error("kMeasure RunSpec without a workload factory");
@@ -207,10 +169,28 @@ SweepResult SweepEngine::run(const std::vector<RunSpec>& specs) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  // Never spin up more workers than runs; threads==1 executes the grid on
-  // the submitting thread in spec order — the serial reference.
-  threads = std::min(threads, specs.size());
+  // The pool keeps its full width even when the grid is narrower: runs can
+  // fan nested work (cluster fleet advancement) onto the spare lanes via
+  // the RunContext. threads==1 executes the grid on the submitting thread
+  // in spec order — the serial reference.
   ThreadPool pool(threads <= 1 ? 0 : threads);
+
+  // Nested-parallelism arbitration, passed to every run: a 1-run sweep owns
+  // the whole pool, a grid that oversubscribes the pool (2x or more) keeps
+  // runs serial inside, anything between shares — work stealing fills the
+  // tail as grid lanes drain. Strictly non-semantic (results are
+  // bit-identical for every hint), so the heuristic is free to evolve.
+  RunContext ctx;
+  ctx.pool = pool.num_threads() > 0 ? &pool : nullptr;
+  if (pool.num_threads() == 0) {
+    ctx.lanes_hint = 1;
+  } else if (specs.size() <= 1) {
+    ctx.lanes_hint = threads;
+  } else if (specs.size() >= 2 * threads) {
+    ctx.lanes_hint = 1;
+  } else {
+    ctx.lanes_hint = 0;
+  }
 
   std::atomic<bool> done{false};
   std::thread reporter;
@@ -259,7 +239,8 @@ SweepResult SweepEngine::run(const std::vector<RunSpec>& specs) {
         err.attempts = attempt;
         try {
           fault::maybe_throw("run.execute", key.hi);
-          results[i] = execute(spec, base_, &snapshots_, &snapshot_built);
+          results[i] =
+              execute(spec, base_, &snapshots_, &snapshot_built, ctx);
           break;
         } catch (const std::exception& e) {
           err.what = e.what();

@@ -126,11 +126,14 @@ class SweepEngine {
   /// with warmup > 0 builds (or reuses, when `snapshots` is non-null) the
   /// warmup-prefix snapshot and ALWAYS forks the measured run from it — the
   /// builder run and the forked run take the same code path whether or not
-  /// the snapshot was cached, so caching cannot change results.
+  /// the snapshot was cached, so caching cannot change results. `ctx` is
+  /// the execution environment for kCustom runs (shared pool, lanes hint);
+  /// the default is the standalone/serial context.
   static RunRecord execute(const RunSpec& spec,
                            const sched::MachineConfig& base,
                            SnapshotCache* snapshots = nullptr,
-                           bool* snapshot_built = nullptr);
+                           bool* snapshot_built = nullptr,
+                           const RunContext& ctx = {});
 
   /// Warmup-prefix snapshots shared across this engine's runs (diagnostics).
   const SnapshotCache& snapshots() const { return snapshots_; }

@@ -1,8 +1,19 @@
 #include "runner/thread_pool.hpp"
 
+#include <memory>
+#include <stdexcept>
 #include <utility>
 
 namespace dimetrodon::runner {
+
+namespace {
+// Which pool (if any) owns the calling thread, and the worker's own queue
+// index — set once at worker_loop entry. run_and_wait uses them to pop the
+// caller's own queue before stealing, and wait_idle uses them to reject the
+// self-join misuse.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_self = 0;
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   queues_.reserve(num_threads);
@@ -56,8 +67,93 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   if (workers_.empty()) return;
+  if (tl_pool == this) {
+    throw std::logic_error(
+        "ThreadPool::wait_idle called from a worker of the same pool — the "
+        "task would wait for itself; use run_and_wait for nested joins");
+  }
   std::unique_lock<std::mutex> lock(state_mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::on_worker_thread() const { return tl_pool == this; }
+
+bool ThreadPool::try_claim(std::function<void()>& task, bool& stolen) {
+  if (tl_pool == this) {
+    if (try_pop_own(tl_self, task)) {
+      stolen = false;
+      return true;
+    }
+    if (try_steal(tl_self, task)) {
+      stolen = true;
+      return true;
+    }
+    return false;
+  }
+  // External caller (the pool-owning thread joining a group): no own queue,
+  // steal from anyone.
+  for (auto& qp : queues_) {
+    std::lock_guard<std::mutex> lock(qp->mu);
+    if (qp->tasks.empty()) continue;
+    task = std::move(qp->tasks.back());
+    qp->tasks.pop_back();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    stolen = true;
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::run_and_wait(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    // Inline mode: same exception contract as submit().
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return;
+  }
+
+  auto group = std::make_shared<JoinGroup>();
+  group->remaining = tasks.size();
+  for (auto& task : tasks) {
+    submit([group, task = std::move(task)] {
+      // The decrement is RAII so a throwing task still settles the group
+      // (run_task's catch handles the pool-level accounting afterwards).
+      struct Leave {
+        std::shared_ptr<JoinGroup> g;
+        ~Leave() {
+          std::lock_guard<std::mutex> lock(g->mu);
+          if (--g->remaining == 0) g->cv.notify_all();
+        }
+      } leave{group};
+      task();
+    });
+  }
+
+  // Help until the group drains: every group task was enqueued above, so a
+  // scan that claims nothing means they are all claimed by other lanes —
+  // then (and only then) sleeping on the group cv is deadlock-free, because
+  // a claimed task either finishes or re-enters here and helps in turn.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (group->remaining == 0) return;
+    }
+    std::function<void()> task;
+    bool stolen = false;
+    if (try_claim(task, stolen)) {
+      run_task(task, stolen);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->cv.wait(lock, [&] { return group->remaining == 0; });
+    return;
+  }
 }
 
 std::size_t ThreadPool::steal_count() const {
@@ -105,6 +201,8 @@ void ThreadPool::run_task(std::function<void()>& task, bool stolen) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_self = self;
   for (;;) {
     std::function<void()> task;
     bool stolen = false;

@@ -26,6 +26,14 @@ namespace dimetrodon::runner {
 /// `num_threads == 0` degenerates to inline execution: submit() runs the
 /// task on the calling thread. This is the reference serial mode parallel
 /// sweeps are checked against.
+///
+/// Nested parallelism: a task running on a pool worker may fan its own
+/// subtasks onto the SAME pool with run_and_wait() — the caller executes
+/// queued work (its own subtasks first, then anything stealable) instead of
+/// blocking, so a saturated pool cannot deadlock on re-entry. This is what
+/// lets a cluster fleet parallelize inside a sweep run without a second
+/// pool: an idle grid leaves every lane to the fleet, a saturated grid makes
+/// each run execute its own subtasks inline.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -39,8 +47,27 @@ class ThreadPool {
   /// Enqueue one task (round-robin across worker deques).
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished. Must NOT be called from
+  /// a task running on this pool (the worker would wait for itself); that
+  /// misuse throws std::logic_error instead of deadlocking — nested joins
+  /// use run_and_wait().
   void wait_idle();
+
+  /// Run `tasks` on the pool and return when ALL of them have finished.
+  /// Safe to call from a pool worker (the nested-parallelism join): while
+  /// the group is outstanding the caller helps — it pops its own queue,
+  /// then steals, executing any queued task (its group's or another's) —
+  /// and only sleeps once every queued task is claimed. Because every group
+  /// task is enqueued before the help loop starts, a failed claim scan
+  /// means all group tasks are running on other lanes, and those lanes help
+  /// in turn if they re-enter: no saturation deadlock at any nesting depth.
+  /// With 0 workers the tasks run inline, in order, on the caller.
+  /// Exceptions follow the pool contract (swallowed + counted); callers
+  /// that need failures must capture them inside the task.
+  void run_and_wait(std::vector<std::function<void()>> tasks);
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
 
   /// Tasks completed by stealing rather than from the owner's own deque
   /// (load-balance diagnostics).
@@ -57,9 +84,21 @@ class ThreadPool {
     std::deque<std::function<void()>> tasks;
   };
 
+  /// Join state for one run_and_wait group: shared by the wrapped tasks
+  /// (which decrement on every exit path) and the waiting caller.
+  struct JoinGroup {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+  };
+
   void worker_loop(std::size_t self);
   bool try_pop_own(std::size_t self, std::function<void()>& task);
   bool try_steal(std::size_t self, std::function<void()>& task);
+  /// Claim any queued task from the caller's perspective: own queue first
+  /// when on a worker, else steal from every queue. Sets `stolen` for the
+  /// steal-count accounting.
+  bool try_claim(std::function<void()>& task, bool& stolen);
   void run_task(std::function<void()>& task, bool stolen);
   void finish_task(bool stolen);
 

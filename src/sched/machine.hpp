@@ -206,6 +206,7 @@ class Machine {
   }
 
   thermal::RcNetwork& thermal_network() { return network_; }
+  const thermal::RcNetwork& thermal_network() const { return network_; }
   const thermal::FloorplanNodes& thermal_nodes() const { return nodes_; }
   const thermal::CoreTempSensor& sensor(CoreId id) const {
     return sensors_.at(physical_of(id));

@@ -5,8 +5,63 @@
 
 namespace dimetrodon::thermal {
 
+namespace {
+
+/// Shared row kernel: one accumulator, terms in column order, unrolled 4x.
+/// Each statement is the naive loop's body verbatim, so the emitted op
+/// sequence (fused or not) is term-for-term identical to the reference —
+/// the unroll exposes the four loads per iteration to the pipeline without
+/// introducing a second rounding order.
+inline double dot_row(const double* a, const double* xv, std::size_t n) {
+  double acc = 0.0;
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    acc += a[c] * xv[c];
+    acc += a[c + 1] * xv[c + 1];
+    acc += a[c + 2] * xv[c + 2];
+    acc += a[c + 3] * xv[c + 3];
+  }
+  for (; c < n; ++c) acc += a[c] * xv[c];
+  return acc;
+}
+
+/// CSR row kernel, same single-chain 4x unroll over the stored entries.
+inline double dot_row_csr(const double* vals, const std::uint32_t* cols,
+                          const double* xv, std::size_t begin,
+                          std::size_t end) {
+  double acc = 0.0;
+  std::size_t k = begin;
+  for (; k + 4 <= end; k += 4) {
+    acc += vals[k] * xv[cols[k]];
+    acc += vals[k + 1] * xv[cols[k + 1]];
+    acc += vals[k + 2] * xv[cols[k + 2]];
+    acc += vals[k + 3] * xv[cols[k + 3]];
+  }
+  for (; k < end; ++k) acc += vals[k] * xv[cols[k]];
+  return acc;
+}
+
+}  // namespace
+
 void matvec(const DenseMatrix& m, const std::vector<double>& x,
             std::vector<double>& y) {
+  const std::size_t n = m.size();
+  assert(x.size() == n);
+  y.resize(n);
+  const double* xv = x.data();
+  for (std::size_t r = 0; r < n; ++r) y[r] = dot_row(m.row(r), xv, n);
+}
+
+void matvec_accumulate(const DenseMatrix& m, const std::vector<double>& x,
+                       std::vector<double>& y) {
+  const std::size_t n = m.size();
+  assert(x.size() == n && y.size() == n);
+  const double* xv = x.data();
+  for (std::size_t r = 0; r < n; ++r) y[r] += dot_row(m.row(r), xv, n);
+}
+
+void matvec_reference(const DenseMatrix& m, const std::vector<double>& x,
+                      std::vector<double>& y) {
   const std::size_t n = m.size();
   assert(x.size() == n);
   y.assign(n, 0.0);
@@ -14,17 +69,6 @@ void matvec(const DenseMatrix& m, const std::vector<double>& x,
     double acc = 0.0;
     for (std::size_t c = 0; c < n; ++c) acc += m.at(r, c) * x[c];
     y[r] = acc;
-  }
-}
-
-void matvec_accumulate(const DenseMatrix& m, const std::vector<double>& x,
-                       std::vector<double>& y) {
-  const std::size_t n = m.size();
-  assert(x.size() == n && y.size() == n);
-  for (std::size_t r = 0; r < n; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < n; ++c) acc += m.at(r, c) * x[c];
-    y[r] += acc;
   }
 }
 
@@ -59,10 +103,7 @@ void matvec(const SparseMatrix& m, const std::vector<double>& x,
   for (std::size_t r = 0; r < n; ++r) {
     // Single accumulator in stored (column) order: the exact operation
     // sequence of the dense matvec minus its zero terms — bitwise parity.
-    double acc = 0.0;
-    const std::size_t end = rp[r + 1];
-    for (std::size_t k = rp[r]; k < end; ++k) acc += vals[k] * xv[cols[k]];
-    y[r] = acc;
+    y[r] = dot_row_csr(vals, cols, xv, rp[r], rp[r + 1]);
   }
 }
 
@@ -75,10 +116,24 @@ void matvec_accumulate(const SparseMatrix& m, const std::vector<double>& x,
   const double* vals = m.values().data();
   const double* xv = x.data();
   for (std::size_t r = 0; r < n; ++r) {
+    y[r] += dot_row_csr(vals, cols, xv, rp[r], rp[r + 1]);
+  }
+}
+
+void matvec_reference(const SparseMatrix& m, const std::vector<double>& x,
+                      std::vector<double>& y) {
+  const std::size_t n = m.size();
+  assert(x.size() == n);
+  y.resize(n);
+  const std::size_t* rp = m.row_ptr().data();
+  const std::uint32_t* cols = m.cols().data();
+  const double* vals = m.values().data();
+  const double* xv = x.data();
+  for (std::size_t r = 0; r < n; ++r) {
     double acc = 0.0;
     const std::size_t end = rp[r + 1];
     for (std::size_t k = rp[r]; k < end; ++k) acc += vals[k] * xv[cols[k]];
-    y[r] += acc;
+    y[r] = acc;
   }
 }
 

@@ -23,6 +23,9 @@ class DenseMatrix {
   std::size_t size() const { return n_; }
   double& at(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
   double at(std::size_t r, std::size_t c) const { return a_[r * n_ + c]; }
+  /// Contiguous row `r` (n elements, row-major) — the matvec kernels stream
+  /// rows directly instead of re-deriving the offset per element.
+  const double* row(std::size_t r) const { return a_.data() + r * n_; }
 
  private:
   std::size_t n_ = 0;
@@ -31,12 +34,27 @@ class DenseMatrix {
 
 /// y = M x. `x` must have M.size() elements; `y` is resized. `y` must not
 /// alias `x`.
+///
+/// The kernel unrolls each row's dot product 4x while KEEPING the single
+/// accumulator and the term order — every `acc += a[c] * x[c]` of the naive
+/// loop executes in the same sequence on the same chain, so the result is
+/// bitwise-identical to matvec_reference under any -ffp-contract setting
+/// (contraction fuses each term's multiply-add the same way in both). The
+/// unroll buys straight-line instruction-level parallelism on the loads and
+/// amortized loop overhead, not a reassociated (and differently-rounded)
+/// reduction.
 void matvec(const DenseMatrix& m, const std::vector<double>& x,
             std::vector<double>& y);
 
-/// y += M x (same contracts as matvec).
+/// y += M x (same contracts and parity guarantee as matvec).
 void matvec_accumulate(const DenseMatrix& m, const std::vector<double>& x,
                        std::vector<double>& y);
+
+/// The textbook row-loop matvec, kept as the parity oracle: tests assert
+/// the unrolled kernels match it bit-for-bit, and the microbench reports
+/// the unroll's speedup against it.
+void matvec_reference(const DenseMatrix& m, const std::vector<double>& x,
+                      std::vector<double>& y);
 
 /// Compressed-sparse-row view of a square matrix, built by dropping *exact*
 /// zeros from a DenseMatrix. Because only exact zeros are dropped and each
@@ -83,13 +101,19 @@ class SparseMatrix {
 };
 
 /// y = M x (CSR). Bitwise-identical to the dense matvec over the matrix the
-/// CSR was built from. `y` is resized; must not alias `x`.
+/// CSR was built from. `y` is resized; must not alias `x`. Unrolled 4x on
+/// the same single-accumulator chain as the dense kernel (see matvec above
+/// for why that preserves every bit).
 void matvec(const SparseMatrix& m, const std::vector<double>& x,
             std::vector<double>& y);
 
 /// y += M x (CSR; same contracts and parity guarantee).
 void matvec_accumulate(const SparseMatrix& m, const std::vector<double>& x,
                        std::vector<double>& y);
+
+/// Naive CSR matvec — the parity oracle for the unrolled CSR kernel.
+void matvec_reference(const SparseMatrix& m, const std::vector<double>& x,
+                      std::vector<double>& y);
 
 /// C = A B (A, B same size; C must not alias either operand).
 DenseMatrix matmul(const DenseMatrix& a, const DenseMatrix& b);

@@ -51,7 +51,8 @@ RunSpec quick_spec(const std::string& tag, std::uint64_t seed,
   spec.custom_tag = tag;
   spec.seed = seed;
   const std::string what = boom == nullptr ? "" : boom;
-  spec.custom = [what](const RunSpec& s, const sched::MachineConfig& cfg) {
+  spec.custom = [what](const RunSpec& s, const sched::MachineConfig& cfg,
+                       const RunContext&) {
     if (!what.empty()) throw std::runtime_error(what);
     RunRecord rec;
     rec.extra = {{"seed", static_cast<double>(s.seed)},

@@ -283,7 +283,8 @@ TEST(SweepEngine, CustomRunsCacheSamplesAndExtras) {
   spec.kind = RunSpec::Kind::kCustom;
   spec.custom_tag = "custom-cache-roundtrip";
   spec.seed = 42;
-  spec.custom = [](const RunSpec& s, const sched::MachineConfig& cfg) {
+  spec.custom = [](const RunSpec& s, const sched::MachineConfig& cfg,
+                   const RunContext&) {
     RunRecord rec;
     rec.samples = {1.5, 2.5, static_cast<double>(cfg.seed)};
     rec.extra = {{"seed", static_cast<double>(s.seed)}, {"pi", 3.14159}};

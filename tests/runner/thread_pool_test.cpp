@@ -1,0 +1,124 @@
+// The pool's nested-parallelism contract: run_and_wait joins a task group
+// from anywhere — a pool worker (even with every lane busy), the owning
+// thread, or a 0-worker inline pool — by executing queued work instead of
+// blocking on it. Before this contract existed, a worker that submitted
+// subtasks and waited would deadlock the moment the pool saturated.
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <latch>
+#include <stdexcept>
+#include <vector>
+
+namespace dimetrodon::runner {
+namespace {
+
+TEST(ThreadPool, RunAndWaitFromExternalCallerCompletesAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  pool.run_and_wait(std::move(tasks));
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, SaturatedPoolReentryDoesNotDeadlock) {
+  // Both lanes enter their outer task and only then fan out subtasks: no
+  // free worker exists to pick them up, so the outer tasks must execute
+  // their own groups inline (the help loop). A blocking join here would
+  // deadlock and trip the test timeout.
+  ThreadPool pool(2);
+  std::latch both_entered(2);
+  std::atomic<int> inner_ran{0};
+  for (int outer = 0; outer < 2; ++outer) {
+    pool.submit([&] {
+      both_entered.arrive_and_wait();  // saturate before re-entering
+      std::vector<std::function<void()>> inner;
+      for (int i = 0; i < 8; ++i) {
+        inner.push_back([&inner_ran] { inner_ran.fetch_add(1); });
+      }
+      pool.run_and_wait(std::move(inner));
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(inner_ran.load(), 16);
+}
+
+TEST(ThreadPool, NestedReentryThreeLevelsDeep) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> fan = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    std::vector<std::function<void()>> sub;
+    for (int i = 0; i < 3; ++i) sub.push_back([&, depth] { fan(depth - 1); });
+    pool.run_and_wait(std::move(sub));
+  };
+  pool.submit([&] { fan(3); });
+  pool.wait_idle();
+  EXPECT_EQ(leaves.load(), 27);
+}
+
+TEST(ThreadPool, WaitIdleFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(1);
+  std::atomic<bool> threw{false};
+  std::atomic<bool> on_worker{false};
+  pool.submit([&] {
+    on_worker.store(pool.on_worker_thread());
+    try {
+      pool.wait_idle();
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(on_worker.load());
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsGroupInlineInOrder) {
+  ThreadPool pool(0);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  pool.run_and_wait(std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ThrowingGroupTaskStillSettlesTheJoin) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 2 == 0) throw std::runtime_error("boom");
+    });
+  }
+  pool.run_and_wait(std::move(tasks));  // must return despite the throws
+  EXPECT_EQ(ran.load(), 6);
+  EXPECT_EQ(pool.task_exception_count(), 3u);
+}
+
+TEST(ThreadPool, ZeroWorkerGroupCountsExceptionsToo) {
+  ThreadPool pool(0);
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("inline boom"); });
+  tasks.push_back([] {});
+  pool.run_and_wait(std::move(tasks));
+  EXPECT_EQ(pool.task_exception_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::runner

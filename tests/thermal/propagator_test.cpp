@@ -212,6 +212,35 @@ TEST(PropagatorTest, TopologyChangeInvalidatesOperators) {
   EXPECT_EQ(net.stats().factorizations, 2u);
 }
 
+TEST(PropagatorTest, UnrolledKernelsKeepDenseSparseParityOnServerFloorplan) {
+  // The matvec kernels unroll 4x but keep the single-accumulator term order,
+  // so the dense and CSR propagator paths must STILL agree bitwise — this
+  // drives both unrolled kernels through the full lifted fast-forward on a
+  // floorplan big enough (> 4 free nodes) to hit the unrolled body, with a
+  // substep count whose bits force several operator levels and remainders.
+  FloorplanParams params;
+  RcNetwork dense, sparse;
+  const auto dn = build_server_floorplan(dense, params);
+  const auto sn = build_server_floorplan(sparse, params);
+  dense.set_sparse_enabled(false);
+  sparse.set_sparse_enabled(true);
+  for (std::size_t i = 0; i < 4; ++i) {
+    dense.set_power(dn.die[i], 7.0 + 3.0 * static_cast<double>(i));
+    sparse.set_power(sn.die[i], 7.0 + 3.0 * static_cast<double>(i));
+  }
+  for (int round = 0; round < 5; ++round) {
+    dense.advance(0.00025, 1337);
+    sparse.advance(0.00025, 1337);
+  }
+  EXPECT_GT(dense.stats().matvecs, 0u);
+  const auto td = all_temps(dense);
+  const auto ts = all_temps(sparse);
+  ASSERT_EQ(td.size(), ts.size());
+  for (std::size_t n = 0; n < td.size(); ++n) {
+    EXPECT_EQ(td[n], ts[n]) << "node " << n;
+  }
+}
+
 TEST(PropagatorTest, StatsCountWork) {
   Chain c;
   c.net.advance(0.00025, 12);  // bits 1100 -> 2 applications, 4 matvecs
