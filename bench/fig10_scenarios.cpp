@@ -1,0 +1,474 @@
+// Figure 10 (extension): serving scenarios under operational stress. The
+// scenario engine drives a 12-node fleet (3 racks of 4, CRAC coupling)
+// through four stress scripts — arrival-trace replay, fleet churn
+// (drain/remove/join), a rolling config update, and a correlated CRAC heat
+// wave — crossed with routing policy (round-robin vs injection-aware) and
+// control plane (open-loop injection gradient vs closed-loop hysteresis
+// governors). Every cell runs through the sweep engine, so the full matrix
+// caches, parallelizes and fault-isolates like any other figure.
+//
+// The replay trace is recorded inline at startup (a plain Poisson run with a
+// TraceRecorder attached), saved to bench_results/fig10_trace.dmtrace as an
+// artifact, and loaded back through the versioned file format before use —
+// each invocation exercises the full record -> save -> load -> replay loop.
+//
+// Expected shape: preventive control contains the stress events. In the
+// heat-wave cell, injection-aware routing plus governors recovers p99 faster
+// than round-robin open-loop (the exit code enforces it), and every cell
+// must report a finite time-to-p99-recovery — a scenario that never
+// re-stabilizes within the run fails the figure.
+//
+// Artifacts:
+//   * bench_results/fig10_scenarios.csv — per-cell metrics, deterministic
+//     byte-for-byte (CI cmp's cold vs warm-cache and across
+//     DIMETRODON_FLEET_THREADS settings).
+//   * bench_results/fig10_trace.dmtrace — the recorded arrival trace.
+//   * BENCH_scenario.json (override with DIMETRODON_BENCH_JSON) — cells,
+//     wall-clock and acceptance verdicts; NOT byte-stable (it records wall
+//     time).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/fleet_spec.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/trace_file.hpp"
+
+using namespace dimetrodon;
+
+namespace {
+
+constexpr std::size_t kRacks = 3;
+constexpr std::size_t kPerRack = 4;
+constexpr std::size_t kNodes = kRacks * kPerRack;
+constexpr double kPerNodeRps = 440.0;
+constexpr double kWebDemandS = 0.0050;
+const sim::SimTime kDuration = sim::from_sec(52);
+
+control::GovernorSpec governor_spec() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 46.0;
+  g.hysteresis.release_c = 43.0;
+  g.hysteresis.hot_probability = 0.5;
+  return g;
+}
+
+struct ControlPlane {
+  const char* name;
+  bool governed;
+};
+
+cluster::FleetSpec base_fleet(const sched::MachineConfig& base,
+                              cluster::PolicyKind routing,
+                              const ControlPlane& control) {
+  workload::WebWorkload::Config web = cluster::ClusterConfig::open_loop_web();
+  web.demand_mean_s = kWebDemandS;
+
+  cluster::FleetSpec spec =
+      cluster::FleetSpec::racks(kRacks)
+          .nodes_per_rack(kPerRack)
+          .with_machine(base)
+          .with_web(web)
+          .with_cooling(0.9, 0.55)  // rack position degrades bottom -> top
+          .with_crac(cluster::RackParams{})
+          .with_load(kPerNodeRps * static_cast<double>(kNodes))
+          .with_telemetry(sim::from_ms(20))
+          .with_policy(routing, 0.25)
+          .for_duration(kDuration);
+  if (control.governed) {
+    spec.with_governor(governor_spec());
+  } else {
+    spec.with_injection_gradient(0.5);
+  }
+  return spec;
+}
+
+cluster::NodeSpec join_spec(const ControlPlane& control) {
+  cluster::NodeSpec n;
+  n.fan_speed_fraction = 0.85;
+  if (control.governed) {
+    n.governor = governor_spec();
+  } else {
+    n.injection_probability = 0.3;
+  }
+  return n;
+}
+
+struct Stress {
+  const char* name;
+  scenario::ScenarioScript (*script)(const ControlPlane&);
+  bool replay_trace;  // drive arrivals from the recorded trace
+};
+
+scenario::ScenarioScript replay_script(const ControlPlane&) {
+  // Replay is itself the point; one drain/undrain event gives the recovery
+  // tracker a marked disturbance to measure against.
+  scenario::ScenarioScript s;
+  s.drain(sim::from_sec(12), 3).undrain(sim::from_sec(16), 3);
+  return s;
+}
+
+scenario::ScenarioScript churn_script(const ControlPlane& control) {
+  scenario::ScenarioScript s;
+  s.drain(sim::from_sec(12), 1)
+      .remove(sim::from_sec(15), 7)
+      .join(sim::from_sec(17), join_spec(control), sim::from_sec(2))
+      .undrain(sim::from_sec(19), 1);
+  return s;
+}
+
+scenario::ScenarioScript rolling_script(const ControlPlane& control) {
+  scenario::ScenarioScript s;
+  // Fan degradation on a mid-rack node is the disturbance; the staged
+  // injection wave (rack-by-rack, 2 s stagger) is the operator response.
+  s.set_fan(sim::from_sec(12), 2, 0.7);
+  s.rolling_injection(sim::from_sec(14), sim::from_sec(2), kNodes, kPerRack,
+                      0.35);
+  if (control.governed) {
+    // Retune the governors one rack position at a time: tighter trip band.
+    control::GovernorSpec g = governor_spec();
+    g.hysteresis.trip_c = 45.0;
+    g.hysteresis.release_c = 42.5;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      s.retune_governor(sim::from_sec(22) + sim::from_ms(250) *
+                                                static_cast<sim::SimTime>(i),
+                        static_cast<std::uint32_t>(i), g);
+    }
+  }
+  return s;
+}
+
+scenario::ScenarioScript heat_wave_script(const ControlPlane&) {
+  scenario::ScenarioScript s;
+  s.heat_wave(sim::from_sec(14), cluster::RackParams{}.crac_supply_c,
+              /*peak_c=*/48.0, /*ramp=*/sim::from_sec(4),
+              /*hold=*/sim::from_sec(3), /*steps=*/4);
+  return s;
+}
+
+cluster::ArrivalTrace record_trace(const sched::MachineConfig& base) {
+  auto recorder = std::make_shared<scenario::TraceRecorder>();
+  auto fleet = base_fleet(base, cluster::PolicyKind::kRoundRobin,
+                          ControlPlane{"open-loop", false})
+                   .with_trace_sink([recorder] { return recorder; })
+                   .make_cluster();
+  fleet->run(kDuration);
+  cluster::ArrivalTrace trace = recorder->take();
+  // The balancer can route two arrivals in the same nanosecond when the
+  // Poisson gap rounds to zero; the replay format wants strictly increasing
+  // timestamps, so collapse any such tie onto the first arrival.
+  std::size_t kept = 0;
+  for (const cluster::ArrivalRecord& r : trace.records) {
+    if (kept == 0 || r.at > trace.records[kept - 1].at) {
+      trace.records[kept++] = r;
+    }
+  }
+  trace.records.resize(kept);
+  return trace;
+}
+
+struct Cell {
+  std::string stress;
+  std::string routing;
+  std::string control;
+  double offered = 0.0;
+  double completed = 0.0;
+  double throughput = 0.0;
+  double p99_s = 0.0;
+  double good_pct = 0.0;
+  double peak_exact_c = 0.0;
+  double peak_inlet_c = 0.0;
+  double energy_j = 0.0;
+  double drains = 0.0;
+  double shed = 0.0;
+  double rehomed = 0.0;
+  double joins = 0.0;
+  double removals = 0.0;
+  double directives = 0.0;
+  double latency_rejects = 0.0;
+  double baseline_p99_s = 0.0;
+  double threshold_p99_s = 0.0;
+  double recovery_p99_s = 0.0;
+  double peak_backlog = 0.0;
+  double drain_total_s = 0.0;
+  double drain_episodes = 0.0;
+  double marks = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Figure 10: serving scenarios under stress ===\n");
+  (void)argc;
+  (void)argv;
+
+  sched::MachineConfig base;
+  base.enable_meter = false;
+  // Compressed thermal constants, same idiom as RackParams' deliberately
+  // small air capacitance: scenarios compress hours of operation into a
+  // sub-minute run, so the heatsink time constant (C * R ~ 44 s stock) must
+  // be small enough for an ambient excursion to reach the die, and the
+  // PROCHOT band low enough (and sticky enough) that a CRAC failure can
+  // push an unmanaged node into the hardware safety net and keep it there
+  // until it genuinely cools.
+  base.floorplan.hs_capacitance = 15.0;
+  base.prochot_c = 62.0;
+  base.prochot_release_c = 55.0;
+
+  // Record the replay trace, round-trip it through the on-disk format, and
+  // keep the file as a bench artifact.
+  const std::string trace_path = bench::csv_path("fig10_trace.dmtrace");
+  cluster::ArrivalTrace recorded = record_trace(base);
+  scenario::save_trace(trace_path, recorded);
+  const auto shared_trace = std::make_shared<const cluster::ArrivalTrace>(
+      scenario::load_trace(trace_path));
+  if (shared_trace->records != recorded.records) {
+    std::fprintf(stderr,
+                 "[bench] FAILED: trace did not round-trip through %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  std::printf("recorded %zu arrivals -> %s\n", shared_trace->records.size(),
+              trace_path.c_str());
+
+  const Stress kStresses[] = {
+      {"trace-replay", replay_script, true},
+      {"churn", churn_script, false},
+      {"rolling-update", rolling_script, false},
+      {"heat-wave", heat_wave_script, false},
+  };
+  const cluster::PolicyKind kRoutings[] = {
+      cluster::PolicyKind::kRoundRobin,
+      cluster::PolicyKind::kInjectionAware,
+  };
+  const ControlPlane kControls[] = {
+      {"open-loop", false},
+      {"governed", true},
+  };
+
+  runner::SweepEngine engine = bench::make_engine(base, "fig10_scenarios");
+
+  std::vector<runner::RunSpec> specs;
+  std::vector<const Stress*> spec_stress;
+  std::vector<const ControlPlane*> spec_control;
+  for (const Stress& stress : kStresses) {
+    for (const auto routing : kRoutings) {
+      for (const ControlPlane& control : kControls) {
+        scenario::ScenarioSpec spec;
+        spec.base = base_fleet(base, routing, control).build();
+        if (stress.replay_trace) {
+          spec.base.cluster.arrival_trace = shared_trace;
+        }
+        spec.script = stress.script(control);
+        // Skip the fleet's thermal warm-up when deriving the recovery
+        // baseline: the first seconds run cold and would understate the
+        // steady-state envelope.
+        spec.recovery_settle = sim::from_sec(8);
+        specs.push_back(scenario::to_run_spec(spec));
+        spec_stress.push_back(&stress);
+        spec_control.push_back(&control);
+      }
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto records = bench::run_all_or_die(engine, specs);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("swept %zu scenario cells in %.1f s wall\n", records.size(),
+              wall);
+
+  std::vector<std::string> header = {
+      "scenario", "routing", "control", "offered", "completed",
+      "throughput_rps", "p99_s", "good_pct", "fleet_peak_exact_c",
+      "fleet_peak_inlet_c", "energy_j", "drains", "requests_shed",
+      "requests_rehomed", "node_joins", "node_removals",
+      "scenario_directives", "latency_rejects", "baseline_p99_s",
+      "threshold_p99_s", "recovery_p99_s", "peak_backlog", "drain_total_s",
+      "drain_episodes", "recovery_marks"};
+  for (const std::string& col : bench::stability_columns()) {
+    header.push_back(col);
+  }
+  trace::CsvWriter csv(bench::csv_path("fig10_scenarios.csv"), header);
+  trace::Table table({"scenario", "routing", "control", "thr(rps)", "p99(s)",
+                      "peak C", "drains", "shed", "backlog", "rec(s)"});
+
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const runner::RunRecord& rec = records[i];
+    const auto& qos = *rec.result.qos;
+    Cell c;
+    c.stress = spec_stress[i]->name;
+    c.routing = rec.result.label;
+    c.control = spec_control[i]->name;
+    c.offered = rec.metric("offered");
+    c.completed = rec.metric("completed");
+    c.throughput = rec.result.throughput;
+    c.p99_s = qos.p99_latency_s;
+    c.good_pct = 100 * qos.good_fraction();
+    c.peak_exact_c = rec.metric("fleet_peak_exact_c");
+    c.peak_inlet_c = rec.metric("fleet_peak_inlet_c");
+    c.energy_j = rec.metric("energy_j");
+    c.drains = rec.metric("drains");
+    c.shed = static_cast<double>(rec.result.counters.requests_shed);
+    c.rehomed = static_cast<double>(rec.result.counters.requests_rehomed);
+    c.joins = static_cast<double>(rec.result.counters.node_joins);
+    c.removals = static_cast<double>(rec.result.counters.node_removals);
+    c.directives =
+        static_cast<double>(rec.result.counters.scenario_directives);
+    c.latency_rejects =
+        static_cast<double>(rec.result.counters.latency_rejects);
+    c.baseline_p99_s = rec.metric("baseline_p99_s");
+    c.threshold_p99_s = rec.metric("threshold_p99_s");
+    c.recovery_p99_s = rec.metric("recovery_p99_s");
+    c.peak_backlog = rec.metric("peak_backlog");
+    c.drain_total_s = rec.metric("drain_total_s");
+    c.drain_episodes = rec.metric("drain_episodes");
+    c.marks = rec.metric("recovery_marks");
+    cells.push_back(c);
+
+    std::vector<std::string> row = {
+        c.stress, c.routing, c.control, trace::fmt("%.0f", c.offered),
+        trace::fmt("%.0f", c.completed), trace::fmt("%.10g", c.throughput),
+        trace::fmt("%.10g", c.p99_s), trace::fmt("%.10g", c.good_pct),
+        trace::fmt("%.10g", c.peak_exact_c),
+        trace::fmt("%.10g", c.peak_inlet_c), trace::fmt("%.10g", c.energy_j),
+        trace::fmt("%.0f", c.drains), trace::fmt("%.0f", c.shed),
+        trace::fmt("%.0f", c.rehomed), trace::fmt("%.0f", c.joins),
+        trace::fmt("%.0f", c.removals), trace::fmt("%.0f", c.directives),
+        trace::fmt("%.0f", c.latency_rejects),
+        trace::fmt("%.10g", c.baseline_p99_s),
+        trace::fmt("%.10g", c.threshold_p99_s),
+        trace::fmt("%.10g", c.recovery_p99_s),
+        trace::fmt("%.0f", c.peak_backlog),
+        trace::fmt("%.10g", c.drain_total_s),
+        trace::fmt("%.0f", c.drain_episodes), trace::fmt("%.0f", c.marks)};
+    for (const std::string& v : bench::stability_values(rec)) {
+      row.push_back(v);
+    }
+    csv.write_row(row);
+    table.add_row({c.stress, c.routing, c.control,
+                   trace::fmt("%8.1f", c.throughput),
+                   trace::fmt("%.4f", c.p99_s),
+                   trace::fmt("%5.1f", c.peak_exact_c),
+                   trace::fmt("%4.0f", c.drains), trace::fmt("%4.0f", c.shed),
+                   trace::fmt("%5.0f", c.peak_backlog),
+                   trace::fmt("%6.2f", c.recovery_p99_s)});
+  }
+  table.print(std::cout);
+
+  // Shed or rejected samples are legal (the churn script deliberately
+  // removes capacity) but always worth a visible flag in the report.
+  for (const Cell& c : cells) {
+    if (c.shed > 0 || c.latency_rejects > 0) {
+      std::printf("[bench] warning: %s/%s/%s shed %.0f request(s), dropped "
+                  "%.0f non-finite latency sample(s)\n",
+                  c.stress.c_str(), c.routing.c_str(), c.control.c_str(),
+                  c.shed, c.latency_rejects);
+    }
+  }
+
+  // Acceptance 1: every cell re-stabilizes within the run.
+  int rc = 0;
+  for (const Cell& c : cells) {
+    if (c.recovery_p99_s < 0.0) {
+      std::fprintf(stderr,
+                   "[bench] acceptance FAILED: %s/%s/%s never recovered its "
+                   "p99 within the run\n",
+                   c.stress.c_str(), c.routing.c_str(), c.control.c_str());
+      rc = 1;
+    }
+  }
+
+  // Acceptance 2: under the heat wave, preventive control (injection-aware
+  // routing + governors) recovers strictly faster than round-robin
+  // open-loop.
+  const Cell* preventive = nullptr;
+  const Cell* reactive = nullptr;
+  for (const Cell& c : cells) {
+    if (c.stress != "heat-wave") continue;
+    if (c.routing == "injection-aware" && c.control == "governed") {
+      preventive = &c;
+    }
+    if (c.routing == "round-robin" && c.control == "open-loop") {
+      reactive = &c;
+    }
+  }
+  double preventive_rec = -1.0;
+  double reactive_rec = -1.0;
+  if (preventive == nullptr || reactive == nullptr) {
+    std::fprintf(stderr, "[bench] acceptance FAILED: heat-wave corner cells "
+                         "missing from the grid\n");
+    rc = 1;
+  } else {
+    preventive_rec = preventive->recovery_p99_s;
+    reactive_rec = reactive->recovery_p99_s;
+    const bool win = preventive_rec >= 0.0 &&
+                     (reactive_rec < 0.0 || preventive_rec < reactive_rec);
+    std::printf("\nheat-wave recovery: injection-aware+governed %.2f s vs "
+                "round-robin+open-loop %.2f s\n",
+                preventive_rec, reactive_rec);
+    if (!win) {
+      std::fprintf(stderr,
+                   "[bench] acceptance FAILED: preventive control did not "
+                   "recover faster than the reactive baseline under the heat "
+                   "wave\n");
+      rc = 1;
+    }
+  }
+
+  const char* env = std::getenv("DIMETRODON_BENCH_JSON");
+  const std::string json_path =
+      (env != nullptr && *env) ? env : "BENCH_scenario.json";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"dimetrodon-bench-scenario v1\",\n"
+               "  \"nodes\": %zu,\n"
+               "  \"trace_arrivals\": %zu,\n"
+               "  \"wall_seconds\": %.3f,\n"
+               "  \"cells\": [\n",
+               kNodes, shared_trace->records.size(), wall);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"routing\": \"%s\", \"control\": "
+        "\"%s\", \"offered\": %.0f, \"throughput_rps\": %.10g, "
+        "\"p99_s\": %.10g, \"peak_exact_c\": %.10g, \"drains\": %.0f, "
+        "\"shed\": %.0f, \"rehomed\": %.0f, \"joins\": %.0f, "
+        "\"removals\": %.0f, \"peak_backlog\": %.0f, "
+        "\"recovery_p99_s\": %.10g, \"baseline_p99_s\": %.10g}%s\n",
+        c.stress.c_str(), c.routing.c_str(), c.control.c_str(), c.offered,
+        c.throughput, c.p99_s, c.peak_exact_c, c.drains, c.shed, c.rehomed,
+        c.joins, c.removals, c.peak_backlog, c.recovery_p99_s,
+        c.baseline_p99_s, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"acceptance\": {\n"
+               "    \"all_recovered\": %s,\n"
+               "    \"heat_wave_preventive_recovery_s\": %.10g,\n"
+               "    \"heat_wave_reactive_recovery_s\": %.10g\n"
+               "  }\n"
+               "}\n",
+               rc == 0 ? "true" : "false", preventive_rec, reactive_rec);
+  std::fclose(f);
+
+  std::printf("wrote %s, %s and %s\n",
+              bench::csv_path("fig10_scenarios.csv").c_str(),
+              trace_path.c_str(), json_path.c_str());
+  return rc;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dimetrodon::cluster {
+
+/// One open-loop arrival in a recorded or authored trace. The size class is
+/// a power-of-two service-demand multiplier (demand_scale() below) so a
+/// byte-compact trace can still express a heavy-tailed request mix; the
+/// affinity key, when nonzero, pins the request to a deterministic node
+/// choice (affinity % routable_count) instead of the balancer's policy —
+/// modeling session/cache affinity that a datacenter front-end honors even
+/// when it fights the thermal-aware placement.
+struct ArrivalRecord {
+  sim::SimTime at = 0;        // absolute arrival time on the cluster timeline
+  std::uint32_t affinity = 0; // 0 = no affinity, balancer picks
+  std::uint8_t size_class = 0; // demand multiplier exponent, <= kMaxSizeClass
+
+  static constexpr std::uint8_t kMaxSizeClass = 16;
+
+  double demand_scale() const { return std::ldexp(1.0, size_class); }
+
+  bool operator==(const ArrivalRecord&) const = default;
+};
+
+/// An arrival trace: strictly increasing timestamps (the cluster timeline
+/// floors Poisson gaps at 1 ns for the same reason — no two requests may
+/// collide). Replayed through ClusterConfig::arrival_trace it replaces the
+/// Poisson source entirely; the source RNG stream is never drawn from, so a
+/// recorded run replays bit-identically. scenario/trace_file.hpp gives the
+/// versioned on-disk format.
+struct ArrivalTrace {
+  std::vector<ArrivalRecord> records;
+
+  /// FNV-1a over the record fields in a fixed byte order — stable across
+  /// platforms (field-by-field, not memcpy of padded structs). Part of the
+  /// canonical cluster tag, so two traces with equal content share cache
+  /// entries and unequal ones cannot collide silently.
+  std::uint64_t content_hash() const {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v, int bytes) {
+      for (int i = 0; i < bytes; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    for (const ArrivalRecord& r : records) {
+      mix(static_cast<std::uint64_t>(r.at), 8);
+      mix(r.affinity, 4);
+      mix(r.size_class, 1);
+    }
+    return h;
+  }
+};
+
+}  // namespace dimetrodon::cluster

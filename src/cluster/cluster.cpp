@@ -65,6 +65,18 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
   if (config_.telemetry_period <= 0) {
     throw std::invalid_argument("telemetry period must be positive");
   }
+  if (config_.arrival_trace) {
+    const auto& recs = config_.arrival_trace->records;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i].at < 0 || (i > 0 && recs[i].at <= recs[i - 1].at)) {
+        throw std::invalid_argument(
+            "arrival trace timestamps must be strictly increasing");
+      }
+      if (recs[i].size_class > ArrivalRecord::kMaxSizeClass) {
+        throw std::invalid_argument("arrival trace size class out of range");
+      }
+    }
+  }
   if (config_.trace_sink_factory) {
     tracer_.attach(config_.trace_sink_factory());
   }
@@ -79,21 +91,21 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
   outstanding_.assign(n, 0);
   injection_probability_.assign(n, 0.0);
   draining_.assign(n, 0);
+  admin_.assign(n, AdminState::kActive);
   rack_of_.assign(n, 0);
   routable_.reserve(n);
   sweep_scratch_.assign(n, SweepScratch{});
 
   // Rack air network: one fixed CRAC supply node, one air node per rack tied
   // to it, optional chain coupling between adjacent racks.
-  thermal::NodeId crac = 0;
   if (rack.enabled()) {
-    crac = rack_air_.add_fixed_node("crac", rack.crac_supply_c);
+    crac_node_ = rack_air_.add_fixed_node("crac", rack.crac_supply_c);
     rack_air_node_.reserve(num_racks);
     for (std::size_t r = 0; r < num_racks; ++r) {
       const thermal::NodeId air = rack_air_.add_node(
           "rack" + std::to_string(r), rack.air_capacitance_j_per_c,
           rack.crac_supply_c);
-      rack_air_.connect_r(air, crac, rack.to_crac_resistance_c_per_w);
+      rack_air_.connect_r(air, crac_node_, rack.to_crac_resistance_c_per_w);
       if (r > 0 && rack.adjacent_resistance_c_per_w > 0.0) {
         rack_air_.connect_r(air, rack_air_node_[r - 1],
                             rack.adjacent_resistance_c_per_w);
@@ -131,29 +143,7 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
           on_complete(i, id, latency_s);
         });
 
-    if (spec.governor.enabled()) {
-      // Governed node: the controller sits behind an arbiter; the governor
-      // claims the feedback channel and any configured open-loop probability
-      // becomes the preventive floor.
-      node.controller =
-          std::make_shared<core::DimetrodonController>(*node.machine);
-      node.arbiter =
-          std::make_unique<control::InjectionArbiter>(*node.controller);
-      if (spec.injection_probability > 0.0) {
-        node.arbiter
-            ->claim(control::InjectionArbiter::Channel::kPreventive,
-                    "preventive")
-            .request(spec.injection_probability, spec.injection_quantum);
-      }
-      node.driver = std::make_unique<control::GovernorDriver>(
-          *node.machine, *node.arbiter, spec.governor);
-    } else if (spec.injection_probability > 0.0) {
-      node.controller =
-          std::make_shared<core::DimetrodonController>(*node.machine);
-      node.controller->sys_set_global(spec.injection_probability,
-                                      spec.injection_quantum);
-    }
-
+    attach_control(node, spec);
     injection_probability_[i] = spec.injection_probability;
     nodes_.push_back(std::move(node));
   }
@@ -166,10 +156,43 @@ Cluster::Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer)
   for (std::size_t i = 0; i < n; ++i) compute_node_telemetry(i);
   merge_sweep(0);
   next_tick_ = config_.telemetry_period;
-  next_arrival_ = source_.next();
+  next_arrival_ = pop_next_arrival();
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::attach_control(Node& node, const NodeSpec& spec) {
+  if (spec.governor.enabled()) {
+    // Governed node: the controller sits behind an arbiter; the governor
+    // claims the feedback channel and any configured open-loop probability
+    // becomes the preventive floor.
+    node.controller =
+        std::make_shared<core::DimetrodonController>(*node.machine);
+    node.arbiter =
+        std::make_unique<control::InjectionArbiter>(*node.controller);
+    if (spec.injection_probability > 0.0) {
+      node.preventive_port = &node.arbiter->claim(
+          control::InjectionArbiter::Channel::kPreventive, "preventive");
+      node.preventive_port->request(spec.injection_probability,
+                                    spec.injection_quantum);
+    }
+    node.driver = std::make_unique<control::GovernorDriver>(
+        *node.machine, *node.arbiter, spec.governor);
+  } else if (spec.injection_probability > 0.0) {
+    node.controller =
+        std::make_shared<core::DimetrodonController>(*node.machine);
+    node.controller->sys_set_global(spec.injection_probability,
+                                    spec.injection_quantum);
+  }
+}
+
+sim::SimTime Cluster::pop_next_arrival() {
+  if (config_.arrival_trace) {
+    const auto& recs = config_.arrival_trace->records;
+    return trace_pos_ < recs.size() ? recs[trace_pos_].at : sim::kTimeInfinity;
+  }
+  return source_.next();
+}
 
 double Cluster::rack_inlet_c(std::size_t r) const {
   return rack_air_.temperature(rack_air_node_.at(r));
@@ -245,13 +268,16 @@ void Cluster::run_chunk(std::size_t begin, std::size_t end, sim::SimTime t) {
   std::uint64_t advances = 0;
   for (std::size_t i = begin; i < end; ++i) {
     Node& node = nodes_[i];
+    // Detached nodes are frozen: no backlog (rebuild_routable excludes
+    // them before detach), no advance, no telemetry.
+    if (admin_[i] == AdminState::kDetached) continue;
     // Replay the backlog: each deferred arrival advances the machine to its
     // arrival time and injects, exactly the interaction sequence the eager
     // path performed at route time — the machine cannot tell the difference.
     for (const PendingArrival& a : node.backlog) {
       node.machine->run_until(a.at);
       ++advances;
-      node.web->inject_request(a.rid);
+      node.web->inject_request(a.rid, a.demand_scale, a.issued_at);
     }
     node.backlog.clear();
     node.machine->run_until(t);
@@ -326,8 +352,13 @@ void Cluster::merge_sweep(sim::SimTime t) {
 
   double fleet_mean = 0.0;
   double hottest_quantized = 0.0;
+  std::size_t swept = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& node = nodes_[i];
+    // Detached nodes left the fleet: their (stale) scratch stays out of the
+    // aggregates so telemetry describes the machines actually serving.
+    if (admin_[i] == AdminState::kDetached) continue;
+    ++swept;
     const SweepScratch& s = sweep_scratch_[i];
     // The balancer sees whole degrees, like the per-core sensors themselves:
     // averaging the quantized cores would leak sub-degree resolution the
@@ -350,11 +381,25 @@ void Cluster::merge_sweep(sim::SimTime t) {
                          s.hot_die);
     }
   }
-  fleet_temp_avg_.add(fleet_mean / static_cast<double>(nodes_.size()));
+  if (swept > 0) {
+    fleet_temp_avg_.add(fleet_mean / static_cast<double>(swept));
+  }
   // One batched interaction point for the whole sweep — the fleet emits a
   // single trace event per period, not one per node.
-  tracer_.fleet_sample(t, static_cast<std::uint32_t>(nodes_.size()),
+  tracer_.fleet_sample(t, static_cast<std::uint32_t>(swept),
                        hottest_quantized);
+
+  // Removal completes at the first sweep where the node's queue has fully
+  // drained: its remaining in-service requests completed above, so the
+  // machine can freeze here without losing work.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (admin_[i] == AdminState::kRemoving && outstanding_[i] == 0) {
+      if (nodes_[i].driver) nodes_[i].driver->stop();
+      admin_[i] = AdminState::kDetached;
+      tracer_.node_removed();
+    }
+  }
+
   if (config_.rack.enabled()) update_rack_layer(t);
   rebuild_routable();
 }
@@ -368,6 +413,7 @@ void Cluster::update_rack_layer(sim::SimTime t) {
   // which a recirculation fraction heats the rack's air volume.
   std::fill(rack_power_w_.begin(), rack_power_w_.end(), 0.0);
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (admin_[i] == AdminState::kDetached) continue;  // frozen: no new heat
     const double e = nodes_[i].machine->energy().total_joules();
     rack_power_w_[rack_of_[i]] += (e - nodes_[i].last_energy_j) / dt;
     nodes_[i].last_energy_j = e;
@@ -383,6 +429,7 @@ void Cluster::update_rack_layer(sim::SimTime t) {
   // term of the closed-form propagator without invalidating its cached
   // operators.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (admin_[i] == AdminState::kDetached) continue;
     sched::Machine& m = *nodes_[i].machine;
     const double inlet = rack_air_.temperature(rack_air_node_[rack_of_[i]]);
     m.thermal_network().set_temperature(m.thermal_nodes().ambient, inlet);
@@ -396,28 +443,57 @@ void Cluster::update_rack_layer(sim::SimTime t) {
 void Cluster::rebuild_routable() {
   routable_.clear();
   for (std::size_t i = 0; i < draining_.size(); ++i) {
-    if (draining_[i] == 0) routable_.push_back(static_cast<std::uint32_t>(i));
-  }
-  if (routable_.empty()) {  // whole fleet tripped: route anyway, drop nothing
-    for (std::size_t i = 0; i < draining_.size(); ++i) {
+    if (admin_[i] == AdminState::kActive && draining_[i] == 0) {
       routable_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (routable_.empty()) {
+    // Whole-ACTIVE-fleet PROCHOT: spread load over the throttling active
+    // nodes rather than drop it. Admin-drained/removing/detached nodes stay
+    // out — an operator ordered them out of service, and a second node
+    // tripping PROCHOT mid-drain must not send traffic back to them. With
+    // no active nodes at all, routable_ stays empty and route() sheds.
+    for (std::size_t i = 0; i < draining_.size(); ++i) {
+      if (admin_[i] == AdminState::kActive) {
+        routable_.push_back(static_cast<std::uint32_t>(i));
+      }
     }
   }
 }
 
 void Cluster::route(sim::SimTime t) {
-  const std::size_t id = balancer_->pick(fleet_view());
+  double demand_scale = 1.0;
+  std::uint8_t size_class = 0;
+  std::uint32_t affinity = 0;
+  if (config_.arrival_trace) {
+    const ArrivalRecord& rec = config_.arrival_trace->records[trace_pos_++];
+    size_class = rec.size_class;
+    demand_scale = rec.demand_scale();
+    affinity = rec.affinity;
+  }
+  const std::uint32_t rid = next_request_id_++;
+  if (routable_.empty()) {
+    // No active node exists (fleet fully drained/removed by churn): the
+    // arrival is shed, loudly — counted, traced, and surfaced in metrics.
+    tracer_.request_shed(t, rid);
+    return;
+  }
+  // An affinity key bypasses the policy: the front-end pins keyed sessions
+  // to a deterministic member of the routable set.
+  const std::size_t id =
+      affinity != 0 ? routable_[affinity % routable_.size()]
+                    : balancer_->pick(fleet_view());
   Node& node = nodes_.at(id);
   // Deferred advancement: the arrival is recorded, not simulated — the node
   // replays its backlog at the next fleet flush, where the advance can run
   // in parallel with every other node's. The balancer sees the routed count
   // immediately (outstanding_ increments here); it sees completions only at
   // sweeps, when the flush drains them.
-  const std::uint32_t rid = next_request_id_++;
-  node.backlog.push_back({t, rid});
+  node.backlog.push_back({t, rid, demand_scale, -1});
   ++outstanding_[id];
   ++node.stats.routed;
-  tracer_.request_routed(t, static_cast<std::uint32_t>(id), rid);
+  tracer_.request_routed(t, static_cast<std::uint32_t>(id), rid, size_class,
+                         affinity);
 }
 
 void Cluster::on_complete(std::size_t node_id, std::uint32_t id,
@@ -448,7 +524,7 @@ ClusterResult Cluster::run(sim::SimTime duration) {
     }
     if (t == next_arrival_) {
       route(t);
-      next_arrival_ = source_.next();
+      next_arrival_ = pop_next_arrival();
     }
   }
   now_ = end;
@@ -494,7 +570,221 @@ ClusterResult Cluster::run(sim::SimTime duration) {
   r.counters.requests_routed = tracer_.counters().requests_routed;
   r.counters.node_drains = tracer_.counters().node_drains;
   r.counters.fleet_samples = tracer_.counters().fleet_samples;
+  r.counters.requests_shed = tracer_.counters().requests_shed;
+  r.counters.requests_rehomed = tracer_.counters().requests_rehomed;
+  r.counters.node_joins = tracer_.counters().node_joins;
+  r.counters.node_removals = tracer_.counters().node_removals;
+  r.counters.scenario_directives = tracer_.counters().scenario_directives;
+  // Non-finite latency samples the fleet histogram refused — nonzero means
+  // the percentiles above silently exclude data, so it rides every report.
+  r.counters.latency_rejects = latency_hist_.rejected();
   return r;
+}
+
+std::size_t Cluster::active_nodes() const {
+  std::size_t n = 0;
+  for (const AdminState s : admin_) {
+    if (s != AdminState::kDetached) ++n;
+  }
+  return n;
+}
+
+void Cluster::flush_fleet() {
+  advance_fleet(now_);
+  merge_sweep(now_);
+}
+
+void Cluster::admin_drain(std::size_t i) {
+  if (admin_.at(i) != AdminState::kActive) {
+    throw std::invalid_argument("admin_drain: node is not active");
+  }
+  flush_fleet();
+  admin_[i] = AdminState::kDrained;
+  rebuild_routable();
+}
+
+void Cluster::admin_undrain(std::size_t i) {
+  if (admin_.at(i) != AdminState::kDrained) {
+    throw std::invalid_argument("admin_undrain: node is not drained");
+  }
+  flush_fleet();
+  admin_[i] = AdminState::kActive;
+  rebuild_routable();
+}
+
+void Cluster::admin_remove(std::size_t i) {
+  if (admin_.at(i) != AdminState::kActive &&
+      admin_.at(i) != AdminState::kDrained) {
+    throw std::invalid_argument("admin_remove: node is not in the fleet");
+  }
+  flush_fleet();
+  admin_[i] = AdminState::kRemoving;
+  rebuild_routable();  // exclude the node before re-homing picks targets
+
+  // Cancel the node's queued (not yet in-service) external requests and
+  // re-route each with its original issue time, oldest first — latency
+  // accrues from the first routing, so churn shows up as tail latency, not
+  // as silently reset clocks. In-service requests finish where they are.
+  Node& node = nodes_[i];
+  const auto cancelled = node.web->cancel_pending_external();
+  for (const auto& c : cancelled) {
+    if (outstanding_[i] > 0) --outstanding_[i];
+    if (routable_.empty()) {
+      // Nowhere to re-home (fleet-wide churn overlap): shed instead.
+      tracer_.request_shed(now_, c.request_id);
+      continue;
+    }
+    tracer_.request_rehomed();
+    const std::size_t target = balancer_->pick(fleet_view());
+    nodes_.at(target).backlog.push_back(
+        {now_, c.request_id, c.demand_scale, c.issued_at});
+    ++outstanding_[target];
+  }
+  // The detach itself happens at the first sweep with outstanding == 0
+  // (merge_sweep), after any in-service requests have completed.
+}
+
+std::size_t Cluster::admin_join(const NodeSpec& spec, sim::SimTime warmup) {
+  if (warmup < 0 || warmup > now_) {
+    throw std::invalid_argument(
+        "admin_join: warmup must be in [0, now()] (the joined node cannot "
+        "be older than the fleet)");
+  }
+  flush_fleet();
+
+  const std::size_t id = nodes_.size();
+  const RackParams& rack = config_.rack;
+  sched::MachineConfig mc = config_.machine;
+  mc.floorplan.fan_speed_fraction = spec.fan_speed_fraction;
+  std::size_t rack_id = 0;
+  if (rack.enabled()) {
+    // Joins land in the last rack once it has room-by-id; racks are an id
+    // grouping, so the new node shares whatever rack its id falls into.
+    rack_id = std::min(id / rack.nodes_per_rack, rack_air_node_.size() - 1);
+    mc.floorplan.ambient_c = rack_air_.temperature(rack_air_node_[rack_id]);
+  }
+  mc.seed = sim::derive_stream_seed(config_.seed, id + 1);
+
+  Node node;
+  bool warm = false;
+  if (warmup > 0) {
+    // Snapshot-warmed join: a template machine with the identical config
+    // and workload runs [0, warmup] and its snapshot restores into the
+    // fresh node, which then advances [warmup, now()]. Controller and
+    // governor attach AFTER the restore (injection hooks and governor
+    // timers are not snapshot-capable). Configs that cannot snapshot at
+    // all (power meter, machine trace sink, reference stepper, closed-loop
+    // web connections) fall back to a cold join.
+    try {
+      sched::Machine tmpl(mc);
+      workload::WebWorkload tmpl_web(config_.web);
+      tmpl_web.deploy(tmpl);
+      tmpl.run_until(warmup);
+      const sched::MachineSnapshot snap = tmpl.snapshot();
+
+      node.machine = std::make_unique<sched::Machine>(mc);
+      node.web = std::make_unique<workload::WebWorkload>(config_.web);
+      node.web->deploy(*node.machine);
+      node.machine->restore(snap);
+      warm = true;
+    } catch (const std::exception&) {
+      node.machine.reset();
+      node.web.reset();
+    }
+  }
+  if (!node.machine) {
+    node.machine = std::make_unique<sched::Machine>(mc);
+    node.web = std::make_unique<workload::WebWorkload>(config_.web);
+    node.web->deploy(*node.machine);
+  }
+  node.web->mark();
+  node.web->set_completion_callback(
+      [this, id](std::uint32_t rid, double latency_s) {
+        on_complete(id, rid, latency_s);
+      });
+  attach_control(node, spec);
+  node.machine->run_until(now_);
+  machine_advances_.fetch_add(1, std::memory_order_relaxed);
+  node.last_energy_j = node.machine->energy().total_joules();
+
+  nodes_.push_back(std::move(node));
+  sensor_temp_c_.push_back(0.0);
+  outstanding_.push_back(0);
+  injection_probability_.push_back(spec.injection_probability);
+  draining_.push_back(0);
+  admin_.push_back(AdminState::kActive);
+  rack_of_.push_back(static_cast<std::uint32_t>(rack_id));
+  sweep_scratch_.push_back(SweepScratch{});
+
+  compute_node_telemetry(id);
+  sensor_temp_c_[id] = std::floor(sweep_scratch_[id].mean_c);
+  tracer_.node_join(now_, static_cast<std::uint32_t>(id), warm,
+                    sim::to_sec(warmup));
+  rebuild_routable();
+  return id;
+}
+
+void Cluster::admin_set_injection(std::size_t i, double probability,
+                                  sim::SimTime quantum) {
+  Node& node = nodes_.at(i);
+  flush_fleet();
+  if (node.arbiter) {
+    // Governed node: the new probability rides the arbiter's preventive
+    // channel, arbitrated against the live governor as usual.
+    if (node.preventive_port == nullptr) {
+      node.preventive_port = &node.arbiter->claim(
+          control::InjectionArbiter::Channel::kPreventive, "preventive");
+    }
+    if (probability > 0.0) {
+      node.preventive_port->request(probability, quantum);
+    } else {
+      node.preventive_port->withdraw();
+    }
+  } else {
+    if (!node.controller) {
+      node.controller =
+          std::make_shared<core::DimetrodonController>(*node.machine);
+    }
+    node.controller->sys_set_global(probability, quantum);
+  }
+  injection_probability_[i] = probability;
+}
+
+void Cluster::admin_retune_governor(std::size_t i,
+                                    const control::GovernorSpec& spec) {
+  Node& node = nodes_.at(i);
+  if (!node.driver) {
+    throw std::invalid_argument(
+        "admin_retune_governor: node runs no governor");
+  }
+  flush_fleet();
+  node.driver->retune(spec);
+}
+
+void Cluster::admin_set_fan(std::size_t i, double fraction) {
+  Node& node = nodes_.at(i);
+  flush_fleet();
+  node.machine->set_fan_speed(fraction);
+}
+
+void Cluster::set_crac_supply(double supply_c) {
+  flush_fleet();
+  if (config_.rack.enabled()) {
+    // Fixed-node re-aim: the boundary every rack air node relaxes toward
+    // moves without invalidating the rack network's cached operators.
+    rack_air_.set_temperature(crac_node_, supply_c);
+  } else {
+    // No rack layer: the heat wave hits every machine's inlet directly, and
+    // the config base follows so later joins construct at the new ambient.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (admin_[i] == AdminState::kDetached) continue;
+      sched::Machine& m = *nodes_[i].machine;
+      m.thermal_network().set_temperature(m.thermal_nodes().ambient,
+                                          supply_c);
+    }
+    config_.machine.floorplan.ambient_c = supply_c;
+  }
+  config_.rack.crac_supply_c = supply_c;
 }
 
 }  // namespace dimetrodon::cluster

@@ -8,6 +8,7 @@
 
 #include "analysis/histogram.hpp"
 #include "analysis/stats.hpp"
+#include "cluster/arrival_trace.hpp"
 #include "cluster/load_balancer.hpp"
 #include "cluster/request_source.hpp"
 #include "control/arbiter.hpp"
@@ -101,6 +102,15 @@ struct ClusterConfig {
   /// Time-varying load shape (diurnal curve, flash crowd). Defaults to
   /// constant.
   TrafficShape traffic{};
+
+  /// Optional recorded/authored arrival trace. When set it replaces the
+  /// Poisson source entirely (offered_load_rps and traffic are ignored; the
+  /// source RNG stream is never drawn from, so replaying a recorded run is
+  /// bit-identical to the original). Timestamps must be strictly
+  /// increasing; arrivals after the run's end simply never fire. Shared so
+  /// a sweep can replay one trace across a config grid without copying it
+  /// per cell.
+  std::shared_ptr<const ArrivalTrace> arrival_trace;
 
   /// Telemetry refresh period: how often the fleet is swept — balancer
   /// temperature views resampled, PROCHOT drain state checked, and the rack
@@ -231,8 +241,27 @@ struct ClusterResult {
 /// PROCHOT failover: at every telemetry sweep, a node with any physical
 /// core's thermal monitor engaged is marked draining — it keeps serving its
 /// queue but receives no new requests until every core releases.
+///
+/// Fleet churn (the admin_* surface, driven by scenario::ScenarioEngine):
+/// nodes carry an administrative state orthogonal to the PROCHOT drain flag.
+/// kActive nodes route; kDrained nodes serve their queues but take no new
+/// work; kRemoving nodes have had their queued (not yet in-service) external
+/// requests cancelled and re-homed and detach (kDetached) at the sweep where
+/// their outstanding count reaches zero; kDetached nodes are never advanced
+/// again — their machines survive only so node ids, completion callbacks and
+/// final stats stay stable. PROCHOT degradation never overrides admin state:
+/// when every ACTIVE node is throttling, load spreads over active nodes
+/// only, and with no active nodes at all, arrivals are shed (counted +
+/// traced) instead of routed to a node an operator ordered out of service.
 class Cluster {
  public:
+  /// Administrative lifecycle of a node (orthogonal to PROCHOT draining).
+  enum class AdminState : std::uint8_t {
+    kActive = 0,    // routable (unless PROCHOT-draining)
+    kDrained = 1,   // operator drain: serves its queue, takes no new work
+    kRemoving = 2,  // queued work re-homed; detaches when outstanding == 0
+    kDetached = 3,  // out of the fleet; machine frozen at detach time
+  };
   Cluster(ClusterConfig config, std::unique_ptr<LoadBalancer> balancer);
   ~Cluster();
 
@@ -243,6 +272,52 @@ class Cluster {
   /// accrue from construction.
   ClusterResult run(sim::SimTime duration);
 
+  // --- fleet churn / live reconfiguration (scenario directives) ------------
+  // Every admin_* call first flushes the fleet to now() (backlogs replayed,
+  // machines caught up, state folded in fixed node order) so the directive
+  // lands at a well-defined instant — the same instant on every thread/lane
+  // count. Calls between run() invocations or from scenario::ScenarioEngine
+  // segments only; never from inside a running advance.
+
+  /// Operator drain: the node serves its queue but receives no new work
+  /// until admin_undrain. Throws std::invalid_argument unless kActive.
+  void admin_drain(std::size_t i);
+  /// Lift an operator drain (kDrained -> kActive).
+  void admin_undrain(std::size_t i);
+  /// Remove the node: queued (not yet in-service) external requests are
+  /// cancelled and re-routed with their original issue times preserved
+  /// (counted as requests_rehomed); in-service requests finish in place.
+  /// The node detaches at the first sweep where its outstanding count
+  /// reaches zero. Throws unless kActive or kDrained.
+  void admin_remove(std::size_t i);
+  /// Join a fresh node mid-run; returns its id (node ids are append-only).
+  /// The machine is seeded derive_stream_seed(seed, id + 1) like any ctor
+  /// node. With warmup > 0 the join is snapshot-warmed: a template machine
+  /// (same config, workload deployed, no controller yet) runs [0, warmup],
+  /// its snapshot restores into the real node, the controller/governor
+  /// attach post-restore, and the node advances [warmup, now()] — so a warm
+  /// join needs warmup <= now() and a snapshot-capable config (no power
+  /// meter, no machine trace sink, no reference stepper, no closed-loop web
+  /// connections); anything else falls back to a cold join (constructed at
+  /// t = 0 and advanced to now()), marked in the kNodeJoin trace event.
+  std::size_t admin_join(const NodeSpec& spec, sim::SimTime warmup = 0);
+  /// Retarget the node's open-loop injection probability/quantum live. On a
+  /// governed node this drives the arbiter's preventive channel (claimed
+  /// lazily); on an open-loop node it creates the controller on demand.
+  void admin_set_injection(std::size_t i, double probability,
+                           sim::SimTime quantum);
+  /// Swap the node's governor spec mid-run (GovernorDriver::retune). Throws
+  /// std::invalid_argument when the node runs no governor.
+  void admin_retune_governor(std::size_t i, const control::GovernorSpec& spec);
+  /// Degrade/restore the node's fan (Machine::set_fan_speed), fraction in
+  /// (0, 1].
+  void admin_set_fan(std::size_t i, double fraction);
+  /// Re-aim the CRAC supply boundary (ambient heat wave). With the rack
+  /// layer enabled this moves the fixed CRAC node every rack relaxes
+  /// toward; without it, every non-detached machine's fixed ambient node is
+  /// written directly.
+  void set_crac_supply(double supply_c);
+
   // --- observation (tests, examples) ---------------------------------------
   std::size_t num_nodes() const { return nodes_.size(); }
   /// Number of racks (0 when the rack layer is disabled).
@@ -250,6 +325,9 @@ class Cluster {
   sched::Machine& machine(std::size_t i) { return *nodes_.at(i).machine; }
   workload::WebWorkload& web(std::size_t i) { return *nodes_.at(i).web; }
   bool draining(std::size_t i) const { return draining_.at(i) != 0; }
+  AdminState admin_state(std::size_t i) const { return admin_.at(i); }
+  /// Nodes not yet detached (the fleet the telemetry sweep covers).
+  std::size_t active_nodes() const;
   /// Balancer-visible quantized mean sensor temp as of the last sweep.
   double sensor_temp_c(std::size_t i) const { return sensor_temp_c_.at(i); }
   std::uint32_t outstanding(std::size_t i) const {
@@ -289,6 +367,10 @@ class Cluster {
   struct PendingArrival {
     sim::SimTime at = 0;
     std::uint32_t rid = 0;
+    double demand_scale = 1.0;
+    /// Original issue time for re-homed requests (latency accrues from the
+    /// first routing, not the re-route); -1 = issued at `at`.
+    sim::SimTime issued_at = -1;
   };
 
   /// A completion that fired during a node's (possibly parallel) advance.
@@ -307,6 +389,9 @@ class Cluster {
     // Declared after the controller/machine they reference: destroyed first.
     std::unique_ptr<control::InjectionArbiter> arbiter;
     std::unique_ptr<control::GovernorDriver> driver;
+    /// Arbiter preventive-channel port, claimed at construction (open-loop
+    /// floor) or lazily by admin_set_injection; borrowed from arbiter.
+    control::InjectionArbiter::Port* preventive_port = nullptr;
     NodeStats stats;
     analysis::OnlineStats temp_avg;
     /// Energy reading at the last rack-layer update (power = delta / dt).
@@ -325,6 +410,16 @@ class Cluster {
   };
 
   void resolve_parallelism();
+  /// Catch the whole fleet up to now() so an admin directive lands at a
+  /// well-defined instant: advance_fleet + merge_sweep, fixed node order.
+  void flush_fleet();
+  /// Controller/arbiter/governor wiring per NodeSpec, shared by the
+  /// constructor and admin_join (where it runs after snapshot restore —
+  /// injection hooks and governor timers are not snapshot-capable).
+  void attach_control(Node& node, const NodeSpec& spec);
+  /// Time of the next arrival (trace cursor or Poisson draw); kTimeInfinity
+  /// once an attached trace is exhausted.
+  sim::SimTime pop_next_arrival();
   /// Parallel phase of a fleet flush: replay backlogs and advance every
   /// machine to `t`, filling sweep_scratch_ and the per-node completion
   /// buffers. Fans node chunks across the pool (or runs them inline when
@@ -361,11 +456,16 @@ class Cluster {
   std::vector<std::uint32_t> outstanding_;
   std::vector<double> injection_probability_;
   std::vector<std::uint8_t> draining_;
+  std::vector<AdminState> admin_;
   std::vector<std::uint32_t> routable_;
   std::vector<std::uint32_t> rack_of_;
 
+  /// Replay cursor into config_.arrival_trace (unused without a trace).
+  std::size_t trace_pos_ = 0;
+
   // Rack/CRAC thermal layer (empty when disabled).
   thermal::RcNetwork rack_air_;
+  thermal::NodeId crac_node_ = 0;
   std::vector<thermal::NodeId> rack_air_node_;
   std::vector<double> rack_power_w_;  // per-sweep scratch
   sim::SimTime last_rack_update_ = 0;

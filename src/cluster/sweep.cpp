@@ -13,8 +13,11 @@ std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
   // they stay out of the tag. (The layer version rides on
   // sim::kCanonVersion via the enclosing run-spec preamble; this label
   // tracks cluster semantics.)
+  // v5: optional arrival-trace replay — the trace's length and content hash
+  // join the identity (two runs replaying different traces are different
+  // simulations even with every other knob equal).
   sim::CanonWriter w(1024);
-  w.open("cluster-v4");
+  w.open("cluster-v5");
   w.field("policy", static_cast<std::uint64_t>(spec.policy));
   w.field("inj_thresh", spec.injection_threshold);
   w.field("duration", spec.duration);
@@ -29,6 +32,13 @@ std::string canonical_cluster_tag(const ClusterRunSpec& spec) {
   w.field("fstart", t.flash_start);
   w.field("fdur", t.flash_duration);
   w.close();
+  if (spec.cluster.arrival_trace) {
+    w.open("trace");
+    w.field("n", static_cast<std::uint64_t>(
+                     spec.cluster.arrival_trace->records.size()));
+    w.field("hash", spec.cluster.arrival_trace->content_hash());
+    w.close();
+  }
   const RackParams& rk = spec.cluster.rack;
   w.open("rack");
   w.field("npr", static_cast<std::uint64_t>(rk.nodes_per_rack));

@@ -33,6 +33,22 @@ GovernorDriver::GovernorDriver(sched::Machine& machine,
   schedule_sample();
 }
 
+void GovernorDriver::retune(const GovernorSpec& spec) {
+  if (!spec.enabled()) {
+    throw std::invalid_argument("retune needs an enabled GovernorSpec");
+  }
+  if (spec.sample_period <= 0) {
+    throw std::invalid_argument("governor sample period must be positive");
+  }
+  spec_ = spec;
+  governor_ = make_governor(spec);
+  stability_ = StabilityTracker(governor_reference_c(spec),
+                                spec.stability_band_c);
+  // The fresh controller holds no trip latch; realign the edge detector so
+  // its first trip is counted as a trip, not swallowed as "still tripped".
+  was_tripped_ = false;
+}
+
 void GovernorDriver::schedule_sample() {
   machine_.call_at(machine_.now() + spec_.sample_period,
                    [this](sim::SimTime t) { sample(t); });

@@ -43,6 +43,17 @@ class GovernorDriver {
 
   void stop() { running_ = false; }
 
+  /// Swap the governor mid-run (a rolling config update): the new spec's
+  /// controller starts from reset state, the kGovernor channel claim and the
+  /// sampling cadence survive (the already-armed sample fires at its old
+  /// time; later samples use the new period), and the stability tracker
+  /// restarts so its metrics describe the post-retune loop. The channel's
+  /// last published duty stays in force until the new governor's first
+  /// sample publishes a change. Throws std::invalid_argument on a kNone
+  /// spec or non-positive sample period — a retune can change the loop, not
+  /// remove it.
+  void retune(const GovernorSpec& spec);
+
   const Governor& governor() const { return *governor_; }
   const GovernorSpec& spec() const { return spec_; }
   const Stats& stats() const { return stats_; }

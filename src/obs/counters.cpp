@@ -29,6 +29,12 @@ const std::vector<CounterTotals::Field>& CounterTotals::fields() {
       {"requests_routed", &CounterTotals::requests_routed},
       {"node_drains", &CounterTotals::node_drains},
       {"fleet_samples", &CounterTotals::fleet_samples},
+      {"scenario_directives", &CounterTotals::scenario_directives},
+      {"node_joins", &CounterTotals::node_joins},
+      {"node_removals", &CounterTotals::node_removals},
+      {"requests_shed", &CounterTotals::requests_shed},
+      {"requests_rehomed", &CounterTotals::requests_rehomed},
+      {"latency_rejects", &CounterTotals::latency_rejects},
       {"runs_failed", &CounterTotals::runs_failed},
       {"runs_retried", &CounterTotals::runs_retried},
       {"cache_write_retries", &CounterTotals::cache_write_retries},
@@ -70,6 +76,11 @@ CounterTotals CounterRegistry::totals() const {
   t.requests_routed = requests_routed;
   t.node_drains = node_drains;
   t.fleet_samples = fleet_samples;
+  t.scenario_directives = scenario_directives;
+  t.node_joins = node_joins;
+  t.node_removals = node_removals;
+  t.requests_shed = requests_shed;
+  t.requests_rehomed = requests_rehomed;
   t.thermal_substeps = thermal_substeps;
   t.thermal_fast_forward_steps = thermal_fast_forward_steps;
   t.thermal_factorizations = thermal_factorizations;

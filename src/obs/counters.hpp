@@ -44,6 +44,20 @@ struct CounterTotals {
   std::uint64_t node_drains = 0;      // PROCHOT failover engagements
   std::uint64_t fleet_samples = 0;    // batched fleet-wide telemetry sweeps
 
+  // Scenario-layer counters (src/scenario directives acting on a cluster).
+  // All zero outside scenario runs; shed/re-homed nonzero means requests
+  // were intentionally dropped or migrated by churn — surfaced in sweep
+  // metrics so long scenario runs cannot lose data silently.
+  std::uint64_t scenario_directives = 0;  // script directives applied
+  std::uint64_t node_joins = 0;           // nodes joined mid-run
+  std::uint64_t node_removals = 0;        // nodes removed mid-run
+  std::uint64_t requests_shed = 0;        // arrivals with no routable node
+  std::uint64_t requests_rehomed = 0;     // cancelled + re-routed requests
+  /// Non-finite latency samples dropped by the cluster's streaming
+  /// percentile histogram (PercentileHistogram::rejected()) — nonzero means
+  /// the reported p50/p95/p99 silently exclude samples.
+  std::uint64_t latency_rejects = 0;
+
   // Thermal-engine work counters (mirrored from RcNetwork::stats() at every
   // advance): how the closed-form fast-forward is spending its effort.
   std::uint64_t thermal_substeps = 0;            // substeps integrated
@@ -106,6 +120,11 @@ class CounterRegistry {
   std::uint64_t requests_routed = 0;  // cluster scope
   std::uint64_t node_drains = 0;      // cluster scope
   std::uint64_t fleet_samples = 0;    // cluster scope
+  std::uint64_t scenario_directives = 0;  // scenario scope
+  std::uint64_t node_joins = 0;           // scenario scope
+  std::uint64_t node_removals = 0;        // scenario scope
+  std::uint64_t requests_shed = 0;        // cluster scope
+  std::uint64_t requests_rehomed = 0;     // scenario scope
 
   // Closed-loop control (src/control GovernorDriver).
   std::uint64_t governor_samples = 0;

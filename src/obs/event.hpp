@@ -27,6 +27,9 @@ enum class EventKind : std::uint8_t {
   kGovernorTrip,     // a threshold governor engaged / released
   kDutyChange,       // the resolved injection duty cycle changed
   kFleetSample,      // cluster: one batched fleet-wide telemetry sweep
+  kRequestShed,      // cluster: an arrival found no routable node and was shed
+  kNodeJoin,         // cluster: a node joined the fleet mid-run
+  kScenarioDirective,// scenario: a script directive was applied to the fleet
 };
 
 constexpr std::string_view event_kind_name(EventKind k) {
@@ -47,6 +50,9 @@ constexpr std::string_view event_kind_name(EventKind k) {
     case EventKind::kGovernorTrip:    return "governor_trip";
     case EventKind::kDutyChange:      return "duty_change";
     case EventKind::kFleetSample:     return "fleet_sample";
+    case EventKind::kRequestShed:     return "request_shed";
+    case EventKind::kNodeJoin:        return "node_join";
+    case EventKind::kScenarioDirective: return "scenario_directive";
   }
   return "unknown";
 }
@@ -93,7 +99,9 @@ enum class CStatePhase : std::uint8_t {
 ///   kMeterSample:      value = measured package power (W)
 ///   kRequestComplete:  tid = workload-defined id, value = latency (s)
 ///   kThermalStats:     phase = ThermalStatKind, arg = cumulative count
-///   kRequestRouted:    core = node index, tid = request id (cluster scope)
+///   kRequestRouted:    core = node index, tid = request id (cluster scope),
+///                      arg = trace size class, value = trace affinity key
+///                      (both 0 for Poisson-source arrivals)
 ///   kNodeDrain:        core = node index, arg = 1 drain / 0 rejoin,
 ///                      value = hottest die temperature (C)
 ///   kGovernorSample:   core = hottest physical core, arg = requested duty
@@ -101,6 +109,11 @@ enum class CStatePhase : std::uint8_t {
 ///   kGovernorTrip:     core = hottest physical core, arg = 1 trip /
 ///                      0 release, value = quantized temperature (C)
 ///   kDutyChange:       arg = winning arbiter channel, value = new duty p
+///   kRequestShed:      tid = request id (no routable node existed)
+///   kNodeJoin:         core = node index, arg = 1 warm (snapshot fork) /
+///                      0 cold, value = warmup span (s)
+///   kScenarioDirective: phase = directive kind, core = target node (or
+///                      0xffff for fleet-wide), arg = directive index
 struct TraceEvent {
   sim::SimTime at = 0;
   EventKind kind = EventKind::kSchedSwitch;

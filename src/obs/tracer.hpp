@@ -168,8 +168,11 @@ class Tracer {
   }
 
   /// Cluster scope: the load balancer dispatched request `id` to `node`.
-  /// Emitted by a cluster-owned tracer, never by a machine's.
-  void request_routed(sim::SimTime at, std::uint32_t node, std::uint32_t id) {
+  /// Emitted by a cluster-owned tracer, never by a machine's. Trace-sourced
+  /// arrivals carry their size class and affinity key (0/0 for Poisson) so a
+  /// recorded completion stream round-trips into a replayable trace file.
+  void request_routed(sim::SimTime at, std::uint32_t node, std::uint32_t id,
+                      std::uint8_t size_class = 0, std::uint32_t affinity = 0) {
     ++counters_.requests_routed;
     if (sink_raw_ == nullptr) return;
     TraceEvent e;
@@ -177,6 +180,57 @@ class Tracer {
     e.kind = EventKind::kRequestRouted;
     e.core = static_cast<std::uint16_t>(node);
     e.tid = id;
+    e.arg = size_class;
+    e.value = static_cast<double>(affinity);
+    sink_raw_->on_event(e);
+  }
+
+  /// Cluster scope: arrival `id` found no routable node (whole-fleet drain /
+  /// churn overlap) and was dropped instead of queued.
+  void request_shed(sim::SimTime at, std::uint32_t id) {
+    ++counters_.requests_shed;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kRequestShed;
+    e.tid = id;
+    sink_raw_->on_event(e);
+  }
+
+  /// Counter-only: an outstanding request was cancelled on a removed node
+  /// and re-routed elsewhere with its original issue time preserved.
+  void request_rehomed() { ++counters_.requests_rehomed; }
+
+  /// Scenario scope: a node joined the fleet mid-run. `warm` marks a
+  /// snapshot-forked join (vs a cold construct); `warm_s` the warmup span.
+  void node_join(sim::SimTime at, std::uint32_t node, bool warm,
+                 double warm_s) {
+    ++counters_.node_joins;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kNodeJoin;
+    e.core = static_cast<std::uint16_t>(node);
+    e.arg = warm ? 1 : 0;
+    e.value = warm_s;
+    sink_raw_->on_event(e);
+  }
+
+  /// Counter-only: a node finished removal and detached from the fleet.
+  void node_removed() { ++counters_.node_removals; }
+
+  /// Scenario scope: script directive number `index` of kind `kind` was
+  /// applied to `node` (0xffff for fleet-wide directives).
+  void scenario_directive(sim::SimTime at, std::uint8_t kind,
+                          std::uint32_t node, std::uint64_t index) {
+    ++counters_.scenario_directives;
+    if (sink_raw_ == nullptr) return;
+    TraceEvent e;
+    e.at = at;
+    e.kind = EventKind::kScenarioDirective;
+    e.phase = kind;
+    e.core = static_cast<std::uint16_t>(node);
+    e.arg = index;
     sink_raw_->on_event(e);
   }
 

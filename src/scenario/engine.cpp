@@ -1,0 +1,193 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "runner/fault_injection.hpp"
+
+namespace dimetrodon::scenario {
+
+namespace {
+
+/// Forwards one cluster-scope event stream to the RecoveryTracker and (when
+/// the user configured their own sink) to it as well.
+class TeeSink final : public obs::TraceSink {
+ public:
+  TeeSink(std::shared_ptr<obs::TraceSink> a, std::shared_ptr<obs::TraceSink> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  void on_event(const obs::TraceEvent& e) override {
+    if (a_) a_->on_event(e);
+    if (b_) b_->on_event(e);
+  }
+
+ private:
+  std::shared_ptr<obs::TraceSink> a_;
+  std::shared_ptr<obs::TraceSink> b_;
+};
+
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
+    : spec_(std::move(spec)),
+      tracker_(std::make_shared<RecoveryTracker>(spec_.recovery_window,
+                                                 spec_.recovery_settle)) {}
+
+void ScenarioEngine::apply(cluster::Cluster& c, const Directive& d,
+                           std::uint64_t index) {
+  // Every directive is a failpoint arrival: a storm scenario arms
+  // "scenario.directive" (optionally keyed) and the sweep engine's fault
+  // isolation turns the throw into a captured RunError, not a crashed grid.
+  runner::fault::maybe_throw("scenario.directive", d.fail_key);
+
+  std::uint32_t node = d.node;
+  switch (d.kind) {
+    case DirectiveKind::kDrain:
+      c.admin_drain(d.node);
+      break;
+    case DirectiveKind::kUndrain:
+      c.admin_undrain(d.node);
+      break;
+    case DirectiveKind::kRemove:
+      c.admin_remove(d.node);
+      break;
+    case DirectiveKind::kJoin:
+      node = static_cast<std::uint32_t>(c.admin_join(d.join_spec, d.warmup));
+      break;
+    case DirectiveKind::kSetInjection:
+      c.admin_set_injection(d.node, d.probability, d.quantum);
+      break;
+    case DirectiveKind::kRetuneGovernor:
+      c.admin_retune_governor(d.node, d.governor);
+      break;
+    case DirectiveKind::kSetFan:
+      c.admin_set_fan(d.node, d.fan_fraction);
+      break;
+    case DirectiveKind::kCracSet:
+      c.set_crac_supply(d.crac_c);
+      break;
+    case DirectiveKind::kFailpoint:
+      // The maybe_throw above IS the directive; nothing else to do.
+      break;
+  }
+  c.tracer().scenario_directive(d.at, static_cast<std::uint8_t>(d.kind), node,
+                                index);
+  if (d.mark_recovery) tracker_->mark_disturbance(d.at);
+}
+
+ScenarioOutcome ScenarioEngine::run() {
+  cluster::ClusterConfig cc = spec_.base.cluster;
+  // Tee the recovery tracker into the cluster-scope sink so the derived
+  // metrics see the routed/completed/shed/drain stream whether or not the
+  // caller attached their own recorder.
+  const obs::SinkFactory user_factory = cc.trace_sink_factory;
+  const std::shared_ptr<RecoveryTracker> tracker = tracker_;
+  cc.trace_sink_factory = [user_factory, tracker]() {
+    return std::make_shared<TeeSink>(tracker,
+                                     user_factory ? user_factory() : nullptr);
+  };
+
+  cluster::Cluster c(std::move(cc), cluster::make_policy(
+                                        spec_.base.policy,
+                                        spec_.base.injection_threshold));
+
+  // Stable order by time: same-time directives apply in the order written.
+  std::vector<const Directive*> order;
+  order.reserve(spec_.script.directives.size());
+  for (const Directive& d : spec_.script.directives) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Directive* a, const Directive* b) {
+                     return a->at < b->at;
+                   });
+
+  const sim::SimTime duration = spec_.base.duration;
+  cluster::ClusterResult result;
+  sim::SimTime t = 0;
+  for (const Directive* d : order) {
+    if (d->at < 0 || d->at > duration) continue;  // outside the run: skipped
+    if (d->at > t) {
+      result = c.run(d->at - t);
+      t = d->at;
+    }
+    apply(c, *d,
+          static_cast<std::uint64_t>(d - spec_.script.directives.data()));
+  }
+  result = c.run(duration - t);
+
+  ScenarioOutcome out;
+  out.result = std::move(result);
+  out.recovery = tracker_->finalize(duration);
+  return out;
+}
+
+std::string canonical_scenario_tag(const ScenarioSpec& spec) {
+  sim::CanonWriter w(2048);
+  w.raw(cluster::canonical_cluster_tag(spec.base).c_str());
+  w.field("rwin", spec.recovery_window);
+  w.field("rsettle", spec.recovery_settle);
+  append_canonical_script(w, spec.script);
+  return w.take();
+}
+
+runner::RunSpec to_run_spec(const ScenarioSpec& spec) {
+  runner::RunSpec rs;
+  rs.kind = runner::RunSpec::Kind::kCustom;
+  rs.seed = spec.base.cluster.seed;
+  rs.machine = spec.base.cluster.machine;
+  rs.custom_tag = canonical_scenario_tag(spec);
+  rs.custom = [spec](const runner::RunSpec&, const sched::MachineConfig& cfg,
+                     const runner::RunContext& ctx) {
+    // Thread the sweep-seeded machine config back like the cluster bridge
+    // does, and ride the engine's pool/lanes for fleet advancement.
+    ScenarioSpec s = spec;
+    s.base.cluster.machine = cfg;
+    s.base.cluster.seed = cfg.seed;
+    s.base.cluster.shared_pool = ctx.pool;
+    s.base.cluster.shared_lanes = ctx.lanes_hint;
+    ScenarioEngine engine(std::move(s));
+    const ScenarioOutcome out = engine.run();
+    const cluster::ClusterResult& r = out.result;
+    const RecoveryReport& rec_rep = out.recovery;
+
+    runner::RunRecord rec;
+    rec.result.label = r.policy;
+    rec.result.throughput = r.throughput_rps;
+    rec.result.avg_sensor_temp_c = r.fleet_mean_sensor_c;
+    rec.result.qos = r.qos;
+    rec.result.counters = r.counters;
+    rec.result.sim_seconds = r.duration_s * static_cast<double>(r.nodes.size());
+    rec.extra = {
+        {"fleet_peak_sensor_c", r.fleet_peak_sensor_c},
+        {"fleet_peak_exact_c", r.fleet_peak_exact_c},
+        {"fleet_mean_sensor_c", r.fleet_mean_sensor_c},
+        {"fleet_peak_inlet_c", r.fleet_peak_inlet_c},
+        {"offered", static_cast<double>(r.offered)},
+        {"completed", static_cast<double>(r.completed)},
+        {"drains", static_cast<double>(r.drains)},
+        {"energy_j", r.total_energy_j},
+        {"nodes", static_cast<double>(r.nodes.size())},
+        {"racks", static_cast<double>(r.num_racks)},
+        {"osc_amp_temp_c", r.stability.osc_amplitude_temp_c},
+        {"osc_amp_duty", r.stability.osc_amplitude_duty},
+        {"duty_reversals", static_cast<double>(r.stability.duty_reversals)},
+        {"overshoot_c", r.stability.overshoot_c},
+        {"settling_s", r.stability.settling_time_s},
+        // Scenario recovery metrics (-1 recovery = never recovered).
+        {"recovery_p99_s", rec_rep.recovery_p99_s},
+        {"baseline_p99_s", rec_rep.baseline_p99_s},
+        {"threshold_p99_s", rec_rep.threshold_p99_s},
+        {"peak_backlog", static_cast<double>(rec_rep.peak_backlog)},
+        {"requests_shed", static_cast<double>(rec_rep.requests_shed)},
+        {"requests_rehomed",
+         static_cast<double>(r.counters.requests_rehomed)},
+        {"drain_total_s", rec_rep.drain_total_s},
+        {"drain_episodes", static_cast<double>(rec_rep.drain_episodes)},
+        {"recovery_marks", static_cast<double>(rec_rep.marks)},
+    };
+    return rec;
+  };
+  return rs;
+}
+
+}  // namespace dimetrodon::scenario

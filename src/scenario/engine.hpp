@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/sweep.hpp"
+#include "runner/run_spec.hpp"
+#include "scenario/recovery.hpp"
+#include "scenario/script.hpp"
+
+namespace dimetrodon::scenario {
+
+/// One deterministic serving scenario: a base cluster run (fleet, policy,
+/// duration, optionally an arrival trace) plus a timed directive script.
+/// Compiles to a canonical-tagged sweep-engine RunSpec via to_run_spec, so
+/// scenarios cache, parallelize and fault-isolate like every other run.
+struct ScenarioSpec {
+  cluster::ClusterRunSpec base{};
+  ScenarioScript script{};
+  /// RecoveryTracker window length (part of the canonical identity — it
+  /// changes the derived metrics, and derived metrics are cached).
+  sim::SimTime recovery_window = sim::kSecond;
+  /// Thermal warm-up span excluded from the recovery baseline and failure
+  /// scan (also canonical identity).
+  sim::SimTime recovery_settle = 0;
+};
+
+struct ScenarioOutcome {
+  cluster::ClusterResult result;
+  RecoveryReport recovery;
+};
+
+/// Runs a scenario: builds the cluster (tee-ing a RecoveryTracker into its
+/// trace sink), advances it in segments between directive times, and
+/// applies each directive through the cluster's admin_* surface — emitting
+/// a kScenarioDirective trace event and visiting the "scenario.directive"
+/// failpoint site (keyed with the directive's fail_key) per application.
+/// Directives apply in stable (time, insertion) order; directives timed
+/// past the run's duration are never applied. The whole run is a pure
+/// function of (ScenarioSpec) — bit-identical at every sweep thread count
+/// and fleet lane count, like the cluster underneath.
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioSpec spec);
+
+  ScenarioOutcome run();
+
+ private:
+  void apply(cluster::Cluster& c, const Directive& d, std::uint64_t index);
+
+  ScenarioSpec spec_;
+  std::shared_ptr<RecoveryTracker> tracker_;
+};
+
+/// Canonical text for a scenario: the cluster tag plus the scenario-v1
+/// fragment (directive list + recovery window).
+std::string canonical_scenario_tag(const ScenarioSpec& spec);
+
+/// Package as a sweep-engine RunSpec (kCustom). On top of the cluster
+/// extras, the record carries the recovery metrics: recovery_p99_s (-1 =
+/// never recovered), baseline_p99_s, threshold_p99_s, peak_backlog,
+/// requests_shed, requests_rehomed, drain_total_s, drain_episodes, marks.
+runner::RunSpec to_run_spec(const ScenarioSpec& spec);
+
+}  // namespace dimetrodon::scenario

@@ -1,0 +1,150 @@
+#include "scenario/recovery.hpp"
+
+#include <algorithm>
+
+namespace dimetrodon::scenario {
+
+RecoveryTracker::RecoveryTracker(sim::SimTime window, sim::SimTime settle)
+    : window_len_(window), settle_(std::max<sim::SimTime>(0, settle)) {
+  if (window <= 0) window_len_ = sim::kSecond;
+}
+
+RecoveryTracker::Window& RecoveryTracker::window_at(sim::SimTime at) {
+  const std::size_t idx =
+      at <= 0 ? 0 : static_cast<std::size_t>(at / window_len_);
+  if (idx >= windows_.size()) windows_.resize(idx + 1);
+  return windows_[idx];
+}
+
+void RecoveryTracker::on_event(const obs::TraceEvent& e) {
+  switch (e.kind) {
+    case obs::EventKind::kRequestRouted:
+      ++window_at(e.at).routed;
+      break;
+    case obs::EventKind::kRequestComplete: {
+      Window& w = window_at(e.at);
+      ++w.completed;
+      w.latency.add(e.value);
+      break;
+    }
+    case obs::EventKind::kRequestShed:
+      ++shed_;
+      break;
+    case obs::EventKind::kNodeDrain:
+      if (e.arg != 0) {
+        open_drains_.push_back({e.core, e.at});
+        ++drain_episodes_;
+      } else {
+        for (std::size_t i = 0; i < open_drains_.size(); ++i) {
+          if (open_drains_[i].node == e.core) {
+            drain_total_s_ += sim::to_sec(e.at - open_drains_[i].began);
+            open_drains_.erase(open_drains_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void RecoveryTracker::mark_disturbance(sim::SimTime at) {
+  marks_.push_back(at);
+}
+
+RecoveryReport RecoveryTracker::finalize(sim::SimTime end) const {
+  RecoveryReport rep;
+  rep.requests_shed = shed_;
+  rep.drain_episodes = drain_episodes_;
+  rep.marks = marks_.size();
+  rep.drain_total_s = drain_total_s_;
+  for (const DrainEpisode& d : open_drains_) {
+    rep.drain_total_s += sim::to_sec(std::max<sim::SimTime>(0, end - d.began));
+  }
+
+  // Peak backlog: cumulative routed-minus-completed at each window end.
+  // Completions land in later windows than their routings, so the running
+  // difference is the end-of-window in-flight estimate.
+  std::int64_t inflight = 0;
+  for (const Window& w : windows_) {
+    inflight += static_cast<std::int64_t>(w.routed) -
+                static_cast<std::int64_t>(w.completed);
+    rep.peak_backlog = std::max(
+        rep.peak_backlog,
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, inflight)));
+  }
+
+  // Baseline p99: the pre-disturbance windows; with no marks (or nothing
+  // completed before the first one) fall back to the whole run. The
+  // threshold sits above the pre-disturbance per-window ENVELOPE, not the
+  // merged p99: steady-state per-window p99 wobbles (a governor trip
+  // coinciding with an arrival burst), and recovery means returning to that
+  // normal band, not to a quieter-than-normal one.
+  const sim::SimTime first_mark =
+      marks_.empty() ? sim::kTimeInfinity
+                     : *std::min_element(marks_.begin(), marks_.end());
+  analysis::PercentileHistogram base;
+  double envelope = 0.0;
+  const auto fold_baseline = [&](const Window& w) {
+    base.merge(w.latency);
+    if (w.latency.count() > 0) {
+      envelope = std::max(envelope, w.latency.percentile(99.0));
+    }
+  };
+  const std::size_t settle_w =
+      static_cast<std::size_t>((settle_ + window_len_ - 1) / window_len_);
+  for (std::size_t i = settle_w; i < windows_.size(); ++i) {
+    if (static_cast<sim::SimTime>(i) * window_len_ >= first_mark) break;
+    fold_baseline(windows_[i]);
+  }
+  if (base.count() == 0) {
+    base = analysis::PercentileHistogram{};
+    envelope = 0.0;
+    for (const Window& w : windows_) fold_baseline(w);
+  }
+  rep.baseline_p99_s = base.count() > 0 ? base.percentile(99.0) : 0.0;
+  rep.threshold_p99_s = std::max(1.5 * envelope, rep.baseline_p99_s + 0.02);
+
+  if (marks_.empty()) return rep;
+
+  // A window fails while its p99 sits above the threshold; empty windows
+  // are calm (no completions carry no evidence of elevated latency). A
+  // disturbance's latency damage lands at COMPLETION time — often windows
+  // after the event itself — so recovery is measured to the END of the last
+  // failing window, not to the first passing streak (which a laggy backlog
+  // would let through right at the mark).
+  const auto fails = [&](std::size_t w) {
+    const auto& h = windows_[w].latency;
+    return h.count() > 0 && h.percentile(99.0) > rep.threshold_p99_s;
+  };
+  std::ptrdiff_t last_fail = -1;
+  const std::size_t first_mark_w = std::max(
+      settle_w,
+      first_mark <= 0 ? 0 : static_cast<std::size_t>(first_mark / window_len_));
+  for (std::size_t w = first_mark_w; w < windows_.size(); ++w) {
+    if (fails(w)) last_fail = static_cast<std::ptrdiff_t>(w);
+  }
+  if (last_fail >= 0) {
+    // "Recovered" needs evidence: three full windows of calm inside the run
+    // after the last failure, or the final failing window fakes a recovery
+    // simply by running out of data.
+    const sim::SimTime calm_until =
+        static_cast<sim::SimTime>(last_fail + 4) * window_len_;
+    if (calm_until > end) {
+      rep.recovery_p99_s = -1.0;
+      return rep;
+    }
+  }
+  for (const sim::SimTime mark : marks_) {
+    const sim::SimTime recovered_at =
+        static_cast<sim::SimTime>(last_fail + 1) * window_len_;
+    const double rec =
+        last_fail < 0 ? 0.0 : std::max(0.0, sim::to_sec(recovered_at - mark));
+    rep.recovery_p99_s = std::max(rep.recovery_p99_s, rec);
+  }
+  return rep;
+}
+
+}  // namespace dimetrodon::scenario

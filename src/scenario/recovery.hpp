@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/histogram.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::scenario {
+
+/// Per-event recovery metrics derived from a scenario run's cluster-scope
+/// trace (finalized by RecoveryTracker).
+struct RecoveryReport {
+  /// p99 latency (s) over the windows before the first marked disturbance
+  /// (the whole run when nothing is marked or nothing completed earlier).
+  double baseline_p99_s = 0.0;
+  /// The pass/fail line recovery is judged against: max(1.5 * the worst
+  /// single post-settle pre-disturbance window's p99, baseline + 20 ms) —
+  /// returning to the normal per-window envelope, not to a
+  /// quieter-than-normal band.
+  double threshold_p99_s = 0.0;
+  /// Worst (largest) time-to-p99-recovery across marked disturbances, in
+  /// seconds: from the disturbance to the end of the LAST window whose p99
+  /// exceeds the threshold (latency damage lands at completion time, so it
+  /// lags the event; empty windows are calm). 0 when nothing was marked or
+  /// no window ever failed; -1 when the run ends without three full calm
+  /// windows after the last failure (never recovered).
+  double recovery_p99_s = 0.0;
+  /// Peak of the end-of-window in-flight estimate (routed - completed,
+  /// cumulative; shed arrivals never count as routed).
+  std::uint64_t peak_backlog = 0;
+  std::uint64_t requests_shed = 0;
+  /// Total node-seconds spent PROCHOT-draining (sum over drain episodes;
+  /// episodes still open at finalize are closed at the run end).
+  double drain_total_s = 0.0;
+  std::uint64_t drain_episodes = 0;
+  std::size_t marks = 0;
+
+  bool recovered() const { return recovery_p99_s >= 0.0; }
+};
+
+/// Streams a cluster-scope trace into fixed windows (default 1 s) and
+/// derives the recovery metrics above. Attach via the cluster's
+/// trace_sink_factory (the scenario engine tees it in); events arrive
+/// slightly out of order across sweep boundaries (each node's completions
+/// carry its machine-local clock), so windows are indexed by timestamp, not
+/// arrival order — the derived metrics are bit-identical at every
+/// fleet-lane and sweep-thread count.
+class RecoveryTracker final : public obs::TraceSink {
+ public:
+  /// `window`: aggregation window length. `settle`: thermal warm-up span
+  /// excluded from both the baseline and the failure scan — a fleet takes
+  /// several seconds to reach steady temperature, and windows from the
+  /// cold start would make the baseline look quieter than normal.
+  explicit RecoveryTracker(sim::SimTime window = sim::kSecond,
+                           sim::SimTime settle = 0);
+
+  void on_event(const obs::TraceEvent& e) override;
+
+  /// Record a disturbance the report must measure recovery from (the
+  /// engine calls this for every mark_recovery directive).
+  void mark_disturbance(sim::SimTime at);
+
+  /// Derive the report; `end` is the run's final time (closes open drain
+  /// episodes and bounds the window range). Idempotent-ish: call once,
+  /// after the run.
+  RecoveryReport finalize(sim::SimTime end) const;
+
+ private:
+  struct Window {
+    analysis::PercentileHistogram latency;
+    std::uint64_t routed = 0;
+    std::uint64_t completed = 0;
+  };
+  struct DrainEpisode {
+    std::uint32_t node = 0;
+    sim::SimTime began = 0;
+  };
+
+  Window& window_at(sim::SimTime at);
+
+  sim::SimTime window_len_;
+  sim::SimTime settle_;
+  std::vector<Window> windows_;
+  std::vector<sim::SimTime> marks_;
+  std::vector<DrainEpisode> open_drains_;
+  double drain_total_s_ = 0.0;
+  std::uint64_t drain_episodes_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace dimetrodon::scenario

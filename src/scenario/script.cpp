@@ -1,0 +1,197 @@
+#include "scenario/script.hpp"
+
+#include <stdexcept>
+
+namespace dimetrodon::scenario {
+
+std::string_view directive_kind_name(DirectiveKind k) {
+  switch (k) {
+    case DirectiveKind::kDrain:          return "drain";
+    case DirectiveKind::kUndrain:        return "undrain";
+    case DirectiveKind::kRemove:         return "remove";
+    case DirectiveKind::kJoin:           return "join";
+    case DirectiveKind::kSetInjection:   return "set_injection";
+    case DirectiveKind::kRetuneGovernor: return "retune_governor";
+    case DirectiveKind::kSetFan:         return "set_fan";
+    case DirectiveKind::kCracSet:        return "crac_set";
+    case DirectiveKind::kFailpoint:      return "failpoint";
+  }
+  return "unknown";
+}
+
+ScenarioScript& ScenarioScript::drain(sim::SimTime at, std::uint32_t node) {
+  Directive d;
+  d.kind = DirectiveKind::kDrain;
+  d.at = at;
+  d.node = node;
+  d.mark_recovery = true;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::undrain(sim::SimTime at, std::uint32_t node) {
+  Directive d;
+  d.kind = DirectiveKind::kUndrain;
+  d.at = at;
+  d.node = node;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::remove(sim::SimTime at, std::uint32_t node) {
+  Directive d;
+  d.kind = DirectiveKind::kRemove;
+  d.at = at;
+  d.node = node;
+  d.mark_recovery = true;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::join(sim::SimTime at,
+                                     const cluster::NodeSpec& spec,
+                                     sim::SimTime warmup) {
+  Directive d;
+  d.kind = DirectiveKind::kJoin;
+  d.at = at;
+  d.join_spec = spec;
+  d.warmup = warmup;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::set_injection(sim::SimTime at,
+                                              std::uint32_t node, double p,
+                                              sim::SimTime quantum) {
+  Directive d;
+  d.kind = DirectiveKind::kSetInjection;
+  d.at = at;
+  d.node = node;
+  d.probability = p;
+  d.quantum = quantum;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::retune_governor(
+    sim::SimTime at, std::uint32_t node, const control::GovernorSpec& spec) {
+  Directive d;
+  d.kind = DirectiveKind::kRetuneGovernor;
+  d.at = at;
+  d.node = node;
+  d.governor = spec;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::set_fan(sim::SimTime at, std::uint32_t node,
+                                        double fraction) {
+  Directive d;
+  d.kind = DirectiveKind::kSetFan;
+  d.at = at;
+  d.node = node;
+  d.fan_fraction = fraction;
+  // A fan *degradation* is a disturbance; a restoration is the remedy.
+  d.mark_recovery = fraction < 1.0;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::crac_set(sim::SimTime at, double supply_c,
+                                         bool mark) {
+  Directive d;
+  d.kind = DirectiveKind::kCracSet;
+  d.at = at;
+  d.node = kFleetWide;
+  d.crac_c = supply_c;
+  d.mark_recovery = mark;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::failpoint(sim::SimTime at,
+                                          std::uint64_t key) {
+  Directive d;
+  d.kind = DirectiveKind::kFailpoint;
+  d.at = at;
+  d.node = kFleetWide;
+  d.fail_key = key;
+  d.mark_recovery = true;
+  directives.push_back(d);
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::rolling_injection(sim::SimTime start,
+                                                  sim::SimTime stagger,
+                                                  std::size_t num_nodes,
+                                                  std::size_t nodes_per_rack,
+                                                  double p,
+                                                  sim::SimTime quantum) {
+  if (nodes_per_rack == 0) {
+    throw std::invalid_argument("rolling_injection: nodes_per_rack == 0");
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const std::size_t rack = i / nodes_per_rack;
+    set_injection(start + static_cast<sim::SimTime>(rack) * stagger,
+                  static_cast<std::uint32_t>(i), p, quantum);
+  }
+  return *this;
+}
+
+ScenarioScript& ScenarioScript::heat_wave(sim::SimTime start, double base_c,
+                                          double peak_c, sim::SimTime ramp,
+                                          sim::SimTime hold,
+                                          std::size_t steps) {
+  if (steps == 0) throw std::invalid_argument("heat_wave: steps == 0");
+  const sim::SimTime step_dt = ramp / static_cast<sim::SimTime>(steps);
+  const double step_dc =
+      (peak_c - base_c) / static_cast<double>(steps);
+  // Ramp up: the first step (the onset) marks recovery; the rest shape it.
+  for (std::size_t s = 1; s <= steps; ++s) {
+    crac_set(start + static_cast<sim::SimTime>(s - 1) * step_dt,
+             base_c + step_dc * static_cast<double>(s), s == 1);
+  }
+  // Hold at peak, then ramp back down and finish at base.
+  const sim::SimTime down_start = start + ramp + hold;
+  for (std::size_t s = 1; s <= steps; ++s) {
+    crac_set(down_start + static_cast<sim::SimTime>(s - 1) * step_dt,
+             peak_c - step_dc * static_cast<double>(s), false);
+  }
+  return *this;
+}
+
+void append_canonical_script(sim::CanonWriter& w, const ScenarioScript& s) {
+  w.open("scenario-v1");
+  w.open_list("d");
+  for (const Directive& d : s.directives) {
+    // EVERY field, not just the ones this kind reads: the Directive doc
+    // promises an edited-but-unused field can never silently share a cache
+    // entry, and conservative misses are cheaper than a stale hit after a
+    // future kind starts reading a field the tag omitted.
+    w.field("k", static_cast<std::uint64_t>(d.kind));
+    w.field("at", d.at);
+    w.field("n", static_cast<std::uint64_t>(d.node));
+    w.field("m", d.mark_recovery);
+    w.field("warm", d.warmup);
+    w.field("p", d.probability);
+    w.field("L", d.quantum);
+    w.field("fan", d.fan_fraction);
+    w.field("c", d.crac_c);
+    w.field("key", d.fail_key);
+    w.field("jfan", d.join_spec.fan_speed_fraction);
+    w.field("jp", d.join_spec.injection_probability);
+    w.field("jL", d.join_spec.injection_quantum);
+    w.field("jgov", d.join_spec.governor.enabled());
+    if (d.join_spec.governor.enabled()) {
+      control::append_canonical_governor(w, d.join_spec.governor);
+    }
+    w.field("gov", d.governor.enabled());
+    if (d.governor.enabled()) {
+      control::append_canonical_governor(w, d.governor);
+    }
+  }
+  w.close_list();
+  w.close();
+}
+
+}  // namespace dimetrodon::scenario

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "control/governor.hpp"
+#include "sim/canon.hpp"
+#include "sim/time.hpp"
+
+namespace dimetrodon::scenario {
+
+/// What a scenario directive does to the fleet at its scheduled time. Each
+/// kind maps onto one Cluster admin_* call (or, for kFailpoint, one keyed
+/// arrival at the "scenario.directive" failpoint site).
+enum class DirectiveKind : std::uint8_t {
+  kDrain = 0,           // admin_drain(node)
+  kUndrain = 1,         // admin_undrain(node)
+  kRemove = 2,          // admin_remove(node)
+  kJoin = 3,            // admin_join(join_spec, warmup); node ignored
+  kSetInjection = 4,    // admin_set_injection(node, probability, quantum)
+  kRetuneGovernor = 5,  // admin_retune_governor(node, governor)
+  kSetFan = 6,          // admin_set_fan(node, fan_fraction)
+  kCracSet = 7,         // set_crac_supply(crac_c); fleet-wide
+  kFailpoint = 8,       // fault::maybe_throw("scenario.directive", fail_key)
+};
+
+std::string_view directive_kind_name(DirectiveKind k);
+
+/// Marker node id for fleet-wide directives in the kScenarioDirective trace
+/// event's 16-bit core field.
+inline constexpr std::uint32_t kFleetWide = 0xffff;
+
+/// One timed directive. Only the fields its kind reads are meaningful, but
+/// every field is part of the canonical identity (append_canonical_script)
+/// so an edited-but-unused field can never silently share a cache entry.
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kDrain;
+  sim::SimTime at = 0;
+  std::uint32_t node = 0;  // target node; ignored by kJoin/kCracSet/kFailpoint
+
+  cluster::NodeSpec join_spec{};   // kJoin: spec of the joining node
+  sim::SimTime warmup = 0;         // kJoin: snapshot-warm span (0 = cold)
+  double probability = 0.0;        // kSetInjection
+  sim::SimTime quantum = sim::from_ms(10);  // kSetInjection
+  control::GovernorSpec governor{};         // kRetuneGovernor
+  double fan_fraction = 1.0;       // kSetFan
+  double crac_c = 25.0;            // kCracSet
+  std::uint64_t fail_key = 0;      // kFailpoint
+
+  /// Marks this directive as a disturbance the RecoveryTracker must measure
+  /// recovery from. Builders default it per kind (drains, removals, fan
+  /// degradation, heat-wave onset and failpoints disturb; joins, undrains
+  /// and retunes are remedies).
+  bool mark_recovery = false;
+};
+
+/// A timed list of directives driving one cluster through churn, rolling
+/// updates and correlated failures. Builder methods append and return *this
+/// for chaining; the engine applies directives in stable (time, insertion)
+/// order, so same-time directives run in the order written.
+struct ScenarioScript {
+  std::vector<Directive> directives;
+
+  ScenarioScript& drain(sim::SimTime at, std::uint32_t node);
+  ScenarioScript& undrain(sim::SimTime at, std::uint32_t node);
+  ScenarioScript& remove(sim::SimTime at, std::uint32_t node);
+  ScenarioScript& join(sim::SimTime at, const cluster::NodeSpec& spec,
+                       sim::SimTime warmup = 0);
+  ScenarioScript& set_injection(sim::SimTime at, std::uint32_t node, double p,
+                                sim::SimTime quantum = sim::from_ms(10));
+  ScenarioScript& retune_governor(sim::SimTime at, std::uint32_t node,
+                                  const control::GovernorSpec& spec);
+  ScenarioScript& set_fan(sim::SimTime at, std::uint32_t node,
+                          double fraction);
+  ScenarioScript& crac_set(sim::SimTime at, double supply_c,
+                           bool mark = true);
+  ScenarioScript& failpoint(sim::SimTime at, std::uint64_t key);
+
+  /// Rolling config wave: retarget injection probability on every node,
+  /// rack-by-rack in id order — rack r's nodes change at
+  /// start + r * stagger. Exercises the live InjectionArbiter /
+  /// sys_set_global paths the way a staged fleet rollout would.
+  ScenarioScript& rolling_injection(sim::SimTime start, sim::SimTime stagger,
+                                    std::size_t num_nodes,
+                                    std::size_t nodes_per_rack, double p,
+                                    sim::SimTime quantum = sim::from_ms(10));
+
+  /// Correlated ambient failure: a CRAC heat wave ramping from `base_c` to
+  /// `peak_c` in `steps` piecewise-constant increments over `ramp`, holding
+  /// the peak for `hold`, then ramping back down symmetrically and ending
+  /// at base_c. Only the first step marks recovery (the wave onset is the
+  /// disturbance; the rest is its shape).
+  ScenarioScript& heat_wave(sim::SimTime start, double base_c, double peak_c,
+                            sim::SimTime ramp, sim::SimTime hold,
+                            std::size_t steps = 4);
+
+  bool empty() const { return directives.empty(); }
+};
+
+/// Append the script's canonical fragment ("scenario-v1" section: the full
+/// directive list, every field). Rides sim::kCanonVersion like every other
+/// canonical producer.
+void append_canonical_script(sim::CanonWriter& w, const ScenarioScript& s);
+
+}  // namespace dimetrodon::scenario

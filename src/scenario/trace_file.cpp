@@ -1,0 +1,128 @@
+#include "scenario/trace_file.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dimetrodon::scenario {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'M', 'T', 'R', 'A', 'C', 'E', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::string& in, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(in[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::string& in, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(in[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void reject(const char* why) {
+  throw std::runtime_error(std::string("arrival trace: ") + why);
+}
+
+}  // namespace
+
+std::string encode_trace(const cluster::ArrivalTrace& trace) {
+  std::string out;
+  out.reserve(kTraceHeaderBytes + kTraceRecordBytes * trace.records.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kTraceFormatVersion);
+  put_u32(out, 0);  // reserved
+  put_u64(out, trace.records.size());
+  put_u64(out, trace.content_hash());
+  for (const cluster::ArrivalRecord& r : trace.records) {
+    put_u64(out, static_cast<std::uint64_t>(r.at));
+    put_u32(out, r.affinity);
+    out.push_back(static_cast<char>(r.size_class));
+    out.append(3, '\0');
+  }
+  return out;
+}
+
+cluster::ArrivalTrace decode_trace(const std::string& bytes) {
+  if (bytes.size() < kTraceHeaderBytes) reject("truncated header");
+  if (bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    reject("bad magic");
+  }
+  if (get_u32(bytes, 8) != kTraceFormatVersion) reject("unknown version");
+  if (get_u32(bytes, 12) != 0) reject("nonzero reserved word");
+  const std::uint64_t count = get_u64(bytes, 16);
+  // Exact-length check: a file truncated (or padded) at ANY byte fails
+  // here, before any record is interpreted.
+  if (count > (bytes.size() - kTraceHeaderBytes) / kTraceRecordBytes ||
+      bytes.size() != kTraceHeaderBytes + kTraceRecordBytes * count) {
+    reject("length does not match record count");
+  }
+  const std::uint64_t expect_hash = get_u64(bytes, 24);
+
+  cluster::ArrivalTrace trace;
+  trace.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t off =
+        kTraceHeaderBytes + kTraceRecordBytes * static_cast<std::size_t>(i);
+    cluster::ArrivalRecord r;
+    r.at = static_cast<sim::SimTime>(get_u64(bytes, off));
+    r.affinity = get_u32(bytes, off + 8);
+    r.size_class = static_cast<std::uint8_t>(bytes[off + 12]);
+    if (r.at < 0) reject("negative timestamp");
+    if (!trace.records.empty() && r.at <= trace.records.back().at) {
+      reject("timestamps not strictly increasing");
+    }
+    if (r.size_class > cluster::ArrivalRecord::kMaxSizeClass) {
+      reject("size class out of range");
+    }
+    trace.records.push_back(r);
+  }
+  if (trace.content_hash() != expect_hash) reject("content hash mismatch");
+  return trace;
+}
+
+void save_trace(const std::string& path,
+                const cluster::ArrivalTrace& trace) {
+  const std::string bytes = encode_trace(trace);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) reject("cannot open file for writing");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!f) reject("write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    reject("rename failed");
+  }
+}
+
+cluster::ArrivalTrace load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) reject("cannot open file");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return decode_trace(ss.str());
+}
+
+}  // namespace dimetrodon::scenario

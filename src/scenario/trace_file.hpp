@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "cluster/arrival_trace.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace dimetrodon::scenario {
+
+/// Versioned on-disk arrival-trace format, byte-order and padding exact so a
+/// file written anywhere loads everywhere:
+///
+///   offset  size  field
+///        0     8  magic "DMTRACE1"
+///        8     4  u32 version (= 1), little-endian
+///       12     4  u32 reserved (= 0)
+///       16     8  u64 record count, little-endian
+///       24     8  u64 FNV-1a content hash (ArrivalTrace::content_hash)
+///       32   16*n records: { i64 at (LE), u32 affinity (LE),
+///                            u8 size_class, 3 zero pad bytes }
+///
+/// load_trace rejects, with std::runtime_error naming the defect: short or
+/// oversized files (truncation at ANY byte fails the exact-length check),
+/// bad magic, unknown version, nonzero reserved word, hash mismatch,
+/// non-strictly-increasing or negative timestamps, and out-of-range size
+/// classes — a damaged trace can never silently replay as a different load.
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 32;
+inline constexpr std::size_t kTraceRecordBytes = 16;
+
+/// Serialize to the format above (in memory / to disk). save_trace writes
+/// via a temp file + rename so a crashed writer never leaves a half trace
+/// at the target path.
+std::string encode_trace(const cluster::ArrivalTrace& trace);
+void save_trace(const std::string& path, const cluster::ArrivalTrace& trace);
+
+/// Parse / load (throws std::runtime_error as documented above).
+cluster::ArrivalTrace decode_trace(const std::string& bytes);
+cluster::ArrivalTrace load_trace(const std::string& path);
+
+/// Cluster-scope trace sink that records the routed-arrival stream
+/// (kRequestRouted events: time, size class, affinity) into an ArrivalTrace.
+/// Attach via ClusterConfig::trace_sink_factory; replaying the recording of
+/// a Poisson run reproduces the original bit-for-bit, because the replay
+/// path never draws from the source RNG stream.
+class TraceRecorder final : public obs::TraceSink {
+ public:
+  void on_event(const obs::TraceEvent& e) override {
+    if (e.kind != obs::EventKind::kRequestRouted) return;
+    cluster::ArrivalRecord r;
+    r.at = e.at;
+    r.size_class = static_cast<std::uint8_t>(e.arg);
+    r.affinity = static_cast<std::uint32_t>(e.value);
+    trace_.records.push_back(r);
+  }
+
+  const cluster::ArrivalTrace& trace() const { return trace_; }
+  cluster::ArrivalTrace take() { return std::move(trace_); }
+
+ private:
+  cluster::ArrivalTrace trace_;
+};
+
+}  // namespace dimetrodon::scenario

@@ -4,6 +4,7 @@
 
 #include "power/clock_modulation.hpp"
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -856,6 +857,21 @@ void Machine::set_dvfs_level(CoreId core, std::size_t level) {
 
 void Machine::set_all_dvfs_levels(std::size_t level) {
   for (Core& c : cores_) set_dvfs_level(c.id, level);
+}
+
+void Machine::set_fan_speed(double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("fan speed fraction must be in (0, 1]");
+  }
+  // Integrate the elapsed span under the old conductance first; the edge
+  // re-weight below invalidates the cached step operators, so everything
+  // after "now" factors against the new one.
+  advance_thermal(sim_.now());
+  config_.floorplan.fan_speed_fraction = fraction;
+  const double fan_factor = std::pow(fraction, 0.8);
+  network_.set_conductance(
+      nodes_.heatsink, nodes_.ambient,
+      fan_factor / config_.floorplan.hs_to_ambient_resistance);
 }
 
 void Machine::set_clock_duty_step(CoreId core, std::size_t step) {

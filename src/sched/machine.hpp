@@ -168,6 +168,14 @@ class Machine {
   void set_dvfs_level(CoreId core, std::size_t level);
   void set_all_dvfs_levels(std::size_t level);
 
+  /// Live fan degradation/repair: re-aim the heatsink→ambient conductance at
+  /// `fraction` (same (0, 1] domain and pow(f, 0.8) affinity law as the
+  /// construction-time FloorplanParams::fan_speed_fraction). The thermal
+  /// state is first fast-forwarded to "now" so the span already elapsed
+  /// integrates under the old conductance; cached step operators rebuild
+  /// lazily against the new one. Throws std::invalid_argument outside (0, 1].
+  void set_fan_speed(double fraction);
+
   /// p4tcc-style clock duty step (1..8 meaning 12.5%..100%). This sets the
   /// software-requested duty; the hardware thermal monitor may force a lower
   /// effective duty while a die is over temperature.

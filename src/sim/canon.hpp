@@ -22,7 +22,13 @@ namespace dimetrodon::sim {
 /// v8: run specs gained the warm-start `warmup` field; thermal_sparse_matvecs,
 /// thermal_evictions, snapshot_builds and snapshot_forks joined
 /// obs::CounterTotals::fields().
-inline constexpr int kCanonVersion = 8;
+///
+/// v9: scenario layer — cluster tags gained the arrival-trace section
+/// (cluster-v4 -> cluster-v5) and scenario specs append a scenario-v1
+/// directive script; scenario_directives, node_joins, node_removals,
+/// requests_shed, requests_rehomed and latency_rejects joined
+/// obs::CounterTotals::fields().
+inline constexpr int kCanonVersion = 9;
 
 /// The one way canonical text is produced. Fields render as "key=value "
 /// with doubles in hex-float (%a) so the text is bit-exact, integers in hex,

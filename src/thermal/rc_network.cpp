@@ -43,6 +43,27 @@ void RcNetwork::connect(NodeId a, NodeId b, double conductance_w_per_c) {
   ++topology_revision_;
 }
 
+void RcNetwork::set_conductance(NodeId a, NodeId b,
+                                double conductance_w_per_c) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("RcNetwork::set_conductance: bad NodeId");
+  }
+  if (conductance_w_per_c <= 0.0) {
+    throw std::invalid_argument("thermal conductance must be positive");
+  }
+  for (Edge& e : edges_) {
+    if ((e.a == a && e.b == b) || (e.a == b && e.b == a)) {
+      e.g = conductance_w_per_c;
+      // The step operators bake G into M = C/dt + G and the lifted powers;
+      // a revision bump makes ensure_structure() drop them all so the next
+      // advance factors against the new conductance.
+      ++topology_revision_;
+      return;
+    }
+  }
+  throw std::invalid_argument("RcNetwork::set_conductance: no such edge");
+}
+
 void RcNetwork::set_temperature(NodeId n, double t) {
   if (n >= nodes_.size()) {
     throw std::out_of_range("RcNetwork::set_temperature: bad NodeId");

@@ -45,6 +45,15 @@ class RcNetwork {
     connect(a, b, 1.0 / resistance_c_per_w);
   }
 
+  /// Re-weight an existing edge (either endpoint order) to conductance g.
+  /// This is the live-degradation knob — a fan slowing down mid-run changes
+  /// the heatsink→ambient conductance of an edge that already exists, which
+  /// calling connect() again would NOT do (it appends a parallel edge and
+  /// the conductances would add). Bumps the topology revision so every
+  /// cached step operator is rebuilt against the new G matrix. Throws
+  /// std::invalid_argument when no such edge exists or g <= 0.
+  void set_conductance(NodeId a, NodeId b, double conductance_w_per_c);
+
   std::size_t node_count() const { return nodes_.size(); }
   const std::string& name(NodeId n) const { return nodes_[n].name; }
   bool is_fixed(NodeId n) const { return nodes_[n].fixed; }

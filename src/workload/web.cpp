@@ -56,7 +56,8 @@ class WebWorkerBehavior final : public sched::ThreadBehavior {
     w_.ready_.pop_front();
     ++w_.in_service_;
     has_request_ = true;
-    const double demand = rng.exponential(w_.config_.demand_mean_s);
+    const double demand =
+        rng.exponential(w_.config_.demand_mean_s) * current_.demand_scale;
     return sched::Burst{demand, w_.config_.worker_activity};
   }
 
@@ -111,9 +112,32 @@ void WebWorkload::issue_request(std::uint32_t connection) {
   machine_->wake_thread(kernel_tid_);
 }
 
-void WebWorkload::inject_request(std::uint32_t request_id) {
-  pending_kernel_.push_back(Request{machine_->now(), request_id, true});
+void WebWorkload::inject_request(std::uint32_t request_id, double demand_scale,
+                                 sim::SimTime issued_at) {
+  const sim::SimTime issued = issued_at < 0 ? machine_->now() : issued_at;
+  pending_kernel_.push_back(Request{issued, request_id, true, demand_scale});
   machine_->wake_thread(kernel_tid_);
+}
+
+std::vector<WebWorkload::CancelledRequest>
+WebWorkload::cancel_pending_external() {
+  std::vector<CancelledRequest> cancelled;
+  const auto pull = [&cancelled](std::deque<Request>& q) {
+    std::deque<Request> kept;
+    for (const Request& r : q) {
+      if (r.external) {
+        cancelled.push_back({r.connection, r.issued_at, r.demand_scale});
+      } else {
+        kept.push_back(r);
+      }
+    }
+    q.swap(kept);
+  };
+  // Ready queue first so the returned order is oldest-first overall: every
+  // ready_ request passed through pending_kernel_ earlier.
+  pull(ready_);
+  pull(pending_kernel_);
+  return cancelled;
 }
 
 void WebWorkload::wake_one_worker() {

@@ -81,7 +81,30 @@ class WebWorkload final : public Workload {
   /// at the machine's current time. The request takes the same two-stage
   /// kernel/worker path as connection-issued ones; on completion the
   /// callback fires instead of a think-time reschedule. Requires deploy().
-  void inject_request(std::uint32_t request_id);
+  ///
+  /// `demand_scale` multiplies the drawn worker service demand (trace size
+  /// classes map to powers of two; 1.0 is exactly the unscaled draw, so the
+  /// legacy path stays bit-identical). `issued_at` back-dates the request's
+  /// latency clock — a re-homed request keeps the issue time from the node
+  /// it was cancelled on; negative (default) means "now".
+  void inject_request(std::uint32_t request_id, double demand_scale = 1.0,
+                      sim::SimTime issued_at = -1);
+
+  /// An external request pulled back out of the queues by
+  /// cancel_pending_external() — everything a cluster needs to re-home it
+  /// elsewhere with its latency clock intact.
+  struct CancelledRequest {
+    std::uint32_t request_id = 0;
+    sim::SimTime issued_at = 0;
+    double demand_scale = 1.0;
+  };
+
+  /// Remove every external request still waiting in the kernel or ready
+  /// queue (requests already in service run to completion on this node) and
+  /// return them oldest-first. Connection-issued requests are untouched.
+  /// This is the node-removal drain primitive: the cluster re-injects the
+  /// returned requests on surviving nodes.
+  std::vector<CancelledRequest> cancel_pending_external();
 
   std::uint64_t completed_requests() const { return completed_; }
   std::size_t outstanding_requests() const {
@@ -98,6 +121,9 @@ class WebWorkload final : public Workload {
     sim::SimTime issued_at;
     std::uint32_t connection;  // connection id, or request id when external
     bool external = false;
+    /// Service-demand multiplier (trace size class); exactly 1.0 for
+    /// connection-issued and legacy external requests.
+    double demand_scale = 1.0;
   };
 
   void issue_request(std::uint32_t connection);

@@ -451,5 +451,80 @@ TEST(ClusterSweepTest, CanonicalTagDistinguishesClusterParameters) {
   EXPECT_NE(tag, canonical_cluster_tag(rack));
 }
 
+// --- admin churn surface (scenario directives) ------------------------------
+
+TEST(ClusterAdminTest, DrainUndrainMovesTrafficAndRestoresIt) {
+  auto fleet = small_fleet(600.0).make_cluster();
+  fleet->run(sim::from_sec(1));
+  fleet->admin_drain(0);
+  EXPECT_EQ(fleet->admin_state(0), Cluster::AdminState::kDrained);
+  EXPECT_THROW(fleet->admin_drain(0), std::invalid_argument);  // not kActive
+  const auto mid = fleet->run(sim::from_sec(2));
+  const auto frozen = mid.nodes[0].routed;
+  fleet->admin_undrain(0);
+  const auto after = fleet->run(sim::from_sec(2));
+  EXPECT_EQ(mid.nodes[0].routed, frozen);   // no traffic while drained
+  EXPECT_GT(after.nodes[0].routed, frozen); // traffic resumes after undrain
+  EXPECT_EQ(after.counters.requests_shed, 0u);
+}
+
+// Regression: a node PROCHOT-tripping while another node is under operator
+// drain used to re-admit the drained node through the whole-fleet-tripped
+// routing fallback. The admin drain must hold: the PROCHOT node (still
+// administratively active) absorbs the traffic instead.
+TEST(ClusterAdminTest, ProchotDuringAdminDrainNeverReadmitsTheDrainedNode) {
+  sched::MachineConfig machine;
+  machine.enable_meter = false;
+  machine.prochot_c = 40.0;  // below loaded temps: the survivor trips
+  machine.prochot_release_c = 39.5;
+  auto fleet = FleetSpec::racks(1)
+                   .nodes_per_rack(2)
+                   .with_machine(machine)
+                   .with_cooling(0.5, 0.5)
+                   .with_load(800.0)
+                   .make_cluster();
+  fleet->run(sim::from_ms(500));
+  fleet->admin_drain(0);
+  const auto mid = fleet->run(sim::from_ms(100));
+  const auto frozen = mid.nodes[0].routed;
+  const auto r = fleet->run(sim::from_sec(5));
+  // The surviving node tripped PROCHOT while node 0 sat in operator drain...
+  EXPECT_GT(r.nodes[1].drains, 0u);
+  // ...yet the drained node never saw another request, nothing was shed,
+  // and the throttling active node kept serving.
+  EXPECT_EQ(r.nodes[0].routed, frozen);
+  EXPECT_EQ(r.counters.requests_shed, 0u);
+  EXPECT_GT(r.nodes[1].routed, frozen);
+}
+
+TEST(ClusterAdminTest, DrainingTheWholeFleetShedsLoudly) {
+  auto fleet = small_fleet(600.0).make_cluster();
+  fleet->run(sim::from_ms(500));
+  for (std::size_t i = 0; i < fleet->num_nodes(); ++i) fleet->admin_drain(i);
+  const auto r = fleet->run(sim::from_sec(1));
+  // No active node anywhere: arrivals are shed and counted, not lost.
+  EXPECT_GT(r.counters.requests_shed, 0u);
+  for (std::size_t i = 0; i < fleet->num_nodes(); ++i) {
+    EXPECT_EQ(fleet->admin_state(i), Cluster::AdminState::kDrained);
+  }
+}
+
+TEST(ClusterAdminTest, RemoveDetachesOnceQueueDrainsAndJoinReplaces) {
+  auto fleet = small_fleet(600.0).make_cluster();
+  fleet->run(sim::from_sec(1));
+  fleet->admin_remove(1);
+  fleet->run(sim::from_sec(1));
+  EXPECT_EQ(fleet->admin_state(1), Cluster::AdminState::kDetached);
+  const std::size_t id = fleet->admin_join({.fan_speed_fraction = 0.9},
+                                           /*warmup=*/sim::from_ms(500));
+  EXPECT_EQ(id, 3u);  // node ids are append-only
+  const auto r = fleet->run(sim::from_sec(2));
+  EXPECT_EQ(r.counters.node_joins, 1u);
+  EXPECT_EQ(r.counters.node_removals, 1u);
+  EXPECT_GT(r.nodes[3].routed, 0u);       // the joiner serves traffic
+  // The detached machine stays frozen: no further work lands on it.
+  EXPECT_EQ(fleet->admin_state(1), Cluster::AdminState::kDetached);
+}
+
 }  // namespace
 }  // namespace dimetrodon::cluster

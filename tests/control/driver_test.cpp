@@ -249,5 +249,56 @@ TEST(GovernorDriverTest, PowerCapAndPidComposeWithoutRinging) {
   EXPECT_LT(m.osc_amplitude_duty, 0.5);
 }
 
+TEST(GovernorDriverTest, RetuneSwapsTheGovernorMidRun) {
+  GovernedMachine gm(hysteresis_spec());
+  gm.machine.run_for(sim::from_sec(5));
+  ASSERT_TRUE(gm.driver.governor().tripped());
+  ASSERT_EQ(gm.driver.last_duty(), 0.6);
+
+  // A rolling config update lands mid-run: lower trip point, gentler duty.
+  GovernorSpec next = hysteresis_spec(/*trip_c=*/40.0, /*release_c=*/38.0);
+  next.hysteresis.hot_probability = 0.3;
+  gm.driver.retune(next);
+  EXPECT_EQ(gm.driver.spec().hysteresis.hot_probability, 0.3);
+  // The fresh controller starts from reset state, so the old duty stays
+  // published until the new governor's first sample...
+  EXPECT_EQ(gm.driver.last_duty(), 0.6);
+  const std::uint64_t trips_before = gm.driver.stats().trips;
+  gm.machine.run_for(sim::from_sec(2));
+  // ...then the machine (still above the new 40 C trip) re-trips at the
+  // retuned duty, through the same still-claimed arbiter channel.
+  EXPECT_GT(gm.driver.stats().trips, trips_before);
+  EXPECT_TRUE(gm.driver.governor().tripped());
+  EXPECT_EQ(gm.driver.last_duty(), 0.3);
+  EXPECT_EQ(gm.arbiter.resolved_probability(), 0.3);
+  EXPECT_EQ(gm.arbiter.winner(), InjectionArbiter::Channel::kGovernor);
+}
+
+TEST(GovernorDriverTest, RetuneCanCrossGovernorKinds) {
+  GovernedMachine gm(hysteresis_spec());
+  gm.machine.run_for(sim::from_sec(3));
+  gm.driver.retune(pid_spec());
+  gm.machine.run_for(sim::from_sec(3));
+  EXPECT_EQ(gm.driver.spec().kind, GovernorKind::kPid);
+  // The stability tracker restarted against the PID setpoint: its window
+  // describes only the post-retune loop.
+  EXPECT_EQ(gm.driver.stability().reference_c(), 47.0);
+  EXPECT_LE(gm.driver.stability().sample_count(), 61u);  // ~3 s at 50 ms
+}
+
+TEST(GovernorDriverTest, RetuneRejectsDisabledSpecAndBadPeriod) {
+  GovernedMachine gm(hysteresis_spec());
+  gm.machine.run_for(sim::from_sec(1));
+  EXPECT_THROW(gm.driver.retune(GovernorSpec{}), std::invalid_argument);
+  GovernorSpec bad = hysteresis_spec();
+  bad.sample_period = 0;
+  EXPECT_THROW(gm.driver.retune(bad), std::invalid_argument);
+  // A rejected retune changes nothing: the original loop keeps sampling.
+  EXPECT_EQ(gm.driver.spec().hysteresis.trip_c, 46.0);
+  const std::uint64_t samples = gm.driver.stats().samples;
+  gm.machine.run_for(sim::from_sec(1));
+  EXPECT_GT(gm.driver.stats().samples, samples);
+}
+
 }  // namespace
 }  // namespace dimetrodon::control

@@ -1,0 +1,222 @@
+// Scenario engine integration: directives act on a real cluster, replay
+// reproduces recorded runs, and the whole stack stays bit-identical at every
+// fleet-lane and sweep-thread count (the scenario counterpart of
+// tests/cluster/fleet_parallel_test.cpp).
+#include "scenario/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/fleet_spec.hpp"
+#include "runner/fault_injection.hpp"
+#include "runner/sweep_engine.hpp"
+#include "scenario/trace_file.hpp"
+
+namespace dimetrodon::scenario {
+namespace {
+
+sched::MachineConfig lean_machine() {
+  sched::MachineConfig m;
+  m.enable_meter = false;
+  return m;
+}
+
+control::GovernorSpec test_governor() {
+  control::GovernorSpec g;
+  g.kind = control::GovernorKind::kHysteresis;
+  g.hysteresis.trip_c = 45.0;
+  g.hysteresis.release_c = 43.0;
+  g.hysteresis.hot_probability = 0.4;
+  return g;
+}
+
+/// 2 racks x 2 nodes with CRAC coupling: small enough to run in
+/// milliseconds, big enough that churn leaves survivors.
+cluster::FleetSpec small_fleet(double per_node_rps = 150.0,
+                               bool governed = false) {
+  workload::WebWorkload::Config web = cluster::ClusterConfig::open_loop_web();
+  web.demand_mean_s = 0.005;
+  cluster::FleetSpec spec = cluster::FleetSpec::racks(2)
+                                .nodes_per_rack(2)
+                                .with_machine(lean_machine())
+                                .with_web(web)
+                                .with_crac(cluster::RackParams{})
+                                .with_load(per_node_rps * 4)
+                                .with_telemetry(sim::from_ms(20))
+                                .with_policy(cluster::PolicyKind::kRoundRobin)
+                                .for_duration(sim::from_sec(3));
+  if (governed) spec.with_governor(test_governor());
+  return spec;
+}
+
+TEST(ScenarioEngineTest, DirectivesDriveTheAdminSurface) {
+  ScenarioSpec spec;
+  spec.base = small_fleet().build();
+  cluster::NodeSpec joiner;
+  joiner.fan_speed_fraction = 0.9;
+  spec.script.drain(sim::from_ms(500), 0)
+      .remove(sim::from_ms(1000), 1)
+      .join(sim::from_ms(1500), joiner, sim::from_ms(250))
+      .undrain(sim::from_ms(2000), 0);
+  ScenarioEngine eng(spec);
+  const ScenarioOutcome out = eng.run();
+  EXPECT_EQ(out.result.counters.scenario_directives, 4u);
+  EXPECT_EQ(out.result.counters.node_joins, 1u);
+  EXPECT_EQ(out.result.counters.node_removals, 1u);
+  EXPECT_EQ(out.recovery.marks, 2u);  // drain + remove disturb
+  EXPECT_GT(out.result.completed, 0u);
+  // The joined node exists and served traffic after its join time.
+  ASSERT_EQ(out.result.nodes.size(), 5u);
+  EXPECT_GT(out.result.nodes[4].routed, 0u);
+}
+
+TEST(ScenarioEngineTest, RemovalRehomesQueuedRequests) {
+  // Oversaturated (util > 1) so queues grow from t=0 and the removed node
+  // is guaranteed to hold queued externals at the removal instant; those
+  // must migrate, not vanish.
+  ScenarioSpec spec;
+  spec.base = small_fleet(/*per_node_rps=*/1200.0).build();
+  spec.script.remove(sim::from_ms(1200), 2);
+  ScenarioEngine eng(spec);
+  const ScenarioOutcome out = eng.run();
+  EXPECT_GT(out.result.counters.requests_rehomed, 0u);
+  EXPECT_EQ(out.result.counters.requests_shed, 0u);
+  // Everything offered before removal was eventually served somewhere.
+  EXPECT_EQ(out.result.counters.node_removals, 1u);
+  EXPECT_GT(out.result.completed, 0u);
+}
+
+TEST(ScenarioEngineTest, DirectivesPastTheDurationNeverApply) {
+  ScenarioSpec spec;
+  spec.base = small_fleet().build();
+  spec.script.drain(sim::from_sec(10), 0);  // beyond the 3 s run
+  ScenarioEngine eng(spec);
+  const ScenarioOutcome out = eng.run();
+  EXPECT_EQ(out.result.counters.scenario_directives, 0u);
+  EXPECT_EQ(out.recovery.marks, 0u);
+}
+
+TEST(ScenarioEngineTest, KeyedFailpointStormFiresOnlyItsKey) {
+  auto& inj = runner::fault::FaultInjector::instance();
+  runner::fault::FaultRule rule;
+  rule.action = runner::fault::Action::kThrowLogic;
+  rule.key = 42;
+  inj.arm("scenario.directive", rule);
+
+  // A directive with a different key sails through...
+  ScenarioSpec pass;
+  pass.base = small_fleet().build();
+  pass.script.failpoint(sim::from_ms(500), 7);
+  EXPECT_NO_THROW(ScenarioEngine(pass).run());
+
+  // ...the matching key detonates.
+  ScenarioSpec hit;
+  hit.base = small_fleet().build();
+  hit.script.failpoint(sim::from_ms(500), 42);
+  ScenarioEngine eng(hit);
+  EXPECT_THROW(eng.run(), std::runtime_error);
+  inj.disarm_all();
+}
+
+TEST(ScenarioEngineTest, ReplayReproducesTheRecordedRunBitIdentically) {
+  // Record a plain Poisson run...
+  auto recorder = std::make_shared<TraceRecorder>();
+  auto recorded_fleet =
+      small_fleet()
+          .with_trace_sink([recorder] { return recorder; })
+          .make_cluster();
+  const cluster::ClusterResult original =
+      recorded_fleet->run(sim::from_sec(3));
+  auto trace =
+      std::make_shared<cluster::ArrivalTrace>(recorder->take());
+  ASSERT_GT(trace->records.size(), 100u);
+
+  // ...then replay it open-loop: the completion stream must match exactly
+  // (the replay path never draws from the arrival RNG).
+  cluster::ClusterRunSpec replay = small_fleet().build();
+  replay.cluster.arrival_trace = trace;
+  auto replay_fleet = cluster::Cluster{replay.cluster,
+                                       cluster::make_policy(replay.policy)};
+  const cluster::ClusterResult replayed = replay_fleet.run(sim::from_sec(3));
+  EXPECT_EQ(replayed.offered, original.offered);
+  EXPECT_EQ(replayed.completed, original.completed);
+  EXPECT_EQ(replayed.qos.total, original.qos.total);
+  EXPECT_EQ(replayed.qos.p99_latency_s, original.qos.p99_latency_s);
+  EXPECT_EQ(replayed.qos.mean_latency_s, original.qos.mean_latency_s);
+  EXPECT_EQ(replayed.fleet_peak_exact_c, original.fleet_peak_exact_c);
+}
+
+ScenarioSpec stress_spec(std::size_t fleet_threads) {
+  ScenarioSpec spec;
+  spec.base =
+      small_fleet(/*per_node_rps=*/200.0, /*governed=*/true).build();
+  spec.base.cluster.fleet_threads = fleet_threads;
+  cluster::NodeSpec joiner;
+  joiner.governor = test_governor();
+  spec.script.drain(sim::from_ms(600), 0)
+      .join(sim::from_ms(900), joiner, sim::from_ms(200))
+      .undrain(sim::from_ms(1200), 0)
+      .heat_wave(sim::from_ms(1400), cluster::RackParams{}.crac_supply_c,
+                 40.0, sim::from_ms(600), sim::from_ms(300), 3);
+  spec.recovery_settle = sim::from_ms(400);
+  return spec;
+}
+
+void expect_outcomes_identical(const ScenarioOutcome& a,
+                               const ScenarioOutcome& b) {
+  EXPECT_EQ(a.result.offered, b.result.offered);
+  EXPECT_EQ(a.result.completed, b.result.completed);
+  EXPECT_EQ(a.result.qos.total, b.result.qos.total);
+  EXPECT_EQ(a.result.qos.p99_latency_s, b.result.qos.p99_latency_s);
+  EXPECT_EQ(a.result.qos.mean_latency_s, b.result.qos.mean_latency_s);
+  EXPECT_EQ(a.result.fleet_peak_exact_c, b.result.fleet_peak_exact_c);
+  EXPECT_EQ(a.result.counters.injections, b.result.counters.injections);
+  EXPECT_EQ(a.result.drains, b.result.drains);
+  EXPECT_EQ(a.recovery.baseline_p99_s, b.recovery.baseline_p99_s);
+  EXPECT_EQ(a.recovery.threshold_p99_s, b.recovery.threshold_p99_s);
+  EXPECT_EQ(a.recovery.recovery_p99_s, b.recovery.recovery_p99_s);
+  EXPECT_EQ(a.recovery.peak_backlog, b.recovery.peak_backlog);
+  EXPECT_EQ(a.recovery.drain_total_s, b.recovery.drain_total_s);
+  EXPECT_EQ(a.recovery.drain_episodes, b.recovery.drain_episodes);
+}
+
+TEST(ScenarioEngineTest, BitIdenticalAcrossFleetLaneCounts) {
+  const ScenarioOutcome serial = ScenarioEngine(stress_spec(1)).run();
+  for (const std::size_t lanes : {2u, 8u}) {
+    const ScenarioOutcome parallel =
+        ScenarioEngine(stress_spec(lanes)).run();
+    SCOPED_TRACE(lanes);
+    expect_outcomes_identical(serial, parallel);
+  }
+}
+
+TEST(ScenarioEngineTest, BitIdenticalAcrossSweepThreadCounts) {
+  const ScenarioSpec spec = stress_spec(0);
+  std::vector<runner::RunRecord> per_thread;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    runner::SweepEngineConfig cfg;
+    cfg.threads = threads;
+    cfg.use_cache = false;
+    cfg.progress = false;
+    runner::SweepEngine engine(spec.base.cluster.machine, cfg);
+    runner::SweepResult result = engine.run({to_run_spec(spec)});
+    ASSERT_TRUE(result.errors.empty());
+    per_thread.push_back(result.records[0]);
+  }
+  for (std::size_t i = 1; i < per_thread.size(); ++i) {
+    for (const char* key :
+         {"offered", "completed", "recovery_p99_s", "baseline_p99_s",
+          "threshold_p99_s", "peak_backlog", "fleet_peak_exact_c",
+          "energy_j", "drains", "requests_rehomed"}) {
+      SCOPED_TRACE(key);
+      EXPECT_EQ(per_thread[i].metric(key), per_thread[0].metric(key));
+    }
+    EXPECT_EQ(per_thread[i].result.qos->p99_latency_s,
+              per_thread[0].result.qos->p99_latency_s);
+  }
+}
+
+}  // namespace
+}  // namespace dimetrodon::scenario

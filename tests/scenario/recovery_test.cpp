@@ -1,0 +1,153 @@
+#include "scenario/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dimetrodon::scenario {
+namespace {
+
+obs::TraceEvent complete_at(sim::SimTime at, double latency_s) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kRequestComplete;
+  e.at = at;
+  e.value = latency_s;
+  return e;
+}
+
+obs::TraceEvent routed_at(sim::SimTime at) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kRequestRouted;
+  e.at = at;
+  return e;
+}
+
+obs::TraceEvent drain_at(sim::SimTime at, std::uint32_t node, bool begin) {
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kNodeDrain;
+  e.at = at;
+  e.core = static_cast<std::uint16_t>(node);
+  e.arg = begin ? 1 : 0;
+  return e;
+}
+
+/// Fill window `w` (1 s windows) with `n` completions of the given latency.
+void fill_window(RecoveryTracker& t, int w, double latency_s, int n = 100) {
+  for (int i = 0; i < n; ++i) {
+    t.on_event(complete_at(sim::from_sec(w) + sim::from_ms(i), latency_s));
+  }
+}
+
+TEST(RecoveryTrackerTest, NoMarksReportsZeroRecovery) {
+  RecoveryTracker t;
+  fill_window(t, 0, 0.01);
+  fill_window(t, 1, 0.01);
+  const RecoveryReport r = t.finalize(sim::from_sec(2));
+  EXPECT_EQ(r.marks, 0u);
+  EXPECT_EQ(r.recovery_p99_s, 0.0);
+  EXPECT_TRUE(r.recovered());
+  EXPECT_NEAR(r.baseline_p99_s, 0.01, 0.005);
+}
+
+TEST(RecoveryTrackerTest, ThresholdSitsAboveTheBaselineEnvelope) {
+  RecoveryTracker t;
+  fill_window(t, 0, 0.01);
+  fill_window(t, 1, 0.04);  // the noisiest pre-mark window sets the envelope
+  t.mark_disturbance(sim::from_sec(2));
+  const RecoveryReport r = t.finalize(sim::from_sec(6));
+  // max(1.5 * envelope, baseline + 20 ms) with envelope ~0.04.
+  EXPECT_NEAR(r.threshold_p99_s, 1.5 * 0.04, 0.01);
+}
+
+TEST(RecoveryTrackerTest, RecoveryRunsToTheEndOfTheLastFailingWindow) {
+  RecoveryTracker t;
+  fill_window(t, 0, 0.01);
+  fill_window(t, 1, 0.01);
+  fill_window(t, 2, 0.01);
+  t.mark_disturbance(sim::from_sec(3));
+  fill_window(t, 3, 0.5);  // damage lands here...
+  fill_window(t, 4, 0.5);  // ...and keeps landing (completion-time lag)
+  fill_window(t, 5, 0.01);
+  fill_window(t, 6, 0.01);
+  fill_window(t, 7, 0.01);
+  const RecoveryReport r = t.finalize(sim::from_sec(8));
+  // Last failing window is w4; recovery = end of w4 (5 s) - mark (3 s).
+  EXPECT_NEAR(r.recovery_p99_s, 2.0, 1e-9);
+  EXPECT_TRUE(r.recovered());
+}
+
+TEST(RecoveryTrackerTest, LateFailureWithoutCalmTailIsNeverRecovered) {
+  RecoveryTracker t;
+  fill_window(t, 0, 0.01);
+  t.mark_disturbance(sim::from_sec(1));
+  fill_window(t, 1, 0.01);
+  fill_window(t, 2, 0.5);  // fails at w2; calm needs to hold through w5
+  fill_window(t, 3, 0.01);
+  const RecoveryReport r = t.finalize(sim::from_sec(4));  // run ends at 4 s
+  EXPECT_EQ(r.recovery_p99_s, -1.0);
+  EXPECT_FALSE(r.recovered());
+}
+
+TEST(RecoveryTrackerTest, EmptyWindowsCountAsCalm) {
+  RecoveryTracker t;
+  fill_window(t, 0, 0.01);
+  t.mark_disturbance(sim::from_sec(1));
+  fill_window(t, 1, 0.5);
+  // w2..w4 empty: no completions carry no evidence of elevated latency.
+  const RecoveryReport r = t.finalize(sim::from_sec(5));
+  EXPECT_NEAR(r.recovery_p99_s, 1.0, 1e-9);
+}
+
+TEST(RecoveryTrackerTest, SettleExcludesWarmupFromBaselineAndScan) {
+  // An anomalous cold-start spike in w0 would blow up the envelope (and
+  // with it the threshold) unless the settle span masks it out.
+  RecoveryTracker with_settle(sim::kSecond, sim::from_sec(2));
+  RecoveryTracker without(sim::kSecond);
+  for (RecoveryTracker* t : {&with_settle, &without}) {
+    fill_window(*t, 0, 1.0);  // warm-up artifact
+    fill_window(*t, 1, 0.02);
+    fill_window(*t, 2, 0.02);
+    fill_window(*t, 3, 0.02);
+    t->mark_disturbance(sim::from_sec(4));
+    fill_window(*t, 4, 0.02);
+    fill_window(*t, 5, 0.02);
+  }
+  const RecoveryReport masked = with_settle.finalize(sim::from_sec(6));
+  const RecoveryReport raw = without.finalize(sim::from_sec(6));
+  EXPECT_LT(masked.threshold_p99_s, 0.1);
+  EXPECT_GT(raw.threshold_p99_s, 1.0);
+}
+
+TEST(RecoveryTrackerTest, PeakBacklogTracksRoutedMinusCompleted) {
+  RecoveryTracker t;
+  for (int i = 0; i < 5; ++i) t.on_event(routed_at(sim::from_ms(i)));
+  t.on_event(complete_at(sim::from_ms(10), 0.01));
+  t.on_event(complete_at(sim::from_ms(11), 0.01));
+  // w0 ends with 5 routed, 2 completed -> 3 in flight.
+  for (int i = 0; i < 3; ++i) {
+    t.on_event(complete_at(sim::from_sec(1) + sim::from_ms(i), 0.01));
+  }
+  const RecoveryReport r = t.finalize(sim::from_sec(2));
+  EXPECT_EQ(r.peak_backlog, 3u);
+}
+
+TEST(RecoveryTrackerTest, ShedCountSurfaces) {
+  RecoveryTracker t;
+  obs::TraceEvent shed;
+  shed.kind = obs::EventKind::kRequestShed;
+  shed.at = sim::from_ms(5);
+  t.on_event(shed);
+  t.on_event(shed);
+  EXPECT_EQ(t.finalize(sim::from_sec(1)).requests_shed, 2u);
+}
+
+TEST(RecoveryTrackerTest, DrainEpisodesAccumulateAndCloseAtFinalize) {
+  RecoveryTracker t;
+  t.on_event(drain_at(sim::from_sec(1), 3, true));
+  t.on_event(drain_at(sim::from_sec(3), 3, false));  // closed: 2 s
+  t.on_event(drain_at(sim::from_sec(8), 5, true));   // open at finalize: 2 s
+  const RecoveryReport r = t.finalize(sim::from_sec(10));
+  EXPECT_EQ(r.drain_episodes, 2u);
+  EXPECT_NEAR(r.drain_total_s, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dimetrodon::scenario

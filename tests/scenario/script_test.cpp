@@ -1,0 +1,108 @@
+#include "scenario/script.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dimetrodon::scenario {
+namespace {
+
+std::string canon(const ScenarioScript& s) {
+  sim::CanonWriter w;
+  append_canonical_script(w, s);
+  return w.take();
+}
+
+TEST(ScenarioScriptTest, BuildersMarkDisturbancesNotRemedies) {
+  ScenarioScript s;
+  s.drain(sim::from_sec(1), 0)
+      .undrain(sim::from_sec(2), 0)
+      .remove(sim::from_sec(3), 1)
+      .join(sim::from_sec(4), cluster::NodeSpec{})
+      .set_fan(sim::from_sec(5), 2, 0.5)
+      .retune_governor(sim::from_sec(6), 2, control::GovernorSpec{})
+      .failpoint(sim::from_sec(7), 99);
+  ASSERT_EQ(s.directives.size(), 7u);
+  EXPECT_TRUE(s.directives[0].mark_recovery);   // drain disturbs
+  EXPECT_FALSE(s.directives[1].mark_recovery);  // undrain remedies
+  EXPECT_TRUE(s.directives[2].mark_recovery);   // removal disturbs
+  EXPECT_FALSE(s.directives[3].mark_recovery);  // join remedies
+  EXPECT_TRUE(s.directives[4].mark_recovery);   // fan degradation disturbs
+  EXPECT_FALSE(s.directives[5].mark_recovery);  // retune remedies
+  EXPECT_TRUE(s.directives[6].mark_recovery);   // failpoint disturbs
+}
+
+TEST(ScenarioScriptTest, RollingInjectionStaggersByRack) {
+  ScenarioScript s;
+  s.rolling_injection(sim::from_sec(10), sim::from_sec(2), /*num_nodes=*/6,
+                      /*nodes_per_rack=*/2, 0.4);
+  ASSERT_EQ(s.directives.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const Directive& d = s.directives[i];
+    EXPECT_EQ(d.kind, DirectiveKind::kSetInjection);
+    EXPECT_EQ(d.node, i);
+    EXPECT_EQ(d.probability, 0.4);
+    // Rack r = i / 2 changes at 10 s + r * 2 s.
+    EXPECT_EQ(d.at, sim::from_sec(10) + sim::from_sec(2) *
+                                            static_cast<sim::SimTime>(i / 2));
+    EXPECT_FALSE(d.mark_recovery);  // a staged rollout is not a disturbance
+  }
+}
+
+TEST(ScenarioScriptTest, HeatWaveRampsUpHoldsAndReturnsToBase) {
+  ScenarioScript s;
+  s.heat_wave(sim::from_sec(5), 25.0, 45.0, sim::from_sec(4), sim::from_sec(2),
+              /*steps=*/4);
+  ASSERT_GE(s.directives.size(), 2u);
+  for (const Directive& d : s.directives) {
+    EXPECT_EQ(d.kind, DirectiveKind::kCracSet);
+  }
+  // Only the onset marks recovery: the wave is ONE disturbance, not many.
+  EXPECT_TRUE(s.directives.front().mark_recovery);
+  for (std::size_t i = 1; i < s.directives.size(); ++i) {
+    EXPECT_FALSE(s.directives[i].mark_recovery);
+  }
+  // The ramp peaks at the requested supply and the last step restores base.
+  double peak = 0.0;
+  for (const Directive& d : s.directives) peak = std::max(peak, d.crac_c);
+  EXPECT_EQ(peak, 45.0);
+  EXPECT_EQ(s.directives.back().crac_c, 25.0);
+  // Monotone non-decreasing times.
+  for (std::size_t i = 1; i < s.directives.size(); ++i) {
+    EXPECT_GE(s.directives[i].at, s.directives[i - 1].at);
+  }
+}
+
+TEST(ScenarioScriptTest, CanonicalFragmentCoversEveryField) {
+  ScenarioScript base;
+  base.drain(sim::from_sec(1), 0);
+  EXPECT_EQ(canon(base), canon(base));  // deterministic
+
+  // Any field change — even one the directive kind never reads — must
+  // produce a different canonical fragment, or edited scenarios could
+  // silently share a cache entry.
+  ScenarioScript changed = base;
+  changed.directives[0].fan_fraction = 0.9;
+  EXPECT_NE(canon(base), canon(changed));
+
+  ScenarioScript other_time = base;
+  other_time.directives[0].at += 1;
+  EXPECT_NE(canon(base), canon(other_time));
+
+  ScenarioScript other_kind = base;
+  other_kind.directives[0].kind = DirectiveKind::kUndrain;
+  EXPECT_NE(canon(base), canon(other_kind));
+
+  ScenarioScript extra = base;
+  extra.failpoint(sim::from_sec(2), 7);
+  EXPECT_NE(canon(base), canon(extra));
+}
+
+TEST(ScenarioScriptTest, DirectiveKindNamesAreStable) {
+  EXPECT_EQ(directive_kind_name(DirectiveKind::kDrain), "drain");
+  EXPECT_EQ(directive_kind_name(DirectiveKind::kCracSet), "crac_set");
+  EXPECT_EQ(directive_kind_name(DirectiveKind::kFailpoint), "failpoint");
+}
+
+}  // namespace
+}  // namespace dimetrodon::scenario

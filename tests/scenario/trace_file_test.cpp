@@ -1,0 +1,141 @@
+#include "scenario/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+
+namespace dimetrodon::scenario {
+namespace {
+
+cluster::ArrivalTrace sample_trace() {
+  cluster::ArrivalTrace t;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    cluster::ArrivalRecord r;
+    r.at = 1000 * (i + 1) + i;  // strictly increasing, non-uniform
+    r.affinity = static_cast<std::uint32_t>(i * 7);
+    r.size_class = static_cast<std::uint8_t>(i % 3);
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(TraceFileTest, EncodeDecodeRoundTrip) {
+  const cluster::ArrivalTrace t = sample_trace();
+  const std::string bytes = encode_trace(t);
+  EXPECT_EQ(bytes.size(), kTraceHeaderBytes + 5 * kTraceRecordBytes);
+  const cluster::ArrivalTrace back = decode_trace(bytes);
+  EXPECT_EQ(back.records, t.records);
+  EXPECT_EQ(back.content_hash(), t.content_hash());
+}
+
+TEST(TraceFileTest, EmptyTraceRoundTrips) {
+  const std::string bytes = encode_trace(cluster::ArrivalTrace{});
+  EXPECT_EQ(bytes.size(), kTraceHeaderBytes);
+  EXPECT_TRUE(decode_trace(bytes).records.empty());
+}
+
+TEST(TraceFileTest, SaveLoadRoundTrip) {
+  const cluster::ArrivalTrace t = sample_trace();
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "roundtrip.dmtrace")
+          .string();
+  save_trace(path, t);
+  EXPECT_EQ(load_trace(path).records, t.records);
+  // The atomic-rename writer must not leave its temp file behind.
+  std::size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    files += e.path().extension() == ".dmtrace";
+  }
+  EXPECT_EQ(files, 1u);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/dir/missing.dmtrace"),
+               std::runtime_error);
+}
+
+// The fuzz core: a prefix of a valid file truncated at ANY byte must be
+// rejected (the exact-length check catches every cut, including mid-header
+// and mid-record), and one extra byte must be rejected too.
+TEST(TraceFileTest, TruncationAtEveryByteIsRejected) {
+  const std::string bytes = encode_trace(sample_trace());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(decode_trace(bytes.substr(0, len)), std::runtime_error)
+        << "truncated at byte " << len;
+  }
+  EXPECT_THROW(decode_trace(bytes + '\0'), std::runtime_error);
+}
+
+TEST(TraceFileTest, BadMagicIsRejected) {
+  std::string bytes = encode_trace(sample_trace());
+  bytes[0] ^= 0x01;
+  EXPECT_THROW(decode_trace(bytes), std::runtime_error);
+}
+
+TEST(TraceFileTest, UnknownVersionIsRejected) {
+  std::string bytes = encode_trace(sample_trace());
+  bytes[8] = 2;  // version field (LE u32 at offset 8)
+  EXPECT_THROW(decode_trace(bytes), std::runtime_error);
+}
+
+TEST(TraceFileTest, NonzeroReservedIsRejected) {
+  std::string bytes = encode_trace(sample_trace());
+  bytes[12] = 1;  // reserved field (LE u32 at offset 12)
+  EXPECT_THROW(decode_trace(bytes), std::runtime_error);
+}
+
+TEST(TraceFileTest, ContentCorruptionFailsTheHash) {
+  std::string bytes = encode_trace(sample_trace());
+  // Flip one bit inside the first record's affinity word: the length and
+  // header stay valid, so only the FNV content hash can catch it.
+  bytes[kTraceHeaderBytes + 8] ^= 0x01;
+  EXPECT_THROW(decode_trace(bytes), std::runtime_error);
+}
+
+TEST(TraceFileTest, NonMonotoneTimestampsAreRejected) {
+  cluster::ArrivalTrace t = sample_trace();
+  t.records[2].at = t.records[1].at;  // equal: not strictly increasing
+  EXPECT_THROW(decode_trace(encode_trace(t)), std::runtime_error);
+  t.records[2].at = t.records[1].at - 1;  // decreasing
+  EXPECT_THROW(decode_trace(encode_trace(t)), std::runtime_error);
+}
+
+TEST(TraceFileTest, NegativeTimestampIsRejected) {
+  cluster::ArrivalTrace t;
+  cluster::ArrivalRecord r;
+  r.at = -5;
+  t.records.push_back(r);
+  EXPECT_THROW(decode_trace(encode_trace(t)), std::runtime_error);
+}
+
+TEST(TraceFileTest, OutOfRangeSizeClassIsRejected) {
+  cluster::ArrivalTrace t = sample_trace();
+  t.records[0].size_class = cluster::ArrivalRecord::kMaxSizeClass + 1;
+  EXPECT_THROW(decode_trace(encode_trace(t)), std::runtime_error);
+}
+
+TEST(TraceFileTest, RecorderCapturesOnlyRoutedEvents) {
+  TraceRecorder rec;
+  obs::TraceEvent routed;
+  routed.kind = obs::EventKind::kRequestRouted;
+  routed.at = 42;
+  routed.arg = 3;        // size class
+  routed.value = 7.0;    // affinity
+  rec.on_event(routed);
+  obs::TraceEvent complete;
+  complete.kind = obs::EventKind::kRequestComplete;
+  complete.at = 99;
+  rec.on_event(complete);
+  ASSERT_EQ(rec.trace().records.size(), 1u);
+  EXPECT_EQ(rec.trace().records[0].at, 42);
+  EXPECT_EQ(rec.trace().records[0].size_class, 3);
+  EXPECT_EQ(rec.trace().records[0].affinity, 7u);
+}
+
+}  // namespace
+}  // namespace dimetrodon::scenario

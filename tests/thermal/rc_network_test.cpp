@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 namespace dimetrodon::thermal {
 namespace {
@@ -180,6 +181,52 @@ TEST_P(RcLinearity, SteadyStateScalesWithPower) {
 
 INSTANTIATE_TEST_SUITE_P(Powers, RcLinearity,
                          ::testing::Values(0.0, 1.0, 5.0, 20.0, 100.0));
+
+TEST(RcNetworkTest, SetConductanceReweightsTheExistingEdge) {
+  SingleRc s;
+  s.net.set_power(s.node, 10.0);
+  s.net.set_conductance(s.node, s.amb, 1.0);  // r: 2.0 -> 1.0
+  s.net.solve_steady_state();
+  EXPECT_NEAR(s.net.temperature(s.node), 25.0 + 10.0 * 1.0, 1e-9);
+  // Either endpoint order addresses the same edge.
+  s.net.set_conductance(s.amb, s.node, 0.25);  // r -> 4.0
+  s.net.solve_steady_state();
+  EXPECT_NEAR(s.net.temperature(s.node), 25.0 + 10.0 * 4.0, 1e-9);
+}
+
+TEST(RcNetworkTest, SetConductanceRejectsMissingEdgesAndBadValues) {
+  SingleRc s;
+  const NodeId other = s.net.add_node("other", 1.0, 25.0);
+  s.net.connect(other, s.amb, 1.0);
+  // other<->amb and node<->amb exist, but node<->other does not.
+  EXPECT_THROW(s.net.set_conductance(s.node, other, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(s.net.set_conductance(s.node, s.amb, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(s.net.set_conductance(s.node, s.amb, -1.0),
+               std::invalid_argument);
+  // The failed calls left the original edge untouched.
+  s.net.set_power(s.node, 10.0);
+  s.net.solve_steady_state();
+  EXPECT_NEAR(s.net.temperature(s.node), 45.0, 1e-9);
+}
+
+// set_conductance exists because connect() is append-only: a second
+// connect between the same endpoints adds a PARALLEL edge whose
+// conductances sum, which is the wrong tool for modelling a fan change.
+TEST(RcNetworkTest, RepeatedConnectAddsParallelPathsInstead) {
+  SingleRc parallel;
+  parallel.net.connect(parallel.node, parallel.amb, 0.5);  // now g = 1.0
+  parallel.net.set_power(parallel.node, 10.0);
+  parallel.net.solve_steady_state();
+  EXPECT_NEAR(parallel.net.temperature(parallel.node), 35.0, 1e-9);
+
+  SingleRc reweighted;
+  reweighted.net.set_conductance(reweighted.node, reweighted.amb, 0.5);
+  reweighted.net.set_power(reweighted.node, 10.0);
+  reweighted.net.solve_steady_state();
+  EXPECT_NEAR(reweighted.net.temperature(reweighted.node), 45.0, 1e-9);
+}
 
 }  // namespace
 }  // namespace dimetrodon::thermal

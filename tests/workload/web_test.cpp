@@ -232,5 +232,107 @@ TEST(WebWorkloadTest, OutstandingRequestsBounded) {
   EXPECT_LE(web.outstanding_requests(), 40u);
 }
 
+// A scale-1.0 injection must be byte-for-byte the legacy path: same drawn
+// demand, same latency. A larger scale stretches the worker stage.
+TEST(WebWorkloadTest, DemandScaleStretchesServiceTime) {
+  const auto one_shot = [](double scale) {
+    sched::Machine m(small_config());
+    WebWorkload::Config cfg;
+    cfg.connections = 0;
+    WebWorkload web(cfg);
+    web.deploy(m);
+    double latency = -1.0;
+    web.set_completion_callback(
+        [&](std::uint32_t, double latency_s) { latency = latency_s; });
+    if (scale < 0.0) {
+      web.inject_request(0);  // legacy call, no scale argument at all
+    } else {
+      web.inject_request(0, scale);
+    }
+    m.run_for(sim::from_sec(5));
+    return latency;
+  };
+  const double legacy = one_shot(-1.0);
+  ASSERT_GT(legacy, 0.0);
+  EXPECT_EQ(one_shot(1.0), legacy);  // bit-identical, not just close
+  EXPECT_GT(one_shot(8.0), legacy);
+  EXPECT_GT(one_shot(8.0), one_shot(2.0));
+}
+
+TEST(WebWorkloadTest, IssuedAtBackdatesTheLatencyClock) {
+  // Two identical machines, both injecting at t = 1 s; the second claims
+  // the request was issued at t = 0, so it reports exactly +1 s latency.
+  const auto inject_after_1s = [](sim::SimTime issued_at) {
+    sched::Machine m(small_config());
+    WebWorkload::Config cfg;
+    cfg.connections = 0;
+    WebWorkload web(cfg);
+    web.deploy(m);
+    double latency = -1.0;
+    web.set_completion_callback(
+        [&](std::uint32_t, double latency_s) { latency = latency_s; });
+    m.run_for(sim::from_sec(1));
+    web.inject_request(0, 1.0, issued_at);
+    m.run_for(sim::from_sec(5));
+    return latency;
+  };
+  const double plain = inject_after_1s(-1);  // default: issued "now"
+  ASSERT_GT(plain, 0.0);
+  const double backdated = inject_after_1s(0);
+  EXPECT_NEAR(backdated, plain + 1.0, 1e-9);
+}
+
+TEST(WebWorkloadTest, CancelPendingExternalRehomesQueuedOldestFirst) {
+  sched::Machine m(small_config());
+  WebWorkload::Config cfg;
+  cfg.connections = 0;
+  WebWorkload web(cfg);
+  web.deploy(m);
+  std::vector<std::uint32_t> completed;
+  web.set_completion_callback(
+      [&](std::uint32_t id, double) { completed.push_back(id); });
+  // Queue a burst far faster than one node can serve: later requests are
+  // still waiting in the kernel/ready queues when the cancel lands.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    web.inject_request(i, 1.0 + 0.25 * i);
+    m.run_for(sim::from_ms(1));
+  }
+  const auto cancelled = web.cancel_pending_external();
+  ASSERT_FALSE(cancelled.empty());
+  ASSERT_LT(cancelled.size(), 12u);  // whatever entered service stays put
+  for (std::size_t i = 0; i < cancelled.size(); ++i) {
+    const auto& c = cancelled[i];
+    // Injection order was oldest-first with strictly increasing issue times
+    // and per-request demand scales; all three survive the cancel intact.
+    EXPECT_EQ(c.request_id, 12u - cancelled.size() + i);
+    EXPECT_EQ(c.demand_scale, 1.0 + 0.25 * c.request_id);
+    EXPECT_EQ(c.issued_at, sim::from_ms(c.request_id));
+    if (i > 0) EXPECT_GT(c.issued_at, cancelled[i - 1].issued_at);
+  }
+  // In-service requests run to completion on this node; cancelled ones
+  // never complete here.
+  m.run_for(sim::from_sec(10));
+  EXPECT_EQ(completed.size() + cancelled.size(), 12u);
+  for (std::uint32_t id : completed) {
+    EXPECT_LT(id, 12u - cancelled.size());
+  }
+  EXPECT_EQ(web.outstanding_requests(), 0u);
+  // A second cancel on the drained workload finds nothing.
+  EXPECT_TRUE(web.cancel_pending_external().empty());
+}
+
+TEST(WebWorkloadTest, CancelPendingExternalLeavesConnectionsAlone) {
+  sched::Machine m(small_config());
+  WebWorkload web(light_config());  // closed loop, 40 connections
+  web.deploy(m);
+  m.run_for(sim::from_sec(1));
+  const auto cancelled = web.cancel_pending_external();
+  EXPECT_TRUE(cancelled.empty());  // nothing external to pull
+  const std::uint64_t before = web.completed_requests();
+  m.run_for(sim::from_sec(2));
+  // The closed loop keeps running: cancel touches external requests only.
+  EXPECT_GT(web.completed_requests(), before);
+}
+
 }  // namespace
 }  // namespace dimetrodon::workload
